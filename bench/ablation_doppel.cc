@@ -1,0 +1,146 @@
+// Ablations of Doppel's design choices (DESIGN.md §4) — not in the paper.
+//
+//  A. Classifier off vs automatic vs manual labeling on INCR1-100%: automatic detection
+//     should match manual labeling; disabling splitting degenerates to OCC.
+//  B. Conflict sample rate sensitivity (sample 1/1 .. 1/64).
+//  C. RUBiS StoreBid programmed commutatively (Fig. 7) vs plain read-modify-write
+//     (Fig. 6) under Doppel: the plain form cannot be split and serializes (§8.8).
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+#include "src/rubis/workload.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+double MeasureIncr(const bench::Flags& flags, Options opts, std::uint64_t keys,
+                   std::uint32_t hot_pct) {
+  static std::atomic<std::uint64_t> hot{0};
+  auto point = bench::MeasurePoint(
+      flags, /*default_seconds=*/0.4,
+      [&] {
+        auto db = std::make_unique<Database>(opts);
+        PopulateIncr(db->store(), keys);
+        if (opts.manual_split_only && opts.classifier.max_split_records > 0 &&
+            opts.classifier.sample_every == 0xdead) {
+          // sentinel unused; manual labeling handled by caller via MarkSplitManually
+        }
+        return db;
+      },
+      [&] { return MakeIncr1Factory(keys, hot_pct, &hot); });
+  return point.throughput.mean();
+}
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t keys = flags.Keys(100000);
+  std::atomic<std::uint64_t> hot{0};
+
+  std::printf("Doppel ablations (threads=%d keys=%llu)\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(keys));
+
+  // ---- A: splitting machinery on INCR1-100% ----
+  {
+    Table table({"variant", "txn/s"});
+
+    Options off = bench::BaseOptions(flags, Protocol::kDoppel, keys * 2);
+    off.manual_split_only = true;  // no labels: never splits
+    table.AddRow({"no-split (classifier off)", FormatCount(MeasureIncr(flags, off, keys, 100))});
+
+    Options autodetect = bench::BaseOptions(flags, Protocol::kDoppel, keys * 2);
+    table.AddRow({"automatic classifier",
+                  FormatCount(MeasureIncr(flags, autodetect, keys, 100))});
+
+    // Manual labeling: split the hot key from the start.
+    {
+      auto point = bench::MeasurePoint(
+          flags, 0.4,
+          [&] {
+            Options manual = bench::BaseOptions(flags, Protocol::kDoppel, keys * 2);
+            manual.manual_split_only = true;
+            auto db = std::make_unique<Database>(manual);
+            PopulateIncr(db->store(), keys);
+            db->MarkSplitManually(IncrKey(0), OpCode::kAdd);
+            return db;
+          },
+          [&] { return MakeIncr1Factory(keys, 100, &hot); });
+      table.AddRow({"manual labeling", FormatCount(point.throughput.mean())});
+    }
+
+    Options occ = bench::BaseOptions(flags, Protocol::kOcc, keys * 2);
+    table.AddRow({"OCC reference", FormatCount(MeasureIncr(flags, occ, keys, 100))});
+
+    std::printf("A. INCR1 100%% hot: split machinery\n");
+    table.Print();
+    if (flags.csv) {
+      table.PrintCsv();
+    }
+    std::printf("\n");
+  }
+
+  // ---- B: sample-rate sensitivity ----
+  {
+    Table table({"sample 1/N", "txn/s", "split"});
+    for (std::uint32_t rate : {1u, 4u, 16u, 64u}) {
+      Options opts = bench::BaseOptions(flags, Protocol::kDoppel, keys * 2);
+      opts.classifier.sample_every = rate;
+      auto point = bench::MeasurePoint(
+          flags, 0.4,
+          [&] {
+            auto db = std::make_unique<Database>(opts);
+            PopulateIncr(db->store(), keys);
+            return db;
+          },
+          [&] { return MakeIncr1Factory(keys, 100, &hot); });
+      table.AddRow({std::to_string(rate), FormatCount(point.throughput.mean()),
+                    std::to_string(point.last.split_records)});
+    }
+    std::printf("B. INCR1 100%% hot: conflict sample rate\n");
+    table.Print();
+    if (flags.csv) {
+      table.PrintCsv();
+    }
+    std::printf("\n");
+  }
+
+  // ---- C: commutative vs plain StoreBid under Doppel (RUBiS-C, alpha=1.8) ----
+  {
+    rubis::Config data;
+    data.num_users = flags.full ? 1000000 : 50000;
+    data.num_items = flags.full ? 33000 : 10000;
+    const ZipfianGenerator zipf(data.num_items, 1.8);
+    Table table({"StoreBid form", "txn/s", "split"});
+    for (const bool plain : {false, true}) {
+      rubis::WorkloadConfig cfg;
+      cfg.data = data;
+      cfg.mix = rubis::Mix::kContended;
+      cfg.alpha = 1.8;
+      cfg.plain_store_bid = plain;
+      auto point = bench::MeasurePoint(
+          flags, 0.5,
+          [&] {
+            auto db = std::make_unique<Database>(bench::BaseOptions(
+                flags, Protocol::kDoppel, data.num_users * 4 + data.num_items * 8));
+            rubis::Populate(db->store(), data);
+            return db;
+          },
+          [&] { return rubis::MakeRubisFactory(cfg, &zipf); });
+      table.AddRow({plain ? "plain (Fig. 6)" : "commutative (Fig. 7)",
+                    FormatCount(point.throughput.mean()),
+                    std::to_string(point.last.split_records)});
+    }
+    std::printf("C. RUBiS-C: StoreBid programming form under Doppel\n");
+    table.Print();
+    if (flags.csv) {
+      table.PrintCsv();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -1,0 +1,61 @@
+// Figure 8: "Total throughput for INCR1 as a function of the percentage of transactions
+// that increment the single hot key." Series: Doppel, OCC, 2PL, Atomic.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t keys = flags.Keys(100000);
+  const std::vector<int> hot_pcts = flags.full
+                                        ? std::vector<int>{0,  2,  5,  10, 20, 30, 40,
+                                                           50, 60, 70, 80, 90, 100}
+                                        : std::vector<int>{0, 10, 50, 100};
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL,
+                                Protocol::kAtomic};
+
+  std::printf("Figure 8: INCR1 throughput vs %% of transactions on the hot key\n");
+  std::printf("threads=%d keys=%llu phase=%llums\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(keys),
+              static_cast<unsigned long long>(flags.phase_ms));
+
+  Table table({"hot%", "Doppel", "OCC", "2PL", "Atomic", "doppel_split"});
+  std::atomic<std::uint64_t> hot{0};
+  for (int pct : hot_pcts) {
+    std::vector<std::string> row{std::to_string(pct)};
+    std::size_t split_records = 0;
+    for (Protocol p : protocols) {
+      auto point = bench::MeasurePoint(
+          flags, /*default_seconds=*/0.4,
+          [&] {
+            auto db = std::make_unique<Database>(
+                bench::BaseOptions(flags, p, keys * 2));
+            PopulateIncr(db->store(), keys);
+            return db;
+          },
+          [&] {
+            return MakeIncr1Factory(keys, static_cast<std::uint32_t>(pct), &hot);
+          });
+      row.push_back(FormatCount(point.throughput.mean()));
+      if (p == Protocol::kDoppel) {
+        split_records = point.last.split_records;
+      }
+    }
+    row.push_back(std::to_string(split_records));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

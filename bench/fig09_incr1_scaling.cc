@@ -1,0 +1,52 @@
+// Figure 9: "Throughput per core for INCR1 when all transactions increment a single hot
+// key." Perfect scalability would be a horizontal line.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t keys = flags.Keys(100000);
+  const int max_threads = flags.ResolvedThreads();
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL,
+                                Protocol::kAtomic};
+
+  std::printf("Figure 9: INCR1 per-core throughput vs cores (100%% hot key)\n");
+  std::printf("max_threads=%d keys=%llu\n\n", max_threads,
+              static_cast<unsigned long long>(keys));
+
+  Table table({"cores", "Doppel/core", "OCC/core", "2PL/core", "Atomic/core"});
+  std::atomic<std::uint64_t> hot{0};
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    std::vector<std::string> row{std::to_string(threads)};
+    for (Protocol p : protocols) {
+      bench::Flags point_flags = flags;
+      point_flags.threads = threads;
+      auto point = bench::MeasurePoint(
+          point_flags, /*default_seconds=*/0.4,
+          [&] {
+            auto db = std::make_unique<Database>(
+                bench::BaseOptions(point_flags, p, keys * 2));
+            PopulateIncr(db->store(), keys);
+            return db;
+          },
+          [&] { return MakeIncr1Factory(keys, 100, &hot); });
+      row.push_back(FormatCount(point.throughput.mean() / threads));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

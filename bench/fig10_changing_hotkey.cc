@@ -1,0 +1,61 @@
+// Figure 10: "Throughput over time on INCR1 when 10% of transactions increment a hot
+// key, and that hot key changes every 5 seconds." Tests classifier adaptivity (§8.3).
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t keys = flags.Keys(100000);
+  const std::uint64_t rotate_ms = flags.full ? 5000 : 1000;
+  const std::uint64_t total_ms = flags.full ? 30000 : 6000;
+  const std::uint64_t sample_ms = flags.full ? 1000 : 250;
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL};
+
+  std::printf("Figure 10: INCR1 throughput over time, hot key rotates every %llums\n",
+              static_cast<unsigned long long>(rotate_ms));
+  std::printf("threads=%d keys=%llu hot%%=10\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(keys));
+
+  Table table({"t(s)", "Doppel", "OCC", "2PL"});
+  std::vector<TimeSeries> series(3);
+  for (std::size_t pi = 0; pi < 3; ++pi) {
+    std::atomic<std::uint64_t> hot{0};
+    std::uint64_t next_rotation = rotate_ms;
+    auto db = std::make_unique<Database>(
+        bench::BaseOptions(flags, protocols[pi], keys * 2));
+    PopulateIncr(db->store(), keys);
+    RunWorkloadTimeSeries(*db, MakeIncr1Factory(keys, 10, &hot), total_ms, sample_ms,
+                          &series[pi], [&](std::uint64_t ms) {
+                            if (ms >= next_rotation) {
+                              // Move popularity to a fresh key.
+                              hot.fetch_add(1, std::memory_order_relaxed);
+                              next_rotation += rotate_ms;
+                            }
+                          });
+  }
+  const std::size_t points = series[0].throughput.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row{FormatDouble(series[0].seconds[i], 2)};
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      row.push_back(i < series[pi].throughput.size()
+                        ? FormatCount(series[pi].throughput[i])
+                        : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -1,0 +1,59 @@
+// Figure 11: "Total throughput for INCRZ as a function of alpha (the Zipfian distribution
+// parameter)." Series: Doppel, OCC, 2PL, Atomic.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t keys = flags.Keys(100000);
+  const std::vector<double> alphas =
+      flags.full ? std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 1.0,
+                                       1.2, 1.4, 1.6, 1.8, 2.0}
+                 : std::vector<double>{0.0, 0.4, 0.8, 1.0, 1.4, 2.0};
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL,
+                                Protocol::kAtomic};
+
+  std::printf("Figure 11: INCRZ throughput vs alpha\n");
+  std::printf("threads=%d keys=%llu\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(keys));
+
+  Table table({"alpha", "Doppel", "OCC", "2PL", "Atomic", "doppel_split"});
+  for (double alpha : alphas) {
+    const ZipfianGenerator zipf(keys, alpha);
+    std::vector<std::string> row{FormatDouble(alpha, 1)};
+    std::size_t split_records = 0;
+    for (Protocol p : protocols) {
+      auto point = bench::MeasurePoint(
+          flags, /*default_seconds=*/0.4,
+          [&] {
+            auto db = std::make_unique<Database>(
+                bench::BaseOptions(flags, p, keys * 2));
+            PopulateIncr(db->store(), keys);
+            return db;
+          },
+          [&] { return MakeIncrZFactory(&zipf); });
+      row.push_back(FormatCount(point.throughput.mean()));
+      if (p == Protocol::kDoppel) {
+        split_records = point.last.split_records;
+      }
+    }
+    row.push_back(std::to_string(split_records));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -1,0 +1,63 @@
+// Figure 12: "Throughput of the LIKE benchmark as a function of the fraction of
+// transactions that write, alpha = 1.4." Series: Doppel, OCC, 2PL.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+#include "src/workload/like.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t n = flags.Keys(100000);  // users == pages == n
+  const std::vector<int> write_pcts = flags.full
+                                          ? std::vector<int>{0,  10, 20, 30, 40, 50,
+                                                             60, 70, 80, 90, 100}
+                                          : std::vector<int>{0, 20, 30, 50, 80, 100};
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL};
+
+  std::printf("Figure 12: LIKE throughput vs write fraction (alpha=1.4)\n");
+  std::printf("threads=%d users=pages=%llu\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(n));
+
+  const ZipfianGenerator zipf(n, 1.4);
+  Table table({"write%", "Doppel", "OCC", "2PL", "doppel_split"});
+  for (int pct : write_pcts) {
+    LikeConfig cfg;
+    cfg.num_users = n;
+    cfg.num_pages = n;
+    cfg.write_pct = static_cast<std::uint32_t>(pct);
+    cfg.alpha = 1.4;
+    std::vector<std::string> row{std::to_string(pct)};
+    std::size_t split_records = 0;
+    for (Protocol p : protocols) {
+      auto point = bench::MeasurePoint(
+          flags, /*default_seconds=*/0.4,
+          [&] {
+            auto db = std::make_unique<Database>(
+                bench::BaseOptions(flags, p, n * 4));
+            PopulateLike(db->store(), cfg);
+            return db;
+          },
+          [&] { return MakeLikeFactory(cfg, &zipf); });
+      row.push_back(FormatCount(point.throughput.mean()));
+      if (p == Protocol::kDoppel) {
+        split_records = point.last.split_records;
+      }
+    }
+    row.push_back(std::to_string(split_records));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

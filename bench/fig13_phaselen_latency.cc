@@ -1,0 +1,13 @@
+// Figure 13: "Average read transaction latencies in Doppel with the LIKE benchmark,
+// varying phase length": uniform, skewed 50/50, skewed write-heavy (10% reads).
+#include "bench/phaselen_common.h"
+
+int main(int argc, char** argv) {
+  const auto flags = doppel::bench::ParseFlags(argc, argv);
+  doppel::bench_phaselen::RunSweep(
+      flags, "Figure 13: Doppel LIKE average read latency (us) vs phase length",
+      [](const doppel::RunMetrics& m) {
+        return doppel::FormatMicros(m.stats.latency_by_tag[doppel::kTagRead].Mean());
+      });
+  return 0;
+}

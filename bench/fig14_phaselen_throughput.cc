@@ -1,0 +1,11 @@
+// Figure 14: "Throughput in Doppel with the LIKE benchmark, varying phase length":
+// uniform, skewed 50/50, skewed write-heavy.
+#include "bench/phaselen_common.h"
+
+int main(int argc, char** argv) {
+  const auto flags = doppel::bench::ParseFlags(argc, argv);
+  doppel::bench_phaselen::RunSweep(
+      flags, "Figure 14: Doppel LIKE throughput vs phase length",
+      [](const doppel::RunMetrics& m) { return doppel::FormatCount(m.throughput); });
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 15: "The RUBiS-C benchmark, varying alpha on the x-axis." Series: Doppel, OCC,
+// 2PL. Doppel matches OCC up to alpha ~1 and pulls ahead as bid skew grows (§8.8).
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+#include "src/rubis/workload.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  rubis::Config data;
+  data.num_users = flags.full ? 1000000 : 50000;
+  data.num_items = flags.full ? 33000 : 10000;
+  const std::vector<double> alphas =
+      flags.full
+          ? std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
+          : std::vector<double>{0.0, 0.8, 1.2, 1.8};
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL};
+
+  std::printf("Figure 15: RUBiS-C throughput vs alpha\n");
+  std::printf("threads=%d users=%llu items=%llu\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(data.num_users),
+              static_cast<unsigned long long>(data.num_items));
+
+  Table table({"alpha", "Doppel", "OCC", "2PL", "doppel_split"});
+  for (double alpha : alphas) {
+    const ZipfianGenerator zipf(data.num_items, alpha);
+    std::vector<std::string> row{FormatDouble(alpha, 1)};
+    std::size_t split_records = 0;
+    for (Protocol p : protocols) {
+      rubis::WorkloadConfig cfg;
+      cfg.data = data;
+      cfg.mix = rubis::Mix::kContended;
+      cfg.alpha = alpha;
+      auto point = bench::MeasurePoint(
+          flags, /*default_seconds=*/0.5,
+          [&] {
+            auto db = std::make_unique<Database>(bench::BaseOptions(
+                flags, p, data.num_users * 4 + data.num_items * 8));
+            rubis::Populate(db->store(), data);
+            return db;
+          },
+          [&] { return rubis::MakeRubisFactory(cfg, &zipf); });
+      row.push_back(FormatCount(point.throughput.mean()));
+      if (p == Protocol::kDoppel) {
+        split_records = point.last.split_records;
+      }
+    }
+    row.push_back(std::to_string(split_records));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

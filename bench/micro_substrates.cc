@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks for the substrates: record map, seqlock reads, top-K
+// sets, Zipfian sampling, conflict sampler, and single-transaction commit paths.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rand.h"
+#include "src/common/zipf.h"
+#include "src/core/sampler.h"
+#include "src/store/record_map.h"
+#include "src/store/store.h"
+#include "src/txn/occ_engine.h"
+#include "src/txn/twopl_engine.h"
+#include "src/txn/worker.h"
+
+namespace doppel {
+namespace {
+
+void BM_RecordMapFind(benchmark::State& state) {
+  RecordMap map(1 << 16);
+  for (std::uint64_t i = 0; i < (1 << 15); ++i) {
+    map.GetOrCreate(Key::FromU64(i), RecordType::kInt64);
+  }
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(Key::FromU64(rng.NextBounded(1 << 15))));
+  }
+}
+BENCHMARK(BM_RecordMapFind);
+
+void BM_RecordMapGetOrCreate(benchmark::State& state) {
+  RecordMap map(1 << 20);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.GetOrCreate(Key::FromU64(i++), RecordType::kInt64));
+  }
+}
+BENCHMARK(BM_RecordMapGetOrCreate);
+
+void BM_RecordReadIntSeqlock(benchmark::State& state) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.LockOcc();
+  r.SetInt(42);
+  r.UnlockOccSetTid(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.ReadInt());
+  }
+}
+BENCHMARK(BM_RecordReadIntSeqlock);
+
+void BM_TopKInsert(benchmark::State& state) {
+  TopKSet set(static_cast<std::size_t>(state.range(0)));
+  Rng rng(7);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    set.Insert(OrderedTuple{
+        OrderKey{static_cast<std::int64_t>(rng.NextBounded(1000000)), i++}, 0, "x"});
+  }
+}
+BENCHMARK(BM_TopKInsert)->Arg(10)->Arg(100);
+
+void BM_TopKMerge(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  TopKSet a(k);
+  TopKSet b(k);
+  Rng rng(7);
+  for (std::size_t i = 0; i < k; ++i) {
+    a.Insert(OrderedTuple{OrderKey{static_cast<std::int64_t>(rng.Next() % 1000), 0}, 0, "a"});
+    b.Insert(OrderedTuple{OrderKey{static_cast<std::int64_t>(rng.Next() % 1000), 1}, 1, "b"});
+  }
+  for (auto _ : state) {
+    TopKSet merged = a;
+    merged.MergeFrom(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_TopKMerge)->Arg(10)->Arg(100);
+
+void BM_ZipfNext(benchmark::State& state) {
+  const ZipfianGenerator zipf(1000000, 1.4);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_ConflictSamplerRecord(benchmark::State& state) {
+  ConflictSampler sampler(/*sample_every=*/1);
+  Rng rng(13);
+  for (auto _ : state) {
+    sampler.RecordConflict(Key::FromU64(rng.NextBounded(64)), OpCode::kAdd);
+  }
+}
+BENCHMARK(BM_ConflictSamplerRecord);
+
+void BM_OccCommitSingleAdd(benchmark::State& state) {
+  Store store(1 << 10);
+  store.LoadInt(Key::FromU64(1), 0);
+  OccEngine engine(store);
+  Worker w(0, 99);
+  for (auto _ : state) {
+    Txn& txn = w.txn;
+    txn.Reset(&engine, &w);
+    txn.Add(Key::FromU64(1), 1);
+    benchmark::DoNotOptimize(engine.Commit(w, txn));
+  }
+}
+BENCHMARK(BM_OccCommitSingleAdd);
+
+void BM_TwoPLCommitSingleAdd(benchmark::State& state) {
+  Store store(1 << 10);
+  store.LoadInt(Key::FromU64(1), 0);
+  TwoPLEngine engine(store);
+  Worker w(0, 99);
+  for (auto _ : state) {
+    Txn& txn = w.txn;
+    txn.Reset(&engine, &w);
+    txn.Add(Key::FromU64(1), 1);
+    benchmark::DoNotOptimize(engine.Commit(w, txn));
+  }
+}
+BENCHMARK(BM_TwoPLCommitSingleAdd);
+
+}  // namespace
+}  // namespace doppel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Table 1: "The percentage of writes to the first, second, 10th, and 100th most popular
+// keys in Zipfian distributions for different values of alpha, 1M keys." Analytic.
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t keys = flags.keys > 0 ? flags.keys : 1000000;  // exact table: 1M
+
+  std::printf("Table 1: Zipfian key popularity, %llu keys\n\n",
+              static_cast<unsigned long long>(keys));
+
+  Table table({"alpha", "1st", "2nd", "10th", "100th"});
+  for (double alpha = 0.0; alpha <= 2.0 + 1e-9; alpha += 0.2) {
+    const ZipfianGenerator zipf(keys, alpha);
+    auto pct = [&](std::uint64_t rank) {
+      return FormatDouble(zipf.Probability(rank) * 100.0, 4) + "%";
+    };
+    table.AddRow({FormatDouble(alpha, 1), pct(0), pct(1), pct(9), pct(99)});
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -1,0 +1,43 @@
+// Table 2: "The number of keys Doppel moves for different values of alpha in the INCRZ
+// benchmark", plus the fraction of requests those keys absorb.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t keys = flags.Keys(100000);
+  const double alphas[] = {0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+
+  std::printf("Table 2: keys Doppel splits under INCRZ\n");
+  std::printf("threads=%d keys=%llu\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(keys));
+
+  Table table({"alpha", "# Moved", "% Reqs"});
+  for (double alpha : alphas) {
+    const ZipfianGenerator zipf(keys, alpha);
+    auto db = std::make_unique<Database>(
+        bench::BaseOptions(flags, Protocol::kDoppel, keys * 2));
+    PopulateIncr(db->store(), keys);
+    RunMetrics m = RunWorkload(*db, MakeIncrZFactory(&zipf),
+                               flags.MeasureMs(/*default_seconds=*/0.5));
+    const double reqs = zipf.TopMass(m.split_records) * 100.0;
+    table.AddRow({FormatDouble(alpha, 1), std::to_string(m.split_records),
+                  FormatDouble(reqs, 1)});
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -1,0 +1,56 @@
+// Table 3: "Average and 99% read and write latencies for Doppel, OCC, and 2PL on two
+// LIKE workloads: a uniform workload and a skewed workload with alpha = 1.4."
+// 50% reads / 50% writes. Doppel's read latency on the skewed workload is high (stashed
+// reads wait for the next joined phase); that is the price of its higher throughput.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+#include "src/workload/like.h"
+
+namespace doppel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t n = flags.Keys(100000);
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL};
+
+  std::printf("Table 3: LIKE latency, uniform vs skewed (alpha=1.4), 50%% writes\n");
+  std::printf("threads=%d users=pages=%llu (latencies in microseconds)\n\n",
+              flags.ResolvedThreads(), static_cast<unsigned long long>(n));
+
+  const ZipfianGenerator zipf(n, 1.4);
+  Table table({"workload", "scheme", "meanR(us)", "meanW(us)", "p99R(us)", "p99W(us)",
+               "txn/s"});
+  for (const bool skewed : {false, true}) {
+    LikeConfig cfg;
+    cfg.num_users = n;
+    cfg.num_pages = n;
+    cfg.write_pct = 50;
+    cfg.alpha = skewed ? 1.4 : 0.0;
+    for (Protocol p : protocols) {
+      auto db = std::make_unique<Database>(bench::BaseOptions(flags, p, n * 4));
+      PopulateLike(db->store(), cfg);
+      RunMetrics m = RunWorkload(*db, MakeLikeFactory(cfg, &zipf),
+                                 flags.MeasureMs(/*default_seconds=*/0.6));
+      const auto& read_lat = m.stats.latency_by_tag[kTagRead];
+      const auto& write_lat = m.stats.latency_by_tag[kTagWrite];
+      table.AddRow({skewed ? "skewed" : "uniform", ProtocolName(p),
+                    FormatMicros(read_lat.Mean()), FormatMicros(write_lat.Mean()),
+                    FormatMicros(static_cast<double>(read_lat.Percentile(99))),
+                    FormatMicros(static_cast<double>(write_lat.Percentile(99))),
+                    FormatCount(m.throughput)});
+    }
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

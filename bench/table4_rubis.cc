@@ -1,0 +1,71 @@
+// Table 4: "The throughput of Doppel, OCC, and 2PL on RUBiS-B and on RUBiS-C with
+// Zipfian parameter alpha = 1.8, in millions of transactions per second."
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/common/zipf.h"
+#include "src/rubis/workload.h"
+
+namespace doppel {
+namespace {
+
+rubis::Config DataConfig(const bench::Flags& flags) {
+  rubis::Config d;
+  if (flags.full) {
+    d.num_users = 1000000;  // paper: 1M users, 33K auctions
+    d.num_items = 33000;
+  } else {
+    d.num_users = 50000;
+    d.num_items = 10000;
+  }
+  return d;
+}
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const rubis::Config data = DataConfig(flags);
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL};
+
+  std::printf("Table 4: RUBiS-B and RUBiS-C (alpha=1.8) throughput\n");
+  std::printf("threads=%d users=%llu items=%llu\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(data.num_users),
+              static_cast<unsigned long long>(data.num_items));
+
+  const ZipfianGenerator zipf(data.num_items, 1.8);
+  Table table({"scheme", "RUBiS-B", "RUBiS-C", "C_split"});
+  for (Protocol p : protocols) {
+    std::vector<std::string> row{ProtocolName(p)};
+    std::size_t split_records = 0;
+    for (const rubis::Mix mix : {rubis::Mix::kBidding, rubis::Mix::kContended}) {
+      rubis::WorkloadConfig cfg;
+      cfg.data = data;
+      cfg.mix = mix;
+      cfg.alpha = 1.8;
+      auto point = bench::MeasurePoint(
+          flags, /*default_seconds=*/0.6,
+          [&] {
+            auto db = std::make_unique<Database>(bench::BaseOptions(
+                flags, p, data.num_users * 4 + data.num_items * 8));
+            rubis::Populate(db->store(), data);
+            return db;
+          },
+          [&] { return rubis::MakeRubisFactory(cfg, &zipf); });
+      row.push_back(FormatCount(point.throughput.mean()));
+      if (p == Protocol::kDoppel && mix == rubis::Mix::kContended) {
+        split_records = point.last.split_records;
+      }
+    }
+    row.push_back(std::to_string(split_records));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -1,0 +1,74 @@
+// A "top-k" leaderboard in the style of news aggregators (§1 cites Reddit's top-k lists):
+// many writers submit scored entries into one global top-10 board (TopKInsert), while the
+// front page reads it. Shows split top-K sets merging to the exact global answer.
+//
+// Usage: leaderboard [seconds]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/workload/driver.h"
+
+namespace {
+
+using namespace doppel;
+
+constexpr std::size_t kBoardK = 10;
+const Key kBoard = Key::FromU64(999);
+
+class SubmitterSource : public TxnSource {
+ public:
+  explicit SubmitterSource(int worker_id) : worker_id_(worker_id) {}
+
+  TxnRequest Next(Worker& w) override {
+    TxnRequest r;
+    r.proc = +[](Txn& txn, const TxnArgs& a) {
+      txn.TopKInsert(kBoard, OrderKey{a.n, static_cast<std::int64_t>(a.k2.lo)},
+                     "story-" + std::to_string(a.k2.lo), kBoardK);
+    };
+    r.args.tag = kTagWrite;
+    r.args.n = static_cast<std::int64_t>(w.rng.NextBounded(1 << 30));  // score
+    r.args.k2 = Key::FromU64(worker_id_ * 1000000000ULL + next_id_++);  // story id
+    return r;
+  }
+
+ private:
+  const int worker_id_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace doppel;
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  Options opts;
+  opts.protocol = Protocol::kDoppel;
+  Database db(opts);
+  db.store().LoadTopK(kBoard, kBoardK);
+
+  RunMetrics m = RunWorkload(
+      db, [](int w) { return std::make_unique<SubmitterSource>(w); },
+      static_cast<std::uint64_t>(seconds * 1000));
+
+  std::printf("leaderboard: %.2fM submissions/sec, board split: %s\n",
+              m.throughput / 1e6, m.split_records > 0 ? "yes" : "no");
+
+  const auto snap = db.store().ReadSnapshot(kBoard);
+  const auto& board = std::get<TopKSet>(snap.value);
+  std::printf("final top-%zu:\n", board.size());
+  for (const OrderedTuple& t : board.items()) {
+    std::printf("  score=%10lld  %s\n", static_cast<long long>(t.order.primary),
+                t.payload.c_str());
+  }
+  // Sanity: descending by (score, core).
+  const bool sorted = std::is_sorted(
+      board.items().begin(), board.items().end(),
+      [](const OrderedTuple& a, const OrderedTuple& b) { return OrderedTuple::Wins(a, b); });
+  std::printf("order check: %s\n", sorted ? "OK" : "BROKEN");
+  return sorted ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// The paper's motivating social-network scenario (§7): users "like" pages; the per-page
+// like counter of a viral page is extremely contended. Demonstrates that Doppel detects
+// the hot counter, splits it across cores, and still returns exact counts.
+//
+// Usage: like_counter [seconds]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/core/database.h"
+#include "src/workload/driver.h"
+#include "src/workload/like.h"
+
+int main(int argc, char** argv) {
+  using namespace doppel;
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  LikeConfig cfg;
+  cfg.num_users = 100000;
+  cfg.num_pages = 100000;
+  cfg.write_pct = 90;  // a like storm
+  cfg.alpha = 1.4;     // a few pages are viral
+  const ZipfianGenerator zipf(cfg.num_pages, cfg.alpha);
+
+  Options opts;
+  opts.protocol = Protocol::kDoppel;
+  Database db(opts);
+  PopulateLike(db.store(), cfg);
+
+  RunMetrics m = RunWorkload(db, MakeLikeFactory(cfg, &zipf),
+                             static_cast<std::uint64_t>(seconds * 1000));
+
+  std::printf("LIKE storm: %.2fM txns/sec over %.2fs with %d workers\n",
+              m.throughput / 1e6, m.seconds, db.num_workers());
+  std::printf("hot counters split by the classifier: %zu\n", m.split_records);
+  // The counts are exact despite per-core splitting: total likes recorded in page
+  // counters equals the number of committed write transactions.
+  std::int64_t total_likes = 0;
+  for (std::uint64_t p = 0; p < cfg.num_pages; ++p) {
+    const auto snap = db.store().ReadSnapshot(LikePageKey(p));
+    if (snap.present) {
+      total_likes += std::get<std::int64_t>(snap.value);
+    }
+  }
+  std::printf("sum(page like counters) = %lld, committed write txns = %llu => %s\n",
+              static_cast<long long>(total_likes),
+              static_cast<unsigned long long>(m.stats.committed_by_tag[kTagWrite]),
+              total_likes == static_cast<std::int64_t>(m.stats.committed_by_tag[kTagWrite])
+                  ? "EXACT"
+                  : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reusable spinning barrier for tests and benchmark start/stop synchronization.
+#ifndef DOPPEL_SRC_COMMON_BARRIER_H_
+#define DOPPEL_SRC_COMMON_BARRIER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cacheline.h"
+
+namespace doppel {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties) : parties_(parties) {}
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks until `parties` threads have arrived; reusable across generations.
+  void Wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      CpuRelax();
+    }
+  }
+
+ private:
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_BARRIER_H_

@@ -1,0 +1,64 @@
+// Cache-line sizing and padding utilities.
+//
+// Contended per-core state (counters, phase acknowledgements, slice headers) must live on
+// its own cache line or cross-core traffic erases the benefit of splitting the data in the
+// first place (§4 of the paper).
+#ifndef DOPPEL_SRC_COMMON_CACHELINE_H_
+#define DOPPEL_SRC_COMMON_CACHELINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace doppel {
+
+// Destructive interference size; x86-64 lines are 64 bytes. We deliberately do not use
+// std::hardware_destructive_interference_size because libstdc++ makes it an ABI-variable
+// constant and warns on use in headers.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps T so that consecutive array elements never share a cache line.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(T v) : value(std::move(v)) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+
+ private:
+  // Round sizeof(T) up to a cache-line multiple.
+  char padding_[(kCacheLineSize - (sizeof(T) % kCacheLineSize)) % kCacheLineSize == 0
+                    ? kCacheLineSize
+                    : (kCacheLineSize - (sizeof(T) % kCacheLineSize)) % kCacheLineSize]{};
+};
+
+// A monotonically increasing per-core counter on its own cache line. Used for commit
+// counters, abort counters, and phase acknowledgement words.
+struct alignas(kCacheLineSize) PaddedCounter {
+  std::atomic<std::uint64_t> value{0};
+
+  std::uint64_t Load() const { return value.load(std::memory_order_relaxed); }
+  void Add(std::uint64_t n) { value.fetch_add(n, std::memory_order_relaxed); }
+  void Store(std::uint64_t n) { value.store(n, std::memory_order_relaxed); }
+};
+static_assert(sizeof(PaddedCounter) == kCacheLineSize);
+
+// Compiler/CPU pause hint for spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_CACHELINE_H_

@@ -1,0 +1,27 @@
+#include "src/common/cpu.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace doppel {
+
+int NumCpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool PinThreadToCpu(int cpu) {
+  const int ncpu = NumCpus();
+  if (ncpu <= 0) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace doppel

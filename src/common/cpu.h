@@ -1,0 +1,19 @@
+// CPU topology helpers: core counts and thread pinning.
+//
+// The paper pins one worker per core and adds cores socket-at-a-time; we expose pinning
+// as an option (Options::pin_threads) since CI machines may disallow affinity changes.
+#ifndef DOPPEL_SRC_COMMON_CPU_H_
+#define DOPPEL_SRC_COMMON_CPU_H_
+
+namespace doppel {
+
+// Number of logical CPUs available to this process.
+int NumCpus();
+
+// Pin the calling thread to `cpu` (modulo the available CPU count). Returns false if the
+// affinity call fails (e.g. restricted sandbox); callers treat that as non-fatal.
+bool PinThreadToCpu(int cpu);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_CPU_H_

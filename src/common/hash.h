@@ -1,0 +1,37 @@
+// Hash functions for keys and sampling tables.
+#ifndef DOPPEL_SRC_COMMON_HASH_H_
+#define DOPPEL_SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace doppel {
+
+// Finalizer from MurmurHash3 / SplitMix64: full avalanche on 64 bits.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// FNV-1a for byte strings (payload hashing in tests).
+inline std::uint64_t HashBytes(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_HASH_H_

@@ -1,0 +1,86 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace doppel {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kGroups * kSubBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(std::uint64_t nanos) {
+  if (nanos < kSubBuckets) {
+    return static_cast<int>(nanos);  // group 0 is exact
+  }
+  const int msb = 63 - std::countl_zero(nanos);
+  const int group = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>((nanos >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  int index = group * kSubBuckets + sub;
+  const int last = kGroups * kSubBuckets - 1;
+  return index > last ? last : index;
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(int index) {
+  const int group = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (group == 0) {
+    return static_cast<std::uint64_t>(sub);
+  }
+  const int shift = group + kSubBucketBits - 1;
+  const std::uint64_t base = 1ULL << shift;
+  const std::uint64_t width = base / kSubBuckets;
+  return base + static_cast<std::uint64_t>(sub + 1) * width - 1;
+}
+
+void LatencyHistogram::Record(std::uint64_t nanos) {
+  buckets_[static_cast<std::size_t>(BucketIndex(nanos))]++;
+  count_++;
+  sum_ += nanos;
+  min_ = std::min(min_, nanos);
+  max_ = std::max(max_, nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace doppel

@@ -1,0 +1,46 @@
+// Log-linear latency histogram (HDR-style), used for Table 3 and Figures 13-14.
+//
+// Buckets: 64 power-of-two magnitude groups x 16 linear sub-buckets, covering 1ns..2^63ns
+// with <= 6.25% relative error. Recording is wait-free on a per-worker instance; results
+// are merged after a run.
+#ifndef DOPPEL_SRC_COMMON_HISTOGRAM_H_
+#define DOPPEL_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace doppel {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(std::uint64_t nanos);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100]; returns an upper bound of the bucket containing the quantile.
+  std::uint64_t Percentile(double p) const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 16
+  static constexpr int kGroups = 60;
+
+  static int BucketIndex(std::uint64_t nanos);
+  static std::uint64_t BucketUpperBound(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,188 @@
+// Spinlocks used throughout the store and engines.
+//
+// Critical sections in Doppel are tiny (copy a value, bump a version), so test-and-
+// test-and-set spinning with a pause hint beats OS mutexes. The 2PL engine additionally
+// needs a reader/writer lock with try semantics so it can implement bounded-wait deadlock
+// recovery.
+#ifndef DOPPEL_SRC_COMMON_SPINLOCK_H_
+#define DOPPEL_SRC_COMMON_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cacheline.h"
+
+namespace doppel {
+
+// Simple exclusive spinlock. Satisfies Lockable (usable with std::lock_guard).
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const { return locked_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// Reader/writer spinlock with writer preference and try_* variants.
+//
+// State word: bit 31 = writer held, bit 30 = writer waiting, low 30 bits = reader count.
+// Writer preference keeps a stream of readers from starving the single writer that 2PL
+// update transactions need on a hot record.
+class RWSpinlock {
+ public:
+  RWSpinlock() = default;
+  RWSpinlock(const RWSpinlock&) = delete;
+  RWSpinlock& operator=(const RWSpinlock&) = delete;
+
+  bool try_lock() {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriter, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void lock() {
+    // Announce intent so new readers back off, then wait for the lock word to drain.
+    while (true) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if (s == 0 || s == kWriterWaiting) {
+        if (state_.compare_exchange_weak(s, kWriter, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      if ((s & kWriterWaiting) == 0) {
+        state_.compare_exchange_weak(s, s | kWriterWaiting, std::memory_order_relaxed,
+                                     std::memory_order_relaxed);
+      }
+      CpuRelax();
+    }
+  }
+
+  void unlock() {
+    // Preserve a concurrent waiter's announcement: only clear the held bit.
+    state_.fetch_and(~kWriter, std::memory_order_release);
+  }
+
+  bool try_lock_shared() {
+    std::uint32_t s = state_.load(std::memory_order_relaxed);
+    while ((s & (kWriter | kWriterWaiting)) == 0) {
+      if (state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void lock_shared() {
+    while (!try_lock_shared()) {
+      CpuRelax();
+    }
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  // Atomically turn a held shared lock into the exclusive lock if this reader is alone.
+  bool try_upgrade() {
+    std::uint32_t expected = 1;
+    if (state_.compare_exchange_strong(expected, kWriter, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+    // Also allow upgrade when we ourselves announced writer intent earlier.
+    expected = 1 | kWriterWaiting;
+    return state_.compare_exchange_strong(expected, kWriter, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  // Bounded-spin acquisition, used by 2PL for deadlock recovery: give up after `iters`
+  // pause iterations instead of blocking forever. Announce/clear writer intent so a
+  // stream of readers cannot starve a bounded writer.
+  bool try_lock_for(std::uint32_t iters) {
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if (s == 0 || s == kWriterWaiting) {
+        if (state_.compare_exchange_weak(s, kWriter, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return true;
+        }
+        continue;
+      }
+      if ((s & kWriterWaiting) == 0) {
+        state_.compare_exchange_weak(s, s | kWriterWaiting, std::memory_order_relaxed,
+                                     std::memory_order_relaxed);
+      }
+      CpuRelax();
+    }
+    state_.fetch_and(~kWriterWaiting, std::memory_order_relaxed);
+    return false;
+  }
+
+  bool try_lock_shared_for(std::uint32_t iters) {
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      if (try_lock_shared()) {
+        return true;
+      }
+      CpuRelax();
+    }
+    return false;
+  }
+
+  // Bounded upgrade of a held shared lock. On failure the shared lock is still held.
+  bool try_upgrade_for(std::uint32_t iters) {
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      if (try_upgrade()) {
+        return true;
+      }
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if ((s & kWriterWaiting) == 0) {
+        state_.compare_exchange_weak(s, s | kWriterWaiting, std::memory_order_relaxed,
+                                     std::memory_order_relaxed);
+      }
+      CpuRelax();
+    }
+    state_.fetch_and(~kWriterWaiting, std::memory_order_relaxed);
+    return false;
+  }
+
+  bool has_writer() const {
+    return (state_.load(std::memory_order_relaxed) & kWriter) != 0;
+  }
+  std::uint32_t reader_count() const {
+    return state_.load(std::memory_order_relaxed) & kReaderMask;
+  }
+
+ private:
+  static constexpr std::uint32_t kWriter = 1u << 31;
+  static constexpr std::uint32_t kWriterWaiting = 1u << 30;
+  static constexpr std::uint32_t kReaderMask = kWriterWaiting - 1;
+
+  std::atomic<std::uint32_t> state_{0};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_SPINLOCK_H_

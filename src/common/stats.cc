@@ -1,0 +1,42 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+void RunStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  n_++;
+}
+
+double RunStats::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+double LeastSquaresSlope(const std::vector<double>& xs, const std::vector<double>& ys) {
+  DOPPEL_CHECK(xs.size() == ys.size());
+  DOPPEL_CHECK(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  DOPPEL_CHECK(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace doppel

@@ -1,0 +1,32 @@
+// Small statistics accumulators used by benchmark reporting.
+#ifndef DOPPEL_SRC_COMMON_STATS_H_
+#define DOPPEL_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace doppel {
+
+// Online mean/min/max over doubles (throughput across repeated runs: "each point is the
+// mean of three consecutive 20-second runs, with error bars showing the min and max").
+class RunStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Pearson correlation / least squares slope for trend assertions in tests.
+double LeastSquaresSlope(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_STATS_H_

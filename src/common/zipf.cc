@@ -1,0 +1,86 @@
+#include "src/common/zipf.h"
+
+#include <cmath>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+double ZipfianGenerator::Harmonic(std::uint64_t n, double alpha) {
+  // Direct summation; n <= a few million in all our workloads and this runs once per
+  // generator. Summing ascending keeps the small terms from being absorbed too early.
+  double sum = 0.0;
+  for (std::uint64_t k = n; k >= 1; --k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), alpha);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  DOPPEL_CHECK(n >= 1);
+  DOPPEL_CHECK(alpha >= 0.0);
+  DOPPEL_CHECK(n <= (std::uint64_t{1} << 32));
+  zetan_ = Harmonic(n, alpha);
+  if (alpha == 0.0) {
+    return;  // uniform fast path, no tables
+  }
+  // Walker alias construction (Vose's stable variant).
+  accept_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  const double nn = static_cast<double>(n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    scaled[k] = Probability(k) * nn;
+    (scaled[k] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(k));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t k : large) {
+    accept_[k] = 1.0;
+    alias_[k] = k;
+  }
+  for (std::uint32_t k : small) {
+    accept_[k] = 1.0;  // numerical leftovers
+    alias_[k] = k;
+  }
+}
+
+std::uint64_t ZipfianGenerator::Next(Rng& rng) const {
+  const std::uint64_t slot = rng.NextBounded(n_);
+  if (alpha_ == 0.0) {
+    return slot;
+  }
+  return rng.NextDouble() < accept_[slot] ? slot : alias_[slot];
+}
+
+double ZipfianGenerator::Probability(std::uint64_t rank) const {
+  DOPPEL_CHECK(rank < n_);
+  if (alpha_ == 0.0) {
+    return 1.0 / static_cast<double>(n_);
+  }
+  return (1.0 / std::pow(static_cast<double>(rank + 1), alpha_)) / zetan_;
+}
+
+double ZipfianGenerator::TopMass(std::uint64_t count) const {
+  if (count >= n_) {
+    return 1.0;
+  }
+  if (alpha_ == 0.0) {
+    return static_cast<double>(count) / static_cast<double>(n_);
+  }
+  return Harmonic(count, alpha_) / zetan_;
+}
+
+}  // namespace doppel

@@ -1,0 +1,52 @@
+// Zipfian key-popularity distribution (INCRZ, LIKE, RUBiS-C workloads; Tables 1-2).
+//
+// The kth most popular of n items is drawn with probability (1/k^alpha) / H(n, alpha).
+// Sampling uses Walker's alias method: O(n) setup, O(1) exact sampling — the empirical
+// distribution matches Probability() exactly, which Table 2's request-coverage column
+// depends on.
+#ifndef DOPPEL_SRC_COMMON_ZIPF_H_
+#define DOPPEL_SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rand.h"
+
+namespace doppel {
+
+// Draws ranks in [0, n) with Zipfian popularity; rank 0 is the most popular item.
+// alpha == 0 degenerates to the uniform distribution.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double alpha);
+
+  // Next rank (0 = hottest). Caller supplies its worker-local Rng; the generator itself
+  // is immutable after construction and safe to share across workers.
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  // Exact probability that a draw returns `rank` (0-based). Used for Table 1 and for the
+  // statistical tests of the generator itself.
+  double Probability(std::uint64_t rank) const;
+
+  // Probability mass of ranks [0, count): fraction of requests hitting the `count`
+  // hottest keys (Table 2's "% Reqs" column).
+  double TopMass(std::uint64_t count) const;
+
+  // Generalized harmonic number H(n, alpha) = sum_{k=1..n} 1/k^alpha.
+  static double Harmonic(std::uint64_t n, double alpha);
+
+ private:
+  std::uint64_t n_;
+  double alpha_;
+  double zetan_;  // H(n, alpha)
+  // Walker alias tables (empty when alpha == 0: uniform fast path).
+  std::vector<double> accept_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_ZIPF_H_

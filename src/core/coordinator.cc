@@ -1,0 +1,81 @@
+#include "src/core/coordinator.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/timing.h"
+
+namespace doppel {
+namespace {
+
+constexpr std::uint64_t kPollChunkNs = 200 * 1000;  // 200us stop/feedback polling
+
+}  // namespace
+
+void Coordinator::SleepJoined(std::uint64_t ns) const {
+  const std::uint64_t deadline = NowNanos() + ns;
+  while (!stop_coord_.load(std::memory_order_relaxed)) {
+    const std::uint64_t now = NowNanos();
+    if (now >= deadline) {
+      return;
+    }
+    const std::uint64_t chunk = std::min(deadline - now, kPollChunkNs);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(chunk));
+  }
+}
+
+void Coordinator::SleepSplit(std::uint64_t ns) const {
+  const std::uint64_t deadline = NowNanos() + ns;
+  while (!stop_coord_.load(std::memory_order_relaxed)) {
+    const std::uint64_t now = NowNanos();
+    if (now >= deadline || engine_.ShouldHurrySplitEnd()) {
+      return;
+    }
+    const std::uint64_t chunk = std::min(deadline - now, kPollChunkNs);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(chunk));
+  }
+}
+
+void Coordinator::Run() {
+  PhaseController& ctrl = engine_.controller();
+  const std::uint64_t phase_ns = opts_.phase_us * 1000;
+
+  while (!stop_coord_.load(std::memory_order_relaxed)) {
+    std::uint64_t t0 = NowNanos();
+    SleepJoined(phase_ns);
+    std::uint64_t t1 = NowNanos();
+    joined_ns_.fetch_add(t1 - t0, std::memory_order_relaxed);
+    if (stop_coord_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    // "If, in a joined phase, no records appear contended ... the coordinator delays the
+    // next split phase."
+    if (!engine_.HasSplitCandidates()) {
+      continue;
+    }
+
+    // JOINED -> SPLIT.
+    ctrl.BeginTransition(Phase::kSplit);
+    engine_.WaitForWorkerAcks();
+    engine_.BarrierBuildPlan();
+    ctrl.Release();
+    std::uint64_t t2 = NowNanos();
+    to_split_barrier_ns_.fetch_add(t2 - t1, std::memory_order_relaxed);
+
+    SleepSplit(phase_ns);
+    std::uint64_t t3 = NowNanos();
+    split_ns_.fetch_add(t3 - t2, std::memory_order_relaxed);
+
+    // SPLIT -> JOINED. Runs even when stopping: every slice must reconcile before
+    // shutdown so committed effects reach the global store.
+    ctrl.BeginTransition(Phase::kJoined);
+    engine_.WaitForWorkerAcks();
+    engine_.BarrierAfterReconcile();
+    ctrl.Release();
+    to_joined_barrier_ns_.fetch_add(NowNanos() - t3, std::memory_order_relaxed);
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+  stop_workers_.store(true, std::memory_order_release);
+}
+
+}  // namespace doppel

@@ -1,0 +1,65 @@
+// The coordinator thread (§5.4): owns the phase clock, initiates transitions, waits for
+// worker acknowledgements, runs the classifier at barriers, and applies the feedback
+// rules (delay split phases when nothing is contended; hurry the joined phase when the
+// split phase stashes too much).
+#ifndef DOPPEL_SRC_CORE_COORDINATOR_H_
+#define DOPPEL_SRC_CORE_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/core/doppel_engine.h"
+#include "src/core/options.h"
+
+namespace doppel {
+
+class Coordinator {
+ public:
+  // `stop_coord` asks the coordinator to wind down; it finishes any split phase (so all
+  // slices reconcile), then sets `stop_workers` and returns.
+  Coordinator(DoppelEngine& engine, const Options& opts, std::atomic<bool>& stop_coord,
+              std::atomic<bool>& stop_workers)
+      : engine_(engine), opts_(opts), stop_coord_(stop_coord), stop_workers_(stop_workers) {}
+
+  // Thread body.
+  void Run();
+
+  std::uint64_t completed_cycles() const {
+    return cycles_.load(std::memory_order_relaxed);
+  }
+
+  // Cumulative wall time per stage (nanoseconds), for observability and tests.
+  struct StageTimes {
+    std::uint64_t joined_ns = 0;
+    std::uint64_t split_ns = 0;
+    std::uint64_t to_split_barrier_ns = 0;  // acks + classify + plan
+    std::uint64_t to_joined_barrier_ns = 0; // acks (incl. reconciliation) + retention
+  };
+  StageTimes stage_times() const {
+    StageTimes t;
+    t.joined_ns = joined_ns_.load(std::memory_order_relaxed);
+    t.split_ns = split_ns_.load(std::memory_order_relaxed);
+    t.to_split_barrier_ns = to_split_barrier_ns_.load(std::memory_order_relaxed);
+    t.to_joined_barrier_ns = to_joined_barrier_ns_.load(std::memory_order_relaxed);
+    return t;
+  }
+
+ private:
+  // Chunked sleep; returns early on stop (and, for split phases, on stash pressure).
+  void SleepJoined(std::uint64_t ns) const;
+  void SleepSplit(std::uint64_t ns) const;
+
+  DoppelEngine& engine_;
+  const Options& opts_;
+  std::atomic<bool>& stop_coord_;
+  std::atomic<bool>& stop_workers_;
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> joined_ns_{0};
+  std::atomic<std::uint64_t> split_ns_{0};
+  std::atomic<std::uint64_t> to_split_barrier_ns_{0};
+  std::atomic<std::uint64_t> to_joined_barrier_ns_{0};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_COORDINATOR_H_

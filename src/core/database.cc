@@ -1,0 +1,199 @@
+#include "src/core/database.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/cpu.h"
+#include "src/common/timing.h"
+#include "src/txn/atomic_engine.h"
+#include "src/txn/occ_engine.h"
+#include "src/txn/twopl_engine.h"
+
+namespace doppel {
+
+Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
+  if (opts_.num_workers <= 0) {
+    opts_.num_workers = NumCpus();
+  }
+  runner_cfg_.backoff_min_ns = opts_.backoff_min_us * 1000;
+  runner_cfg_.backoff_max_ns = opts_.backoff_max_us * 1000;
+  if (opts_.wal_path != nullptr && opts_.wal_path[0] != '\0') {
+    wal_ = std::make_unique<WriteAheadLog>(opts_.wal_path, opts_.wal_flush_us);
+    runner_cfg_.wal = wal_.get();
+  }
+
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        i, 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1)));
+  }
+
+  switch (opts_.protocol) {
+    case Protocol::kDoppel: {
+      auto engine = std::make_unique<DoppelEngine>(store_, opts_, stop_workers_);
+      doppel_ = engine.get();
+      doppel_->RegisterWorkers(workers_);
+      doppel_->SetWal(wal_.get());
+      engine_ = std::move(engine);
+      coordinator_ =
+          std::make_unique<Coordinator>(*doppel_, opts_, stop_coord_, stop_workers_);
+      break;
+    }
+    case Protocol::kOcc:
+      engine_ = std::make_unique<OccEngine>(store_);
+      break;
+    case Protocol::kTwoPL:
+      engine_ = std::make_unique<TwoPLEngine>(store_);
+      break;
+    case Protocol::kAtomic:
+      engine_ = std::make_unique<AtomicEngine>(store_);
+      break;
+  }
+}
+
+Database::~Database() { Stop(); }
+
+void Database::MarkSplitManually(const Key& key, OpCode op, std::size_t topk_k) {
+  DOPPEL_CHECK(doppel_ != nullptr);
+  DOPPEL_CHECK(!started_);
+  doppel_->MarkSplitManually(key, op, topk_k);
+}
+
+void Database::Start(SourceFactory factory) {
+  DOPPEL_CHECK(!started_);
+  started_ = true;
+  sources_.clear();
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    sources_.push_back(factory ? factory(i) : nullptr);
+  }
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    Worker* w = workers_[static_cast<std::size_t>(i)].get();
+    TxnSource* src = sources_[static_cast<std::size_t>(i)].get();
+    threads_.emplace_back([this, w, src] { WorkerMain(*w, src); });
+  }
+  if (coordinator_ != nullptr) {
+    threads_.emplace_back([this] { coordinator_->Run(); });
+  }
+}
+
+void Database::Stop() {
+  if (!started_ || stopped_) {
+    return;
+  }
+  stopped_ = true;
+  // Coordinator first: it finishes any split phase (reconciling all slices) and then
+  // releases the workers.
+  stop_coord_.store(true, std::memory_order_release);
+  if (coordinator_ == nullptr) {
+    stop_workers_.store(true, std::memory_order_release);
+  }
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+}
+
+bool Database::TryRunSubmitted(Worker& w) {
+  if (submit_count_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  std::shared_ptr<SubmitTicket> ticket;
+  {
+    if (!submit_mu_.try_lock()) {
+      return false;
+    }
+    if (!submit_queue_.empty()) {
+      ticket = std::move(submit_queue_.front());
+      submit_queue_.pop_front();
+      submit_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    submit_mu_.unlock();
+  }
+  if (!ticket) {
+    return false;
+  }
+  PendingTxn pt;
+  pt.ticket = std::move(ticket);
+  RunPendingTxn(*engine_, runner_cfg_, w, std::move(pt));
+  return true;
+}
+
+void Database::WorkerMain(Worker& w, TxnSource* source) {
+  if (opts_.pin_threads) {
+    PinThreadToCpu(w.id);
+  }
+  while (!stop_workers_.load(std::memory_order_relaxed)) {
+    engine_->BetweenTxns(w);
+
+    const std::uint64_t now = NowNanos();
+    if (w.HasDueRetry(now)) {
+      std::pop_heap(w.retry_heap.begin(), w.retry_heap.end());
+      PendingTxn pt = std::move(w.retry_heap.back().txn);
+      w.retry_heap.pop_back();
+      RunPendingTxn(*engine_, runner_cfg_, w, std::move(pt));
+      continue;
+    }
+    if (!w.stash.empty() && engine_->CurrentPhase(w) == Phase::kJoined) {
+      PendingTxn pt = std::move(w.stash.front());
+      w.stash.pop_front();
+      RunPendingTxn(*engine_, runner_cfg_, w, std::move(pt));
+      continue;
+    }
+    if (TryRunSubmitted(w)) {
+      continue;
+    }
+    if (source != nullptr) {
+      TxnRequest req = source->Next(w);
+      req.args.submit_ns = now;
+      PendingTxn pt;
+      pt.req = req;
+      RunPendingTxn(*engine_, runner_cfg_, w, std::move(pt));
+      continue;
+    }
+    // Idle (Execute-only mode): nap briefly, staying responsive to phase changes.
+    std::this_thread::sleep_for(std::chrono::microseconds(w.retry_heap.empty() ? 50 : 5));
+  }
+}
+
+TxnResult Database::Execute(std::function<void(Txn&)> fn) {
+  DOPPEL_CHECK(started_ && !stopped_);
+  auto ticket = std::make_shared<SubmitTicket>();
+  ticket->fn = std::move(fn);
+  {
+    submit_mu_.lock();
+    submit_queue_.push_back(ticket);
+    submit_mu_.unlock();
+  }
+  submit_count_.fetch_add(1, std::memory_order_relaxed);
+  int state = ticket->state.load(std::memory_order_acquire);
+  while (state == 0) {
+    ticket->state.wait(0, std::memory_order_acquire);
+    state = ticket->state.load(std::memory_order_acquire);
+  }
+  return TxnResult{state == 1, ticket->attempts.load(std::memory_order_relaxed)};
+}
+
+std::uint64_t Database::SampleTotalCommits() const {
+  std::uint64_t sum = 0;
+  for (const auto& w : workers_) {
+    sum += w->shared_commits.Load();
+  }
+  return sum;
+}
+
+Database::Stats Database::CollectStats() const {
+  Stats s;
+  for (const auto& w : workers_) {
+    s.committed += w->committed;
+    s.committed_split_phase += w->committed_split_phase;
+    s.conflicts += w->conflicts;
+    s.stash_events += w->stash_events;
+    s.user_aborts += w->user_aborts;
+    for (int t = 0; t < kNumTags; ++t) {
+      s.committed_by_tag[t] += w->committed_by_tag[t];
+      s.latency_by_tag[t].Merge(w->latency_by_tag[t]);
+    }
+  }
+  return s;
+}
+
+}  // namespace doppel

@@ -1,0 +1,131 @@
+// The public facade: a Doppel database instance.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   doppel::Options opts;
+//   opts.protocol = doppel::Protocol::kDoppel;
+//   doppel::Database db(opts);
+//   db.store().LoadInt(doppel::Key::FromU64(1), 0);
+//   db.Start();
+//   db.Execute([](doppel::Txn& txn) { txn.Add(doppel::Key::FromU64(1), 1); });
+//   db.Stop();
+//
+// Benchmarks instead attach a per-worker TxnSource: each worker generates transactions
+// as if it were a client and executes them closed-loop (§8.1).
+#ifndef DOPPEL_SRC_CORE_DATABASE_H_
+#define DOPPEL_SRC_CORE_DATABASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/spinlock.h"
+#include "src/core/coordinator.h"
+#include "src/core/doppel_engine.h"
+#include "src/core/options.h"
+#include "src/core/runner.h"
+#include "src/persist/wal.h"
+#include "src/store/store.h"
+#include "src/txn/engine.h"
+
+namespace doppel {
+
+// Per-worker transaction generator (closed-loop client). Next() is called on the worker's
+// own thread; it should fill args.tag and may use w.rng.
+class TxnSource {
+ public:
+  virtual ~TxnSource() = default;
+  virtual TxnRequest Next(Worker& w) = 0;
+};
+
+using SourceFactory = std::function<std::unique_ptr<TxnSource>(int worker_id)>;
+
+struct TxnResult {
+  bool committed = false;
+  std::uint32_t attempts = 0;
+};
+
+class Database {
+ public:
+  explicit Database(Options opts);
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Options& options() const { return opts_; }
+  Store& store() { return store_; }
+  const Store& store() const { return store_; }
+  Engine& engine() { return *engine_; }
+  // Non-null iff options().protocol == kDoppel.
+  DoppelEngine* doppel() { return doppel_; }
+  const Coordinator* coordinator() const { return coordinator_.get(); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Manual data labeling (§5.5); Doppel only. Call before Start.
+  void MarkSplitManually(const Key& key, OpCode op,
+                         std::size_t topk_k = TopKSet::kDefaultK);
+
+  // Spawns worker threads (and, for Doppel, the coordinator). `factory`, if provided,
+  // creates one TxnSource per worker for closed-loop generation.
+  void Start(SourceFactory factory = nullptr);
+  // Stops generation, reconciles outstanding split state, joins all threads. Idempotent.
+  void Stop();
+  bool started() const { return started_; }
+
+  // Submits a transaction and blocks until it commits (internally retrying conflicts and
+  // stashes) or user-aborts. Thread-safe; requires Start() first.
+  TxnResult Execute(std::function<void(Txn&)> fn);
+
+  // ---- Metrics ----
+  // Racy sum of per-worker commit counters; safe to call while running (Fig. 10 series).
+  std::uint64_t SampleTotalCommits() const;
+
+  struct Stats {
+    std::uint64_t committed = 0;
+    std::uint64_t committed_split_phase = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t stash_events = 0;
+    std::uint64_t user_aborts = 0;
+    std::uint64_t committed_by_tag[kNumTags] = {};
+    LatencyHistogram latency_by_tag[kNumTags];
+  };
+  // Aggregated per-worker metrics; call after Stop() for exact values.
+  Stats CollectStats() const;
+
+  // Doppel introspection: split records in the most recent plan (0 otherwise).
+  std::size_t LastPlanSize() const { return doppel_ ? doppel_->LastPlanSize() : 0; }
+
+  // Non-null when Options::wal_path is set.
+  WriteAheadLog* wal() { return wal_.get(); }
+
+ private:
+  void WorkerMain(Worker& w, TxnSource* source);
+  bool TryRunSubmitted(Worker& w);
+
+  Options opts_;
+  Store store_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::atomic<bool> stop_coord_{false};
+  std::atomic<bool> stop_workers_{false};
+  std::unique_ptr<Engine> engine_;
+  DoppelEngine* doppel_ = nullptr;  // borrowed view of engine_ when protocol is Doppel
+  RunnerConfig runner_cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<TxnSource>> sources_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  Spinlock submit_mu_;
+  std::deque<std::shared_ptr<SubmitTicket>> submit_queue_;
+  std::atomic<std::size_t> submit_count_{0};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_DATABASE_H_

@@ -1,0 +1,396 @@
+#include "src/core/doppel_engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kDoppel:
+      return "Doppel";
+    case Protocol::kOcc:
+      return "OCC";
+    case Protocol::kTwoPL:
+      return "2PL";
+    case Protocol::kAtomic:
+      return "Atomic";
+  }
+  return "?";
+}
+
+DoppelEngine::DoppelEngine(Store& store, const Options& opts,
+                           const std::atomic<bool>& stop)
+    : OccEngine(store), opts_(opts), stop_(stop) {
+  runner_cfg_.backoff_min_ns = opts.backoff_min_us * 1000;
+  runner_cfg_.backoff_max_ns = opts.backoff_max_us * 1000;
+}
+
+void DoppelEngine::RegisterWorkers(const std::vector<std::unique_ptr<Worker>>& workers) {
+  workers_.clear();
+  for (const auto& w : workers) {
+    w->ext = std::make_unique<DoppelWorkerState>(opts_.classifier);
+    workers_.push_back(w.get());
+  }
+}
+
+// ---- Access routing -------------------------------------------------------------------
+
+void DoppelEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
+  // "Recall that split data cannot be read during a split phase" (§7): doom the
+  // transaction; it will be stashed and restarted in the next joined phase.
+  if (w.phase == Phase::kSplit && r->IsSplit()) {
+    txn.MarkStash(r, OpCode::kGet);
+    out->present = false;
+    return;
+  }
+  OccRead(txn, r, out);
+}
+
+void DoppelEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
+  if (w.phase == Phase::kSplit && pw.record->IsSplit()) {
+    if (pw.op == static_cast<OpCode>(pw.record->split_op())) {
+      txn.split_writes().push_back(std::move(pw));
+      return;
+    }
+    // "within a given phase, any operation but the selected operation causes the
+    // containing transaction to abort (and retry in the next joined phase)" (§4).
+    txn.MarkStash(pw.record, pw.op);
+    return;
+  }
+  OccBufferWrite(txn, std::move(pw));
+}
+
+TxnStatus DoppelEngine::Commit(Worker& w, Txn& txn) {
+  // Fig. 3: OCC commit for the read set and reconciled write set; if that succeeds, the
+  // split-write set is applied to this core's slices — no locks or version checks, since
+  // slices are invisible to concurrently running transactions.
+  const TxnStatus status = OccCommit(w, txn);
+  if (status != TxnStatus::kCommitted) {
+    return status;
+  }
+  if (!txn.split_writes().empty()) {
+    DOPPEL_DCHECK(w.phase == Phase::kSplit);
+    auto& slices = Ext(w).slices;
+    for (const PendingWrite& sw : txn.split_writes()) {
+      const std::int32_t idx = sw.record->slice_index();
+      DOPPEL_DCHECK(idx >= 0 && static_cast<std::size_t>(idx) < slices.size());
+      SliceApply(slices[static_cast<std::size_t>(idx)], sw);
+    }
+  }
+  return TxnStatus::kCommitted;
+}
+
+void DoppelEngine::OnConflict(Worker& w, Txn& txn) {
+  if (w.phase != Phase::kJoined) {
+    return;
+  }
+  ConflictSampler& sampler = Ext(w).sampler;
+  if (!txn.conflicts.empty()) {
+    for (const auto& [record, op] : txn.conflicts) {
+      sampler.RecordConflict(record->key(), op);
+    }
+  } else if (txn.conflict_record != nullptr) {
+    sampler.RecordConflict(txn.conflict_record->key(), txn.conflict_op);
+  }
+}
+
+void DoppelEngine::OnStash(Worker& w, const StashSignal& s) {
+  const std::int32_t idx = s.record->slice_index();
+  auto& slices = Ext(w).slices;
+  if (idx >= 0 && static_cast<std::size_t>(idx) < slices.size()) {
+    slices[static_cast<std::size_t>(idx)].stashes++;
+  }
+  stash_pressure_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---- Worker-side phase transitions (§5.4) ---------------------------------------------
+
+void DoppelEngine::BetweenTxns(Worker& w) { MaybeTransition(w); }
+
+void DoppelEngine::MaybeTransition(Worker& w) {
+  const std::uint64_t pend = ctrl_.pending();
+  if (pend == w.seen_word) {
+    return;
+  }
+  const Phase target = PhaseController::DecodePhase(pend);
+  if (w.phase == Phase::kSplit) {
+    // Leaving the split phase: reconcile this core's slices into the global store.
+    MergeWorkerSlices(w);
+  }
+  if (target == Phase::kSplit) {
+    // "our workers delay acknowledging a split phase until they have committed or
+    // aborted all previously-stashed transactions."
+    DrainStash(w);
+  }
+  w.acked_word.store(pend, std::memory_order_release);
+  // Yield while waiting for the release: the coordinator needs a core to collect acks and
+  // run the barrier work, and on machines with as many workers as cores a pure spin here
+  // would make every phase change cost scheduler timeslices instead of microseconds.
+  std::uint32_t spins = 0;
+  while (ctrl_.released() != pend) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (++spins < 64) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  if (target == Phase::kSplit) {
+    PrepareSlices(w);
+  }
+  w.phase = target;
+  w.seen_word = pend;
+}
+
+void DoppelEngine::MergeWorkerSlices(Worker& w) {
+  SplitPlan* plan = plan_.get();
+  if (plan == nullptr) {
+    return;
+  }
+  auto& slices = Ext(w).slices;
+  const std::size_t n = std::min(plan->entries.size(), slices.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    SplitEntry& e = plan->entries[i];
+    Slice& s = slices[i];
+    if (s.writes != 0) {
+      e.writes.fetch_add(s.writes, std::memory_order_relaxed);
+    }
+    if (s.stashes != 0) {
+      e.stashes.fetch_add(s.stashes, std::memory_order_relaxed);
+    }
+    if (s.dirty) {
+      const std::uint64_t tid = w.GenerateTid(Record::TidOf(e.record->LoadTidWord()));
+      MergeSliceToGlobal(e.record, e.op, s, tid);
+    }
+  }
+}
+
+void DoppelEngine::DrainStash(Worker& w) {
+  while (!w.stash.empty() && !stop_.load(std::memory_order_relaxed)) {
+    PendingTxn pt = std::move(w.stash.front());
+    w.stash.pop_front();
+    // Still in the joined phase (we have not acked yet), so this cannot re-stash.
+    RunPendingTxn(*this, runner_cfg_, w, std::move(pt));
+  }
+}
+
+void DoppelEngine::PrepareSlices(Worker& w) {
+  const SplitPlan* plan = plan_.get();
+  auto& slices = Ext(w).slices;
+  const std::size_t n = plan == nullptr ? 0 : plan->size();
+  if (slices.size() < n) {
+    slices.resize(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    slices[i].Reset(plan->entries[i].op, plan->entries[i].topk_k);
+  }
+}
+
+// ---- Coordinator interface ------------------------------------------------------------
+
+void DoppelEngine::MarkSplitManually(const Key& key, OpCode op, std::size_t topk_k) {
+  DOPPEL_CHECK(IsSplittable(op));
+  Record* r = store_.GetOrCreate(key, OpRecordType(op), topk_k);
+  manual_.push_back(Labeled{r, op});
+}
+
+bool DoppelEngine::HasSplitCandidates() const {
+  if (!manual_.empty() || !retained_.empty()) {
+    return true;
+  }
+  if (opts_.manual_split_only) {
+    return false;
+  }
+  for (const Worker* w : workers_) {
+    const auto& ext = static_cast<const DoppelWorkerState&>(*w->ext);
+    if (ext.sampler.ApproxTotal() >= opts_.classifier.min_conflicts) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DoppelEngine::WaitForWorkerAcks() const {
+  const std::uint64_t pend = ctrl_.pending();
+  for (const Worker* w : workers_) {
+    std::uint32_t spins = 0;
+    while (w->acked_word.load(std::memory_order_acquire) != pend) {
+      if (stop_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (++spins < 1024) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();  // let the worker run to its next txn boundary
+      }
+    }
+  }
+}
+
+void DoppelEngine::BarrierBuildPlan() {
+  const ClassifierOptions& c = opts_.classifier;
+  cycle_++;
+
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t ops[kNumOps] = {};
+  };
+  std::unordered_map<Record*, Agg> agg;
+  std::uint64_t total = 0;
+  if (!opts_.manual_split_only) {
+    for (Worker* w : workers_) {
+      ConflictSampler& s = Ext(*w).sampler;
+      for (const ConflictSampler::Entry& e : s.entries()) {
+        if (!e.used) {
+          continue;
+        }
+        Record* r = store_.Find(e.key);
+        if (r == nullptr) {
+          continue;
+        }
+        Agg& a = agg[r];
+        a.count += e.count;
+        for (int i = 0; i < kNumOps; ++i) {
+          a.ops[i] += e.op_counts[i];
+        }
+        total += e.count;
+      }
+      s.Clear();
+    }
+  }
+
+  struct Candidate {
+    Record* record;
+    OpCode op;
+    std::uint64_t score;
+  };
+  std::vector<Candidate> cands;
+  for (const auto& [record, a] : agg) {
+    std::uint64_t splittable = 0;
+    int best = -1;
+    std::uint64_t best_count = 0;
+    for (int i = 0; i < kNumOps; ++i) {
+      if (!IsSplittable(static_cast<OpCode>(i))) {
+        continue;
+      }
+      splittable += a.ops[i];
+      if (a.ops[i] > best_count) {
+        best_count = a.ops[i];
+        best = i;
+      }
+    }
+    if (best < 0 || best_count == 0) {
+      continue;  // contended, but only on unsplittable operations
+    }
+    if (a.count < c.min_conflicts ||
+        static_cast<double>(a.count) <
+            c.split_conflict_fraction * static_cast<double>(total) ||
+        static_cast<double>(splittable) <
+            c.min_splittable_fraction * static_cast<double>(a.count)) {
+      continue;
+    }
+    const auto it = suppressed_until_.find(record);
+    if (it != suppressed_until_.end()) {
+      if (cycle_ < it->second) {
+        continue;
+      }
+      suppressed_until_.erase(it);
+    }
+    cands.push_back(Candidate{record, static_cast<OpCode>(best), a.count});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+
+  auto plan = std::make_unique<SplitPlan>();
+  plan->version = cycle_;
+  auto add = [&](Record* r, OpCode op) {
+    if (r->IsSplit() ||
+        plan->entries.size() >= static_cast<std::size_t>(c.max_split_records)) {
+      return;
+    }
+    plan->entries.emplace_back(r, op, r->topk_k());
+    r->MarkSplit(static_cast<std::uint8_t>(op),
+                 static_cast<std::int32_t>(plan->entries.size() - 1));
+  };
+  for (const Labeled& m : manual_) {
+    add(m.record, m.op);
+  }
+  for (const Labeled& rt : retained_) {
+    add(rt.record, rt.op);
+  }
+  for (const Candidate& cand : cands) {
+    add(cand.record, cand.op);
+  }
+  retained_.clear();
+  last_plan_size_.store(plan->size(), std::memory_order_relaxed);
+  {
+    plan_snapshot_mu_.lock();
+    plan_snapshot_.clear();
+    for (const SplitEntry& e : plan->entries) {
+      plan_snapshot_.emplace_back(e.record->key(), e.op);
+    }
+    plan_snapshot_mu_.unlock();
+  }
+  plan_ = std::move(plan);
+
+  stash_pressure_.store(0, std::memory_order_relaxed);
+  split_start_commits_ = SampleCommits();
+}
+
+void DoppelEngine::BarrierAfterReconcile() {
+  retained_.clear();
+  if (plan_ == nullptr) {
+    return;
+  }
+  const ClassifierOptions& c = opts_.classifier;
+  for (SplitEntry& e : plan_->entries) {
+    const std::uint64_t writes = e.writes.load(std::memory_order_relaxed);
+    const std::uint64_t stashes = e.stashes.load(std::memory_order_relaxed);
+    const bool stash_heavy =
+        static_cast<double>(stashes) > c.unsplit_stash_ratio * static_cast<double>(writes);
+    if (writes >= c.min_split_writes && !stash_heavy) {
+      retained_.push_back(Labeled{e.record, e.op});
+    } else if (stash_heavy && stashes > 0) {
+      // Reads dominate: move the record back to reconciled and damp oscillation.
+      suppressed_until_[e.record] = cycle_ + c.resplit_suppress_phases;
+    }
+    e.record->ClearSplit();
+  }
+  plan_.reset();
+}
+
+bool DoppelEngine::ShouldHurrySplitEnd() const {
+  const std::uint64_t stashes = stash_pressure_.load(std::memory_order_relaxed);
+  if (stashes >= opts_.stash_hard_limit) {
+    return true;
+  }
+  if (stashes < 1000) {
+    return false;
+  }
+  const std::uint64_t commits = SampleCommits() - split_start_commits_;
+  return static_cast<double>(stashes) >
+         opts_.hurry_stash_fraction * static_cast<double>(stashes + commits);
+}
+
+std::vector<std::pair<Key, OpCode>> DoppelEngine::LastPlanEntries() const {
+  plan_snapshot_mu_.lock();
+  std::vector<std::pair<Key, OpCode>> out = plan_snapshot_;
+  plan_snapshot_mu_.unlock();
+  return out;
+}
+
+std::uint64_t DoppelEngine::SampleCommits() const {
+  std::uint64_t sum = 0;
+  for (const Worker* w : workers_) {
+    sum += w->shared_commits.Load();
+  }
+  return sum;
+}
+
+}  // namespace doppel

@@ -1,0 +1,79 @@
+// Public configuration for a Database instance.
+#ifndef DOPPEL_SRC_CORE_OPTIONS_H_
+#define DOPPEL_SRC_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace doppel {
+
+enum class Protocol : std::uint8_t {
+  kDoppel = 0,  // phase reconciliation (the paper's contribution)
+  kOcc = 1,     // Silo-style OCC baseline
+  kTwoPL = 2,   // two-phase locking baseline
+  kAtomic = 3,  // atomic-instruction upper bound (single-op transactions only)
+};
+
+const char* ProtocolName(Protocol p);
+
+// Contention classifier knobs (§5.5). Defaults are tuned for the paper's workloads; the
+// ablation bench sweeps them.
+struct ClassifierOptions {
+  // Sample 1 in `sample_every` commit-time conflicts during joined phases. Conflicts are
+  // already the slow path, so the default samples every abort; raise this on machines
+  // with very high abort rates (ablation B sweeps it).
+  std::uint32_t sample_every = 1;
+  // A record qualifies for splitting when its sampled conflict count over one joined
+  // phase reaches both an absolute floor and a fraction of all sampled conflicts.
+  std::uint64_t min_conflicts = 4;
+  double split_conflict_fraction = 0.01;
+  // ... and when at least this share of its conflicts involve a splittable operation.
+  // Conflicts attributed to reads (kGet) predict stashes, which cost up to a phase of
+  // latency each; 0.25 reproduces the paper's LIKE behaviour of splitting only once
+  // ~30% of transactions write (§8.5) and keeps read-mostly records reconciled.
+  double min_splittable_fraction = 0.25;
+  // Upper bound on simultaneously split records.
+  int max_split_records = 64;
+  // Retention (split-phase write sampling): a split record stays split while it collects
+  // at least `min_split_writes` slice writes per split phase...
+  std::uint32_t min_split_writes = 64;
+  // ... and while stashed accesses don't exceed `unsplit_stash_ratio` x writes.
+  double unsplit_stash_ratio = 2.5;
+  // After a stash-pressure unsplit, don't re-split the record for this many phase cycles.
+  std::uint32_t resplit_suppress_phases = 16;
+};
+
+struct Options {
+  Protocol protocol = Protocol::kDoppel;
+  // 0 = one worker per available CPU.
+  int num_workers = 0;
+  // Phase change cadence (§5.4: "usually starts a phase change every 20 milliseconds").
+  std::uint64_t phase_us = 20000;
+  bool pin_threads = false;
+  // Expected record count (the store does not resize).
+  std::size_t store_capacity = std::size_t{1} << 20;
+
+  ClassifierOptions classifier;
+  // Disable automatic detection; only manually labeled records split (ablation §5.5).
+  bool manual_split_only = false;
+
+  // Exponential backoff for conflict retries (§8.1).
+  std::uint64_t backoff_min_us = 2;
+  std::uint64_t backoff_max_us = 1000;
+
+  // Durability (extension, §3 of the paper): when non-empty, committed transactions'
+  // logical operations are appended to this redo log by an asynchronous batched flusher.
+  // Commits never wait for disk. See src/persist/wal.h.
+  const char* wal_path = "";
+  std::uint64_t wal_flush_us = 2000;
+
+  // Split-phase feedback (§5.4): hurry the next joined phase when too large a share of
+  // split-phase transactions is being stashed (they are deferred work that only the next
+  // joined phase can retire).
+  std::uint64_t stash_hard_limit = std::uint64_t{1} << 16;
+  double hurry_stash_fraction = 0.3;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_OPTIONS_H_

@@ -1,0 +1,55 @@
+// Global phase state (§5.4).
+//
+// The coordinator publishes a transition by storing a new word into `pending`; workers
+// notice between transactions, perform their transition duties (reconcile slices when
+// leaving a split phase, drain stashed transactions before entering one), store the word
+// into their ack slot, and spin until `released` catches up. The paired release store /
+// acquire load on these words is what makes the coordinator's barrier-time writes (split
+// marks, the split plan) visible to workers without further synchronization.
+#ifndef DOPPEL_SRC_CORE_PHASE_CONTROLLER_H_
+#define DOPPEL_SRC_CORE_PHASE_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/txn/phase.h"
+
+namespace doppel {
+
+class PhaseController {
+ public:
+  static std::uint64_t Encode(std::uint64_t seq, Phase p) {
+    return (seq << 1) | (p == Phase::kSplit ? 1u : 0u);
+  }
+  static Phase DecodePhase(std::uint64_t word) {
+    return (word & 1) != 0 ? Phase::kSplit : Phase::kJoined;
+  }
+  static std::uint64_t DecodeSeq(std::uint64_t word) { return word >> 1; }
+
+  std::uint64_t pending() const { return pending_.load(std::memory_order_acquire); }
+  std::uint64_t released() const { return released_.load(std::memory_order_acquire); }
+
+  // Coordinator: announce the next phase. Must not be called with a transition in flight.
+  std::uint64_t BeginTransition(Phase target) {
+    const std::uint64_t word = Encode(DecodeSeq(pending()) + 1, target);
+    pending_.store(word, std::memory_order_release);
+    return word;
+  }
+
+  // Coordinator: let acknowledged workers proceed into the new phase.
+  void Release() {
+    released_.store(pending_.load(std::memory_order_relaxed), std::memory_order_release);
+  }
+
+  bool TransitionInFlight() const { return pending() != released(); }
+
+  Phase CurrentReleasedPhase() const { return DecodePhase(released()); }
+
+ private:
+  std::atomic<std::uint64_t> pending_{Encode(0, Phase::kJoined)};
+  std::atomic<std::uint64_t> released_{Encode(0, Phase::kJoined)};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_PHASE_CONTROLLER_H_

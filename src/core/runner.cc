@@ -1,0 +1,101 @@
+#include "src/core/runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/timing.h"
+
+namespace doppel {
+namespace {
+
+void FinishTicket(PendingTxn& pt, int state) {
+  if (pt.ticket) {
+    pt.ticket->attempts.store(pt.attempts + 1, std::memory_order_relaxed);
+    pt.ticket->state.store(state, std::memory_order_release);
+    pt.ticket->state.notify_one();
+  }
+}
+
+}  // namespace
+
+void ScheduleRetry(Worker& w, const RunnerConfig& cfg, PendingTxn&& pt) {
+  pt.attempts++;
+  const std::uint32_t shift = std::min(pt.attempts, 20u);
+  std::uint64_t delay = cfg.backoff_min_ns << shift;
+  delay = std::min(delay, cfg.backoff_max_ns);
+  // +-25% jitter decorrelates retries of transactions aborted by the same conflict.
+  const std::uint64_t jitter = delay / 2;
+  delay = delay - delay / 4 + (jitter == 0 ? 0 : w.rng.NextBounded(jitter));
+  w.retry_heap.push_back(RetryItem{NowNanos() + delay, std::move(pt)});
+  std::push_heap(w.retry_heap.begin(), w.retry_heap.end());
+}
+
+RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
+                         PendingTxn&& pt) {
+  Txn& txn = w.txn;
+  txn.Reset(&engine, &w);
+  try {
+    if (pt.ticket) {
+      pt.ticket->fn(txn);
+    } else {
+      pt.req.proc(txn, pt.req.args);
+    }
+  } catch (const StashSignal& s) {
+    engine.Abort(w, txn);
+    engine.OnStash(w, s);
+    w.stash_events++;
+    w.stash.push_back(std::move(pt));
+    return RunOutcome::kStashed;
+  } catch (const ConflictSignal& c) {
+    engine.Abort(w, txn);
+    txn.conflict_record = c.record;
+    txn.conflict_op = c.op;
+    engine.OnConflict(w, txn);
+    w.conflicts++;
+    ScheduleRetry(w, cfg, std::move(pt));
+    return RunOutcome::kRetryScheduled;
+  } catch (const UserAbortSignal&) {
+    engine.Abort(w, txn);
+    w.user_aborts++;
+    FinishTicket(pt, 2);
+    return RunOutcome::kUserAborted;
+  }
+
+  if (txn.stash_doomed()) {
+    // Doomed by a split-data access (poison path, no exception): stash for the next
+    // joined phase.
+    engine.Abort(w, txn);
+    engine.OnStash(w, StashSignal{txn.stash_record(), txn.stash_op()});
+    w.stash_events++;
+    w.stash.push_back(std::move(pt));
+    return RunOutcome::kStashed;
+  }
+
+  const TxnStatus status = engine.Commit(w, txn);
+  if (status == TxnStatus::kConflict) {
+    engine.OnConflict(w, txn);
+    w.conflicts++;
+    ScheduleRetry(w, cfg, std::move(pt));
+    return RunOutcome::kRetryScheduled;
+  }
+
+  if (cfg.wal != nullptr) {
+    // w.last_tid is the TID this commit generated (Silo TID generation is per-worker).
+    cfg.wal->Append(w.id, w.last_tid, txn.write_set(), txn.split_writes());
+  }
+  w.committed++;
+  if (w.phase == Phase::kSplit) {
+    w.committed_split_phase++;
+  }
+  w.shared_commits.Add(1);
+  const std::uint8_t tag = pt.ticket ? 0 : pt.req.args.tag;
+  w.committed_by_tag[tag]++;
+  const std::uint64_t submit_ns = pt.ticket ? 0 : pt.req.args.submit_ns;
+  if (submit_ns != 0) {
+    w.latency_by_tag[tag].Record(NowNanos() - submit_ns);
+  }
+  FinishTicket(pt, 1);
+  return RunOutcome::kCommitted;
+}
+
+}  // namespace doppel

@@ -1,0 +1,38 @@
+// Drives one transaction attempt through an engine and routes the outcome: committed
+// transactions are counted and their latency recorded; conflict aborts are scheduled for
+// retry with exponential backoff; split-blocked transactions are stashed for the next
+// joined phase (§8.1, §5.2).
+#ifndef DOPPEL_SRC_CORE_RUNNER_H_
+#define DOPPEL_SRC_CORE_RUNNER_H_
+
+#include <cstdint>
+
+#include "src/persist/wal.h"
+#include "src/txn/engine.h"
+#include "src/txn/worker.h"
+
+namespace doppel {
+
+struct RunnerConfig {
+  std::uint64_t backoff_min_ns = 2000;
+  std::uint64_t backoff_max_ns = 1000000;
+  WriteAheadLog* wal = nullptr;  // optional redo logging for committed transactions
+};
+
+enum class RunOutcome {
+  kCommitted,
+  kRetryScheduled,
+  kStashed,
+  kUserAborted,
+};
+
+// Pushes `pt` onto the worker's retry heap with exponential backoff + jitter.
+void ScheduleRetry(Worker& w, const RunnerConfig& cfg, PendingTxn&& pt);
+
+// Executes one attempt of `pt` on `w` (which must be the calling thread's worker).
+RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
+                         PendingTxn&& pt);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_RUNNER_H_

@@ -1,0 +1,56 @@
+#include "src/core/sampler.h"
+
+#include <bit>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+ConflictSampler::ConflictSampler(std::uint32_t sample_every, std::size_t capacity)
+    : table_(std::bit_ceil(capacity < 64 ? std::size_t{64} : capacity)),
+      mask_(table_.size() - 1),
+      sample_every_(sample_every == 0 ? 1 : sample_every) {}
+
+void ConflictSampler::RecordConflict(const Key& key, OpCode op) {
+  if (++tick_ % sample_every_ != 0) {
+    return;
+  }
+  const std::size_t base = static_cast<std::size_t>(key.Hash());
+  Entry* victim = nullptr;
+  for (int i = 0; i < kProbeWindow; ++i) {
+    Entry& e = table_[(base + static_cast<std::size_t>(i)) & mask_];
+    if (e.used && e.key == key) {
+      e.count++;
+      e.op_counts[static_cast<int>(op)]++;
+      total_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!e.used) {
+      victim = &e;
+      break;
+    }
+    if (victim == nullptr || e.count < victim->count) {
+      victim = &e;
+    }
+  }
+  DOPPEL_DCHECK(victim != nullptr);
+  // Space-saving replacement: the newcomer inherits the evicted count so that a genuine
+  // heavy hitter cannot be permanently starved by churn.
+  const std::uint32_t inherited = victim->used ? victim->count : 0;
+  *victim = Entry{};
+  victim->used = true;
+  victim->key = key;
+  victim->count = inherited + 1;
+  victim->op_counts[static_cast<int>(op)] = 1;
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConflictSampler::Clear() {
+  for (Entry& e : table_) {
+    e = Entry{};
+  }
+  total_.store(0, std::memory_order_relaxed);
+  tick_ = 0;
+}
+
+}  // namespace doppel

@@ -1,0 +1,58 @@
+// Per-worker conflict sampling (§5.5).
+//
+// "During joined execution, Doppel samples transactions' conflicting record accesses, and
+// keeps a count of which records are most conflicted (are causing the most aborts) and by
+// which operations."
+//
+// A fixed-size open-addressing table owned by one worker. The owner inserts; the
+// coordinator reads exactly at phase barriers (workers quiesced) and peeks the total
+// counter racily between barriers to decide whether a split phase is worth starting.
+// Eviction uses a space-saving approximation: a new key replaces the smallest-count entry
+// in its probe window and inherits that count, so heavy hitters survive churn.
+#ifndef DOPPEL_SRC_CORE_SAMPLER_H_
+#define DOPPEL_SRC_CORE_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/store/key.h"
+#include "src/txn/op.h"
+
+namespace doppel {
+
+class ConflictSampler {
+ public:
+  struct Entry {
+    Key key;
+    std::uint32_t count = 0;
+    std::uint32_t op_counts[kNumOps] = {};
+    bool used = false;
+  };
+
+  explicit ConflictSampler(std::uint32_t sample_every, std::size_t capacity = 512);
+
+  // Owner worker: record that a transaction aborted because of `key`, where the aborted
+  // transaction's operation on the record was `op` (kGet for pure read validation loss).
+  void RecordConflict(const Key& key, OpCode op);
+
+  // Racy peek (coordinator, between barriers): sampled conflicts since the last Clear.
+  std::uint64_t ApproxTotal() const { return total_.load(std::memory_order_relaxed); }
+
+  // Coordinator, at barriers only.
+  const std::vector<Entry>& entries() const { return table_; }
+  void Clear();
+
+ private:
+  static constexpr int kProbeWindow = 8;
+
+  std::vector<Entry> table_;
+  std::uint64_t mask_;
+  std::uint32_t sample_every_;
+  std::uint32_t tick_ = 0;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_SAMPLER_H_

@@ -1,0 +1,114 @@
+#include "src/core/slice.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+void Slice::Reset(OpCode op, std::size_t topk_k) {
+  dirty = false;
+  has = false;
+  writes = 0;
+  stashes = 0;
+  switch (op) {
+    case OpCode::kAdd:
+      acc = 0;
+      break;
+    case OpCode::kMult:
+      acc = 1;
+      break;
+    case OpCode::kMax:
+    case OpCode::kMin:
+      acc = 0;  // meaningful only once `has` is set
+      break;
+    case OpCode::kOPut:
+      tuple = OrderedTuple{};
+      break;
+    case OpCode::kTopKInsert:
+      topk = TopKSet(topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+      break;
+    default:
+      DOPPEL_CHECK(false);  // non-splittable op in a split plan
+  }
+}
+
+void SliceApply(Slice& slice, const PendingWrite& w) {
+  switch (w.op) {
+    case OpCode::kAdd:
+      slice.acc += w.n;
+      break;
+    case OpCode::kMax:
+      slice.acc = slice.has ? std::max(slice.acc, w.n) : w.n;
+      slice.has = true;
+      break;
+    case OpCode::kMin:
+      slice.acc = slice.has ? std::min(slice.acc, w.n) : w.n;
+      slice.has = true;
+      break;
+    case OpCode::kMult:
+      slice.acc *= w.n;
+      break;
+    case OpCode::kOPut: {
+      OrderedTuple next{w.order, w.core, w.payload};
+      if (!slice.has || OrderedTuple::Wins(next, slice.tuple)) {
+        slice.tuple = std::move(next);
+      }
+      slice.has = true;
+      break;
+    }
+    case OpCode::kTopKInsert:
+      slice.topk.Insert(OrderedTuple{w.order, w.core, w.payload});
+      break;
+    default:
+      DOPPEL_CHECK(false);
+  }
+  slice.dirty = true;
+  slice.writes++;
+}
+
+void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t new_tid) {
+  if (!slice.dirty) {
+    return;
+  }
+  r->LockOcc();
+  const bool present = r->PresentLocked();
+  switch (op) {
+    case OpCode::kAdd:
+      r->SetInt((present ? r->IntValueLocked() : 0) + slice.acc);
+      break;
+    case OpCode::kMax:
+      if (slice.has) {
+        r->SetInt(present ? std::max(r->IntValueLocked(), slice.acc) : slice.acc);
+      }
+      break;
+    case OpCode::kMin:
+      if (slice.has) {
+        r->SetInt(present ? std::min(r->IntValueLocked(), slice.acc) : slice.acc);
+      }
+      break;
+    case OpCode::kMult:
+      r->SetInt((present ? r->IntValueLocked() : 1) * slice.acc);
+      break;
+    case OpCode::kOPut:
+      if (slice.has) {
+        r->MutateComplex([&](ComplexValue& cv) {
+          auto& cur = std::get<OrderedTuple>(cv);
+          if (!present || OrderedTuple::Wins(slice.tuple, cur)) {
+            cur = slice.tuple;
+          }
+        });
+      }
+      break;
+    case OpCode::kTopKInsert:
+      r->MutateComplex(
+          [&](ComplexValue& cv) { std::get<TopKSet>(cv).MergeFrom(slice.topk); });
+      break;
+    default:
+      DOPPEL_CHECK(false);
+  }
+  r->UnlockOccSetTid(new_tid);
+}
+
+}  // namespace doppel

@@ -1,0 +1,43 @@
+// Per-core slices (§4): the core-local state a split record's selected operation
+// accumulates into during a split phase, and its O(1)-per-core merge into the global
+// store during reconciliation (Fig. 4, Fig. 5).
+//
+// Requirements from §4: initialization O(1); applying an operation O(1) (O(log K) for
+// top-K); the merged size independent of the number of operations applied.
+#ifndef DOPPEL_SRC_CORE_SLICE_H_
+#define DOPPEL_SRC_CORE_SLICE_H_
+
+#include <cstdint>
+
+#include "src/store/record.h"
+#include "src/txn/op.h"
+#include "src/txn/txn.h"
+
+namespace doppel {
+
+struct Slice {
+  bool dirty = false;   // any committed operation this phase
+  bool has = false;     // Max/Min/OPut: an operand has been absorbed
+  std::int64_t acc = 0; // Add: sum; Max/Min: best; Mult: product
+  std::uint32_t writes = 0;   // write sampling (§5.5)
+  std::uint32_t stashes = 0;  // stash sampling (§5.5)
+  OrderedTuple tuple;         // OPut champion
+  TopKSet topk;               // TopKInsert local set
+
+  Slice() : topk(1) {}
+
+  // Prepares the slice for a split phase with the given selected operation.
+  void Reset(OpCode op, std::size_t topk_k);
+};
+
+// Applies a committed split write to the executing core's slice. No locks, no version
+// checks: slices are invisible to other cores (§5.2).
+void SliceApply(Slice& slice, const PendingWrite& w);
+
+// Merges a dirty slice into the global record under the record's OCC lock, installing
+// `new_tid` (Fig. 4 / Fig. 5 merge functions).
+void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t new_tid);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_SLICE_H_

@@ -1,0 +1,45 @@
+// The split plan: which records are split, for which operation, this split phase.
+//
+// Built by the coordinator at the JOINED -> SPLIT barrier; read by every worker after the
+// barrier release ("Each core reads this list before the start of the next split phase",
+// §5.5). Entries also accumulate the split-phase statistics workers report while
+// reconciling (write sampling and stash sampling) that drive un-split decisions.
+#ifndef DOPPEL_SRC_CORE_SPLIT_PLAN_H_
+#define DOPPEL_SRC_CORE_SPLIT_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "src/store/record.h"
+#include "src/txn/op.h"
+
+namespace doppel {
+
+struct SplitEntry {
+  SplitEntry(Record* r, OpCode o, std::size_t k) : record(r), op(o), topk_k(k) {}
+  SplitEntry(const SplitEntry&) = delete;
+  SplitEntry& operator=(const SplitEntry&) = delete;
+
+  Record* const record;
+  const OpCode op;
+  const std::size_t topk_k;
+
+  // Filled in by workers during reconciliation (atomic adds; read by the coordinator
+  // after all workers acknowledged the SPLIT -> JOINED transition).
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> stashes{0};
+};
+
+struct SplitPlan {
+  std::uint64_t version = 0;
+  // deque: SplitEntry is non-movable (atomics) and entry addresses must stay stable.
+  std::deque<SplitEntry> entries;
+
+  std::size_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_SPLIT_PLAN_H_

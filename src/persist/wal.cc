@@ -1,0 +1,232 @@
+#include "src/persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/dassert.h"
+#include "src/txn/apply.h"
+
+namespace doppel {
+namespace {
+
+// On-disk transaction entry:
+//   u32 payload_len (bytes after this field)
+//   u64 commit_tid
+//   u16 op_count
+//   per op: u8 opcode, u64 key.hi, u64 key.lo, i64 n, i64 order.primary,
+//           i64 order.secondary, u32 core, u32 topk_k, u32 payload_len, bytes payload
+template <typename T>
+void PutRaw(std::vector<char>& out, const T& v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+void PutOp(std::vector<char>& out, const PendingWrite& w) {
+  PutRaw(out, static_cast<std::uint8_t>(w.op));
+  PutRaw(out, w.record->key().hi);
+  PutRaw(out, w.record->key().lo);
+  PutRaw(out, w.n);
+  PutRaw(out, w.order.primary);
+  PutRaw(out, w.order.secondary);
+  PutRaw(out, w.core);
+  PutRaw(out, static_cast<std::uint32_t>(w.record->topk_k()));
+  PutRaw(out, static_cast<std::uint32_t>(w.payload.size()));
+  out.insert(out.end(), w.payload.begin(), w.payload.end());
+}
+
+struct ReplayOp {
+  OpCode op;
+  Key key;
+  std::int64_t n;
+  OrderKey order;
+  std::uint32_t core;
+  std::uint32_t topk_k;
+  std::string payload;
+};
+
+struct ReplayTxn {
+  std::uint64_t tid;
+  std::vector<ReplayOp> ops;
+};
+
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (p_ + sizeof(T) > end_) {
+      return false;
+    }
+    std::memcpy(out, p_, sizeof(T));
+    p_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, std::size_t len) {
+    if (p_ + len > end_) {
+      return false;
+    }
+    out->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, std::uint64_t flush_interval_us)
+    : path_(std::move(path)), flush_interval_us_(flush_interval_us) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  DOPPEL_CHECK(fd_ >= 0);
+  flusher_ = std::thread([this] { FlusherMain(); });
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  stop_.store(true, std::memory_order_release);
+  flusher_.join();
+  Flush();
+  ::close(fd_);
+}
+
+void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
+                           const std::vector<PendingWrite>& writes,
+                           const std::vector<PendingWrite>& split_writes) {
+  const std::size_t n_ops = writes.size() + split_writes.size();
+  if (n_ops == 0) {
+    return;  // read-only transactions need no redo entry
+  }
+  Buffer& buf = buffers_[static_cast<std::size_t>(worker_id) % kBuffers];
+  buf.mu.lock();
+  std::vector<char>& out = buf.bytes;
+  const std::size_t len_pos = out.size();
+  PutRaw(out, std::uint32_t{0});  // patched below
+  PutRaw(out, commit_tid);
+  PutRaw(out, static_cast<std::uint16_t>(n_ops));
+  for (const PendingWrite& w : writes) {
+    PutOp(out, w);
+  }
+  for (const PendingWrite& w : split_writes) {
+    PutOp(out, w);
+  }
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(out.size() - len_pos - sizeof(std::uint32_t));
+  std::memcpy(out.data() + len_pos, &payload_len, sizeof(payload_len));
+  buf.mu.unlock();
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WriteAheadLog::FlushLocked() {
+  std::vector<char> gathered;
+  for (Buffer& buf : buffers_) {
+    buf.mu.lock();
+    if (!buf.bytes.empty()) {
+      gathered.insert(gathered.end(), buf.bytes.begin(), buf.bytes.end());
+      buf.bytes.clear();
+    }
+    buf.mu.unlock();
+  }
+  if (gathered.empty()) {
+    return;
+  }
+  std::size_t off = 0;
+  while (off < gathered.size()) {
+    const ssize_t n = ::write(fd_, gathered.data() + off, gathered.size() - off);
+    DOPPEL_CHECK(n > 0);
+    off += static_cast<std::size_t>(n);
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WriteAheadLog::Flush() {
+  file_mu_.lock();
+  FlushLocked();
+  file_mu_.unlock();
+}
+
+void WriteAheadLog::FlusherMain() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(flush_interval_us_));
+    Flush();
+  }
+}
+
+std::uint64_t WriteAheadLog::Replay(const std::string& path, Store* store) {
+  std::ifstream in(path, std::ios::binary);
+  DOPPEL_CHECK(in.good());
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+  std::vector<ReplayTxn> txns;
+  Cursor outer(data.data(), data.size());
+  while (!outer.AtEnd()) {
+    std::uint32_t len = 0;
+    if (!outer.Read(&len)) {
+      break;  // torn length prefix
+    }
+    ReplayTxn txn;
+    // Bound the entry body; a torn final batch yields a short read and stops replay.
+    std::string body;
+    if (!outer.ReadBytes(&body, len)) {
+      break;
+    }
+    Cursor entry(body.data(), body.size());
+    std::uint16_t n_ops = 0;
+    if (!entry.Read(&txn.tid) || !entry.Read(&n_ops)) {
+      break;
+    }
+    bool ok = true;
+    for (std::uint16_t i = 0; i < n_ops && ok; ++i) {
+      ReplayOp op;
+      std::uint8_t code = 0;
+      std::uint32_t payload_len = 0;
+      ok = entry.Read(&code) && entry.Read(&op.key.hi) && entry.Read(&op.key.lo) &&
+           entry.Read(&op.n) && entry.Read(&op.order.primary) &&
+           entry.Read(&op.order.secondary) && entry.Read(&op.core) &&
+           entry.Read(&op.topk_k) && entry.Read(&payload_len) &&
+           entry.ReadBytes(&op.payload, payload_len);
+      op.op = static_cast<OpCode>(code);
+      if (ok) {
+        txn.ops.push_back(std::move(op));
+      }
+    }
+    if (!ok) {
+      break;
+    }
+    txns.push_back(std::move(txn));
+  }
+
+  // Redo in commit-TID order (TIDs are unique: worker id lives in the low bits).
+  std::sort(txns.begin(), txns.end(),
+            [](const ReplayTxn& a, const ReplayTxn& b) { return a.tid < b.tid; });
+  for (const ReplayTxn& txn : txns) {
+    for (const ReplayOp& op : txn.ops) {
+      Record* r = store->GetOrCreate(op.key, OpRecordType(op.op),
+                                     op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k);
+      PendingWrite w;
+      w.record = r;
+      w.op = op.op;
+      w.n = op.n;
+      w.order = op.order;
+      w.core = op.core;
+      w.payload = op.payload;
+      r->LockOcc();
+      ApplyWriteToRecord(w);
+      r->UnlockOccSetTid(txn.tid);
+    }
+  }
+  return txns.size();
+}
+
+}  // namespace doppel

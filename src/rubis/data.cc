@@ -1,0 +1,104 @@
+#include "src/rubis/data.h"
+
+#include <cstdio>
+
+#include "src/common/hash.h"
+
+namespace doppel {
+namespace rubis {
+namespace {
+
+Config g_active_config;
+
+std::string Format(const char* fmt, std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                   std::int64_t d) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b), static_cast<unsigned long long>(c),
+                static_cast<long long>(d));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t SellerOf(std::uint64_t item, const Config& cfg) {
+  return Mix64(item * 2654435761ULL) % cfg.num_users;
+}
+
+std::uint64_t CategoryOf(std::uint64_t item, const Config& cfg) {
+  return item % cfg.num_categories;
+}
+
+std::uint64_t RegionOf(std::uint64_t item, const Config& cfg) {
+  return item % cfg.num_regions;
+}
+
+std::string UserRow(std::uint64_t user) {
+  return Format("user:%llu:nick%llu:region%llu:%lld", user, user, user % 62, 0);
+}
+
+std::string ItemRow(std::uint64_t item, std::uint64_t seller, std::uint64_t category,
+                    std::uint64_t region) {
+  return Format("item:%llu:seller%llu:cat%llu:%lld", item, seller, category,
+                static_cast<std::int64_t>(region));
+}
+
+std::string BidRow(std::uint64_t item, std::uint64_t bidder, std::int64_t amount) {
+  return Format("bid:%llu:bidder%llu:item%llu:%lld", item, bidder, item, amount);
+}
+
+std::string CommentRow(std::uint64_t item, std::uint64_t from, std::int64_t rating) {
+  return Format("comment:%llu:from%llu:item%llu:%lld", item, from, item, rating);
+}
+
+std::string BuyNowRow(std::uint64_t item, std::uint64_t buyer) {
+  return Format("buynow:%llu:buyer%llu:item%llu:%lld", item, buyer, item, 0);
+}
+
+std::string CategoryRow(std::uint64_t category) {
+  return Format("category:%llu:name%llu:%llu:%lld", category, category, 0, 0);
+}
+
+std::string RegionRow(std::uint64_t region) {
+  return Format("region:%llu:name%llu:%llu:%lld", region, region, 0, 0);
+}
+
+void Populate(Store& store, const Config& cfg) {
+  g_active_config = cfg;
+
+  for (std::uint64_t c = 0; c < cfg.num_categories; ++c) {
+    store.LoadBytes(CategoryKey(c), CategoryRow(c));
+    store.LoadTopK(ItemsByCategoryKey(c), kBrowseIndexK);
+  }
+  for (std::uint64_t r = 0; r < cfg.num_regions; ++r) {
+    store.LoadBytes(RegionKey(r), RegionRow(r));
+    store.LoadTopK(ItemsByRegionKey(r), kBrowseIndexK);
+  }
+  for (std::uint64_t u = 0; u < cfg.num_users; ++u) {
+    store.LoadBytes(UserKey(u), UserRow(u));
+    store.LoadInt(UserRatingKey(u), 0);
+    store.LoadInt(UserNumBoughtKey(u), 0);
+  }
+  for (std::uint64_t i = 0; i < cfg.num_items; ++i) {
+    const std::uint64_t seller = SellerOf(i, cfg);
+    const std::uint64_t category = CategoryOf(i, cfg);
+    const std::uint64_t region = RegionOf(i, cfg);
+    store.LoadBytes(ItemKey(i), ItemRow(i, seller, category, region));
+    store.LoadInt(MaxBidKey(i), 0);
+    store.LoadInt(NumBidsKey(i), 0);
+    store.LoadInt(NumCommentsKey(i), 0);
+    store.LoadOrdered(MaxBidderKey(i), OrderedTuple{});  // order -inf: no bidder yet
+    store.LoadTopK(BidsPerItemIndexKey(i), kBidIndexK);
+    store.LoadTopKItem(ItemsByCategoryKey(category), kBrowseIndexK,
+                       OrderedTuple{OrderKey{static_cast<std::int64_t>(i), 0}, 0,
+                                    std::to_string(i)});
+    store.LoadTopKItem(ItemsByRegionKey(region), kBrowseIndexK,
+                       OrderedTuple{OrderKey{static_cast<std::int64_t>(i), 0}, 0,
+                                    std::to_string(i)});
+  }
+}
+
+const Config& ActiveConfig() { return g_active_config; }
+
+}  // namespace rubis
+}  // namespace doppel

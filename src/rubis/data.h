@@ -1,0 +1,48 @@
+// RUBiS data generation and population.
+#ifndef DOPPEL_SRC_RUBIS_DATA_H_
+#define DOPPEL_SRC_RUBIS_DATA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/rubis/schema.h"
+#include "src/store/store.h"
+
+namespace doppel {
+namespace rubis {
+
+struct Config {
+  // Paper (§8.8): 1M users bidding on 33K auctions; original RUBiS uses 20 categories
+  // and 62 regions. Benchmarks scale these down for CI by default.
+  std::uint64_t num_users = 100000;
+  std::uint64_t num_items = 33000;
+  std::uint64_t num_categories = 20;
+  std::uint64_t num_regions = 62;
+};
+
+// Deterministic attribute derivations shared by population and transactions.
+std::uint64_t SellerOf(std::uint64_t item, const Config& cfg);
+std::uint64_t CategoryOf(std::uint64_t item, const Config& cfg);
+std::uint64_t RegionOf(std::uint64_t item, const Config& cfg);
+
+// Row payload builders (deterministic byte strings).
+std::string UserRow(std::uint64_t user);
+std::string ItemRow(std::uint64_t item, std::uint64_t seller, std::uint64_t category,
+                    std::uint64_t region);
+std::string BidRow(std::uint64_t item, std::uint64_t bidder, std::int64_t amount);
+std::string CommentRow(std::uint64_t item, std::uint64_t from, std::int64_t rating);
+std::string BuyNowRow(std::uint64_t item, std::uint64_t buyer);
+std::string CategoryRow(std::uint64_t category);
+std::string RegionRow(std::uint64_t region);
+
+// Loads all tables and materialized metadata, and publishes `cfg` for the transaction
+// procedures (one active RUBiS configuration per process; see txns.h).
+void Populate(Store& store, const Config& cfg);
+
+// The configuration published by the last Populate call.
+const Config& ActiveConfig();
+
+}  // namespace rubis
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_RUBIS_DATA_H_

@@ -1,0 +1,70 @@
+// RUBiS schema (§7): an auction site modeled after eBay with 7 tables — users, items,
+// categories, regions, bids, buy_now, comments — mapped onto the key/value store.
+//
+// Key layout: Key::Table(table_id, row_id). Materialized auction metadata (the paper's
+// maxBid, maxBidder, numBids, bidsPerItemIndex, userRating, plus the category/region
+// item indexes added in §7) live in their own key namespaces, one row per parent row.
+#ifndef DOPPEL_SRC_RUBIS_SCHEMA_H_
+#define DOPPEL_SRC_RUBIS_SCHEMA_H_
+
+#include <cstdint>
+
+#include "src/store/key.h"
+
+namespace doppel {
+namespace rubis {
+
+// Table ids (namespace 16+ to stay clear of the microbenchmark tables).
+enum TableId : std::uint32_t {
+  kUsers = 16,
+  kItems = 17,
+  kCategories = 18,
+  kRegions = 19,
+  kBids = 20,
+  kBuyNow = 21,
+  kComments = 22,
+  // Materialized metadata.
+  kMaxBid = 23,          // int: highest bid amount per item
+  kMaxBidder = 24,       // ordered tuple: (amount, ts) -> bidder id
+  kNumBids = 25,         // int: bid count per item
+  kBidsPerItem = 26,     // top-K: bid index per item
+  kUserRating = 27,      // int: per-user rating from comments
+  kItemsByCategory = 28, // top-K: item index per category
+  kItemsByRegion = 29,   // top-K: item index per region
+  kNumComments = 30,     // int: comment count per item
+  kUserNumBought = 31,   // int: buy-now purchases per user
+};
+
+inline Key UserKey(std::uint64_t id) { return Key::Table(kUsers, id); }
+inline Key ItemKey(std::uint64_t id) { return Key::Table(kItems, id); }
+inline Key CategoryKey(std::uint64_t id) { return Key::Table(kCategories, id); }
+inline Key RegionKey(std::uint64_t id) { return Key::Table(kRegions, id); }
+inline Key BidKey(std::uint64_t id) { return Key::Table(kBids, id); }
+inline Key BuyNowKey(std::uint64_t id) { return Key::Table(kBuyNow, id); }
+inline Key CommentKey(std::uint64_t id) { return Key::Table(kComments, id); }
+
+inline Key MaxBidKey(std::uint64_t item) { return Key::Table(kMaxBid, item); }
+inline Key MaxBidderKey(std::uint64_t item) { return Key::Table(kMaxBidder, item); }
+inline Key NumBidsKey(std::uint64_t item) { return Key::Table(kNumBids, item); }
+inline Key BidsPerItemIndexKey(std::uint64_t item) { return Key::Table(kBidsPerItem, item); }
+inline Key UserRatingKey(std::uint64_t user) { return Key::Table(kUserRating, user); }
+inline Key ItemsByCategoryKey(std::uint64_t cat) { return Key::Table(kItemsByCategory, cat); }
+inline Key ItemsByRegionKey(std::uint64_t reg) { return Key::Table(kItemsByRegion, reg); }
+inline Key NumCommentsKey(std::uint64_t item) { return Key::Table(kNumComments, item); }
+inline Key UserNumBoughtKey(std::uint64_t user) { return Key::Table(kUserNumBought, user); }
+
+// Row-id allocation for inserted rows (bids, comments, buy_now): ids are sharded by the
+// inserting worker so allocation never contends. id = worker * kShardStride + local++.
+inline constexpr std::uint64_t kShardStride = std::uint64_t{1} << 40;
+inline std::uint64_t ShardedId(int worker, std::uint64_t local) {
+  return static_cast<std::uint64_t>(worker) * kShardStride + local;
+}
+
+// Index capacities (top-K sets used as indexes, §7).
+inline constexpr std::size_t kBidIndexK = 10;
+inline constexpr std::size_t kBrowseIndexK = 20;
+
+}  // namespace rubis
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_RUBIS_SCHEMA_H_

@@ -1,0 +1,165 @@
+#include "src/rubis/txns.h"
+
+#include <cstdlib>
+
+namespace doppel {
+namespace rubis {
+namespace {
+
+// Reads up to `limit` rows referenced by a top-K index snapshot (payloads hold row ids).
+void ReadIndexedRows(Txn& txn, const TopKSet& index, std::uint32_t table,
+                     std::size_t limit) {
+  std::size_t n = 0;
+  for (const OrderedTuple& t : index.items()) {
+    if (n++ == limit) {
+      break;
+    }
+    const std::uint64_t id = std::strtoull(t.payload.c_str(), nullptr, 10);
+    (void)txn.GetBytes(Key::Table(table, id));
+  }
+}
+
+std::int64_t CoarseTimestamp(const TxnArgs& a) {
+  return static_cast<std::int64_t>(a.submit_ns / 1000);
+}
+
+}  // namespace
+
+void ViewItem(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t item = a.k1.lo;
+  (void)txn.GetBytes(a.k1);
+  (void)txn.GetInt(MaxBidKey(item));
+  (void)txn.GetInt(NumBidsKey(item));
+  (void)txn.GetOrdered(MaxBidderKey(item));
+}
+
+void ViewUserInfo(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t user = a.k1.lo;
+  (void)txn.GetBytes(a.k1);
+  (void)txn.GetInt(UserRatingKey(user));
+}
+
+void ViewBidHistory(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t item = a.k1.lo;
+  const auto index = txn.GetTopK(BidsPerItemIndexKey(item), kBidIndexK);
+  if (index.has_value()) {
+    ReadIndexedRows(txn, *index, kBids, 5);
+  }
+}
+
+void SearchItemsByCategory(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t category = a.k1.lo;
+  (void)txn.GetBytes(a.k1);
+  const auto index = txn.GetTopK(ItemsByCategoryKey(category), kBrowseIndexK);
+  if (index.has_value()) {
+    ReadIndexedRows(txn, *index, kItems, 5);
+  }
+}
+
+void SearchItemsByRegion(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t region = a.k1.lo;
+  (void)txn.GetBytes(a.k1);
+  const auto index = txn.GetTopK(ItemsByRegionKey(region), kBrowseIndexK);
+  if (index.has_value()) {
+    ReadIndexedRows(txn, *index, kItems, 5);
+  }
+}
+
+void BrowseCategories(Txn& txn, const TxnArgs& a) {
+  const Config& cfg = ActiveConfig();
+  for (std::uint64_t i = 0; i < 5 && i < cfg.num_categories; ++i) {
+    (void)txn.GetBytes(CategoryKey((a.aux + i) % cfg.num_categories));
+  }
+}
+
+void BrowseRegions(Txn& txn, const TxnArgs& a) {
+  const Config& cfg = ActiveConfig();
+  for (std::uint64_t i = 0; i < 5 && i < cfg.num_regions; ++i) {
+    (void)txn.GetBytes(RegionKey((a.aux + i) % cfg.num_regions));
+  }
+}
+
+void AboutMe(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t user = a.k1.lo;
+  (void)txn.GetBytes(a.k1);
+  (void)txn.GetInt(UserRatingKey(user));
+  (void)txn.GetInt(UserNumBoughtKey(user));
+}
+
+// Fig. 7: the Doppel form. All auction-metadata updates are commutative operations, so
+// every write here can execute against per-core slices when the item is hot.
+void StoreBid(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t item = a.k1.lo;
+  const std::uint64_t bidder = a.aux;
+  const std::int64_t amount = a.n;
+  txn.PutBytes(a.k2, BidRow(item, bidder, amount));
+  txn.Max(MaxBidKey(item), amount);
+  txn.OPut(MaxBidderKey(item), OrderKey{amount, CoarseTimestamp(a)},
+           std::to_string(bidder));
+  txn.Add(NumBidsKey(item), 1);
+  txn.TopKInsert(BidsPerItemIndexKey(item), OrderKey{amount, CoarseTimestamp(a)},
+                 std::to_string(a.k2.lo), kBidIndexK);
+}
+
+// Fig. 6: the original form. Reading maxBid/numBids forces these transactions to
+// execute in joined phases and serialize under contention.
+void StoreBidPlain(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t item = a.k1.lo;
+  const std::uint64_t bidder = a.aux;
+  const std::int64_t amount = a.n;
+  txn.PutBytes(a.k2, BidRow(item, bidder, amount));
+  const std::int64_t highest = txn.GetInt(MaxBidKey(item)).value_or(0);
+  if (amount > highest) {
+    txn.PutInt(MaxBidKey(item), amount);
+    txn.PutInt(MaxBidderPlainKey(item), static_cast<std::int64_t>(bidder));
+  }
+  const std::int64_t num_bids = txn.GetInt(NumBidsKey(item)).value_or(0);
+  txn.PutInt(NumBidsKey(item), num_bids + 1);
+}
+
+void StoreComment(Txn& txn, const TxnArgs& a) {
+  const Config& cfg = ActiveConfig();
+  const std::uint64_t item = a.k1.lo;
+  const std::uint64_t from = a.aux;
+  const std::int64_t rating = a.n;
+  txn.PutBytes(a.k2, CommentRow(item, from, rating));
+  // §7: "we modify StoreComment to use Add on the userRating" of the auction's owner.
+  txn.Add(UserRatingKey(SellerOf(item, cfg)), rating);
+  txn.Add(NumCommentsKey(item), 1);
+}
+
+void StoreItem(Txn& txn, const TxnArgs& a) {
+  const Config& cfg = ActiveConfig();
+  const std::uint64_t item = a.k1.lo;
+  const std::uint64_t seller = a.aux;
+  const std::uint64_t category = CategoryOf(item, cfg);
+  const std::uint64_t region = RegionOf(item, cfg);
+  txn.PutBytes(a.k1, ItemRow(item, seller, category, region));
+  txn.PutInt(MaxBidKey(item), 0);
+  txn.PutInt(NumBidsKey(item), 0);
+  txn.PutInt(NumCommentsKey(item), 0);
+  // §7: "we modify StoreItem to insert new items into top-K set indexes on category and
+  // region". Order: newest first (coarse timestamp).
+  const OrderKey order{CoarseTimestamp(a), static_cast<std::int64_t>(item)};
+  txn.TopKInsert(ItemsByCategoryKey(category), order, std::to_string(item),
+                 kBrowseIndexK);
+  txn.TopKInsert(ItemsByRegionKey(region), order, std::to_string(item), kBrowseIndexK);
+}
+
+void StoreBuyNow(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t item = a.k1.lo;
+  const std::uint64_t buyer = a.aux;
+  (void)txn.GetBytes(a.k1);  // availability check against the item row
+  txn.PutBytes(a.k2, BuyNowRow(item, buyer));
+  txn.Add(UserNumBoughtKey(buyer), 1);
+}
+
+void RegisterUser(Txn& txn, const TxnArgs& a) {
+  const std::uint64_t user = a.k1.lo;
+  txn.PutBytes(a.k1, UserRow(user));
+  txn.PutInt(UserRatingKey(user), 0);
+  txn.PutInt(UserNumBoughtKey(user), 0);
+}
+
+}  // namespace rubis
+}  // namespace doppel

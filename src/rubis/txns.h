@@ -1,0 +1,54 @@
+// RUBiS transaction procedures (§7).
+//
+// The six §7-modified transactions use Doppel operations: StoreBid (Fig. 7: Max + OPut +
+// Add + TopKInsert), StoreComment (Add on userRating), StoreItem (TopKInsert into the
+// category/region indexes), and the three readers of top-K index records. StoreBidPlain
+// is the original Fig. 6 form (explicit read-modify-write), kept for the ablation that
+// shows non-commutative programming forfeits Doppel's parallelism.
+//
+// Argument conventions (TxnArgs):
+//   k1  - primary row key (item/user/category/region key as documented per proc)
+//   k2  - freshly allocated row key for inserts (bid/comment/buy_now/item/user)
+//   n   - amount (bid value, rating)
+//   aux - acting user id (bidder/commenter/buyer) or browse start index
+//   submit_ns - also used as the coarse timestamp for OPut orders (Fig. 7's
+//               GetTimestamp()); stable across retries of the same transaction
+//
+// Procedures derive item attributes (seller, category, region) with the deterministic
+// rules in data.h against rubis::ActiveConfig().
+#ifndef DOPPEL_SRC_RUBIS_TXNS_H_
+#define DOPPEL_SRC_RUBIS_TXNS_H_
+
+#include "src/rubis/data.h"
+#include "src/txn/request.h"
+#include "src/txn/txn.h"
+
+namespace doppel {
+namespace rubis {
+
+// ---- Read-only ----
+void ViewItem(Txn& txn, const TxnArgs& a);             // k1 = ItemKey(item)
+void ViewUserInfo(Txn& txn, const TxnArgs& a);         // k1 = UserKey(user)
+void ViewBidHistory(Txn& txn, const TxnArgs& a);       // k1 = ItemKey(item)
+void SearchItemsByCategory(Txn& txn, const TxnArgs& a);// k1 = CategoryKey(cat)
+void SearchItemsByRegion(Txn& txn, const TxnArgs& a);  // k1 = RegionKey(region)
+void BrowseCategories(Txn& txn, const TxnArgs& a);     // aux = start index
+void BrowseRegions(Txn& txn, const TxnArgs& a);        // aux = start index
+void AboutMe(Txn& txn, const TxnArgs& a);              // k1 = UserKey(user)
+
+// ---- Read-write ----
+void StoreBid(Txn& txn, const TxnArgs& a);        // Fig. 7; k1=ItemKey, k2=BidKey, n=amt, aux=bidder
+void StoreBidPlain(Txn& txn, const TxnArgs& a);   // Fig. 6 form (ablation)
+void StoreComment(Txn& txn, const TxnArgs& a);    // k1=ItemKey, k2=CommentKey, n=rating, aux=from
+void StoreItem(Txn& txn, const TxnArgs& a);       // k1=ItemKey(new), aux=seller
+void StoreBuyNow(Txn& txn, const TxnArgs& a);     // k1=ItemKey, k2=BuyNowKey, aux=buyer
+void RegisterUser(Txn& txn, const TxnArgs& a);    // k1=UserKey(new)
+
+// Plain-form MaxBidder lives in its own int table (type differs from the OPut form).
+inline constexpr std::uint32_t kMaxBidderPlain = 32;
+inline Key MaxBidderPlainKey(std::uint64_t item) { return Key::Table(kMaxBidderPlain, item); }
+
+}  // namespace rubis
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_RUBIS_TXNS_H_

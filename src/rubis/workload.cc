@@ -1,0 +1,177 @@
+#include "src/rubis/workload.h"
+
+#include "src/common/dassert.h"
+#include "src/rubis/txns.h"
+
+namespace doppel {
+namespace rubis {
+namespace {
+
+enum class TxnKind {
+  kViewItem,
+  kSearchCategory,
+  kSearchRegion,
+  kViewUser,
+  kViewBidHistory,
+  kBrowseCategories,
+  kBrowseRegions,
+  kAboutMe,
+  kStoreBid,
+  kStoreComment,
+  kStoreItem,
+  kRegisterUser,
+  kStoreBuyNow,
+};
+
+struct MixEntry {
+  TxnKind kind;
+  std::uint32_t weight;  // percent
+};
+
+// RUBiS Bidding mix: 85% read-only interactions, 15% read-write (§8.8).
+constexpr MixEntry kBiddingMix[] = {
+    {TxnKind::kViewItem, 25},        {TxnKind::kSearchCategory, 20},
+    {TxnKind::kSearchRegion, 10},    {TxnKind::kViewUser, 10},
+    {TxnKind::kViewBidHistory, 8},   {TxnKind::kBrowseCategories, 5},
+    {TxnKind::kBrowseRegions, 3},    {TxnKind::kAboutMe, 4},
+    {TxnKind::kStoreBid, 7},         {TxnKind::kStoreComment, 2},
+    {TxnKind::kStoreItem, 2},        {TxnKind::kRegisterUser, 2},
+    {TxnKind::kStoreBuyNow, 2},
+};
+
+// RUBiS-C: 50% bids; every non-bid transaction scaled down proportionally from the
+// bidding mix (whose non-bid share is 93%).
+constexpr MixEntry kContendedMix[] = {
+    {TxnKind::kStoreBid, 50},        {TxnKind::kViewItem, 14},
+    {TxnKind::kSearchCategory, 11},  {TxnKind::kSearchRegion, 5},
+    {TxnKind::kViewUser, 5},         {TxnKind::kViewBidHistory, 4},
+    {TxnKind::kBrowseCategories, 3}, {TxnKind::kBrowseRegions, 2},
+    {TxnKind::kAboutMe, 2},          {TxnKind::kStoreComment, 1},
+    {TxnKind::kStoreItem, 1},        {TxnKind::kRegisterUser, 1},
+    {TxnKind::kStoreBuyNow, 1},
+};
+
+TxnKind DrawKind(Rng& rng, const MixEntry* mix, std::size_t n) {
+  std::uint64_t roll = rng.NextBounded(100);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (roll < mix[i].weight) {
+      return mix[i].kind;
+    }
+    roll -= mix[i].weight;
+  }
+  return mix[n - 1].kind;
+}
+
+}  // namespace
+
+RubisSource::RubisSource(const WorkloadConfig& cfg, const ZipfianGenerator* zipf,
+                         int worker_id)
+    : cfg_(cfg), zipf_(zipf), worker_id_(worker_id) {
+  if (cfg_.mix == Mix::kContended) {
+    DOPPEL_CHECK(zipf_ != nullptr);
+  }
+}
+
+std::uint64_t RubisSource::PickItem(Worker& w) {
+  return w.rng.NextBounded(cfg_.data.num_items);
+}
+
+TxnRequest RubisSource::Next(Worker& w) {
+  const Config& d = cfg_.data;
+  TxnRequest r;
+  TxnKind kind;
+  if (cfg_.mix == Mix::kBidding) {
+    kind = DrawKind(w.rng, kBiddingMix, std::size(kBiddingMix));
+  } else {
+    kind = DrawKind(w.rng, kContendedMix, std::size(kContendedMix));
+  }
+  switch (kind) {
+    case TxnKind::kViewItem:
+      r.proc = &ViewItem;
+      r.args.tag = kTagRead;
+      r.args.k1 = ItemKey(PickItem(w));
+      break;
+    case TxnKind::kSearchCategory:
+      r.proc = &SearchItemsByCategory;
+      r.args.tag = kTagRead;
+      r.args.k1 = CategoryKey(w.rng.NextBounded(d.num_categories));
+      break;
+    case TxnKind::kSearchRegion:
+      r.proc = &SearchItemsByRegion;
+      r.args.tag = kTagRead;
+      r.args.k1 = RegionKey(w.rng.NextBounded(d.num_regions));
+      break;
+    case TxnKind::kViewUser:
+      r.proc = &ViewUserInfo;
+      r.args.tag = kTagRead;
+      r.args.k1 = UserKey(w.rng.NextBounded(d.num_users));
+      break;
+    case TxnKind::kViewBidHistory:
+      r.proc = &ViewBidHistory;
+      r.args.tag = kTagRead;
+      r.args.k1 = ItemKey(PickItem(w));
+      break;
+    case TxnKind::kBrowseCategories:
+      r.proc = &BrowseCategories;
+      r.args.tag = kTagRead;
+      r.args.aux = static_cast<std::uint32_t>(w.rng.NextBounded(d.num_categories));
+      break;
+    case TxnKind::kBrowseRegions:
+      r.proc = &BrowseRegions;
+      r.args.tag = kTagRead;
+      r.args.aux = static_cast<std::uint32_t>(w.rng.NextBounded(d.num_regions));
+      break;
+    case TxnKind::kAboutMe:
+      r.proc = &AboutMe;
+      r.args.tag = kTagRead;
+      r.args.k1 = UserKey(w.rng.NextBounded(d.num_users));
+      break;
+    case TxnKind::kStoreBid: {
+      r.proc = cfg_.plain_store_bid ? &StoreBidPlain : &StoreBid;
+      r.args.tag = kTagWrite;
+      const std::uint64_t item =
+          cfg_.mix == Mix::kContended ? zipf_->Next(w.rng) : PickItem(w);
+      r.args.k1 = ItemKey(item);
+      r.args.k2 = BidKey(NextRowId());
+      r.args.aux = static_cast<std::uint32_t>(w.rng.NextBounded(d.num_users));
+      r.args.n = 1 + static_cast<std::int64_t>(w.rng.NextBounded(1000000));
+      break;
+    }
+    case TxnKind::kStoreComment:
+      r.proc = &StoreComment;
+      r.args.tag = kTagWrite;
+      r.args.k1 = ItemKey(PickItem(w));
+      r.args.k2 = CommentKey(NextRowId());
+      r.args.aux = static_cast<std::uint32_t>(w.rng.NextBounded(d.num_users));
+      r.args.n = 1 + static_cast<std::int64_t>(w.rng.NextBounded(5));
+      break;
+    case TxnKind::kStoreItem:
+      r.proc = &StoreItem;
+      r.args.tag = kTagWrite;
+      r.args.k1 = ItemKey(d.num_items + NextRowId());
+      r.args.aux = static_cast<std::uint32_t>(w.rng.NextBounded(d.num_users));
+      break;
+    case TxnKind::kRegisterUser:
+      r.proc = &RegisterUser;
+      r.args.tag = kTagWrite;
+      r.args.k1 = UserKey(d.num_users + NextRowId());
+      break;
+    case TxnKind::kStoreBuyNow:
+      r.proc = &StoreBuyNow;
+      r.args.tag = kTagWrite;
+      r.args.k1 = ItemKey(PickItem(w));
+      r.args.k2 = BuyNowKey(NextRowId());
+      r.args.aux = static_cast<std::uint32_t>(w.rng.NextBounded(d.num_users));
+      break;
+  }
+  return r;
+}
+
+SourceFactory MakeRubisFactory(const WorkloadConfig& cfg, const ZipfianGenerator* zipf) {
+  return [cfg, zipf](int worker_id) {
+    return std::make_unique<RubisSource>(cfg, zipf, worker_id);
+  };
+}
+
+}  // namespace rubis
+}  // namespace doppel

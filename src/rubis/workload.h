@@ -1,0 +1,54 @@
+// RUBiS workload mixes (§8.8).
+//
+// RUBiS-B: the RUBiS "Bidding" mix — 15% read-write / 85% read-only transactions,
+// uniform item popularity. RUBiS-C: 50% StoreBid on items chosen with a Zipfian
+// distribution, the remaining transactions in correspondingly reduced RUBiS-B
+// proportions ("approximates very popular auctions nearing their close").
+#ifndef DOPPEL_SRC_RUBIS_WORKLOAD_H_
+#define DOPPEL_SRC_RUBIS_WORKLOAD_H_
+
+#include <memory>
+
+#include "src/common/zipf.h"
+#include "src/core/database.h"
+#include "src/rubis/data.h"
+
+namespace doppel {
+namespace rubis {
+
+enum class Mix {
+  kBidding,     // RUBiS-B
+  kContended,   // RUBiS-C
+};
+
+struct WorkloadConfig {
+  Config data;
+  Mix mix = Mix::kBidding;
+  double alpha = 1.8;            // RUBiS-C item skew
+  bool plain_store_bid = false;  // ablation: use the Fig. 6 StoreBid form
+};
+
+class RubisSource : public TxnSource {
+ public:
+  RubisSource(const WorkloadConfig& cfg, const ZipfianGenerator* zipf, int worker_id);
+
+  TxnRequest Next(Worker& w) override;
+
+ private:
+  std::uint64_t NextRowId() { return ShardedId(worker_id_, next_local_id_++); }
+  std::uint64_t PickItem(Worker& w);
+
+  const WorkloadConfig cfg_;
+  const ZipfianGenerator* zipf_;  // used by RUBiS-C StoreBid item choice
+  const int worker_id_;
+  std::uint64_t next_local_id_ = 1;
+};
+
+// `zipf` must be built over cfg.data.num_items and outlive the sources (may be null for
+// RUBiS-B).
+SourceFactory MakeRubisFactory(const WorkloadConfig& cfg, const ZipfianGenerator* zipf);
+
+}  // namespace rubis
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_RUBIS_WORKLOAD_H_

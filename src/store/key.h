@@ -1,0 +1,50 @@
+// 16-byte database keys.
+//
+// The paper's microbenchmarks use "1M 16-byte keys"; RUBiS needs composite keys
+// (table, row id) plus unique keys for freshly inserted rows. A 2x64-bit POD covers both:
+// `hi` holds a table/namespace tag, `lo` the row id (or any 128-bit value).
+#ifndef DOPPEL_SRC_STORE_KEY_H_
+#define DOPPEL_SRC_STORE_KEY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/hash.h"
+
+namespace doppel {
+
+struct Key {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr Key() = default;
+  constexpr Key(std::uint64_t hi_part, std::uint64_t lo_part) : hi(hi_part), lo(lo_part) {}
+
+  // A key in the default (0) namespace.
+  static constexpr Key FromU64(std::uint64_t v) { return Key(0, v); }
+  // A key in a table namespace (RUBiS tables, LIKE pages vs. users, ...).
+  static constexpr Key Table(std::uint32_t table, std::uint64_t id) {
+    return Key(static_cast<std::uint64_t>(table), id);
+  }
+
+  friend constexpr bool operator==(const Key& a, const Key& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend constexpr bool operator!=(const Key& a, const Key& b) { return !(a == b); }
+  // Total order, used for deterministic lock ordering in commit protocols.
+  friend constexpr bool operator<(const Key& a, const Key& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  std::uint64_t Hash() const { return HashCombine(Mix64(hi), lo); }
+};
+
+static_assert(sizeof(Key) == 16, "paper uses 16-byte keys");
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const { return static_cast<std::size_t>(k.Hash()); }
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_STORE_KEY_H_

@@ -1,0 +1,109 @@
+#include "src/store/record.h"
+
+namespace doppel {
+
+Record::Record(const Key& key, RecordType type, std::size_t topk_k)
+    : key_(key), type_(type) {
+  switch (type) {
+    case RecordType::kInt64:
+      break;
+    case RecordType::kBytes:
+      complex_.emplace<std::string>();
+      break;
+    case RecordType::kOrdered:
+      complex_.emplace<OrderedTuple>();
+      break;
+    case RecordType::kTopK:
+      complex_.emplace<TopKSet>(topk_k);
+      topk_k_ = static_cast<std::uint32_t>(topk_k);
+      break;
+  }
+}
+
+Record::IntSnapshot Record::ReadInt() const {
+  DOPPEL_DCHECK(type_ == RecordType::kInt64);
+  while (true) {
+    const std::uint64_t w1 = tid_word_.load(std::memory_order_acquire);
+    if (IsLocked(w1)) {
+      CpuRelax();
+      continue;
+    }
+    const std::int64_t v = ival_.load(std::memory_order_relaxed);
+    const bool present = present_.load(std::memory_order_relaxed) != 0;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t w2 = tid_word_.load(std::memory_order_relaxed);
+    if (w1 == w2) {
+      return IntSnapshot{present, v, TidOf(w1)};
+    }
+  }
+}
+
+Record::ComplexSnapshot Record::ReadComplex() const {
+  DOPPEL_DCHECK(type_ != RecordType::kInt64);
+  while (true) {
+    const std::uint64_t w1 = tid_word_.load(std::memory_order_acquire);
+    if (IsLocked(w1)) {
+      CpuRelax();
+      continue;
+    }
+    val_lock_.lock();
+    ComplexValue copy = complex_;
+    const bool present = present_.load(std::memory_order_relaxed) != 0;
+    val_lock_.unlock();
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t w2 = tid_word_.load(std::memory_order_relaxed);
+    if (w1 == w2) {
+      return ComplexSnapshot{present, std::move(copy), TidOf(w1)};
+    }
+  }
+}
+
+Record::ValueSnapshot Record::ReadValue() const {
+  if (type_ == RecordType::kInt64) {
+    IntSnapshot s = ReadInt();
+    return ValueSnapshot{s.present, Value{s.value}, s.tid};
+  }
+  ComplexSnapshot s = ReadComplex();
+  ValueSnapshot out;
+  out.present = s.present;
+  out.tid = s.tid;
+  switch (type_) {
+    case RecordType::kBytes:
+      out.value = std::get<std::string>(std::move(s.value));
+      break;
+    case RecordType::kOrdered:
+      out.value = std::get<OrderedTuple>(std::move(s.value));
+      break;
+    default:
+      out.value = std::get<TopKSet>(std::move(s.value));
+      break;
+  }
+  return out;
+}
+
+// The Atomic engine (no concurrency control) treats absent int records as holding 0; the
+// benchmarks that use it pre-load every record, so this only matters for ad-hoc use.
+void Record::AtomicMax(std::int64_t n) {
+  std::int64_t cur = ival_.load(std::memory_order_relaxed);
+  while (cur < n &&
+         !ival_.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+  }
+  present_.store(1, std::memory_order_relaxed);
+}
+
+void Record::AtomicMin(std::int64_t n) {
+  std::int64_t cur = ival_.load(std::memory_order_relaxed);
+  while (cur > n &&
+         !ival_.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+  }
+  present_.store(1, std::memory_order_relaxed);
+}
+
+void Record::AtomicMult(std::int64_t n) {
+  std::int64_t cur = ival_.load(std::memory_order_relaxed);
+  while (!ival_.compare_exchange_weak(cur, cur * n, std::memory_order_relaxed)) {
+  }
+  present_.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace doppel

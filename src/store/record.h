@@ -1,0 +1,191 @@
+// A database record: Silo-style TID word (lock bit + transaction id), a typed value, and
+// Doppel's split marking.
+//
+// Physical access rules:
+//  * int64 values live in a std::atomic and are read with a seqlock (TID word as the
+//    sequence); no lock is taken on the read path.
+//  * complex values (bytes / ordered tuple / top-K) are copied under a tiny per-record
+//    spinlock, with the same seqlock validation for consistency with the TID.
+//  * writers mutate only while holding the OCC lock bit (commit protocols, reconciliation
+//    merges, or the Atomic engine's direct ops).
+//  * the split descriptor (selected operation + slice index) is written by the coordinator
+//    only while all workers are quiesced at a phase barrier; workers read it with relaxed
+//    loads (the barrier's release/acquire pair provides the happens-before edge).
+#ifndef DOPPEL_SRC_STORE_RECORD_H_
+#define DOPPEL_SRC_STORE_RECORD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "src/common/cacheline.h"
+#include "src/common/dassert.h"
+#include "src/common/spinlock.h"
+#include "src/store/key.h"
+#include "src/store/value.h"
+
+namespace doppel {
+
+// Complex (non-int) payload storage; exactly one alternative is ever active, fixed by the
+// record type at creation.
+using ComplexValue = std::variant<std::string, OrderedTuple, TopKSet>;
+
+class Record {
+ public:
+  static constexpr std::uint64_t kLockBit = 1ULL << 63;
+  static constexpr std::uint8_t kNotSplit = 0xff;
+
+  Record(const Key& key, RecordType type, std::size_t topk_k);
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+
+  const Key& key() const { return key_; }
+  RecordType type() const { return type_; }
+  // Capacity of a top-K record (0 for other types); immutable after creation.
+  std::size_t topk_k() const { return topk_k_; }
+
+  // ---- TID word (Silo) ----
+  static bool IsLocked(std::uint64_t word) { return (word & kLockBit) != 0; }
+  static std::uint64_t TidOf(std::uint64_t word) { return word & ~kLockBit; }
+
+  std::uint64_t LoadTidWord() const { return tid_word_.load(std::memory_order_acquire); }
+
+  // Spin until the word is unlocked and return it (readers recording a read-set entry).
+  std::uint64_t StableTid() const {
+    std::uint64_t w = LoadTidWord();
+    while (IsLocked(w)) {
+      CpuRelax();
+      w = LoadTidWord();
+    }
+    return w;
+  }
+
+  // Commit-protocol lock: set the lock bit. TryLock fails immediately if held (OCC aborts
+  // on locked write-set records); Lock spins (reconciliation merges must proceed).
+  bool TryLockOcc() {
+    std::uint64_t w = tid_word_.load(std::memory_order_relaxed);
+    if (IsLocked(w)) {
+      return false;
+    }
+    return tid_word_.compare_exchange_strong(w, w | kLockBit, std::memory_order_acq_rel,
+                                             std::memory_order_relaxed);
+  }
+
+  void LockOcc() {
+    while (!TryLockOcc()) {
+      CpuRelax();
+    }
+  }
+
+  // Release the lock, installing `tid` as the record's new transaction id.
+  void UnlockOccSetTid(std::uint64_t tid) {
+    DOPPEL_DCHECK(IsLocked(tid_word_.load(std::memory_order_relaxed)));
+    DOPPEL_DCHECK((tid & kLockBit) == 0);
+    tid_word_.store(tid, std::memory_order_release);
+  }
+
+  // Release the lock without changing the tid (abort path).
+  void UnlockOcc() {
+    std::uint64_t w = tid_word_.load(std::memory_order_relaxed);
+    DOPPEL_DCHECK(IsLocked(w));
+    tid_word_.store(w & ~kLockBit, std::memory_order_release);
+  }
+
+  // ---- Stable (seqlock) reads ----
+  // Each returns the TID the snapshot corresponds to, plus presence. A record created as a
+  // read placeholder is physically allocated but logically absent until first written.
+
+  struct IntSnapshot {
+    bool present;
+    std::int64_t value;
+    std::uint64_t tid;
+  };
+  IntSnapshot ReadInt() const;
+
+  struct ComplexSnapshot {
+    bool present;
+    ComplexValue value;
+    std::uint64_t tid;
+  };
+  ComplexSnapshot ReadComplex() const;
+
+  // Type-generic snapshot (tests, loading tools).
+  struct ValueSnapshot {
+    bool present;
+    Value value;
+    std::uint64_t tid;
+  };
+  ValueSnapshot ReadValue() const;
+
+  // ---- Writes (caller must hold the OCC lock bit) ----
+  void SetInt(std::int64_t v) {
+    DOPPEL_DCHECK(type_ == RecordType::kInt64);
+    ival_.store(v, std::memory_order_relaxed);
+    present_.store(1, std::memory_order_relaxed);
+  }
+
+  void SetAbsent() { present_.store(0, std::memory_order_relaxed); }
+
+  // Run `fn(ComplexValue&)` under the physical value lock. Presence is set afterwards.
+  template <typename Fn>
+  void MutateComplex(Fn&& fn) {
+    DOPPEL_DCHECK(type_ != RecordType::kInt64);
+    val_lock_.lock();
+    fn(complex_);
+    val_lock_.unlock();
+    present_.store(1, std::memory_order_relaxed);
+  }
+
+  // Presence / raw value peeks for writers that already hold the OCC lock bit (commit
+  // protocols, reconciliation merges).
+  bool PresentLocked() const { return present_.load(std::memory_order_relaxed) != 0; }
+  std::int64_t IntValueLocked() const { return ival_.load(std::memory_order_relaxed); }
+
+  // ---- Lock-free direct ops (Atomic engine; no TID maintenance) ----
+  std::int64_t AtomicLoadInt() const { return ival_.load(std::memory_order_relaxed); }
+  void AtomicAdd(std::int64_t n) {
+    ival_.fetch_add(n, std::memory_order_relaxed);
+    present_.store(1, std::memory_order_relaxed);
+  }
+  void AtomicMax(std::int64_t n);
+  void AtomicMin(std::int64_t n);
+  void AtomicMult(std::int64_t n);
+
+  // ---- Doppel split descriptor ----
+  bool IsSplit() const { return split_op_.load(std::memory_order_relaxed) != kNotSplit; }
+  std::uint8_t split_op() const { return split_op_.load(std::memory_order_relaxed); }
+  std::int32_t slice_index() const { return slice_index_.load(std::memory_order_relaxed); }
+  void MarkSplit(std::uint8_t op, std::int32_t slice_index) {
+    slice_index_.store(slice_index, std::memory_order_relaxed);
+    split_op_.store(op, std::memory_order_relaxed);
+  }
+  void ClearSplit() {
+    split_op_.store(kNotSplit, std::memory_order_relaxed);
+    slice_index_.store(-1, std::memory_order_relaxed);
+  }
+
+  // Intrusive hash chain (owned by RecordMap).
+  std::atomic<Record*> hash_next{nullptr};
+
+  // Long-lived reader/writer lock used only by the 2PL engine (held for transaction
+  // duration, unlike the short OCC lock bit above).
+  RWSpinlock rw;
+
+ private:
+  std::atomic<std::uint64_t> tid_word_{0};
+  std::atomic<std::int64_t> ival_{0};
+  Key key_;
+  mutable Spinlock val_lock_;
+  std::atomic<std::uint8_t> present_{0};
+  RecordType type_;
+  std::atomic<std::uint8_t> split_op_{kNotSplit};
+  std::atomic<std::int32_t> slice_index_{-1};
+  std::uint32_t topk_k_ = 0;
+  ComplexValue complex_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_STORE_RECORD_H_

@@ -1,0 +1,70 @@
+#include "src/store/record_map.h"
+
+#include <bit>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+RecordMap::RecordMap(std::size_t capacity_hint)
+    : buckets_(std::bit_ceil(capacity_hint < 16 ? std::size_t{16} : capacity_hint)),
+      mask_(buckets_.size() - 1),
+      insert_locks_(std::make_unique<Spinlock[]>(kInsertStripes)) {}
+
+RecordMap::~RecordMap() {
+  for (Bucket& b : buckets_) {
+    Record* r = b.head.load(std::memory_order_relaxed);
+    while (r != nullptr) {
+      Record* next = r->hash_next.load(std::memory_order_relaxed);
+      delete r;
+      r = next;
+    }
+  }
+}
+
+Record* RecordMap::Find(const Key& key) const {
+  const Bucket& b = buckets_[BucketIndex(key)];
+  for (Record* r = b.head.load(std::memory_order_acquire); r != nullptr;
+       r = r->hash_next.load(std::memory_order_acquire)) {
+    if (r->key() == key) {
+      return r;
+    }
+  }
+  return nullptr;
+}
+
+Record* RecordMap::GetOrCreate(const Key& key, RecordType type, std::size_t topk_k,
+                               bool* created) {
+  if (Record* r = Find(key)) {
+    if (created != nullptr) {
+      *created = false;
+    }
+    return r;
+  }
+  const std::size_t index = BucketIndex(key);
+  Spinlock& stripe = insert_locks_[index & (kInsertStripes - 1)];
+  stripe.lock();
+  // Re-scan under the stripe lock: a racing inserter may have won.
+  Bucket& b = buckets_[index];
+  for (Record* r = b.head.load(std::memory_order_relaxed); r != nullptr;
+       r = r->hash_next.load(std::memory_order_relaxed)) {
+    if (r->key() == key) {
+      stripe.unlock();
+      if (created != nullptr) {
+        *created = false;
+      }
+      return r;
+    }
+  }
+  auto* rec = new Record(key, type, topk_k);
+  rec->hash_next.store(b.head.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  b.head.store(rec, std::memory_order_release);
+  stripe.unlock();
+  size_.fetch_add(1, std::memory_order_relaxed);
+  if (created != nullptr) {
+    *created = true;
+  }
+  return rec;
+}
+
+}  // namespace doppel

@@ -1,0 +1,70 @@
+// Insert-only concurrent hash map: Key -> Record.
+//
+// The paper's store is "a set of key/value maps ... implemented as hash tables" with
+// per-key locks. Lookups here are lock-free (chained buckets with atomic next pointers;
+// records are never removed or relocated while the map lives), inserts serialize on a
+// striped lock. The bucket array is sized once at construction; the paper pre-allocates
+// all records, and our workloads keep load factor near 1 (inserted RUBiS rows included).
+#ifndef DOPPEL_SRC_STORE_RECORD_MAP_H_
+#define DOPPEL_SRC_STORE_RECORD_MAP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/common/spinlock.h"
+#include "src/store/key.h"
+#include "src/store/record.h"
+
+namespace doppel {
+
+class RecordMap {
+ public:
+  // `capacity_hint` ~ expected number of records; bucket count is the next power of two.
+  explicit RecordMap(std::size_t capacity_hint);
+  ~RecordMap();
+  RecordMap(const RecordMap&) = delete;
+  RecordMap& operator=(const RecordMap&) = delete;
+
+  // Lock-free lookup; nullptr if the key was never inserted.
+  Record* Find(const Key& key) const;
+
+  // Find or insert. When inserting, the record is created with `type` (and `topk_k` for
+  // top-K records) and is logically absent until first written. `created` (optional)
+  // reports whether an insert happened. If the key exists with a different type, the
+  // existing record is returned unchanged (callers CHECK the type).
+  Record* GetOrCreate(const Key& key, RecordType type, std::size_t topk_k = TopKSet::kDefaultK,
+                      bool* created = nullptr);
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  // Visits every record present at call time (concurrent inserts may or may not be seen).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Bucket& b : buckets_) {
+      for (Record* r = b.head.load(std::memory_order_acquire); r != nullptr;
+           r = r->hash_next.load(std::memory_order_acquire)) {
+        fn(*r);
+      }
+    }
+  }
+
+ private:
+  struct Bucket {
+    std::atomic<Record*> head{nullptr};
+  };
+
+  std::size_t BucketIndex(const Key& key) const { return key.Hash() & mask_; }
+
+  std::vector<Bucket> buckets_;
+  std::uint64_t mask_;
+  static constexpr std::size_t kInsertStripes = 1024;
+  std::unique_ptr<Spinlock[]> insert_locks_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_STORE_RECORD_MAP_H_

@@ -1,0 +1,51 @@
+#include "src/store/store.h"
+
+#include <utility>
+
+namespace doppel {
+
+void Store::LoadInt(const Key& key, std::int64_t v) {
+  Record* r = GetOrCreate(key, RecordType::kInt64);
+  r->LockOcc();
+  r->SetInt(v);
+  r->UnlockOccSetTid(kLoadTid);
+}
+
+void Store::LoadBytes(const Key& key, std::string v) {
+  Record* r = GetOrCreate(key, RecordType::kBytes);
+  r->LockOcc();
+  r->MutateComplex([&](ComplexValue& cv) { std::get<std::string>(cv) = std::move(v); });
+  r->UnlockOccSetTid(kLoadTid);
+}
+
+void Store::LoadOrdered(const Key& key, OrderedTuple v) {
+  Record* r = GetOrCreate(key, RecordType::kOrdered);
+  r->LockOcc();
+  r->MutateComplex([&](ComplexValue& cv) { std::get<OrderedTuple>(cv) = std::move(v); });
+  r->UnlockOccSetTid(kLoadTid);
+}
+
+void Store::LoadTopK(const Key& key, std::size_t k) {
+  Record* r = GetOrCreate(key, RecordType::kTopK, k);
+  r->LockOcc();
+  r->MutateComplex([&](ComplexValue&) {});  // mark present, keep empty set
+  r->UnlockOccSetTid(kLoadTid);
+}
+
+void Store::LoadTopKItem(const Key& key, std::size_t k, OrderedTuple t) {
+  Record* r = GetOrCreate(key, RecordType::kTopK, k);
+  r->LockOcc();
+  r->MutateComplex(
+      [&](ComplexValue& cv) { std::get<TopKSet>(cv).Insert(std::move(t)); });
+  r->UnlockOccSetTid(kLoadTid);
+}
+
+Record::ValueSnapshot Store::ReadSnapshot(const Key& key) const {
+  Record* r = map_.Find(key);
+  if (r == nullptr) {
+    return Record::ValueSnapshot{false, Value{std::int64_t{0}}, 0};
+  }
+  return r->ReadValue();
+}
+
+}  // namespace doppel

@@ -1,0 +1,51 @@
+// The shared global store: a concurrent record map plus non-transactional loading helpers
+// used to pre-populate benchmarks ("we pre-allocate all the records", §8.1).
+#ifndef DOPPEL_SRC_STORE_STORE_H_
+#define DOPPEL_SRC_STORE_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/store/record_map.h"
+
+namespace doppel {
+
+class Store {
+ public:
+  explicit Store(std::size_t capacity_hint) : map_(capacity_hint) {}
+
+  RecordMap& map() { return map_; }
+  const RecordMap& map() const { return map_; }
+
+  Record* Find(const Key& key) const { return map_.Find(key); }
+  std::size_t size() const { return map_.size(); }
+
+  // Typed upsert used by engines when a transaction touches a key for the first time.
+  Record* GetOrCreate(const Key& key, RecordType type,
+                      std::size_t topk_k = TopKSet::kDefaultK) {
+    Record* r = map_.GetOrCreate(key, type, topk_k);
+    DOPPEL_CHECK(r->type() == type);
+    return r;
+  }
+
+  // ---- Non-transactional loading (single writer or quiesced store) ----
+  void LoadInt(const Key& key, std::int64_t v);
+  void LoadBytes(const Key& key, std::string v);
+  void LoadOrdered(const Key& key, OrderedTuple v);
+  // Creates an empty top-K record with capacity k.
+  void LoadTopK(const Key& key, std::size_t k);
+  // Inserts one tuple into a top-K record (creating it with capacity k if needed).
+  void LoadTopKItem(const Key& key, std::size_t k, OrderedTuple t);
+
+  // Reads a committed snapshot (any time; used by tests and report code).
+  Record::ValueSnapshot ReadSnapshot(const Key& key) const;
+
+ private:
+  static constexpr std::uint64_t kLoadTid = 2;  // above 0 so loaded != never-written
+
+  RecordMap map_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_STORE_STORE_H_

@@ -1,0 +1,77 @@
+#include "src/store/value.h"
+
+#include <algorithm>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+const char* RecordTypeName(RecordType t) {
+  switch (t) {
+    case RecordType::kInt64:
+      return "int64";
+    case RecordType::kBytes:
+      return "bytes";
+    case RecordType::kOrdered:
+      return "ordered";
+    case RecordType::kTopK:
+      return "topk";
+  }
+  return "?";
+}
+
+TopKSet::TopKSet(std::size_t k) : k_(k) {
+  DOPPEL_CHECK(k >= 1);
+  items_.reserve(k);
+}
+
+bool TopKSet::Insert(const OrderedTuple& t) {
+  // Find the insertion point in the descending (order, core) sequence; check the
+  // duplicate-order rule along the way.
+  auto it = std::lower_bound(items_.begin(), items_.end(), t,
+                             [](const OrderedTuple& a, const OrderedTuple& b) {
+                               return OrderedTuple::Wins(a, b);
+                             });
+  // A tuple with equal order would sit adjacent to `it`: core-descending within an order
+  // means an existing equal-order tuple with a higher core is before `it`, one with a
+  // lower core is exactly at `it`.
+  if (it != items_.begin() && std::prev(it)->order == t.order) {
+    return false;  // existing tuple has same order and higher (or equal) core: keep it
+  }
+  if (it != items_.end() && it->order == t.order) {
+    if (t.core > it->core) {
+      *it = t;  // replace: same order, higher core wins
+      return true;
+    }
+    return false;
+  }
+  if (items_.size() == k_) {
+    if (it == items_.end()) {
+      return false;  // smaller than everything retained
+    }
+    items_.pop_back();
+  }
+  items_.insert(it, t);
+  return true;
+}
+
+void TopKSet::MergeFrom(const TopKSet& other) {
+  for (const OrderedTuple& t : other.items_) {
+    Insert(t);
+  }
+}
+
+RecordType ValueType(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return RecordType::kInt64;
+    case 1:
+      return RecordType::kBytes;
+    case 2:
+      return RecordType::kOrdered;
+    default:
+      return RecordType::kTopK;
+  }
+}
+
+}  // namespace doppel

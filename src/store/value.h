@@ -1,0 +1,106 @@
+// Typed record values: int64, byte string, ordered tuple, top-K set (§3-4 of the paper).
+//
+// "Doppel records have typed values, and each type supports one or more operations."
+// A record's type is fixed when the record is created.
+#ifndef DOPPEL_SRC_STORE_VALUE_H_
+#define DOPPEL_SRC_STORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace doppel {
+
+enum class RecordType : std::uint8_t {
+  kInt64 = 0,   // Get/Put/Add/Max/Min/Mult
+  kBytes = 1,   // Get/Put
+  kOrdered = 2, // Get/OPut (ordered tuple)
+  kTopK = 3,    // Get/TopKInsert (top-K set)
+};
+
+const char* RecordTypeName(RecordType t);
+
+// Lexicographic order component of ordered tuples. The paper allows the order to be
+// "a number (or several numbers in lexicographic order)"; RUBiS uses [amount, timestamp].
+struct OrderKey {
+  std::int64_t primary = 0;
+  std::int64_t secondary = 0;
+
+  static constexpr OrderKey NegInf() {
+    return OrderKey{INT64_MIN, INT64_MIN};
+  }
+
+  friend constexpr bool operator==(const OrderKey& a, const OrderKey& b) {
+    return a.primary == b.primary && a.secondary == b.secondary;
+  }
+  friend constexpr bool operator<(const OrderKey& a, const OrderKey& b) {
+    return a.primary != b.primary ? a.primary < b.primary : a.secondary < b.secondary;
+  }
+  friend constexpr bool operator>(const OrderKey& a, const OrderKey& b) { return b < a; }
+};
+
+// An ordered tuple (o, j, x): order, writing core id, payload. OPut replaces the stored
+// tuple iff (o', j') > (o, j) lexicographically, which makes OPut self-commutative.
+struct OrderedTuple {
+  OrderKey order = OrderKey::NegInf();
+  std::uint32_t core = 0;
+  std::string payload;
+
+  // True if `a` beats `b` under the (order, core id) total order.
+  static bool Wins(const OrderedTuple& a, const OrderedTuple& b) {
+    if (a.order == b.order) {
+      return a.core > b.core;
+    }
+    return b.order < a.order;
+  }
+
+  friend bool operator==(const OrderedTuple& a, const OrderedTuple& b) {
+    return a.order == b.order && a.core == b.core && a.payload == b.payload;
+  }
+};
+
+// A bounded set of ordered tuples holding the K largest orders seen. At most one tuple per
+// order value; on duplicate order the tuple with the highest core ID is kept (paper §4).
+// Stored as a vector sorted descending by (order, core); K is small (indexes, top-k lists).
+class TopKSet {
+ public:
+  explicit TopKSet(std::size_t k = kDefaultK);
+
+  // Inserts (order, core, payload); drops the smallest tuple if the set exceeds K.
+  // Returns true if the set changed.
+  bool Insert(const OrderedTuple& t);
+
+  // Merges `other` into this set: the result is the top-K of the union, with per-order
+  // core-id dedup. Cost O(K), independent of how many inserts produced `other` — the
+  // requirement 4 of §4.
+  void MergeFrom(const TopKSet& other);
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  // Descending by (order, core).
+  const std::vector<OrderedTuple>& items() const { return items_; }
+  // Smallest order currently retained (useful for tests).
+  const OrderedTuple& back() const { return items_.back(); }
+
+  friend bool operator==(const TopKSet& a, const TopKSet& b) {
+    return a.k_ == b.k_ && a.items_ == b.items_;
+  }
+
+  static constexpr std::size_t kDefaultK = 10;
+
+ private:
+  std::size_t k_;
+  std::vector<OrderedTuple> items_;
+};
+
+// A full typed value snapshot; used for loading, snapshots returned to transactions, and
+// tests. (Hot paths use the typed accessors on Record instead.)
+using Value = std::variant<std::int64_t, std::string, OrderedTuple, TopKSet>;
+
+RecordType ValueType(const Value& v);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_STORE_VALUE_H_

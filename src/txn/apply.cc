@@ -1,0 +1,99 @@
+#include "src/txn/apply.h"
+
+#include <utility>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+void ApplyWriteToRecord(const PendingWrite& w) {
+  Record* r = w.record;
+  switch (w.op) {
+    case OpCode::kPutInt:
+      r->SetInt(w.n);
+      break;
+    case OpCode::kAdd:
+      r->SetInt((r->PresentLocked() ? r->IntValueLocked() : 0) + w.n);
+      break;
+    case OpCode::kMax:
+      r->SetInt(r->PresentLocked() ? std::max(r->IntValueLocked(), w.n) : w.n);
+      break;
+    case OpCode::kMin:
+      r->SetInt(r->PresentLocked() ? std::min(r->IntValueLocked(), w.n) : w.n);
+      break;
+    case OpCode::kMult:
+      r->SetInt((r->PresentLocked() ? r->IntValueLocked() : 1) * w.n);
+      break;
+    case OpCode::kPutBytes:
+      r->MutateComplex(
+          [&](ComplexValue& cv) { std::get<std::string>(cv) = w.payload; });
+      break;
+    case OpCode::kOPut: {
+      const bool was_present = r->PresentLocked();
+      r->MutateComplex([&](ComplexValue& cv) {
+        auto& cur = std::get<OrderedTuple>(cv);
+        OrderedTuple next{w.order, w.core, w.payload};
+        if (!was_present || OrderedTuple::Wins(next, cur)) {
+          cur = std::move(next);
+        }
+      });
+      break;
+    }
+    case OpCode::kTopKInsert:
+      r->MutateComplex([&](ComplexValue& cv) {
+        std::get<TopKSet>(cv).Insert(OrderedTuple{w.order, w.core, w.payload});
+      });
+      break;
+    case OpCode::kGet:
+      DOPPEL_CHECK(false);  // reads are never buffered as writes
+      break;
+  }
+}
+
+void ApplyWriteToResult(const PendingWrite& w, ReadResult* res) {
+  switch (w.op) {
+    case OpCode::kPutInt:
+      res->i = w.n;
+      break;
+    case OpCode::kAdd:
+      res->i = (res->present ? res->i : 0) + w.n;
+      break;
+    case OpCode::kMax:
+      res->i = res->present ? std::max(res->i, w.n) : w.n;
+      break;
+    case OpCode::kMin:
+      res->i = res->present ? std::min(res->i, w.n) : w.n;
+      break;
+    case OpCode::kMult:
+      res->i = (res->present ? res->i : 1) * w.n;
+      break;
+    case OpCode::kPutBytes:
+      res->complex = w.payload;
+      break;
+    case OpCode::kOPut: {
+      OrderedTuple next{w.order, w.core, w.payload};
+      if (!res->present) {
+        res->complex = std::move(next);
+      } else {
+        auto& cur = std::get<OrderedTuple>(res->complex);
+        if (OrderedTuple::Wins(next, cur)) {
+          cur = std::move(next);
+        }
+      }
+      break;
+    }
+    case OpCode::kTopKInsert: {
+      if (!res->present) {
+        res->complex = TopKSet();
+      }
+      std::get<TopKSet>(res->complex).Insert(OrderedTuple{w.order, w.core, w.payload});
+      break;
+    }
+    case OpCode::kGet:
+      DOPPEL_CHECK(false);
+      break;
+  }
+  res->present = true;
+}
+
+}  // namespace doppel

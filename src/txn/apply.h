@@ -1,0 +1,36 @@
+// Application of buffered operations, shared by every commit protocol.
+#ifndef DOPPEL_SRC_TXN_APPLY_H_
+#define DOPPEL_SRC_TXN_APPLY_H_
+
+#include "src/txn/txn.h"
+
+namespace doppel {
+
+// Applies `w` to the global record. Caller must hold the record's OCC lock bit.
+// Absent-record semantics: Add treats the record as 0, Mult as 1, Max/Min/OPut install
+// the operand (OPut per the paper: absent records have order -inf).
+void ApplyWriteToRecord(const PendingWrite& w);
+
+// Applies `w` onto an in-memory snapshot (read-own-writes overlay).
+void ApplyWriteToResult(const PendingWrite& w, ReadResult* res);
+
+// True for operations that logically read the record's prior value; under OCC these add
+// the record to the read set so commit-time validation detects conflicting writers, which
+// is exactly the serial-execution behaviour phase reconciliation attacks (§8.2).
+constexpr bool IsReadModifyWrite(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+    case OpCode::kMax:
+    case OpCode::kMin:
+    case OpCode::kMult:
+    case OpCode::kOPut:
+    case OpCode::kTopKInsert:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_APPLY_H_

@@ -1,0 +1,82 @@
+#include "src/txn/atomic_engine.h"
+
+#include <utility>
+
+namespace doppel {
+
+Record* AtomicEngine::Route(Worker& w, const Key& key, RecordType type,
+                            std::size_t topk_k) {
+  (void)w;
+  return store_.GetOrCreate(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+}
+
+void AtomicEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
+  (void)w;
+  (void)txn;
+  if (r->type() == RecordType::kInt64) {
+    const Record::IntSnapshot s = r->ReadInt();
+    out->present = s.present;
+    out->i = s.value;
+    return;
+  }
+  Record::ComplexSnapshot s = r->ReadComplex();
+  out->present = s.present;
+  out->complex = std::move(s.value);
+}
+
+void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
+  (void)w;
+  (void)txn;
+  Record* r = pw.record;
+  switch (pw.op) {
+    case OpCode::kAdd:
+      r->AtomicAdd(pw.n);
+      break;
+    case OpCode::kMax:
+      r->AtomicMax(pw.n);
+      break;
+    case OpCode::kMin:
+      r->AtomicMin(pw.n);
+      break;
+    case OpCode::kMult:
+      r->AtomicMult(pw.n);
+      break;
+    case OpCode::kPutInt:
+      r->SetInt(pw.n);
+      break;
+    case OpCode::kPutBytes:
+      r->MutateComplex(
+          [&](ComplexValue& cv) { std::get<std::string>(cv) = std::move(pw.payload); });
+      break;
+    case OpCode::kOPut:
+      r->MutateComplex([&](ComplexValue& cv) {
+        auto& cur = std::get<OrderedTuple>(cv);
+        OrderedTuple next{pw.order, pw.core, std::move(pw.payload)};
+        // A never-written OrderedTuple holds order -inf, so the first put wins.
+        if (OrderedTuple::Wins(next, cur)) {
+          cur = std::move(next);
+        }
+      });
+      break;
+    case OpCode::kTopKInsert:
+      r->MutateComplex([&](ComplexValue& cv) {
+        std::get<TopKSet>(cv).Insert(OrderedTuple{pw.order, pw.core, std::move(pw.payload)});
+      });
+      break;
+    case OpCode::kGet:
+      break;
+  }
+}
+
+TxnStatus AtomicEngine::Commit(Worker& w, Txn& txn) {
+  (void)w;
+  (void)txn;
+  return TxnStatus::kCommitted;
+}
+
+void AtomicEngine::Abort(Worker& w, Txn& txn) {
+  (void)w;
+  (void)txn;
+}
+
+}  // namespace doppel

@@ -1,0 +1,32 @@
+// The "Atomic" scheme (§8.1-8.2): operations execute with hardware atomic instructions
+// and no other concurrency control. It is an upper bound for locking schemes on
+// single-operation transactions (INCR1/INCRZ); multi-operation transactions are NOT
+// serializable under this engine. Absent int records read as 0.
+#ifndef DOPPEL_SRC_TXN_ATOMIC_ENGINE_H_
+#define DOPPEL_SRC_TXN_ATOMIC_ENGINE_H_
+
+#include "src/store/store.h"
+#include "src/txn/engine.h"
+
+namespace doppel {
+
+class AtomicEngine : public Engine {
+ public:
+  explicit AtomicEngine(Store& store) : store_(store) {}
+
+  const char* name() const override { return "atomic"; }
+
+  Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) override;
+  void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
+  // Applies the operation immediately; nothing is buffered.
+  void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
+  TxnStatus Commit(Worker& w, Txn& txn) override;
+  void Abort(Worker& w, Txn& txn) override;
+
+ private:
+  Store& store_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_ATOMIC_ENGINE_H_

@@ -1,0 +1,69 @@
+// The concurrency-control engine interface.
+//
+// A Txn routes every data access through its engine; the worker loop calls BetweenTxns
+// for phase upkeep and Commit/Abort to finish a transaction. Implementations: OccEngine
+// (Silo-style OCC, §5.1), TwoPLEngine, AtomicEngine (baselines, §8.1), and DoppelEngine
+// (phase reconciliation, §5).
+#ifndef DOPPEL_SRC_TXN_ENGINE_H_
+#define DOPPEL_SRC_TXN_ENGINE_H_
+
+#include <cstddef>
+
+#include "src/store/key.h"
+#include "src/store/record.h"
+#include "src/txn/phase.h"
+#include "src/txn/signals.h"
+#include "src/txn/txn.h"
+#include "src/txn/worker.h"
+
+namespace doppel {
+
+enum class TxnStatus {
+  kCommitted,
+  kConflict,   // lost an OCC validation / lock; retry with backoff
+  kStashed,    // blocked on split data; restart in the next joined phase
+  kUserAbort,  // transaction body aborted; do not retry
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual const char* name() const = 0;
+
+  // Key -> record, creating a logically-absent record of `type` on first access.
+  virtual Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) = 0;
+
+  // Protocol read into `out`. May throw StashSignal (Doppel) or ConflictSignal (2PL).
+  virtual void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) = 0;
+
+  // Protocol write routing. May throw StashSignal or ConflictSignal.
+  virtual void Write(Worker& w, Txn& txn, PendingWrite&& pw) = 0;
+
+  // Commit protocol; returns kCommitted or kConflict (conflict details left in txn).
+  virtual TxnStatus Commit(Worker& w, Txn& txn) = 0;
+
+  // Releases engine resources after a signal or user abort.
+  virtual void Abort(Worker& w, Txn& txn) = 0;
+
+  // Called by the worker loop between transactions (phase transitions; default no-op).
+  virtual void BetweenTxns(Worker& w) { (void)w; }
+
+  virtual Phase CurrentPhase(const Worker& w) const {
+    (void)w;
+    return Phase::kJoined;
+  }
+
+  // Classifier hooks (Doppel).
+  virtual void OnConflict(Worker& w, Txn& txn) {
+    (void)w;
+    (void)txn;
+  }
+  virtual void OnStash(Worker& w, const StashSignal& s) {
+    (void)w;
+    (void)s;
+  }
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_ENGINE_H_

@@ -1,0 +1,149 @@
+#include "src/txn/occ_engine.h"
+
+#include <algorithm>
+
+#include "src/txn/apply.h"
+
+namespace doppel {
+namespace {
+
+// Binary search over the pointer-sorted write set (valid only during commit part 2).
+const PendingWrite* FindInWriteSet(const std::vector<PendingWrite>& ws, const Record* r) {
+  auto it = std::lower_bound(
+      ws.begin(), ws.end(), r,
+      [](const PendingWrite& w, const Record* rec) { return w.record < rec; });
+  return it != ws.end() && it->record == r ? &*it : nullptr;
+}
+
+}  // namespace
+
+Record* OccEngine::Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) {
+  (void)w;
+  return store_.GetOrCreate(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+}
+
+void OccEngine::OccRead(Txn& txn, Record* r, ReadResult* out) {
+  if (r->type() == RecordType::kInt64) {
+    const Record::IntSnapshot s = r->ReadInt();
+    out->present = s.present;
+    out->i = s.value;
+    txn.read_set().push_back(ReadEntry{r, s.tid});
+    return;
+  }
+  Record::ComplexSnapshot s = r->ReadComplex();
+  out->present = s.present;
+  out->complex = std::move(s.value);
+  txn.read_set().push_back(ReadEntry{r, s.tid});
+}
+
+void OccEngine::OccBufferWrite(Txn& txn, PendingWrite&& pw) {
+  // Read-modify-write operations record the TID they logically read so that commit-time
+  // validation serializes them against concurrent writers — the conventional behaviour
+  // whose collapse under contention motivates phase reconciliation.
+  if (IsReadModifyWrite(pw.op)) {
+    txn.read_set().push_back(ReadEntry{pw.record, pw.record->StableTid()});
+  }
+  txn.write_set().push_back(std::move(pw));
+}
+
+void OccEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
+  (void)w;
+  OccRead(txn, r, out);
+}
+
+void OccEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
+  (void)w;
+  OccBufferWrite(txn, std::move(pw));
+}
+
+TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
+  auto& ws = txn.write_set();
+  auto& rs = txn.read_set();
+
+  // Part 1: lock the write set in a global order (record address) to prevent deadlock;
+  // abort immediately if any record is already locked (§8.1: "Doppel and OCC transactions
+  // abort and later retry when they see a locked item").
+  std::stable_sort(ws.begin(), ws.end(), [](const PendingWrite& a, const PendingWrite& b) {
+    return a.record < b.record;
+  });
+  std::uint64_t max_seen = 0;
+  std::size_t locked_end = 0;  // entries [0, locked_end) hold their (deduped) locks
+  Record* prev = nullptr;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    if (ws[i].record == prev) {
+      locked_end = i + 1;
+      continue;
+    }
+    if (!ws[i].record->TryLockOcc()) {
+      txn.conflict_record = ws[i].record;
+      txn.conflict_op = ws[i].op;
+      txn.conflicts.emplace_back(ws[i].record, ws[i].op);
+      // Unlock the prefix we own.
+      Record* p = nullptr;
+      for (std::size_t j = 0; j < locked_end; ++j) {
+        if (ws[j].record != p) {
+          ws[j].record->UnlockOcc();
+          p = ws[j].record;
+        }
+      }
+      return TxnStatus::kConflict;
+    }
+    prev = ws[i].record;
+    locked_end = i + 1;
+    max_seen = std::max(max_seen, Record::TidOf(ws[i].record->LoadTidWord()));
+  }
+
+  for (const ReadEntry& e : rs) {
+    max_seen = std::max(max_seen, e.tid);
+  }
+  const std::uint64_t commit_tid = w.GenerateTid(max_seen);
+
+  // Part 2: validate the read set. On failure the whole set is still scanned so every
+  // conflicting record is reported (the contention classifier needs co-hot records, not
+  // just the first failure).
+  for (const ReadEntry& e : rs) {
+    const std::uint64_t word = e.record->LoadTidWord();
+    const PendingWrite* own = FindInWriteSet(ws, e.record);
+    if (Record::TidOf(word) != e.tid ||
+        (Record::IsLocked(word) && own == nullptr)) {
+      if (txn.conflict_record == nullptr) {
+        txn.conflict_record = e.record;
+        txn.conflict_op = own != nullptr ? own->op : OpCode::kGet;
+      }
+      if (txn.conflicts.size() < 8) {
+        txn.conflicts.emplace_back(e.record,
+                                   own != nullptr ? own->op : OpCode::kGet);
+      }
+    }
+  }
+  if (txn.conflict_record != nullptr) {
+    Record* p = nullptr;
+    for (PendingWrite& pw : ws) {
+      if (pw.record != p) {
+        pw.record->UnlockOcc();
+        p = pw.record;
+      }
+    }
+    return TxnStatus::kConflict;
+  }
+
+  // Part 3: apply and release. Same-record writes are adjacent (stable sort) and applied
+  // in issue order; the record is unlocked after its last buffered write.
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    ApplyWriteToRecord(ws[i]);
+    if (i + 1 == ws.size() || ws[i + 1].record != ws[i].record) {
+      ws[i].record->UnlockOccSetTid(commit_tid);
+    }
+  }
+  return TxnStatus::kCommitted;
+}
+
+TxnStatus OccEngine::Commit(Worker& w, Txn& txn) { return OccCommit(w, txn); }
+
+void OccEngine::Abort(Worker& w, Txn& txn) {
+  // OCC holds no resources during execution.
+  (void)w;
+  (void)txn;
+}
+
+}  // namespace doppel

@@ -1,0 +1,35 @@
+// Silo-style optimistic concurrency control (the paper's OCC baseline and Doppel's
+// joined-phase protocol; Fig. 2).
+#ifndef DOPPEL_SRC_TXN_OCC_ENGINE_H_
+#define DOPPEL_SRC_TXN_OCC_ENGINE_H_
+
+#include "src/store/store.h"
+#include "src/txn/engine.h"
+
+namespace doppel {
+
+class OccEngine : public Engine {
+ public:
+  explicit OccEngine(Store& store) : store_(store) {}
+
+  const char* name() const override { return "occ"; }
+
+  Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) override;
+  void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
+  void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
+  TxnStatus Commit(Worker& w, Txn& txn) override;
+  void Abort(Worker& w, Txn& txn) override;
+
+ protected:
+  // Shared by DoppelEngine: plain-OCC read / write-buffering / commit on the read and
+  // (non-split) write sets of `txn`.
+  void OccRead(Txn& txn, Record* r, ReadResult* out);
+  void OccBufferWrite(Txn& txn, PendingWrite&& pw);
+  TxnStatus OccCommit(Worker& w, Txn& txn);
+
+  Store& store_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_OCC_ENGINE_H_

@@ -1,0 +1,60 @@
+// Operation codes. Each operation accesses exactly one record (§3); multi-record logic is
+// composed in transactions. Splittable operations (§4) commute with themselves and return
+// nothing; only they may execute against per-core slices in a split phase.
+#ifndef DOPPEL_SRC_TXN_OP_H_
+#define DOPPEL_SRC_TXN_OP_H_
+
+#include <cstdint>
+
+#include "src/store/value.h"
+
+namespace doppel {
+
+enum class OpCode : std::uint8_t {
+  kGet = 0,
+  kPutInt = 1,
+  kPutBytes = 2,
+  kAdd = 3,
+  kMax = 4,
+  kMin = 5,
+  kMult = 6,
+  kOPut = 7,
+  kTopKInsert = 8,
+};
+
+inline constexpr int kNumOps = 9;
+
+constexpr bool IsSplittable(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+    case OpCode::kMax:
+    case OpCode::kMin:
+    case OpCode::kMult:
+    case OpCode::kOPut:
+    case OpCode::kTopKInsert:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// The record type an operation requires. kGet adapts to the record's actual type and is
+// handled separately.
+constexpr RecordType OpRecordType(OpCode op) {
+  switch (op) {
+    case OpCode::kPutBytes:
+      return RecordType::kBytes;
+    case OpCode::kOPut:
+      return RecordType::kOrdered;
+    case OpCode::kTopKInsert:
+      return RecordType::kTopK;
+    default:
+      return RecordType::kInt64;
+  }
+}
+
+const char* OpName(OpCode op);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_OP_H_

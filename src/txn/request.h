@@ -1,0 +1,44 @@
+// Transaction requests: a plain function pointer plus POD arguments.
+//
+// Workers generate and execute millions of transactions per second, and aborted or stashed
+// transactions are queued for later retry; keeping requests POD avoids a heap allocation
+// per transaction. (The convenience std::function path used by Database::Execute is built
+// on top of this in src/core/database.h.)
+#ifndef DOPPEL_SRC_TXN_REQUEST_H_
+#define DOPPEL_SRC_TXN_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/store/key.h"
+
+namespace doppel {
+
+class Txn;
+
+// Arguments available to a transaction procedure. Workloads map their parameters onto
+// these fields; anything larger is derived deterministically inside the procedure.
+struct TxnArgs {
+  Key k1;
+  Key k2;
+  std::int64_t n = 0;
+  std::uint32_t aux = 0;
+  std::uint8_t tag = 0;          // workload-defined class (e.g. read vs write)
+  std::uint64_t submit_ns = 0;   // first submission time; latency includes retries/stash
+};
+
+using TxnProc = void (*)(Txn&, const TxnArgs&);
+
+struct TxnRequest {
+  TxnProc proc = nullptr;
+  TxnArgs args;
+};
+
+// Workload tags used by the built-in benchmarks (Table 3 separates read and write
+// transaction latencies).
+inline constexpr std::uint8_t kTagWrite = 0;
+inline constexpr std::uint8_t kTagRead = 1;
+inline constexpr int kNumTags = 4;
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_REQUEST_H_

@@ -1,0 +1,35 @@
+// Control-flow signals thrown out of transaction bodies.
+//
+// Doppel transactions are one-shot procedures; when an access cannot proceed (a read of
+// split data in a split phase, a lock timeout in 2PL) the whole procedure must unwind
+// immediately — exactly what exceptions are for. These are tiny PODs thrown on cold paths
+// only; the commit-time OCC conflict path returns a status instead.
+#ifndef DOPPEL_SRC_TXN_SIGNALS_H_
+#define DOPPEL_SRC_TXN_SIGNALS_H_
+
+#include "src/txn/op.h"
+
+namespace doppel {
+
+class Record;
+
+// The transaction touched split data with an incompatible operation during a split phase;
+// it must be stashed and restarted in the next joined phase (§5.2).
+struct StashSignal {
+  Record* record;
+  OpCode op;
+};
+
+// The transaction lost a conflict at access time (2PL lock timeout / upgrade failure) and
+// should be retried with backoff.
+struct ConflictSignal {
+  Record* record;
+  OpCode op;
+};
+
+// The transaction body requested an abort; it will not be retried.
+struct UserAbortSignal {};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_SIGNALS_H_

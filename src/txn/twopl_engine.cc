@@ -1,0 +1,112 @@
+#include "src/txn/twopl_engine.h"
+
+#include <algorithm>
+
+#include "src/txn/apply.h"
+
+namespace doppel {
+
+TwoPLEngine::TwoPLEngine(Store& store) : TwoPLEngine(store, Limits{}) {}
+
+Record* TwoPLEngine::Route(Worker& w, const Key& key, RecordType type,
+                           std::size_t topk_k) {
+  (void)w;
+  return store_.GetOrCreate(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+}
+
+void TwoPLEngine::EnsureShared(Txn& txn, Record* r) {
+  for (const LockEntry& e : txn.locks()) {
+    if (e.record == r) {
+      return;  // shared or exclusive: either allows reading
+    }
+  }
+  if (!r->rw.try_lock_shared_for(limits_.shared_spin)) {
+    throw ConflictSignal{r, OpCode::kGet};
+  }
+  txn.locks().push_back(LockEntry{r, false});
+}
+
+void TwoPLEngine::EnsureExclusive(Txn& txn, Record* r, OpCode op) {
+  for (LockEntry& e : txn.locks()) {
+    if (e.record == r) {
+      if (e.exclusive) {
+        return;
+      }
+      if (!r->rw.try_upgrade_for(limits_.upgrade_spin)) {
+        throw ConflictSignal{r, op};  // upgrade deadlock (two upgraders) resolves here
+      }
+      e.exclusive = true;
+      return;
+    }
+  }
+  if (!r->rw.try_lock_for(limits_.exclusive_spin)) {
+    throw ConflictSignal{r, op};
+  }
+  txn.locks().push_back(LockEntry{r, true});
+}
+
+void TwoPLEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
+  (void)w;
+  EnsureShared(txn, r);
+  // Holding at least a shared lock: no 2PL writer can be applying, so the snapshot spin
+  // loops never iterate.
+  if (r->type() == RecordType::kInt64) {
+    const Record::IntSnapshot s = r->ReadInt();
+    out->present = s.present;
+    out->i = s.value;
+    return;
+  }
+  Record::ComplexSnapshot s = r->ReadComplex();
+  out->present = s.present;
+  out->complex = std::move(s.value);
+}
+
+void TwoPLEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
+  (void)w;
+  EnsureExclusive(txn, pw.record, pw.op);
+  txn.write_set().push_back(std::move(pw));
+}
+
+TxnStatus TwoPLEngine::Commit(Worker& w, Txn& txn) {
+  auto& ws = txn.write_set();
+  std::stable_sort(ws.begin(), ws.end(), [](const PendingWrite& a, const PendingWrite& b) {
+    return a.record < b.record;
+  });
+  // We hold every write record exclusively: the short OCC lock below cannot contend with
+  // other 2PL transactions; it exists to keep the record's seqlock/TID discipline intact
+  // for external snapshot readers.
+  std::uint64_t max_seen = 0;
+  for (const PendingWrite& pw : ws) {
+    max_seen = std::max(max_seen, Record::TidOf(pw.record->LoadTidWord()));
+  }
+  const std::uint64_t commit_tid = w.GenerateTid(max_seen);
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    if (i == 0 || ws[i].record != ws[i - 1].record) {
+      ws[i].record->LockOcc();
+    }
+    ApplyWriteToRecord(ws[i]);
+    if (i + 1 == ws.size() || ws[i + 1].record != ws[i].record) {
+      ws[i].record->UnlockOccSetTid(commit_tid);
+    }
+  }
+  ReleaseAll(txn);
+  return TxnStatus::kCommitted;
+}
+
+void TwoPLEngine::Abort(Worker& w, Txn& txn) {
+  (void)w;
+  ReleaseAll(txn);
+}
+
+void TwoPLEngine::ReleaseAll(Txn& txn) {
+  for (const LockEntry& e : txn.locks()) {
+    if (e.exclusive) {
+      e.record->rw.unlock();
+    } else {
+      e.record->rw.unlock_shared();
+    }
+  }
+  txn.locks().clear();
+}
+
+}  // namespace doppel

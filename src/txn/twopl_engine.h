@@ -1,0 +1,45 @@
+// Two-phase locking baseline (§8.1).
+//
+// Per-record reader/writer spinlocks held until commit. The paper's 2PL (Go RWMutex)
+// blocks indefinitely and never aborts; its workloads cannot deadlock. Ours spins with a
+// bound and aborts + retries on timeout, which behaves identically on those workloads but
+// also recovers from genuine multi-key deadlocks (see tests/txn_twopl_test.cc).
+#ifndef DOPPEL_SRC_TXN_TWOPL_ENGINE_H_
+#define DOPPEL_SRC_TXN_TWOPL_ENGINE_H_
+
+#include "src/store/store.h"
+#include "src/txn/engine.h"
+
+namespace doppel {
+
+class TwoPLEngine : public Engine {
+ public:
+  struct Limits {
+    std::uint32_t shared_spin = 1u << 20;
+    std::uint32_t exclusive_spin = 1u << 20;
+    std::uint32_t upgrade_spin = 1u << 16;
+  };
+
+  explicit TwoPLEngine(Store& store);
+  TwoPLEngine(Store& store, Limits limits) : store_(store), limits_(limits) {}
+
+  const char* name() const override { return "2pl"; }
+
+  Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) override;
+  void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
+  void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
+  TxnStatus Commit(Worker& w, Txn& txn) override;
+  void Abort(Worker& w, Txn& txn) override;
+
+ private:
+  void EnsureShared(Txn& txn, Record* r);
+  void EnsureExclusive(Txn& txn, Record* r, OpCode op);
+  static void ReleaseAll(Txn& txn);
+
+  Store& store_;
+  Limits limits_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_TWOPL_ENGINE_H_

@@ -1,0 +1,160 @@
+#include "src/txn/txn.h"
+
+#include <utility>
+
+#include "src/common/dassert.h"
+#include "src/txn/apply.h"
+#include "src/txn/engine.h"
+#include "src/txn/signals.h"
+#include "src/txn/worker.h"
+
+namespace doppel {
+
+const char* OpName(OpCode op) {
+  switch (op) {
+    case OpCode::kGet:
+      return "Get";
+    case OpCode::kPutInt:
+      return "PutInt";
+    case OpCode::kPutBytes:
+      return "PutBytes";
+    case OpCode::kAdd:
+      return "Add";
+    case OpCode::kMax:
+      return "Max";
+    case OpCode::kMin:
+      return "Min";
+    case OpCode::kMult:
+      return "Mult";
+    case OpCode::kOPut:
+      return "OPut";
+    case OpCode::kTopKInsert:
+      return "TopKInsert";
+  }
+  return "?";
+}
+
+int Txn::worker_id() const { return worker_->id; }
+
+Rng& Txn::rng() { return worker_->rng; }
+
+void Txn::OverlayPending(Record* r, ReadResult* res) const {
+  for (const PendingWrite& w : write_set_) {
+    if (w.record == r) {
+      ApplyWriteToResult(w, res);
+    }
+  }
+}
+
+std::optional<std::int64_t> Txn::GetInt(const Key& key) {
+  if (stash_doomed_) {
+    return std::nullopt;
+  }
+  Record* r = engine_->Route(*worker_, key, RecordType::kInt64, 0);
+  DOPPEL_CHECK(r->type() == RecordType::kInt64);
+  ReadResult res;
+  engine_->Read(*worker_, *this, r, &res);
+  OverlayPending(r, &res);
+  if (!res.present) {
+    return std::nullopt;
+  }
+  return res.i;
+}
+
+std::optional<std::string> Txn::GetBytes(const Key& key) {
+  if (stash_doomed_) {
+    return std::nullopt;
+  }
+  Record* r = engine_->Route(*worker_, key, RecordType::kBytes, 0);
+  DOPPEL_CHECK(r->type() == RecordType::kBytes);
+  ReadResult res;
+  engine_->Read(*worker_, *this, r, &res);
+  OverlayPending(r, &res);
+  if (!res.present) {
+    return std::nullopt;
+  }
+  return std::get<std::string>(std::move(res.complex));
+}
+
+std::optional<OrderedTuple> Txn::GetOrdered(const Key& key) {
+  if (stash_doomed_) {
+    return std::nullopt;
+  }
+  Record* r = engine_->Route(*worker_, key, RecordType::kOrdered, 0);
+  DOPPEL_CHECK(r->type() == RecordType::kOrdered);
+  ReadResult res;
+  engine_->Read(*worker_, *this, r, &res);
+  OverlayPending(r, &res);
+  if (!res.present) {
+    return std::nullopt;
+  }
+  return std::get<OrderedTuple>(std::move(res.complex));
+}
+
+std::optional<TopKSet> Txn::GetTopK(const Key& key, std::size_t k) {
+  if (stash_doomed_) {
+    return std::nullopt;
+  }
+  Record* r = engine_->Route(*worker_, key, RecordType::kTopK, k);
+  DOPPEL_CHECK(r->type() == RecordType::kTopK);
+  ReadResult res;
+  engine_->Read(*worker_, *this, r, &res);
+  OverlayPending(r, &res);
+  if (!res.present) {
+    return std::nullopt;
+  }
+  return std::get<TopKSet>(std::move(res.complex));
+}
+
+void Txn::IssueWrite(const Key& key, OpCode op, std::int64_t n, OrderKey order,
+                     std::string payload, std::size_t topk_k) {
+  if (stash_doomed_) {
+    return;  // the transaction will be stashed; all effects are discarded
+  }
+  Record* r = engine_->Route(*worker_, key, OpRecordType(op), topk_k);
+  DOPPEL_CHECK(r->type() == OpRecordType(op));
+  PendingWrite w;
+  w.record = r;
+  w.op = op;
+  w.n = n;
+  w.order = order;
+  w.core = static_cast<std::uint32_t>(worker_->id);
+  w.payload = std::move(payload);
+  engine_->Write(*worker_, *this, std::move(w));
+}
+
+void Txn::PutInt(const Key& key, std::int64_t v) {
+  IssueWrite(key, OpCode::kPutInt, v, OrderKey{}, {}, 0);
+}
+
+void Txn::PutBytes(const Key& key, std::string v) {
+  IssueWrite(key, OpCode::kPutBytes, 0, OrderKey{}, std::move(v), 0);
+}
+
+void Txn::Add(const Key& key, std::int64_t n) {
+  IssueWrite(key, OpCode::kAdd, n, OrderKey{}, {}, 0);
+}
+
+void Txn::Max(const Key& key, std::int64_t n) {
+  IssueWrite(key, OpCode::kMax, n, OrderKey{}, {}, 0);
+}
+
+void Txn::Min(const Key& key, std::int64_t n) {
+  IssueWrite(key, OpCode::kMin, n, OrderKey{}, {}, 0);
+}
+
+void Txn::Mult(const Key& key, std::int64_t n) {
+  IssueWrite(key, OpCode::kMult, n, OrderKey{}, {}, 0);
+}
+
+void Txn::OPut(const Key& key, OrderKey order, std::string payload) {
+  IssueWrite(key, OpCode::kOPut, 0, order, std::move(payload), 0);
+}
+
+void Txn::TopKInsert(const Key& key, OrderKey order, std::string payload, std::size_t k) {
+  IssueWrite(key, OpCode::kTopKInsert, 0, order, std::move(payload), k);
+}
+
+void Txn::UserAbort() { throw UserAbortSignal{}; }
+
+}  // namespace doppel

@@ -1,0 +1,156 @@
+// The transaction context and user-facing access API.
+//
+// Transaction bodies are written against this class with no knowledge of reconciled vs.
+// split data, per-core slices, or phases (§6): the engine behind it routes each access.
+// All writes are buffered (into the write set or, for split data, the split-write set) and
+// applied at commit by the engine's protocol.
+#ifndef DOPPEL_SRC_TXN_TXN_H_
+#define DOPPEL_SRC_TXN_TXN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/key.h"
+#include "src/store/record.h"
+#include "src/store/value.h"
+#include "src/txn/op.h"
+
+namespace doppel {
+
+class Engine;
+class Worker;
+
+// A read-set entry: the TID the record had when this transaction read it (Fig. 2).
+struct ReadEntry {
+  Record* record;
+  std::uint64_t tid;
+};
+
+// A buffered write. `n` carries int operands; `order`/`payload`/`core` carry tuple and
+// top-K operands. `core` is the writing worker's id (the paper's core ID component).
+struct PendingWrite {
+  Record* record = nullptr;
+  OpCode op = OpCode::kGet;
+  std::int64_t n = 0;
+  OrderKey order;
+  std::uint32_t core = 0;
+  std::string payload;
+};
+
+// A typed snapshot produced by an engine read.
+struct ReadResult {
+  bool present = false;
+  std::int64_t i = 0;
+  ComplexValue complex;
+};
+
+// A 2PL lock-set entry (unused by the other engines).
+struct LockEntry {
+  Record* record;
+  bool exclusive;
+};
+
+class Txn {
+ public:
+  Txn() = default;
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  // ---- User API ----
+  // Reads return std::nullopt for logically-absent records. Every accessor observes the
+  // transaction's own buffered writes.
+  std::optional<std::int64_t> GetInt(const Key& key);
+  std::optional<std::string> GetBytes(const Key& key);
+  std::optional<OrderedTuple> GetOrdered(const Key& key);
+  std::optional<TopKSet> GetTopK(const Key& key, std::size_t k = TopKSet::kDefaultK);
+
+  void PutInt(const Key& key, std::int64_t v);
+  void PutBytes(const Key& key, std::string v);
+
+  // Splittable operations (§4). They return nothing by design.
+  void Add(const Key& key, std::int64_t n);
+  void Max(const Key& key, std::int64_t n);
+  void Min(const Key& key, std::int64_t n);
+  void Mult(const Key& key, std::int64_t n);
+  void OPut(const Key& key, OrderKey order, std::string payload);
+  void TopKInsert(const Key& key, OrderKey order, std::string payload,
+                  std::size_t k = TopKSet::kDefaultK);
+
+  // Aborts the transaction; it will not be retried.
+  [[noreturn]] void UserAbort();
+
+  // Identity of the executing worker (also the OPut/TopKInsert core-ID component).
+  int worker_id() const;
+  // Worker-local RNG, usable for in-transaction payload generation.
+  class Rng& rng();
+
+  // ---- Engine API ----
+  void Reset(Engine* engine, Worker* worker) {
+    engine_ = engine;
+    worker_ = worker;
+    read_set_.clear();
+    write_set_.clear();
+    split_writes_.clear();
+    locks_.clear();
+    conflict_record = nullptr;
+    conflict_op = OpCode::kGet;
+    conflicts.clear();
+    stash_doomed_ = false;
+    stash_record_ = nullptr;
+    stash_op_ = OpCode::kGet;
+  }
+
+  std::vector<ReadEntry>& read_set() { return read_set_; }
+  std::vector<PendingWrite>& write_set() { return write_set_; }
+  std::vector<PendingWrite>& split_writes() { return split_writes_; }
+  std::vector<LockEntry>& locks() { return locks_; }
+  Worker& worker() { return *worker_; }
+  Engine& engine() { return *engine_; }
+
+  // Set by commit protocols when the transaction loses a conflict; fed to the classifier.
+  // `conflicts` lists every record whose validation failed (a transaction touching
+  // several co-hot records — e.g. RUBiS's maxBid/numBids/bidsPerItem — must charge all of
+  // them, or the ones behind the first failure are never detected as contended).
+  Record* conflict_record = nullptr;
+  OpCode conflict_op = OpCode::kGet;
+  std::vector<std::pair<Record*, OpCode>> conflicts;
+
+  // ---- Stash poisoning (split-phase blocking, §5.2) ----
+  // A transaction that touches split data incompatibly is doomed: it will be stashed and
+  // restarted in the next joined phase. Doomed execution continues without side effects —
+  // reads return nullopt, writes are dropped — instead of unwinding via an exception;
+  // with tens of thousands of stashes per second the unwinder (which serializes across
+  // threads) would otherwise dominate split-phase cost.
+  void MarkStash(Record* r, OpCode op) {
+    if (!stash_doomed_) {
+      stash_doomed_ = true;
+      stash_record_ = r;
+      stash_op_ = op;
+    }
+  }
+  bool stash_doomed() const { return stash_doomed_; }
+  Record* stash_record() const { return stash_record_; }
+  OpCode stash_op() const { return stash_op_; }
+
+ private:
+  void IssueWrite(const Key& key, OpCode op, std::int64_t n, OrderKey order,
+                  std::string payload, std::size_t topk_k);
+  // Applies this transaction's buffered writes for `r` on top of a fresh snapshot.
+  void OverlayPending(Record* r, ReadResult* res) const;
+
+  Engine* engine_ = nullptr;
+  Worker* worker_ = nullptr;
+  std::vector<ReadEntry> read_set_;
+  std::vector<PendingWrite> write_set_;
+  std::vector<PendingWrite> split_writes_;
+  std::vector<LockEntry> locks_;
+  bool stash_doomed_ = false;
+  Record* stash_record_ = nullptr;
+  OpCode stash_op_ = OpCode::kGet;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_TXN_H_

@@ -1,0 +1,100 @@
+// Per-worker state. One worker runs per core (§3): it generates transactions, executes
+// them to completion, retries aborted ones with exponential backoff, stashes transactions
+// blocked on split data, and participates in phase-change barriers.
+#ifndef DOPPEL_SRC_TXN_WORKER_H_
+#define DOPPEL_SRC_TXN_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/cacheline.h"
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/txn/phase.h"
+#include "src/txn/request.h"
+#include "src/txn/txn.h"
+
+namespace doppel {
+
+// Completion ticket for Database::Execute (the std::function convenience path).
+struct SubmitTicket {
+  std::function<void(Txn&)> fn;
+  std::atomic<int> state{0};  // 0 = pending, 1 = committed, 2 = user-aborted
+  std::atomic<std::uint32_t> attempts{0};
+};
+
+// A transaction waiting in a retry or stash queue: either a POD request or a ticket.
+struct PendingTxn {
+  TxnRequest req;
+  std::shared_ptr<SubmitTicket> ticket;
+  std::uint32_t attempts = 0;
+};
+
+struct RetryItem {
+  std::uint64_t due_ns;
+  PendingTxn txn;
+  friend bool operator<(const RetryItem& a, const RetryItem& b) {
+    return a.due_ns > b.due_ns;  // min-heap under std::push_heap
+  }
+};
+
+// Engine-specific per-worker extension (Doppel hangs slices and samplers here).
+struct WorkerExt {
+  virtual ~WorkerExt() = default;
+};
+
+class Worker {
+ public:
+  Worker(int id, std::uint64_t seed) : id(id), rng(seed) {}
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  const int id;
+  Rng rng;
+  Txn txn;  // reused across transactions to avoid per-transaction allocation
+
+  // ---- Silo TID generation (§5.1): per-core, no global coordination ----
+  std::uint64_t last_tid = 2;
+  static constexpr int kWorkerTidBits = 8;
+  std::uint64_t GenerateTid(std::uint64_t max_seen) {
+    const std::uint64_t base = last_tid > max_seen ? last_tid : max_seen;
+    const std::uint64_t tid = (((base >> kWorkerTidBits) + 1) << kWorkerTidBits) |
+                              static_cast<std::uint64_t>(id);
+    last_tid = tid;
+    return tid;
+  }
+
+  // ---- Metrics (owner-written; aggregated after a run) ----
+  std::uint64_t committed = 0;
+  std::uint64_t committed_split_phase = 0;  // committed while in a split phase
+  std::uint64_t conflicts = 0;
+  std::uint64_t stash_events = 0;
+  std::uint64_t user_aborts = 0;
+  std::uint64_t committed_by_tag[kNumTags] = {};
+  LatencyHistogram latency_by_tag[kNumTags];
+  // Readable while running (throughput-over-time series, Fig. 10).
+  PaddedCounter shared_commits;
+
+  // ---- Queues ----
+  std::vector<RetryItem> retry_heap;     // std::push_heap/pop_heap by due time
+  std::deque<PendingTxn> stash;          // split-blocked; drained in joined phases
+
+  bool HasDueRetry(std::uint64_t now_ns) const {
+    return !retry_heap.empty() && retry_heap.front().due_ns <= now_ns;
+  }
+
+  // ---- Phase machinery (Doppel; inert for other engines) ----
+  Phase phase = Phase::kJoined;
+  std::uint64_t seen_word = 0;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> acked_word{0};
+
+  std::unique_ptr<WorkerExt> ext;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_WORKER_H_

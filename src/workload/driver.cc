@@ -1,0 +1,66 @@
+#include "src/workload/driver.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/timing.h"
+
+namespace doppel {
+
+RunMetrics RunWorkload(Database& db, SourceFactory factory, std::uint64_t measure_ms,
+                       std::uint64_t warmup_ms) {
+  db.Start(std::move(factory));
+  std::this_thread::sleep_for(std::chrono::milliseconds(warmup_ms));
+
+  const std::uint64_t commits_before = db.SampleTotalCommits();
+  Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(measure_ms));
+  const std::uint64_t commits_after = db.SampleTotalCommits();
+  const double seconds = clock.ElapsedSeconds();
+
+  db.Stop();
+
+  RunMetrics m;
+  m.seconds = seconds;
+  m.committed = commits_after - commits_before;
+  m.throughput = static_cast<double>(m.committed) / seconds;
+  m.stats = db.CollectStats();
+  m.split_records = db.LastPlanSize();
+  return m;
+}
+
+RunMetrics RunWorkloadTimeSeries(Database& db, SourceFactory factory,
+                                 std::uint64_t measure_ms, std::uint64_t sample_ms,
+                                 TimeSeries* series,
+                                 const std::function<void(std::uint64_t ms)>& on_tick) {
+  db.Start(std::move(factory));
+
+  const std::uint64_t start_ns = NowNanos();
+  std::uint64_t prev_commits = db.SampleTotalCommits();
+  std::uint64_t elapsed_ms = 0;
+  while (elapsed_ms < measure_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sample_ms));
+    elapsed_ms = (NowNanos() - start_ns) / 1000000;
+    const std::uint64_t commits = db.SampleTotalCommits();
+    series->seconds.push_back(static_cast<double>(NowNanos() - start_ns) * 1e-9);
+    series->throughput.push_back(static_cast<double>(commits - prev_commits) /
+                                 (static_cast<double>(sample_ms) * 1e-3));
+    prev_commits = commits;
+    if (on_tick) {
+      on_tick(elapsed_ms);
+    }
+  }
+  const std::uint64_t total = db.SampleTotalCommits();
+  const double seconds = static_cast<double>(NowNanos() - start_ns) * 1e-9;
+  db.Stop();
+
+  RunMetrics m;
+  m.seconds = seconds;
+  m.committed = total;
+  m.throughput = static_cast<double>(total) / seconds;
+  m.stats = db.CollectStats();
+  m.split_records = db.LastPlanSize();
+  return m;
+}
+
+}  // namespace doppel

@@ -1,0 +1,42 @@
+// Closed-loop benchmark driver (§8.1): runs a workload against a Database for a fixed
+// duration and reports throughput (committed transactions / elapsed) and latency stats.
+// "Each point is the mean of three consecutive runs, with error bars showing min and max."
+#ifndef DOPPEL_SRC_WORKLOAD_DRIVER_H_
+#define DOPPEL_SRC_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/core/database.h"
+
+namespace doppel {
+
+struct RunMetrics {
+  double seconds = 0.0;
+  std::uint64_t committed = 0;
+  double throughput = 0.0;  // txns/sec
+  Database::Stats stats;    // exact post-stop aggregation (includes warmup)
+  std::size_t split_records = 0;
+  std::uint64_t phase_cycles = 0;
+};
+
+// Starts `db` with `factory`, warms up, measures for `measure_ms`, stops, aggregates.
+// The database must be freshly constructed (Start/Stop are one-shot).
+RunMetrics RunWorkload(Database& db, SourceFactory factory, std::uint64_t measure_ms,
+                       std::uint64_t warmup_ms = 100);
+
+// Like RunWorkload but samples cumulative commits every `sample_ms` (Fig. 10). The
+// returned series holds throughput (txns/sec) per sample interval.
+struct TimeSeries {
+  std::vector<double> seconds;
+  std::vector<double> throughput;
+};
+RunMetrics RunWorkloadTimeSeries(Database& db, SourceFactory factory,
+                                 std::uint64_t measure_ms, std::uint64_t sample_ms,
+                                 TimeSeries* series,
+                                 const std::function<void(std::uint64_t ms)>& on_tick);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_WORKLOAD_DRIVER_H_

@@ -1,0 +1,51 @@
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+void IncrProc(Txn& txn, const TxnArgs& args) { txn.Add(args.k1, 1); }
+
+}  // namespace
+
+void PopulateIncr(Store& store, std::uint64_t num_keys) {
+  for (std::uint64_t i = 0; i < num_keys; ++i) {
+    store.LoadInt(IncrKey(i), 0);
+  }
+}
+
+TxnRequest Incr1Source::Next(Worker& w) {
+  TxnRequest r;
+  r.proc = &IncrProc;
+  r.args.tag = kTagWrite;
+  const std::uint64_t hot = hot_index_->load(std::memory_order_relaxed);
+  if (w.rng.Chance(hot_pct_)) {
+    r.args.k1 = IncrKey(hot);
+  } else {
+    // Uniform over the non-hot keys.
+    std::uint64_t i = w.rng.NextBounded(num_keys_ - 1);
+    if (i >= hot) {
+      i++;
+    }
+    r.args.k1 = IncrKey(i);
+  }
+  return r;
+}
+
+TxnRequest IncrZSource::Next(Worker& w) {
+  TxnRequest r;
+  r.proc = &IncrProc;
+  r.args.tag = kTagWrite;
+  r.args.k1 = IncrKey(zipf_->Next(w.rng));
+  return r;
+}
+
+SourceFactory MakeIncr1Factory(std::uint64_t num_keys, std::uint32_t hot_pct,
+                               const std::atomic<std::uint64_t>* hot_index) {
+  return [=](int) { return std::make_unique<Incr1Source>(num_keys, hot_pct, hot_index); };
+}
+
+SourceFactory MakeIncrZFactory(const ZipfianGenerator* zipf) {
+  return [=](int) { return std::make_unique<IncrZSource>(zipf); };
+}
+
+}  // namespace doppel

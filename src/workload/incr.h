@@ -1,0 +1,60 @@
+// INCR1 and INCRZ microbenchmark workloads (§8.2-8.4).
+//
+// INCR1: "There are 1M 16-byte keys, and each transaction increments the value of a
+// single key. There is a single popular key and we vary the percentage of transactions
+// which increment that key."
+//
+// INCRZ: "Each transaction increments the value of one key, chosen with a Zipfian
+// distribution of popularity."
+#ifndef DOPPEL_SRC_WORKLOAD_INCR_H_
+#define DOPPEL_SRC_WORKLOAD_INCR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/zipf.h"
+#include "src/core/database.h"
+
+namespace doppel {
+
+// Key layout shared by the INCR benchmarks: table 0, ids [0, num_keys).
+inline Key IncrKey(std::uint64_t i) { return Key::Table(0, i); }
+
+// Pre-creates all records with value 0 ("we pre-allocate all the records", §8.1).
+void PopulateIncr(Store& store, std::uint64_t num_keys);
+
+class Incr1Source : public TxnSource {
+ public:
+  // `hot_index` may be shared across workers and rotated while running (Fig. 10).
+  Incr1Source(std::uint64_t num_keys, std::uint32_t hot_pct,
+              const std::atomic<std::uint64_t>* hot_index)
+      : num_keys_(num_keys), hot_pct_(hot_pct), hot_index_(hot_index) {}
+
+  TxnRequest Next(Worker& w) override;
+
+ private:
+  const std::uint64_t num_keys_;
+  const std::uint32_t hot_pct_;
+  const std::atomic<std::uint64_t>* hot_index_;
+};
+
+class IncrZSource : public TxnSource {
+ public:
+  // `zipf` is shared (its Next is const and thread-safe given a worker-local Rng).
+  explicit IncrZSource(const ZipfianGenerator* zipf) : zipf_(zipf) {}
+
+  TxnRequest Next(Worker& w) override;
+
+ private:
+  const ZipfianGenerator* zipf_;
+};
+
+// Source factories for Database::Start.
+SourceFactory MakeIncr1Factory(std::uint64_t num_keys, std::uint32_t hot_pct,
+                               const std::atomic<std::uint64_t>* hot_index);
+SourceFactory MakeIncrZFactory(const ZipfianGenerator* zipf);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_WORKLOAD_INCR_H_

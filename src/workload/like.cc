@@ -1,0 +1,51 @@
+#include "src/workload/like.h"
+
+namespace doppel {
+namespace {
+
+// Write: record the user's like (their row stores the liked page id) and increment the
+// page's like count. The count update is the commutative, contended part.
+void LikeWriteProc(Txn& txn, const TxnArgs& args) {
+  txn.PutInt(args.k1, static_cast<std::int64_t>(args.k2.lo));  // user row <- page id
+  txn.Add(args.k2, 1);                                         // page like count
+}
+
+// Read: the user's last like and the page's like count.
+void LikeReadProc(Txn& txn, const TxnArgs& args) {
+  (void)txn.GetInt(args.k1);
+  (void)txn.GetInt(args.k2);
+}
+
+}  // namespace
+
+void PopulateLike(Store& store, const LikeConfig& cfg) {
+  for (std::uint64_t u = 0; u < cfg.num_users; ++u) {
+    store.LoadInt(LikeUserKey(u), 0);
+  }
+  for (std::uint64_t p = 0; p < cfg.num_pages; ++p) {
+    store.LoadInt(LikePageKey(p), 0);
+  }
+}
+
+TxnRequest LikeSource::Next(Worker& w) {
+  TxnRequest r;
+  const std::uint64_t user = w.rng.NextBounded(cfg_.num_users);
+  const std::uint64_t page =
+      cfg_.alpha == 0.0 ? w.rng.NextBounded(cfg_.num_pages) : zipf_->Next(w.rng);
+  r.args.k1 = LikeUserKey(user);
+  r.args.k2 = LikePageKey(page);
+  if (w.rng.Chance(cfg_.write_pct)) {
+    r.proc = &LikeWriteProc;
+    r.args.tag = kTagWrite;
+  } else {
+    r.proc = &LikeReadProc;
+    r.args.tag = kTagRead;
+  }
+  return r;
+}
+
+SourceFactory MakeLikeFactory(const LikeConfig& cfg, const ZipfianGenerator* zipf) {
+  return [cfg, zipf](int) { return std::make_unique<LikeSource>(cfg, zipf); };
+}
+
+}  // namespace doppel

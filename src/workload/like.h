@@ -1,0 +1,50 @@
+// The LIKE benchmark (§7, §8.5-8.7): users "liking" pages on a social networking site.
+//
+// "A write transaction chooses a page from a Zipfian distribution, increments the page's
+// count of likes, and updates the user's row; ... A read transaction chooses a page using
+// the same Zipfian distribution, and reads the page's count and the user's row. There are
+// 1M users and 1M pages."
+#ifndef DOPPEL_SRC_WORKLOAD_LIKE_H_
+#define DOPPEL_SRC_WORKLOAD_LIKE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/zipf.h"
+#include "src/core/database.h"
+
+namespace doppel {
+
+inline constexpr std::uint32_t kLikeUserTable = 1;
+inline constexpr std::uint32_t kLikePageTable = 2;
+
+inline Key LikeUserKey(std::uint64_t u) { return Key::Table(kLikeUserTable, u); }
+inline Key LikePageKey(std::uint64_t p) { return Key::Table(kLikePageTable, p); }
+
+struct LikeConfig {
+  std::uint64_t num_users = 1000000;
+  std::uint64_t num_pages = 1000000;
+  std::uint32_t write_pct = 50;
+  double alpha = 1.4;  // 0 = uniform page popularity
+};
+
+void PopulateLike(Store& store, const LikeConfig& cfg);
+
+class LikeSource : public TxnSource {
+ public:
+  LikeSource(const LikeConfig& cfg, const ZipfianGenerator* zipf)
+      : cfg_(cfg), zipf_(zipf) {}
+
+  TxnRequest Next(Worker& w) override;
+
+ private:
+  const LikeConfig cfg_;
+  const ZipfianGenerator* zipf_;
+};
+
+// `zipf` must outlive the returned factory's sources and be built over cfg.num_pages.
+SourceFactory MakeLikeFactory(const LikeConfig& cfg, const ZipfianGenerator* zipf);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_WORKLOAD_LIKE_H_

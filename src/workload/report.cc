@@ -1,0 +1,82 @@
+#include "src/workload/report.h"
+
+#include <cstdio>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  DOPPEL_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t wcol : widths) {
+    total += wcol + 2;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::PrintCsv() const {
+  auto print_row = [](const std::vector<std::string>& cells) {
+    std::printf("csv");
+    for (const auto& cell : cells) {
+      std::printf(",%s", cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string FormatCount(double v) {
+  char buf[64];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatMicros(double nanos) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", nanos / 1000.0);
+  return buf;
+}
+
+}  // namespace doppel

@@ -1,0 +1,34 @@
+// Plain-text table + CSV reporting for the benchmark binaries. Each bench prints the
+// same rows/series as the corresponding paper table or figure.
+#ifndef DOPPEL_SRC_WORKLOAD_REPORT_H_
+#define DOPPEL_SRC_WORKLOAD_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doppel {
+
+// Column-aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+  // Machine-readable companion output (one block per table, prefixed "csv,").
+  void PrintCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers.
+std::string FormatCount(double v);        // 12.3M, 456K, ...
+std::string FormatDouble(double v, int precision);
+std::string FormatMicros(double nanos);   // nanoseconds -> "12.3" (microseconds)
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_WORKLOAD_REPORT_H_

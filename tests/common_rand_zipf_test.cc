@@ -1,0 +1,199 @@
+// Tests for the RNG and the Zipfian generator (Table 1 depends on Probability; every
+// skewed workload depends on Next matching that distribution).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/common/zipf.h"
+
+namespace doppel {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += a.Next() == b.Next();
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1000000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    seen[rng.NextBounded(10)]++;
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 700);  // each residue ~1000 expected
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesPercentage) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.Chance(30);
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.30, 0.01);
+}
+
+TEST(Rng, ChanceZeroAndHundred) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0));
+    EXPECT_TRUE(rng.Chance(100));
+  }
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = SplitMix64(s);
+  const std::uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(SplitMix64(s2), a);
+}
+
+TEST(Zipf, HarmonicKnownValues) {
+  EXPECT_DOUBLE_EQ(ZipfianGenerator::Harmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(ZipfianGenerator::Harmonic(2, 1.0), 1.5, 1e-12);
+  EXPECT_NEAR(ZipfianGenerator::Harmonic(4, 1.0), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  EXPECT_NEAR(ZipfianGenerator::Harmonic(3, 0.0), 3.0, 1e-12);
+  EXPECT_NEAR(ZipfianGenerator::Harmonic(3, 2.0), 1.0 + 0.25 + 1.0 / 9, 1e-12);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  for (double alpha : {0.0, 0.5, 1.0, 1.4, 2.0}) {
+    const ZipfianGenerator zipf(1000, alpha);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+      sum += zipf.Probability(k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+// Table 1 of the paper: percentage of writes to the most popular key, 1M keys.
+struct Table1Case {
+  double alpha;
+  double first_pct;   // paper column "1st"
+  double second_pct;  // paper column "2nd"
+};
+
+class ZipfTable1Test : public ::testing::TestWithParam<Table1Case> {};
+
+TEST_P(ZipfTable1Test, MatchesPaperTable1) {
+  const auto& c = GetParam();
+  const ZipfianGenerator zipf(1000000, c.alpha);
+  EXPECT_NEAR(zipf.Probability(0) * 100.0, c.first_pct, c.first_pct * 0.02 + 0.0002);
+  EXPECT_NEAR(zipf.Probability(1) * 100.0, c.second_pct, c.second_pct * 0.02 + 0.0002);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperValues, ZipfTable1Test,
+                         ::testing::Values(Table1Case{0.0, 0.0001, 0.0001},
+                                           Table1Case{0.4, 0.0151, 0.0114},
+                                           Table1Case{0.8, 1.337, 0.7678},
+                                           Table1Case{1.0, 6.953, 3.476},
+                                           Table1Case{1.4, 32.30, 12.24},
+                                           Table1Case{1.8, 53.13, 15.26},
+                                           Table1Case{2.0, 60.80, 15.20}));
+
+TEST(Zipf, TopMassMonotoneAndBounded) {
+  const ZipfianGenerator zipf(100000, 1.2);
+  double prev = 0.0;
+  for (std::uint64_t n : {0ULL, 1ULL, 2ULL, 10ULL, 100ULL, 100000ULL}) {
+    const double mass = zipf.TopMass(n);
+    EXPECT_GE(mass, prev);
+    EXPECT_LE(mass, 1.0 + 1e-12);
+    prev = mass;
+  }
+  EXPECT_DOUBLE_EQ(zipf.TopMass(100000), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.TopMass(200000), 1.0);
+}
+
+class ZipfSamplingTest : public ::testing::TestWithParam<double> {};
+
+// The empirical frequency of the hottest ranks must match Probability().
+TEST_P(ZipfSamplingTest, EmpiricalMatchesAnalytic) {
+  const double alpha = GetParam();
+  const std::uint64_t n = 10000;
+  const ZipfianGenerator zipf(n, alpha);
+  Rng rng(12345);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t r = zipf.Next(rng);
+    ASSERT_LT(r, n);
+    counts[r]++;
+  }
+  for (std::uint64_t rank : {0ULL, 1ULL, 2ULL, 9ULL}) {
+    const double expected = zipf.Probability(rank) * kSamples;
+    if (expected < 50) {
+      continue;  // too rare for a tight bound
+    }
+    EXPECT_NEAR(counts[rank], expected, expected * 0.15 + 30)
+        << "alpha=" << alpha << " rank=" << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfSamplingTest,
+                         ::testing::Values(0.0, 0.4, 0.8, 0.99, 1.0, 1.2, 1.6, 2.0));
+
+TEST(Zipf, UniformWhenAlphaZero) {
+  const ZipfianGenerator zipf(100, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 600);
+    EXPECT_LT(c, 1400);
+  }
+}
+
+TEST(Zipf, SingleItemAlwaysRankZero) {
+  const ZipfianGenerator zipf(1, 1.4);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Next(rng), 0u);
+  }
+  EXPECT_DOUBLE_EQ(zipf.Probability(0), 1.0);
+}
+
+}  // namespace
+}  // namespace doppel

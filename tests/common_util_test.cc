@@ -1,0 +1,326 @@
+// Tests for the platform substrate: histograms, spinlocks, barriers, hashing, stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/barrier.h"
+#include "src/common/cacheline.h"
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/spinlock.h"
+#include "src/common/stats.h"
+#include "src/common/timing.h"
+
+namespace doppel {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Bucketed upper bound: within the configured 6.25% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 1000.0, 1000.0 * 0.0625 + 1);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(100), 15u);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  LatencyHistogram h;
+  for (std::uint64_t i = 1; i <= 10000; ++i) {
+    h.Record(i * 100);
+  }
+  const std::uint64_t p50 = h.Percentile(50);
+  const std::uint64_t p90 = h.Percentile(90);
+  const std::uint64_t p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 500000.0, 500000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(p99), 990000.0, 990000.0 * 0.07);
+}
+
+TEST(Histogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(600);
+  EXPECT_DOUBLE_EQ(h.Mean(), 300.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  b.Record(300);
+  b.Record(100000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 100000u);
+  EXPECT_NEAR(a.Mean(), (100.0 + 300.0 + 100000.0) / 3.0, 1e-9);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(12345);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(Histogram, HugeValuesClampToLastBucket) {
+  LatencyHistogram h;
+  h.Record(~0ULL);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_GT(h.Percentile(100), 0u);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP) {
+  LatencyHistogram h;
+  h.Record(500);
+  EXPECT_EQ(h.Percentile(-5), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(200), h.Percentile(100));
+}
+
+TEST(Spinlock, MutualExclusion) {
+  Spinlock mu;
+  std::int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        mu.lock();
+        counter++;
+        mu.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_TRUE(mu.is_locked());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(RWSpinlock, ManyConcurrentReaders) {
+  RWSpinlock mu;
+  EXPECT_TRUE(mu.try_lock_shared());
+  EXPECT_TRUE(mu.try_lock_shared());
+  EXPECT_EQ(mu.reader_count(), 2u);
+  EXPECT_FALSE(mu.try_lock());  // writer blocked by readers
+  mu.unlock_shared();
+  mu.unlock_shared();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(RWSpinlock, WriterExcludesReaders) {
+  RWSpinlock mu;
+  mu.lock();
+  EXPECT_TRUE(mu.has_writer());
+  EXPECT_FALSE(mu.try_lock_shared());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock_shared());
+  mu.unlock_shared();
+}
+
+TEST(RWSpinlock, UpgradeSoleReader) {
+  RWSpinlock mu;
+  mu.lock_shared();
+  EXPECT_TRUE(mu.try_upgrade());
+  EXPECT_TRUE(mu.has_writer());
+  mu.unlock();
+}
+
+TEST(RWSpinlock, UpgradeFailsWithOtherReaders) {
+  RWSpinlock mu;
+  mu.lock_shared();
+  mu.lock_shared();
+  EXPECT_FALSE(mu.try_upgrade());
+  mu.unlock_shared();
+  EXPECT_TRUE(mu.try_upgrade());  // now the sole reader: upgrade consumes the shared hold
+  mu.unlock();
+}
+
+TEST(RWSpinlock, TimedLockGivesUp) {
+  RWSpinlock mu;
+  mu.lock_shared();
+  mu.lock_shared();
+  EXPECT_FALSE(mu.try_lock_for(1000));     // two readers hold it
+  EXPECT_FALSE(mu.try_upgrade_for(1000));  // an upgrade cannot pass the other reader
+  mu.unlock_shared();
+  EXPECT_TRUE(mu.try_upgrade_for(1000));  // sole reader now
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock_for(1000));
+  mu.unlock();
+}
+
+TEST(RWSpinlock, WriterPreferenceBlocksNewReaders) {
+  RWSpinlock mu;
+  mu.lock_shared();
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    mu.lock();  // announces intent, then blocks on the reader
+    writer_done = true;
+    mu.unlock();
+  });
+  // Give the writer time to announce.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(mu.try_lock_shared());  // new readers barred while a writer waits
+  EXPECT_FALSE(writer_done.load());
+  mu.unlock_shared();
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(RWSpinlock, StressReadersAndWriters) {
+  RWSpinlock mu;
+  std::int64_t shared_value = 0;
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        mu.lock();
+        shared_value++;
+        shared_value++;
+        mu.unlock();
+      }
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        mu.lock_shared();
+        if (shared_value % 2 != 0) {
+          torn = true;
+        }
+        mu.unlock_shared();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(shared_value, 20000);
+}
+
+TEST(SpinBarrier, SynchronizesAndIsReusable) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        counter.fetch_add(1);
+        barrier.Wait();
+        // After the barrier, every thread of round r has incremented.
+        if (counter.load() < (r + 1) * kThreads) {
+          mismatch = true;
+        }
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(CacheAligned, NoFalseSharingLayout) {
+  static_assert(sizeof(CacheAligned<int>) % kCacheLineSize == 0);
+  static_assert(alignof(CacheAligned<int>) == kCacheLineSize);
+  static_assert(sizeof(PaddedCounter) == kCacheLineSize);
+  CacheAligned<int> arr[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&arr[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&arr[1].value);
+  EXPECT_GE(b - a, kCacheLineSize);
+}
+
+TEST(Hash, Mix64Avalanches) {
+  // Flipping one input bit must flip many output bits.
+  const std::uint64_t h0 = Mix64(0x1234);
+  const std::uint64_t h1 = Mix64(0x1235);
+  EXPECT_GE(__builtin_popcountll(h0 ^ h1), 16);
+  EXPECT_NE(Mix64(0), Mix64(1));
+}
+
+TEST(Hash, HashBytesDiffers) {
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+TEST(RunStats, MeanMinMax) {
+  RunStats s;
+  s.Add(10.0);
+  s.Add(20.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 12.0);
+  EXPECT_DOUBLE_EQ(s.min(), 6.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(RunStats, EmptyIsZero) {
+  RunStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, LeastSquaresSlope) {
+  EXPECT_NEAR(LeastSquaresSlope({1, 2, 3, 4}, {2, 4, 6, 8}), 2.0, 1e-9);
+  EXPECT_NEAR(LeastSquaresSlope({1, 2, 3}, {5, 5, 5}), 0.0, 1e-9);
+}
+
+TEST(Timing, MonotonicAndStopwatch) {
+  const std::uint64_t a = NowNanos();
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::uint64_t b = NowNanos();
+  EXPECT_GT(b, a);
+  EXPECT_GE(sw.ElapsedNanos(), 4000000u);
+  EXPECT_GE(b - a, 4000000u);
+  EXPECT_DOUBLE_EQ(NanosToSeconds(1500000000ULL), 1.5);
+  EXPECT_EQ(MillisToNanos(3), 3000000ULL);
+  EXPECT_EQ(MicrosToNanos(3), 3000ULL);
+}
+
+}  // namespace
+}  // namespace doppel

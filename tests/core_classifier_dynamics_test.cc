@@ -1,0 +1,158 @@
+// Classifier dynamics across multiple phase cycles, driven deterministically with manual
+// barrier calls (no coordinator thread): op re-selection, retention by write sampling,
+// un-split by stash pressure, and re-split suppression (§4-5.5).
+#include <gtest/gtest.h>
+
+#include "src/core/doppel_engine.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+class ClassifierDynamicsTest : public ::testing::Test {
+ protected:
+  ClassifierDynamicsTest() : store_(1 << 10) {}
+
+  void Build(const Options& opts) {
+    engine_ = std::make_unique<DoppelEngine>(store_, opts, stop_);
+    workers_.push_back(std::make_unique<Worker>(0, 11));
+    engine_->RegisterWorkers(workers_);
+    w_ = workers_[0].get();
+  }
+
+  // Simulate `n` sampled conflicts on `key` with `op` (joined phase).
+  void Conflicts(const Key& key, OpCode op, int n) {
+    for (int i = 0; i < n; ++i) {
+      w_->txn.Reset(engine_.get(), w_);
+      w_->txn.conflict_record = store_.Find(key);
+      w_->txn.conflict_op = op;
+      engine_->OnConflict(*w_, w_->txn);
+    }
+  }
+
+  // Single-threaded phase-transition helpers. The coordinator's barrier work runs on
+  // this thread with the (idle) worker quiescent, and Release precedes the worker's
+  // BetweenTxns so its ack/release spin exits immediately.
+  void EnterSplit() {
+    engine_->controller().BeginTransition(Phase::kSplit);
+    engine_->BarrierBuildPlan();
+    engine_->controller().Release();
+    engine_->BetweenTxns(*w_);  // ack, observe release, prepare slices, enter split
+    ASSERT_EQ(engine_->CurrentPhase(*w_), Phase::kSplit);
+  }
+
+  void EnterJoined() {
+    engine_->controller().BeginTransition(Phase::kJoined);
+    engine_->controller().Release();
+    engine_->BetweenTxns(*w_);  // merge slices, ack, enter joined
+    engine_->BarrierAfterReconcile();  // reads the stats the merge just reported
+    ASSERT_EQ(engine_->CurrentPhase(*w_), Phase::kJoined);
+  }
+
+  // Run one full phase cycle on the single (not-running) worker, committing `writes`
+  // transactions of the selected op against the split record during the split phase.
+  void Cycle(const Key& key, int writes, int stashed_reads) {
+    EnterSplit();
+
+    Record* r = store_.Find(key);
+    for (int i = 0; i < writes && r != nullptr && r->IsSplit(); ++i) {
+      w_->txn.Reset(engine_.get(), w_);
+      w_->txn.Add(key, 1);
+      ASSERT_EQ(engine_->Commit(*w_, w_->txn), TxnStatus::kCommitted);
+    }
+    for (int i = 0; i < stashed_reads && r != nullptr && r->IsSplit(); ++i) {
+      w_->txn.Reset(engine_.get(), w_);
+      (void)w_->txn.GetInt(key);
+      ASSERT_TRUE(w_->txn.stash_doomed());
+      engine_->OnStash(*w_, StashSignal{w_->txn.stash_record(), OpCode::kGet});
+      engine_->Abort(*w_, w_->txn);
+    }
+
+    EnterJoined();
+  }
+
+  std::atomic<bool> stop_{false};
+  Store store_;
+  std::unique_ptr<DoppelEngine> engine_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Worker* w_ = nullptr;
+};
+
+TEST_F(ClassifierDynamicsTest, SplitPhaseWritesApplyThroughSliceAndMerge) {
+  Options opts;
+  Build(opts);
+  const Key k = Key::FromU64(1);
+  store_.LoadInt(k, 10);
+  Conflicts(k, OpCode::kAdd, 50);
+  Cycle(k, 25, 0);
+  // The 25 split-phase Adds merged into the global value at reconciliation.
+  EXPECT_EQ(testing::IntAt(store_, k), 35);
+}
+
+TEST_F(ClassifierDynamicsTest, SelectedOpCanChangeBetweenPhases) {
+  // "the operation for key k might be Min in one split phase, and Max in the next" (§4).
+  Options opts;
+  opts.classifier.min_split_writes = 1000000;  // disable retention: re-classify each time
+  Build(opts);
+  const Key k = Key::FromU64(1);
+  store_.LoadInt(k, 0);
+
+  Conflicts(k, OpCode::kMin, 50);
+  EnterSplit();
+  auto entries = engine_->LastPlanEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].second, OpCode::kMin);
+  EnterJoined();
+
+  Conflicts(k, OpCode::kMax, 50);
+  EnterSplit();
+  entries = engine_->LastPlanEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].second, OpCode::kMax);
+  EnterJoined();
+}
+
+TEST_F(ClassifierDynamicsTest, RetentionKeepsWriteHotRecordSplit) {
+  Options opts;
+  opts.classifier.min_split_writes = 10;
+  Build(opts);
+  const Key k = Key::FromU64(1);
+  store_.LoadInt(k, 0);
+  Conflicts(k, OpCode::kAdd, 50);
+  Cycle(k, 100, 0);  // plenty of split-phase writes
+  // No new conflicts, but write sampling retains the record for the next split phase.
+  EXPECT_TRUE(engine_->HasSplitCandidates());
+  Cycle(k, 100, 0);
+  EXPECT_EQ(engine_->LastPlanSize(), 1u);
+}
+
+TEST_F(ClassifierDynamicsTest, StashPressureUnsplitsAndSuppresses) {
+  Options opts;
+  opts.classifier.min_split_writes = 10;
+  opts.classifier.unsplit_stash_ratio = 1.0;
+  opts.classifier.resplit_suppress_phases = 100;
+  Build(opts);
+  const Key k = Key::FromU64(1);
+  store_.LoadInt(k, 0);
+  Conflicts(k, OpCode::kAdd, 50);
+  Cycle(k, 20, 100);  // stashes far outnumber writes: must be un-split + suppressed
+  EXPECT_FALSE(engine_->HasSplitCandidates()) << "retention must drop the record";
+  // Fresh conflicts arrive, but the suppression window blocks re-splitting.
+  Conflicts(k, OpCode::kAdd, 50);
+  Cycle(k, 20, 0);
+  EXPECT_EQ(engine_->LastPlanSize(), 0u);
+}
+
+TEST_F(ClassifierDynamicsTest, LowWriteRateUnsplits) {
+  Options opts;
+  opts.classifier.min_split_writes = 50;
+  Build(opts);
+  const Key k = Key::FromU64(1);
+  store_.LoadInt(k, 0);
+  Conflicts(k, OpCode::kAdd, 50);
+  Cycle(k, 5, 0);  // too few split-phase writes: not worth keeping split
+  EXPECT_FALSE(engine_->HasSplitCandidates());
+}
+
+}  // namespace
+}  // namespace doppel

@@ -1,0 +1,305 @@
+// End-to-end Database tests for phase reconciliation: classification, splitting,
+// stashing, reconciliation exactness, adaptivity, and the Execute API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/core/database.h"
+#include "src/workload/driver.h"
+#include "src/workload/incr.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+using testing::IntAt;
+
+Options FastDoppel(int workers = 2) {
+  Options o;
+  o.protocol = Protocol::kDoppel;
+  o.num_workers = workers;
+  o.phase_us = 2000;  // 2ms phases: many cycles per test second
+  o.store_capacity = 1 << 14;
+  return o;
+}
+
+TEST(Doppel, HotKeySplitsWithinBoundedTime) {
+  Database db(FastDoppel());
+  PopulateIncr(db.store(), 64);
+  std::atomic<std::uint64_t> hot{0};
+  db.Start(MakeIncr1Factory(64, 100, &hot));
+  bool split = false;
+  for (int i = 0; i < 200 && !split; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    split = db.LastPlanSize() >= 1;
+  }
+  db.Stop();
+  EXPECT_TRUE(split) << "100% hot-key Adds must be detected and split within 2s";
+  EXPECT_EQ(IntAt(db.store(), IncrKey(0)),
+            static_cast<std::int64_t>(db.CollectStats().committed));
+}
+
+TEST(Doppel, UniformWorkloadNeverSplits) {
+  Database db(FastDoppel());
+  PopulateIncr(db.store(), 8192);
+  std::atomic<std::uint64_t> hot{0};
+  RunMetrics m = RunWorkload(db, MakeIncr1Factory(8192, 0, &hot), 400, 50);
+  // Rare random collisions may trigger an (empty) split-phase check, but no record has
+  // enough conflicts to qualify for splitting.
+  EXPECT_EQ(m.split_records, 0u);
+}
+
+TEST(Doppel, RotatingHotKeyResplits) {
+  Database db(FastDoppel());
+  PopulateIncr(db.store(), 64);
+  std::atomic<std::uint64_t> hot{0};
+  db.Start(MakeIncr1Factory(64, 100, &hot));
+
+  auto wait_for_split_of = [&](std::uint64_t key_id) {
+    for (int i = 0; i < 300; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      for (const auto& [key, op] : db.doppel()->LastPlanEntries()) {
+        if (key == IncrKey(key_id) && op == OpCode::kAdd) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(wait_for_split_of(0));
+  hot.store(7);  // popularity moves (§8.3)
+  EXPECT_TRUE(wait_for_split_of(7));
+  db.Stop();
+  // Exactness across the change: every commit incremented exactly one key.
+  std::int64_t sum = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    sum += IntAt(db.store(), IncrKey(k));
+  }
+  EXPECT_EQ(sum, static_cast<std::int64_t>(db.CollectStats().committed));
+}
+
+TEST(Doppel, ManualLabelingSplitsImmediately) {
+  Options o = FastDoppel();
+  o.manual_split_only = true;
+  Database db(o);
+  PopulateIncr(db.store(), 64);
+  db.MarkSplitManually(IncrKey(3), OpCode::kAdd);
+  std::atomic<std::uint64_t> hot{3};
+  RunMetrics m = RunWorkload(db, MakeIncr1Factory(64, 100, &hot), 300, 50);
+  EXPECT_EQ(m.split_records, 1u);
+  const auto entries = db.doppel()->LastPlanEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, IncrKey(3));
+  EXPECT_EQ(IntAt(db.store(), IncrKey(3)),
+            static_cast<std::int64_t>(m.stats.committed));
+}
+
+TEST(Doppel, ReadsOfSplitDataStashAndStillCommit) {
+  Options o = FastDoppel();
+  o.manual_split_only = true;
+  o.phase_us = 5000;
+  Database db(o);
+  db.store().LoadInt(Key::FromU64(1), 0);
+  db.MarkSplitManually(Key::FromU64(1), OpCode::kAdd);
+
+  // A writer source keeps the split phases busy.
+  struct AddSource : TxnSource {
+    TxnRequest Next(Worker&) override {
+      TxnRequest r;
+      r.proc = +[](Txn& t, const TxnArgs&) { t.Add(Key::FromU64(1), 1); };
+      return r;
+    }
+  };
+  db.Start([](int) { return std::make_unique<AddSource>(); });
+
+  // Reads submitted while split phases cycle must block (stash) but eventually commit
+  // with a value consistent with all merges so far.
+  std::int64_t prev = -1;
+  for (int i = 0; i < 50; ++i) {
+    std::int64_t v = -1;
+    TxnResult res = db.Execute([&](Txn& t) { v = t.GetInt(Key::FromU64(1)).value_or(0); });
+    ASSERT_TRUE(res.committed);
+    EXPECT_GE(v, prev);  // counter only grows
+    prev = v;
+  }
+  db.Stop();
+  EXPECT_GT(db.CollectStats().stash_events, 0u)
+      << "with 5ms phases and a hot writer, some reads must have stashed";
+  // All commits except the 50 read transactions incremented the counter.
+  EXPECT_EQ(IntAt(db.store(), Key::FromU64(1)),
+            static_cast<std::int64_t>(db.CollectStats().committed) - 50);
+}
+
+TEST(Doppel, PairedAddsStayEqualForReaders) {
+  // Writers Add to (a, b) in one transaction; committed readers must always observe
+  // a == b. Exercises stash ordering and barrier ordering of merges (§5.6).
+  Options o = FastDoppel();
+  o.phase_us = 3000;
+  Database db(o);
+  const Key a = Key::FromU64(1);
+  const Key b = Key::FromU64(2);
+  db.store().LoadInt(a, 0);
+  db.store().LoadInt(b, 0);
+
+  struct PairSource : TxnSource {
+    TxnRequest Next(Worker&) override {
+      TxnRequest r;
+      r.proc = +[](Txn& t, const TxnArgs&) {
+        t.Add(Key::FromU64(1), 1);
+        t.Add(Key::FromU64(2), 1);
+      };
+      return r;
+    }
+  };
+  db.Start([](int) { return std::make_unique<PairSource>(); });
+  for (int i = 0; i < 100; ++i) {
+    std::int64_t va = -1;
+    std::int64_t vb = -2;
+    TxnResult res = db.Execute([&](Txn& t) {
+      va = t.GetInt(Key::FromU64(1)).value_or(0);
+      vb = t.GetInt(Key::FromU64(2)).value_or(0);
+    });
+    ASSERT_TRUE(res.committed);
+    EXPECT_EQ(va, vb) << "transactionally-paired counters diverged";
+  }
+  db.Stop();
+  EXPECT_EQ(IntAt(db.store(), a), IntAt(db.store(), b));
+}
+
+TEST(Doppel, ExecuteUserAbortReported) {
+  Database db(FastDoppel());
+  db.store().LoadInt(Key::FromU64(1), 5);
+  db.Start();
+  TxnResult res = db.Execute([](Txn& t) {
+    t.PutInt(Key::FromU64(1), 99);
+    t.UserAbort();
+  });
+  EXPECT_FALSE(res.committed);
+  db.Stop();
+  EXPECT_EQ(IntAt(db.store(), Key::FromU64(1)), 5);
+}
+
+TEST(Doppel, ExecuteFromManyClientThreads) {
+  Database db(FastDoppel());
+  db.store().LoadInt(Key::FromU64(1), 0);
+  db.Start();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) {
+        ASSERT_TRUE(db.Execute([](Txn& t) { t.Add(Key::FromU64(1), 1); }).committed);
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  db.Stop();
+  EXPECT_EQ(IntAt(db.store(), Key::FromU64(1)), 1000);
+}
+
+TEST(Doppel, SingleWorkerStillExact) {
+  Database db(FastDoppel(1));
+  PopulateIncr(db.store(), 16);
+  std::atomic<std::uint64_t> hot{0};
+  RunMetrics m = RunWorkload(db, MakeIncr1Factory(16, 100, &hot), 300, 50);
+  EXPECT_EQ(IntAt(db.store(), IncrKey(0)), static_cast<std::int64_t>(m.stats.committed));
+}
+
+TEST(Doppel, StopDuringSplitPhaseReconcilesEverything) {
+  // Stop() must land all slice state in the global store even when called mid-split.
+  Options o = FastDoppel();
+  o.phase_us = 50000;  // long phases: Stop almost certainly lands inside a split phase
+  o.manual_split_only = true;
+  Database db(o);
+  db.store().LoadInt(Key::FromU64(1), 0);
+  db.MarkSplitManually(Key::FromU64(1), OpCode::kAdd);
+  struct AddSource : TxnSource {
+    TxnRequest Next(Worker&) override {
+      TxnRequest r;
+      r.proc = +[](Txn& t, const TxnArgs&) { t.Add(Key::FromU64(1), 1); };
+      return r;
+    }
+  };
+  db.Start([](int) { return std::make_unique<AddSource>(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  db.Stop();
+  EXPECT_EQ(IntAt(db.store(), Key::FromU64(1)),
+            static_cast<std::int64_t>(db.CollectStats().committed));
+}
+
+TEST(Doppel, LatencyTagsRecorded) {
+  Database db(FastDoppel());
+  PopulateIncr(db.store(), 64);
+  std::atomic<std::uint64_t> hot{0};
+  RunMetrics m = RunWorkload(db, MakeIncr1Factory(64, 50, &hot), 300, 50);
+  EXPECT_GT(m.stats.committed_by_tag[kTagWrite], 0u);
+  EXPECT_GT(m.stats.latency_by_tag[kTagWrite].count(), 0u);
+  EXPECT_GT(m.stats.latency_by_tag[kTagWrite].Mean(), 0.0);
+}
+
+class AllProtocolExactness
+    : public ::testing::TestWithParam<std::tuple<Protocol, OpCode>> {};
+
+// Every engine must produce the exact serial-equivalent result for each commutative op
+// hammered by all workers on one key.
+TEST_P(AllProtocolExactness, HotKeyOpExactness) {
+  const auto [protocol, op] = GetParam();
+  Options o;
+  o.protocol = protocol;
+  o.num_workers = 2;
+  o.phase_us = 2000;
+  o.store_capacity = 1 << 10;
+  Database db(o);
+  const Key k = Key::FromU64(1);
+  db.store().LoadInt(k, 0);
+  db.Start();
+  constexpr int kOpsPerClient = 400;
+  std::atomic<std::int64_t> expected_max{INT64_MIN};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(rng.NextBounded(1000000));
+        switch (op) {
+          case OpCode::kAdd:
+            ASSERT_TRUE(db.Execute([&](Txn& t) { t.Add(k, 1); }).committed);
+            break;
+          case OpCode::kMax: {
+            ASSERT_TRUE(db.Execute([&](Txn& t) { t.Max(k, v); }).committed);
+            std::int64_t cur = expected_max.load();
+            while (v > cur && !expected_max.compare_exchange_weak(cur, v)) {
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  db.Stop();
+  if (op == OpCode::kAdd) {
+    EXPECT_EQ(IntAt(db.store(), k), 2 * kOpsPerClient);
+  } else {
+    EXPECT_EQ(IntAt(db.store(), k), std::max<std::int64_t>(0, expected_max.load()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllProtocolExactness,
+    ::testing::Combine(::testing::Values(Protocol::kDoppel, Protocol::kOcc,
+                                         Protocol::kTwoPL, Protocol::kAtomic),
+                       ::testing::Values(OpCode::kAdd, OpCode::kMax)),
+    [](const ::testing::TestParamInfo<std::tuple<Protocol, OpCode>>& info) {
+      return std::string(ProtocolName(std::get<0>(info.param))) +
+             OpName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace doppel

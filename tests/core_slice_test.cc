@@ -1,0 +1,221 @@
+// Tests for per-core slices (§4): initialization, application, and the key property —
+// partitioning committed operations across slices and merging equals serial application.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/core/slice.h"
+#include "src/txn/apply.h"
+
+namespace doppel {
+namespace {
+
+PendingWrite MakeIntWrite(Record* r, OpCode op, std::int64_t n) {
+  PendingWrite w;
+  w.record = r;
+  w.op = op;
+  w.n = n;
+  return w;
+}
+
+TEST(Slice, ResetPerOp) {
+  Slice s;
+  s.Reset(OpCode::kAdd, 0);
+  EXPECT_EQ(s.acc, 0);
+  EXPECT_FALSE(s.dirty);
+  s.Reset(OpCode::kMult, 0);
+  EXPECT_EQ(s.acc, 1);
+  s.Reset(OpCode::kTopKInsert, 4);
+  EXPECT_EQ(s.topk.k(), 4u);
+  s.Reset(OpCode::kMax, 0);
+  EXPECT_FALSE(s.has);
+}
+
+TEST(Slice, ApplyAddAccumulates) {
+  Slice s;
+  s.Reset(OpCode::kAdd, 0);
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, 5));
+  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, -2));
+  EXPECT_EQ(s.acc, 3);
+  EXPECT_TRUE(s.dirty);
+  EXPECT_EQ(s.writes, 2u);
+}
+
+TEST(Slice, ApplyMaxTracksHas) {
+  Slice s;
+  s.Reset(OpCode::kMax, 0);
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -7));
+  EXPECT_TRUE(s.has);
+  EXPECT_EQ(s.acc, -7);  // first operand absorbed even though negative
+  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -9));
+  EXPECT_EQ(s.acc, -7);
+}
+
+TEST(Slice, MergeCleanSliceIsNoop) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.LockOcc();
+  r.SetInt(10);
+  r.UnlockOccSetTid(4);
+  Slice s;
+  s.Reset(OpCode::kAdd, 0);
+  MergeSliceToGlobal(&r, OpCode::kAdd, s, 99);
+  EXPECT_EQ(r.ReadInt().value, 10);
+  EXPECT_EQ(Record::TidOf(r.LoadTidWord()), 4u);  // tid untouched
+}
+
+TEST(Slice, MergeBumpsTid) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  Slice s;
+  s.Reset(OpCode::kAdd, 0);
+  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, 1));
+  MergeSliceToGlobal(&r, OpCode::kAdd, s, 42);
+  EXPECT_EQ(Record::TidOf(r.LoadTidWord()), 42u);
+  EXPECT_EQ(r.ReadInt().value, 1);
+  EXPECT_TRUE(r.ReadInt().present);
+}
+
+TEST(Slice, MergeMaxRespectsAbsent) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);  // absent
+  Slice s;
+  s.Reset(OpCode::kMax, 0);
+  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -5));
+  MergeSliceToGlobal(&r, OpCode::kMax, s, 10);
+  EXPECT_TRUE(r.ReadInt().present);
+  EXPECT_EQ(r.ReadInt().value, -5);  // absent -> operand, not max(0, -5)
+}
+
+TEST(Slice, MergeOPutWinsByOrderCore) {
+  Record r(Key::FromU64(1), RecordType::kOrdered, 0);
+  r.LockOcc();
+  r.MutateComplex([](ComplexValue& cv) {
+    std::get<OrderedTuple>(cv) = OrderedTuple{OrderKey{10, 0}, 2, "global"};
+  });
+  r.UnlockOccSetTid(4);
+  Slice lose;
+  lose.Reset(OpCode::kOPut, 0);
+  PendingWrite w;
+  w.record = &r;
+  w.op = OpCode::kOPut;
+  w.order = OrderKey{10, 0};
+  w.core = 1;  // same order, lower core: must lose
+  w.payload = "slice";
+  SliceApply(lose, w);
+  MergeSliceToGlobal(&r, OpCode::kOPut, lose, 8);
+  EXPECT_EQ(std::get<OrderedTuple>(r.ReadComplex().value).payload, "global");
+
+  Slice win;
+  win.Reset(OpCode::kOPut, 0);
+  w.core = 3;  // same order, higher core: must win
+  SliceApply(win, w);
+  MergeSliceToGlobal(&r, OpCode::kOPut, win, 10);
+  EXPECT_EQ(std::get<OrderedTuple>(r.ReadComplex().value).payload, "slice");
+}
+
+// ---- The §4 correctness property, per splittable operation ----
+//
+// Applying a random operation stream against the global record serially must equal
+// partitioning the stream across J per-core slices and merging them.
+struct SliceCase {
+  OpCode op;
+  int seed;
+};
+
+class SliceEquivalenceTest : public ::testing::TestWithParam<SliceCase> {};
+
+TEST_P(SliceEquivalenceTest, PartitionedMergeEqualsSerial) {
+  const OpCode op = GetParam().op;
+  Rng rng(static_cast<std::uint64_t>(GetParam().seed) * 7919 + 3);
+  const int cores = 2 + static_cast<int>(rng.NextBounded(4));
+  // Mult streams stay short so products fit in int64 (operands are 1 or 2).
+  const int n = op == OpCode::kMult ? 1 + static_cast<int>(rng.NextBounded(40))
+                                    : 1 + static_cast<int>(rng.NextBounded(200));
+  const std::size_t topk_k = 1 + rng.NextBounded(8);
+  const RecordType type = OpRecordType(op);
+
+  Record serial(Key::FromU64(1), type, topk_k);
+  Record split(Key::FromU64(2), type, topk_k);
+  std::vector<Slice> slices(static_cast<std::size_t>(cores));
+  for (auto& s : slices) {
+    s.Reset(op, topk_k);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t core = static_cast<std::uint32_t>(rng.NextBounded(cores));
+    PendingWrite w;
+    w.op = op;
+    w.core = core;
+    // Mult uses operands in {1, 2} to stay away from overflow.
+    w.n = op == OpCode::kMult
+              ? static_cast<std::int64_t>(1 + rng.NextBounded(2))
+              : static_cast<std::int64_t>(rng.NextBounded(2000)) - 1000;
+    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(50)),
+                       static_cast<std::int64_t>(rng.NextBounded(3))};
+    w.payload = "pl" + std::to_string(i);
+
+    w.record = &serial;
+    serial.LockOcc();
+    ApplyWriteToRecord(w);
+    serial.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
+
+    w.record = &split;
+    SliceApply(slices[core], w);
+  }
+  for (const Slice& s : slices) {
+    MergeSliceToGlobal(&split, op, s, 1000);
+  }
+
+  const auto a = serial.ReadValue();
+  const auto b = split.ReadValue();
+  ASSERT_EQ(a.present, b.present);
+  if (type == RecordType::kInt64) {
+    EXPECT_EQ(std::get<std::int64_t>(a.value), std::get<std::int64_t>(b.value));
+  } else if (type == RecordType::kOrdered) {
+    EXPECT_EQ(std::get<OrderedTuple>(a.value), std::get<OrderedTuple>(b.value));
+  } else {
+    EXPECT_EQ(std::get<TopKSet>(a.value), std::get<TopKSet>(b.value));
+  }
+}
+
+std::vector<SliceCase> AllSliceCases() {
+  std::vector<SliceCase> cases;
+  for (OpCode op : {OpCode::kAdd, OpCode::kMax, OpCode::kMin, OpCode::kMult,
+                    OpCode::kOPut, OpCode::kTopKInsert}) {
+    for (int seed = 0; seed < 8; ++seed) {
+      cases.push_back(SliceCase{op, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SliceEquivalenceTest,
+                         ::testing::ValuesIn(AllSliceCases()),
+                         [](const ::testing::TestParamInfo<SliceCase>& info) {
+                           return std::string(OpName(info.param.op)) + "_" +
+                                  std::to_string(info.param.seed);
+                         });
+
+// Merge cost must not depend on how many operations were applied (§4 requirement 4):
+// the slice's state is bounded, so merging after 10 vs 100000 ops touches equal state.
+TEST(Slice, StateSizeIndependentOfOpCount) {
+  Record r(Key::FromU64(1), RecordType::kTopK, 5);
+  Slice s;
+  s.Reset(OpCode::kTopKInsert, 5);
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    PendingWrite w;
+    w.record = &r;
+    w.op = OpCode::kTopKInsert;
+    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(1000000)), 0};
+    w.core = 0;
+    w.payload = "x";
+    SliceApply(s, w);
+  }
+  EXPECT_LE(s.topk.size(), 5u);
+  EXPECT_EQ(s.writes, 100000u);
+}
+
+}  // namespace
+}  // namespace doppel

@@ -1,0 +1,239 @@
+// Cross-engine integration tests: identical deterministic operation multisets applied
+// concurrently under every protocol must converge to the same final store; mixed-type
+// stress across phase cycles keeps all typed invariants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "src/core/database.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+using testing::IntAt;
+
+// A deterministic operation stream over a small key space, all commutative ops (order
+// across clients must not matter). Issued via Execute so every op provably commits.
+void ApplyDeterministicOp(Txn& t, int client, int index) {
+  std::uint64_t s = static_cast<std::uint64_t>(client) * 1000003 +
+                    static_cast<std::uint64_t>(index);
+  const std::uint64_t r1 = SplitMix64(s);
+  const std::uint64_t r2 = SplitMix64(s);
+  const std::uint64_t key = r1 % 8;
+  const std::int64_t n = static_cast<std::int64_t>(r2 % 1000) - 500;
+  switch (r2 % 4) {
+    case 0:
+      t.Add(Key::FromU64(key), n);
+      break;
+    case 1:
+      t.Max(Key::FromU64(100 + key), n);
+      break;
+    case 2:
+      t.Min(Key::FromU64(200 + key), n);
+      break;
+    default:
+      t.TopKInsert(Key::FromU64(300), OrderKey{n, static_cast<std::int64_t>(key)},
+                   std::to_string(n), 6);
+      break;
+  }
+}
+
+// Expected final state computed serially.
+struct Expected {
+  std::map<std::uint64_t, std::int64_t> adds;
+  std::map<std::uint64_t, std::int64_t> maxes;
+  std::map<std::uint64_t, std::int64_t> mins;
+  TopKSet topk{6};
+};
+
+Expected ComputeExpected(int clients, int ops_per_client) {
+  Expected e;
+  for (int c = 0; c < clients; ++c) {
+    for (int i = 0; i < ops_per_client; ++i) {
+      std::uint64_t s = static_cast<std::uint64_t>(c) * 1000003 +
+                        static_cast<std::uint64_t>(i);
+      const std::uint64_t r1 = SplitMix64(s);
+      const std::uint64_t r2 = SplitMix64(s);
+      const std::uint64_t key = r1 % 8;
+      const std::int64_t n = static_cast<std::int64_t>(r2 % 1000) - 500;
+      switch (r2 % 4) {
+        case 0:
+          e.adds[key] += n;
+          break;
+        case 1: {
+          auto [it, fresh] = e.maxes.try_emplace(100 + key, n);
+          if (!fresh) {
+            it->second = std::max(it->second, n);
+          }
+          break;
+        }
+        case 2: {
+          auto [it, fresh] = e.mins.try_emplace(200 + key, n);
+          if (!fresh) {
+            it->second = std::min(it->second, n);
+          }
+          break;
+        }
+        default:
+          e.topk.Insert(OrderedTuple{OrderKey{n, static_cast<std::int64_t>(key)}, 0,
+                                     std::to_string(n)});
+          break;
+      }
+    }
+  }
+  return e;
+}
+
+class CrossEngineParity : public ::testing::TestWithParam<Protocol> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, CrossEngineParity,
+                         ::testing::Values(Protocol::kDoppel, Protocol::kOcc,
+                                           Protocol::kTwoPL, Protocol::kAtomic),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           return ProtocolName(info.param);
+                         });
+
+TEST_P(CrossEngineParity, DeterministicStreamsConverge) {
+  constexpr int kClients = 2;
+  constexpr int kOps = 3000;
+  Options o;
+  o.protocol = GetParam();
+  o.num_workers = 2;
+  o.phase_us = 2000;
+  o.store_capacity = 1 << 12;
+  Database db(o);
+  // Pre-create the Add keys so absent-record semantics are identical everywhere.
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    db.store().LoadInt(Key::FromU64(k), 0);
+  }
+  db.Start();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(
+            db.Execute([&](Txn& t) { ApplyDeterministicOp(t, c, i); }).committed);
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  db.Stop();
+
+  const Expected e = ComputeExpected(kClients, kOps);
+  for (const auto& [key, sum] : e.adds) {
+    EXPECT_EQ(IntAt(db.store(), Key::FromU64(key)), sum) << "add key " << key;
+  }
+  for (const auto& [key, m] : e.maxes) {
+    EXPECT_EQ(IntAt(db.store(), Key::FromU64(key)), m) << "max key " << key;
+  }
+  for (const auto& [key, m] : e.mins) {
+    EXPECT_EQ(IntAt(db.store(), Key::FromU64(key)), m) << "min key " << key;
+  }
+  const auto topk = std::get<TopKSet>(db.store().ReadSnapshot(Key::FromU64(300)).value);
+  ASSERT_EQ(topk.size(), e.topk.size());
+  for (std::size_t i = 0; i < topk.size(); ++i) {
+    EXPECT_EQ(topk.items()[i].order, e.topk.items()[i].order) << i;
+  }
+}
+
+// Long-running mixed stress under Doppel with aggressive phase cycling: reads, writes,
+// inserts, user aborts; every invariant checked at the end.
+TEST(Integration, DoppelMixedStressStaysConsistent) {
+  Options o;
+  o.protocol = Protocol::kDoppel;
+  o.num_workers = 2;
+  o.phase_us = 1000;  // 1ms phases: hundreds of cycles
+  o.store_capacity = 1 << 14;
+  Database db(o);
+  const Key counter = Key::FromU64(1);
+  const Key maxkey = Key::FromU64(2);
+  db.store().LoadInt(counter, 0);
+  db.store().LoadInt(maxkey, 0);
+
+  struct StressSource : TxnSource {
+    TxnRequest Next(Worker& w) override {
+      TxnRequest r;
+      const std::uint64_t kind = w.rng.NextBounded(10);
+      r.args.n = static_cast<std::int64_t>(w.rng.NextBounded(1000000));
+      if (kind < 5) {
+        r.proc = +[](Txn& t, const TxnArgs& a) {
+          t.Add(Key::FromU64(1), 1);
+          t.Max(Key::FromU64(2), a.n);
+        };
+        r.args.tag = kTagWrite;
+      } else if (kind < 8) {
+        r.proc = +[](Txn& t, const TxnArgs&) {
+          const auto c = t.GetInt(Key::FromU64(1));
+          const auto m = t.GetInt(Key::FromU64(2));
+          // Reads may be nullopt only before any write committed.
+          if (c.has_value() && c.value() < 0) {
+            t.UserAbort();
+          }
+          (void)m;
+        };
+        r.args.tag = kTagRead;
+      } else {
+        r.proc = +[](Txn& t, const TxnArgs& a) {
+          t.PutBytes(Key::Table(5, a.n % 97), "blob" + std::to_string(a.n));
+        };
+        r.args.tag = kTagWrite;
+      }
+      return r;
+    }
+  };
+  db.Start([](int) { return std::make_unique<StressSource>(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  db.Stop();
+
+  const auto stats = db.CollectStats();
+  EXPECT_GT(stats.committed, 0u);
+  EXPECT_EQ(stats.user_aborts, 0u);  // the counter never goes negative
+  // Every counter increment came from a committed write transaction.
+  EXPECT_GT(IntAt(db.store(), counter), 0);
+  EXPECT_LE(static_cast<std::uint64_t>(IntAt(db.store(), counter)),
+            stats.committed_by_tag[kTagWrite]);
+  EXPECT_GE(IntAt(db.store(), maxkey), 0);
+  EXPECT_LT(IntAt(db.store(), maxkey), 1000000);
+}
+
+// Database lifecycle edge cases.
+TEST(Integration, StopIsIdempotentAndDestructorSafe) {
+  Options o;
+  o.protocol = Protocol::kDoppel;
+  o.num_workers = 2;
+  o.store_capacity = 1 << 8;
+  auto db = std::make_unique<Database>(o);
+  db->store().LoadInt(Key::FromU64(1), 0);
+  db->Start();
+  ASSERT_TRUE(db->Execute([](Txn& t) { t.Add(Key::FromU64(1), 1); }).committed);
+  db->Stop();
+  db->Stop();      // idempotent
+  db.reset();      // destructor after Stop
+  SUCCEED();
+}
+
+TEST(Integration, DatabaseNeverStartedDestructsCleanly) {
+  Options o;
+  o.protocol = Protocol::kDoppel;
+  o.store_capacity = 1 << 8;
+  Database db(o);
+  db.store().LoadInt(Key::FromU64(1), 5);
+  SUCCEED();
+}
+
+TEST(Integration, ZeroWorkerCountDefaultsToCpus) {
+  Options o;
+  o.protocol = Protocol::kOcc;
+  o.num_workers = 0;
+  o.store_capacity = 1 << 8;
+  Database db(o);
+  EXPECT_GE(db.num_workers(), 1);
+}
+
+}  // namespace
+}  // namespace doppel

@@ -1,0 +1,287 @@
+// Tests for the RUBiS port (§7): population, every transaction procedure, the auction
+// metadata invariants, and the workload mixes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/database.h"
+#include "src/rubis/txns.h"
+#include "src/rubis/workload.h"
+#include "src/txn/occ_engine.h"
+#include "src/workload/driver.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+using rubis::Config;
+
+Config SmallConfig() {
+  Config c;
+  c.num_users = 200;
+  c.num_items = 50;
+  c.num_categories = 5;
+  c.num_regions = 4;
+  return c;
+}
+
+class RubisFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    h_.engine = std::make_unique<OccEngine>(h_.store);
+    h_.MakeWorkers(2);
+    rubis::Populate(h_.store, SmallConfig());
+  }
+
+  TxnStatus Run(TxnProc proc, const TxnArgs& args) {
+    Txn& txn = h_.workers[0]->txn;
+    txn.Reset(h_.engine.get(), h_.workers[0].get());
+    proc(txn, args);
+    return h_.engine->Commit(*h_.workers[0], txn);
+  }
+
+  std::int64_t Int(const Key& k) { return testing::IntAt(h_.store, k); }
+
+  testing::EngineHarness h_{1 << 16};
+};
+
+TEST_F(RubisFixture, PopulateCreatesAllTables) {
+  const Config c = SmallConfig();
+  EXPECT_TRUE(h_.store.ReadSnapshot(rubis::UserKey(c.num_users - 1)).present);
+  EXPECT_TRUE(h_.store.ReadSnapshot(rubis::ItemKey(c.num_items - 1)).present);
+  EXPECT_TRUE(h_.store.ReadSnapshot(rubis::CategoryKey(c.num_categories - 1)).present);
+  EXPECT_TRUE(h_.store.ReadSnapshot(rubis::RegionKey(c.num_regions - 1)).present);
+  EXPECT_EQ(Int(rubis::MaxBidKey(0)), 0);
+  EXPECT_EQ(Int(rubis::NumBidsKey(0)), 0);
+  EXPECT_EQ(Int(rubis::UserRatingKey(0)), 0);
+  // Category indexes were seeded with the existing items.
+  const auto idx =
+      std::get<TopKSet>(h_.store.ReadSnapshot(rubis::ItemsByCategoryKey(0)).value);
+  EXPECT_GT(idx.size(), 0u);
+}
+
+TEST_F(RubisFixture, StoreBidUpdatesAllMetadata) {
+  TxnArgs a;
+  a.k1 = rubis::ItemKey(7);
+  a.k2 = rubis::BidKey(rubis::ShardedId(0, 1));
+  a.aux = 42;    // bidder
+  a.n = 500;     // amount
+  a.submit_ns = 1000000;
+  ASSERT_EQ(Run(&rubis::StoreBid, a), TxnStatus::kCommitted);
+
+  EXPECT_EQ(Int(rubis::MaxBidKey(7)), 500);
+  EXPECT_EQ(Int(rubis::NumBidsKey(7)), 1);
+  const auto bidder =
+      std::get<OrderedTuple>(h_.store.ReadSnapshot(rubis::MaxBidderKey(7)).value);
+  EXPECT_EQ(bidder.payload, "42");
+  EXPECT_EQ(bidder.order.primary, 500);
+  const auto history =
+      std::get<TopKSet>(h_.store.ReadSnapshot(rubis::BidsPerItemIndexKey(7)).value);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(h_.store.ReadSnapshot(a.k2).present);  // bid row inserted
+}
+
+TEST_F(RubisFixture, SequentialBidsTrackMaximum) {
+  const std::int64_t amounts[] = {300, 700, 500, 700, 100};
+  for (int i = 0; i < 5; ++i) {
+    TxnArgs a;
+    a.k1 = rubis::ItemKey(3);
+    a.k2 = rubis::BidKey(rubis::ShardedId(0, static_cast<std::uint64_t>(i + 1)));
+    a.aux = static_cast<std::uint32_t>(10 + i);
+    a.n = amounts[i];
+    a.submit_ns = static_cast<std::uint64_t>(1000 + i) * 1000;
+    ASSERT_EQ(Run(&rubis::StoreBid, a), TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(Int(rubis::MaxBidKey(3)), 700);
+  EXPECT_EQ(Int(rubis::NumBidsKey(3)), 5);
+  // Two bids tied at 700: the later coarse timestamp wins the OPut order.
+  const auto bidder =
+      std::get<OrderedTuple>(h_.store.ReadSnapshot(rubis::MaxBidderKey(3)).value);
+  EXPECT_EQ(bidder.payload, "13");
+  // The bid index dedups by (amount, timestamp) order; all five orders are distinct.
+  const auto history =
+      std::get<TopKSet>(h_.store.ReadSnapshot(rubis::BidsPerItemIndexKey(3)).value);
+  EXPECT_EQ(history.size(), 5u);
+  EXPECT_EQ(history.items()[0].order.primary, 700);
+}
+
+TEST_F(RubisFixture, StoreBidPlainMatchesCommutativeOutcome) {
+  for (int i = 0; i < 3; ++i) {
+    TxnArgs a;
+    a.k1 = rubis::ItemKey(9);
+    a.k2 = rubis::BidKey(rubis::ShardedId(0, static_cast<std::uint64_t>(100 + i)));
+    a.aux = static_cast<std::uint32_t>(20 + i);
+    a.n = 100 * (i + 1);
+    a.submit_ns = static_cast<std::uint64_t>(i + 1) * 1000000;
+    ASSERT_EQ(Run(&rubis::StoreBidPlain, a), TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(Int(rubis::MaxBidKey(9)), 300);
+  EXPECT_EQ(Int(rubis::NumBidsKey(9)), 3);
+  EXPECT_EQ(Int(rubis::MaxBidderPlainKey(9)), 22);
+}
+
+TEST_F(RubisFixture, StoreCommentAddsRatingToSeller) {
+  const std::uint64_t item = 11;
+  const std::uint64_t seller = rubis::SellerOf(item, rubis::ActiveConfig());
+  TxnArgs a;
+  a.k1 = rubis::ItemKey(item);
+  a.k2 = rubis::CommentKey(rubis::ShardedId(0, 1));
+  a.aux = 5;
+  a.n = 4;  // rating
+  ASSERT_EQ(Run(&rubis::StoreComment, a), TxnStatus::kCommitted);
+  EXPECT_EQ(Int(rubis::UserRatingKey(seller)), 4);
+  EXPECT_EQ(Int(rubis::NumCommentsKey(item)), 1);
+  EXPECT_TRUE(h_.store.ReadSnapshot(a.k2).present);
+}
+
+TEST_F(RubisFixture, StoreItemInsertsRowAndIndexes) {
+  const std::uint64_t item = 1000;  // beyond pre-populated items
+  TxnArgs a;
+  a.k1 = rubis::ItemKey(item);
+  a.aux = 3;  // seller
+  a.submit_ns = 99000000;
+  ASSERT_EQ(Run(&rubis::StoreItem, a), TxnStatus::kCommitted);
+  EXPECT_TRUE(h_.store.ReadSnapshot(rubis::ItemKey(item)).present);
+  EXPECT_EQ(Int(rubis::MaxBidKey(item)), 0);
+  const auto cat = rubis::CategoryOf(item, rubis::ActiveConfig());
+  const auto idx =
+      std::get<TopKSet>(h_.store.ReadSnapshot(rubis::ItemsByCategoryKey(cat)).value);
+  bool found = false;
+  for (const auto& t : idx.items()) {
+    found |= t.payload == std::to_string(item);
+  }
+  EXPECT_TRUE(found) << "new item must appear in its category index";
+}
+
+TEST_F(RubisFixture, RegisterUserAndBuyNow) {
+  TxnArgs u;
+  u.k1 = rubis::UserKey(5000);
+  ASSERT_EQ(Run(&rubis::RegisterUser, u), TxnStatus::kCommitted);
+  EXPECT_TRUE(h_.store.ReadSnapshot(rubis::UserKey(5000)).present);
+  EXPECT_EQ(Int(rubis::UserRatingKey(5000)), 0);
+
+  TxnArgs b;
+  b.k1 = rubis::ItemKey(2);
+  b.k2 = rubis::BuyNowKey(rubis::ShardedId(0, 1));
+  b.aux = 5000;
+  ASSERT_EQ(Run(&rubis::StoreBuyNow, b), TxnStatus::kCommitted);
+  EXPECT_EQ(Int(rubis::UserNumBoughtKey(5000)), 1);
+}
+
+TEST_F(RubisFixture, ReadOnlyTransactionsCommit) {
+  TxnArgs a;
+  a.k1 = rubis::ItemKey(1);
+  EXPECT_EQ(Run(&rubis::ViewItem, a), TxnStatus::kCommitted);
+  EXPECT_EQ(Run(&rubis::ViewBidHistory, a), TxnStatus::kCommitted);
+  a.k1 = rubis::UserKey(1);
+  EXPECT_EQ(Run(&rubis::ViewUserInfo, a), TxnStatus::kCommitted);
+  EXPECT_EQ(Run(&rubis::AboutMe, a), TxnStatus::kCommitted);
+  a.k1 = rubis::CategoryKey(1);
+  EXPECT_EQ(Run(&rubis::SearchItemsByCategory, a), TxnStatus::kCommitted);
+  a.k1 = rubis::RegionKey(1);
+  EXPECT_EQ(Run(&rubis::SearchItemsByRegion, a), TxnStatus::kCommitted);
+  a.aux = 0;
+  EXPECT_EQ(Run(&rubis::BrowseCategories, a), TxnStatus::kCommitted);
+  EXPECT_EQ(Run(&rubis::BrowseRegions, a), TxnStatus::kCommitted);
+}
+
+TEST_F(RubisFixture, ViewBidHistoryReadsInsertedBids) {
+  for (int i = 0; i < 3; ++i) {
+    TxnArgs a;
+    a.k1 = rubis::ItemKey(4);
+    a.k2 = rubis::BidKey(rubis::ShardedId(0, static_cast<std::uint64_t>(i + 1)));
+    a.aux = static_cast<std::uint32_t>(i);
+    a.n = 100 + i;
+    a.submit_ns = static_cast<std::uint64_t>(i + 1) * 1000000;
+    ASSERT_EQ(Run(&rubis::StoreBid, a), TxnStatus::kCommitted);
+  }
+  TxnArgs v;
+  v.k1 = rubis::ItemKey(4);
+  EXPECT_EQ(Run(&rubis::ViewBidHistory, v), TxnStatus::kCommitted);
+}
+
+TEST(RubisWorkload, MixRatios) {
+  rubis::WorkloadConfig cfg;
+  cfg.data = SmallConfig();
+  cfg.mix = rubis::Mix::kContended;
+  cfg.alpha = 1.8;
+  const ZipfianGenerator zipf(cfg.data.num_items, cfg.alpha);
+  rubis::RubisSource src(cfg, &zipf, 0);
+  Worker w(0, 31337);
+  int writes = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    writes += src.Next(w).args.tag == kTagWrite;
+  }
+  // RUBiS-C: 50% StoreBid + 4% other writes.
+  EXPECT_NEAR(writes / static_cast<double>(kDraws), 0.54, 0.03);
+
+  rubis::WorkloadConfig bidding = cfg;
+  bidding.mix = rubis::Mix::kBidding;
+  rubis::RubisSource bsrc(bidding, &zipf, 0);
+  writes = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    writes += bsrc.Next(w).args.tag == kTagWrite;
+  }
+  EXPECT_NEAR(writes / static_cast<double>(kDraws), 0.15, 0.02);
+}
+
+TEST(RubisWorkload, ShardedIdsNeverCollide) {
+  EXPECT_NE(rubis::ShardedId(0, 1), rubis::ShardedId(1, 1));
+  EXPECT_NE(rubis::ShardedId(0, 2), rubis::ShardedId(1, 1));
+  EXPECT_EQ(rubis::ShardedId(2, 7), 2 * rubis::kShardStride + 7);
+}
+
+class RubisEndToEnd : public ::testing::TestWithParam<Protocol> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, RubisEndToEnd,
+                         ::testing::Values(Protocol::kDoppel, Protocol::kOcc,
+                                           Protocol::kTwoPL),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           return ProtocolName(info.param);
+                         });
+
+// The full RUBiS-C mix must run and keep the core invariant: for every item, numBids
+// equals the number of committed StoreBid transactions on it, and maxBid is consistent
+// with the recorded max bidder.
+TEST_P(RubisEndToEnd, ContendedMixInvariants) {
+  Options o;
+  o.protocol = GetParam();
+  o.num_workers = 2;
+  o.phase_us = 3000;
+  o.store_capacity = 1 << 16;
+  Database db(o);
+  rubis::Config data;
+  data.num_users = 500;
+  data.num_items = 20;  // strong contention on item 0
+  rubis::Populate(db.store(), data);
+  const ZipfianGenerator zipf(data.num_items, 1.8);
+  rubis::WorkloadConfig cfg;
+  cfg.data = data;
+  cfg.mix = rubis::Mix::kContended;
+  cfg.alpha = 1.8;
+  RunMetrics m = RunWorkload(db, rubis::MakeRubisFactory(cfg, &zipf), 500, 100);
+  EXPECT_GT(m.committed, 0u);
+
+  std::int64_t total_bids = 0;
+  for (std::uint64_t i = 0; i < data.num_items; ++i) {
+    total_bids += testing::IntAt(db.store(), rubis::NumBidsKey(i));
+    const std::int64_t max_bid = testing::IntAt(db.store(), rubis::MaxBidKey(i));
+    const auto bidder =
+        std::get<OrderedTuple>(db.store().ReadSnapshot(rubis::MaxBidderKey(i)).value);
+    if (bidder.order.primary != INT64_MIN) {
+      EXPECT_EQ(bidder.order.primary, max_bid) << "item " << i;
+    }
+    const auto history =
+        std::get<TopKSet>(db.store().ReadSnapshot(rubis::BidsPerItemIndexKey(i)).value);
+    if (!history.empty()) {
+      EXPECT_EQ(history.items()[0].order.primary, max_bid) << "item " << i;
+    }
+  }
+  // Bids are ~50/54 of committed writes; every bid bumped exactly one numBids counter.
+  EXPECT_GT(total_bids, 0);
+  EXPECT_LE(total_bids, static_cast<std::int64_t>(m.stats.committed_by_tag[kTagWrite]));
+}
+
+}  // namespace
+}  // namespace doppel

@@ -1,0 +1,196 @@
+// Tests for the insert-only concurrent record map and the Store facade.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/store/record_map.h"
+#include "src/store/store.h"
+
+namespace doppel {
+namespace {
+
+TEST(RecordMap, FindMissingReturnsNull) {
+  RecordMap map(64);
+  EXPECT_EQ(map.Find(Key::FromU64(1)), nullptr);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(RecordMap, GetOrCreateInsertsOnce) {
+  RecordMap map(64);
+  bool created = false;
+  Record* a = map.GetOrCreate(Key::FromU64(1), RecordType::kInt64, 0, &created);
+  EXPECT_TRUE(created);
+  Record* b = map.GetOrCreate(Key::FromU64(1), RecordType::kInt64, 0, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Find(Key::FromU64(1)), a);
+}
+
+TEST(RecordMap, DistinctKeysDistinctRecords) {
+  RecordMap map(64);
+  Record* a = map.GetOrCreate(Key{1, 2}, RecordType::kInt64, 0);
+  Record* b = map.GetOrCreate(Key{2, 1}, RecordType::kInt64, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(RecordMap, KeyAndTypePreserved) {
+  RecordMap map(64);
+  Record* r = map.GetOrCreate(Key{7, 9}, RecordType::kTopK, 5);
+  EXPECT_EQ(r->key(), (Key{7, 9}));
+  EXPECT_EQ(r->type(), RecordType::kTopK);
+  EXPECT_EQ(r->topk_k(), 5u);
+}
+
+TEST(RecordMap, TinyBucketCountStillCorrect) {
+  RecordMap map(1);  // forces collision chains
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    map.GetOrCreate(Key::FromU64(i), RecordType::kInt64, 0);
+  }
+  EXPECT_EQ(map.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_NE(map.Find(Key::FromU64(i)), nullptr) << i;
+  }
+}
+
+TEST(RecordMap, ForEachVisitsAll) {
+  RecordMap map(64);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    map.GetOrCreate(Key::FromU64(i), RecordType::kInt64, 0);
+  }
+  std::size_t visited = 0;
+  std::uint64_t key_sum = 0;
+  map.ForEach([&](Record& r) {
+    visited++;
+    key_sum += r.key().lo;
+  });
+  EXPECT_EQ(visited, 50u);
+  EXPECT_EQ(key_sum, 49u * 50 / 2);
+}
+
+TEST(RecordMap, ConcurrentInsertSameKeyYieldsOneRecord) {
+  RecordMap map(1024);
+  constexpr int kThreads = 4;
+  std::vector<Record*> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        results[t] = map.GetOrCreate(Key::FromU64(42), RecordType::kInt64, 0);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(RecordMap, ConcurrentDisjointInsertsAllPresent) {
+  RecordMap map(1 << 14);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        map.GetOrCreate(Key{static_cast<std::uint64_t>(t), i}, RecordType::kInt64, 0);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(map.size(), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; i += 97) {
+      ASSERT_NE(map.Find(Key{static_cast<std::uint64_t>(t), i}), nullptr);
+    }
+  }
+}
+
+TEST(RecordMap, ConcurrentReadersDuringInserts) {
+  RecordMap map(1 << 12);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> lost{false};
+  std::thread inserter([&] {
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      map.GetOrCreate(Key::FromU64(i), RecordType::kInt64, 0);
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      // Find the newest key currently visible; publication order (single inserter,
+      // acquire loads) guarantees every older key is visible too.
+      std::uint64_t newest = 0;
+      bool found_any = false;
+      for (std::uint64_t i = 19999;; i -= 1111) {
+        if (map.Find(Key::FromU64(i)) != nullptr) {
+          newest = i;
+          found_any = true;
+          break;
+        }
+        if (i < 1111) {
+          break;
+        }
+      }
+      if (found_any) {
+        for (std::uint64_t i = 0; i < newest; i += 113) {
+          if (map.Find(Key::FromU64(i)) == nullptr) {
+            lost = true;
+          }
+        }
+      }
+    }
+  });
+  inserter.join();
+  reader.join();
+  EXPECT_FALSE(lost.load());
+}
+
+TEST(Store, LoadIntAndSnapshot) {
+  Store store(64);
+  store.LoadInt(Key::FromU64(1), 77);
+  const auto snap = store.ReadSnapshot(Key::FromU64(1));
+  EXPECT_TRUE(snap.present);
+  EXPECT_EQ(std::get<std::int64_t>(snap.value), 77);
+  EXPECT_GT(snap.tid, 0u);
+}
+
+TEST(Store, LoadBytesOrderedTopK) {
+  Store store(64);
+  store.LoadBytes(Key::FromU64(2), "blob");
+  store.LoadOrdered(Key::FromU64(3), OrderedTuple{OrderKey{4, 0}, 1, "w"});
+  store.LoadTopK(Key::FromU64(4), 3);
+  store.LoadTopKItem(Key::FromU64(4), 3, OrderedTuple{OrderKey{10, 0}, 0, "a"});
+  store.LoadTopKItem(Key::FromU64(4), 3, OrderedTuple{OrderKey{20, 0}, 0, "b"});
+
+  EXPECT_EQ(std::get<std::string>(store.ReadSnapshot(Key::FromU64(2)).value), "blob");
+  EXPECT_EQ(std::get<OrderedTuple>(store.ReadSnapshot(Key::FromU64(3)).value).payload,
+            "w");
+  const auto topk = std::get<TopKSet>(store.ReadSnapshot(Key::FromU64(4)).value);
+  ASSERT_EQ(topk.size(), 2u);
+  EXPECT_EQ(topk.items()[0].payload, "b");
+}
+
+TEST(Store, SnapshotOfMissingKeyIsAbsent) {
+  Store store(64);
+  EXPECT_FALSE(store.ReadSnapshot(Key::FromU64(99)).present);
+}
+
+TEST(Store, LoadOverwrites) {
+  Store store(64);
+  store.LoadInt(Key::FromU64(1), 1);
+  store.LoadInt(Key::FromU64(1), 2);
+  EXPECT_EQ(std::get<std::int64_t>(store.ReadSnapshot(Key::FromU64(1)).value), 2);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace doppel

@@ -1,0 +1,260 @@
+// Tests for the Record: TID word protocol, seqlock snapshot consistency, typed values,
+// presence, split markings, and direct atomic operations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/store/record.h"
+
+namespace doppel {
+namespace {
+
+TEST(Record, NewRecordIsAbsent) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  const auto snap = r.ReadInt();
+  EXPECT_FALSE(snap.present);
+  EXPECT_EQ(snap.tid, 0u);
+}
+
+TEST(Record, SetIntVisibleAfterUnlock) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.LockOcc();
+  r.SetInt(42);
+  r.UnlockOccSetTid(100);
+  const auto snap = r.ReadInt();
+  EXPECT_TRUE(snap.present);
+  EXPECT_EQ(snap.value, 42);
+  EXPECT_EQ(snap.tid, 100u);
+}
+
+TEST(Record, TidWordLockBit) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  EXPECT_FALSE(Record::IsLocked(r.LoadTidWord()));
+  EXPECT_TRUE(r.TryLockOcc());
+  EXPECT_TRUE(Record::IsLocked(r.LoadTidWord()));
+  EXPECT_FALSE(r.TryLockOcc());  // already held
+  r.UnlockOcc();
+  EXPECT_FALSE(Record::IsLocked(r.LoadTidWord()));
+  EXPECT_EQ(Record::TidOf(r.LoadTidWord()), 0u);  // abort path keeps tid
+}
+
+TEST(Record, UnlockSetTidReplacesTid) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.LockOcc();
+  r.UnlockOccSetTid(7);
+  EXPECT_EQ(Record::TidOf(r.LoadTidWord()), 7u);
+  r.LockOcc();
+  r.UnlockOccSetTid(9);
+  EXPECT_EQ(Record::TidOf(r.LoadTidWord()), 9u);
+}
+
+TEST(Record, StableTidWaitsForUnlock) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.LockOcc();
+  std::atomic<bool> read_done{false};
+  std::thread reader([&] {
+    EXPECT_EQ(r.StableTid(), 55u);
+    read_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(read_done.load());
+  r.UnlockOccSetTid(55);
+  reader.join();
+  EXPECT_TRUE(read_done.load());
+}
+
+TEST(Record, BytesRoundTrip) {
+  Record r(Key::FromU64(1), RecordType::kBytes, 0);
+  r.LockOcc();
+  r.MutateComplex([](ComplexValue& cv) { std::get<std::string>(cv) = "payload"; });
+  r.UnlockOccSetTid(3);
+  auto snap = r.ReadComplex();
+  EXPECT_TRUE(snap.present);
+  EXPECT_EQ(std::get<std::string>(snap.value), "payload");
+}
+
+TEST(Record, TopKCreatedWithCapacity) {
+  Record r(Key::FromU64(1), RecordType::kTopK, 7);
+  EXPECT_EQ(r.topk_k(), 7u);
+  auto snap = r.ReadComplex();
+  EXPECT_EQ(std::get<TopKSet>(snap.value).k(), 7u);
+}
+
+TEST(Record, ReadValueTypedSnapshot) {
+  Record ri(Key::FromU64(1), RecordType::kInt64, 0);
+  ri.LockOcc();
+  ri.SetInt(5);
+  ri.UnlockOccSetTid(2);
+  EXPECT_EQ(std::get<std::int64_t>(ri.ReadValue().value), 5);
+
+  Record ro(Key::FromU64(2), RecordType::kOrdered, 0);
+  ro.LockOcc();
+  ro.MutateComplex([](ComplexValue& cv) {
+    std::get<OrderedTuple>(cv) = OrderedTuple{OrderKey{9, 0}, 1, "w"};
+  });
+  ro.UnlockOccSetTid(2);
+  EXPECT_EQ(std::get<OrderedTuple>(ro.ReadValue().value).payload, "w");
+}
+
+TEST(Record, SetAbsentHidesValue) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.LockOcc();
+  r.SetInt(1);
+  r.SetAbsent();
+  r.UnlockOccSetTid(2);
+  EXPECT_FALSE(r.ReadInt().present);
+}
+
+TEST(Record, SplitMarking) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  EXPECT_FALSE(r.IsSplit());
+  EXPECT_EQ(r.slice_index(), -1);
+  r.MarkSplit(3, 17);
+  EXPECT_TRUE(r.IsSplit());
+  EXPECT_EQ(r.split_op(), 3);
+  EXPECT_EQ(r.slice_index(), 17);
+  r.ClearSplit();
+  EXPECT_FALSE(r.IsSplit());
+  EXPECT_EQ(r.slice_index(), -1);
+}
+
+TEST(Record, AtomicAddAccumulates) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.AtomicAdd(5);
+  r.AtomicAdd(-2);
+  EXPECT_EQ(r.AtomicLoadInt(), 3);
+  EXPECT_TRUE(r.ReadInt().present);
+}
+
+TEST(Record, AtomicMaxMinSemantics) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.AtomicMax(10);
+  r.AtomicMax(5);
+  EXPECT_EQ(r.AtomicLoadInt(), 10);
+  r.AtomicMax(20);
+  EXPECT_EQ(r.AtomicLoadInt(), 20);
+  Record r2(Key::FromU64(2), RecordType::kInt64, 0);
+  r2.AtomicMin(-3);
+  r2.AtomicMin(4);
+  EXPECT_EQ(r2.AtomicLoadInt(), -3);
+}
+
+TEST(Record, AtomicMultSemantics) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.AtomicAdd(1);  // start at 1
+  r.AtomicMult(6);
+  r.AtomicMult(7);
+  EXPECT_EQ(r.AtomicLoadInt(), 42);
+}
+
+TEST(Record, ConcurrentAtomicAddExact) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        r.AtomicAdd(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(r.AtomicLoadInt(), kThreads * kOps);
+}
+
+TEST(Record, ConcurrentAtomicMaxExact) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20000; ++i) {
+        r.AtomicMax(t * 100000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(r.AtomicLoadInt(), 3 * 100000 + 19999);
+}
+
+// Seqlock torn-read check: a writer alternates between two internally-consistent states;
+// readers must never observe a mix. The value encodes its own checksum: v = x * 1e6 + x.
+TEST(Record, SeqlockIntReadersNeverSeeTornState) {
+  Record r(Key::FromU64(1), RecordType::kInt64, 0);
+  r.LockOcc();
+  r.SetInt(0);
+  r.UnlockOccSetTid(2);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    std::uint64_t tid = 4;
+    for (std::int64_t x = 0; !stop.load(std::memory_order_relaxed); ++x) {
+      r.LockOcc();
+      r.SetInt(x % 1000);
+      r.UnlockOccSetTid(tid += 2);
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto s1 = r.ReadInt();
+      const auto s2 = r.ReadInt();
+      // TIDs advance monotonically with values; a snapshot pair must be ordered.
+      if (s2.tid < s1.tid) {
+        torn = true;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop = true;
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(torn.load());
+}
+
+// Complex-value torn-read check: writer installs strings whose length encodes content;
+// readers validate the invariant on every snapshot.
+TEST(Record, SeqlockComplexReadersSeeConsistentStrings) {
+  Record r(Key::FromU64(1), RecordType::kBytes, 0);
+  r.LockOcc();
+  r.MutateComplex([](ComplexValue& cv) { std::get<std::string>(cv) = "aa"; });
+  r.UnlockOccSetTid(2);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> corrupt{false};
+  std::thread writer([&] {
+    std::uint64_t tid = 4;
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const char c = static_cast<char>('a' + (i % 26));
+      const std::string payload(1 + static_cast<std::size_t>(i % 40), c);
+      r.LockOcc();
+      r.MutateComplex([&](ComplexValue& cv) { std::get<std::string>(cv) = payload; });
+      r.UnlockOccSetTid(tid += 2);
+      i++;
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = r.ReadComplex();
+      const auto& s = std::get<std::string>(snap.value);
+      for (char c : s) {
+        if (c != s[0]) {
+          corrupt = true;  // mixed content: torn copy
+        }
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop = true;
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(corrupt.load());
+}
+
+}  // namespace
+}  // namespace doppel

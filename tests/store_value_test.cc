@@ -1,0 +1,193 @@
+// Tests for typed values: OrderKey ordering, OPut win rules, and top-K set semantics
+// (§4's commutativity rules depend on these).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/store/value.h"
+
+namespace doppel {
+namespace {
+
+TEST(OrderKey, LexicographicOrder) {
+  EXPECT_LT((OrderKey{1, 0}), (OrderKey{2, 0}));
+  EXPECT_LT((OrderKey{1, 5}), (OrderKey{2, 0}));
+  EXPECT_LT((OrderKey{1, 1}), (OrderKey{1, 2}));
+  EXPECT_EQ((OrderKey{3, 4}), (OrderKey{3, 4}));
+  EXPECT_GT((OrderKey{3, 5}), (OrderKey{3, 4}));
+}
+
+TEST(OrderKey, NegInfLosesToEverything) {
+  const OrderKey neg = OrderKey::NegInf();
+  EXPECT_LT(neg, (OrderKey{INT64_MIN, INT64_MIN + 1}));
+  EXPECT_LT(neg, (OrderKey{0, 0}));
+  EXPECT_EQ(neg, OrderKey::NegInf());
+}
+
+TEST(OrderedTuple, WinsByOrderThenCore) {
+  const OrderedTuple low{OrderKey{1, 0}, 9, "low"};
+  const OrderedTuple high{OrderKey{2, 0}, 0, "high"};
+  EXPECT_TRUE(OrderedTuple::Wins(high, low));
+  EXPECT_FALSE(OrderedTuple::Wins(low, high));
+  // "if o' = o and j' > j": the higher core ID wins ties (§4).
+  const OrderedTuple core1{OrderKey{2, 0}, 1, "c1"};
+  const OrderedTuple core2{OrderKey{2, 0}, 2, "c2"};
+  EXPECT_TRUE(OrderedTuple::Wins(core2, core1));
+  EXPECT_FALSE(OrderedTuple::Wins(core1, core2));
+  // A tuple never beats itself (strictness keeps OPut idempotent).
+  EXPECT_FALSE(OrderedTuple::Wins(core1, core1));
+}
+
+TEST(OrderedTuple, DefaultIsNegInf) {
+  const OrderedTuple fresh;
+  const OrderedTuple any{OrderKey{INT64_MIN, INT64_MIN + 1}, 0, ""};
+  EXPECT_TRUE(OrderedTuple::Wins(any, fresh));
+}
+
+TEST(TopK, InsertKeepsDescendingOrder) {
+  TopKSet set(5);
+  for (std::int64_t o : {3, 1, 4, 1, 5, 9, 2, 6}) {
+    set.Insert(OrderedTuple{OrderKey{o, 0}, 0, std::to_string(o)});
+  }
+  ASSERT_EQ(set.size(), 5u);
+  const auto& items = set.items();
+  EXPECT_EQ(items[0].order.primary, 9);
+  EXPECT_EQ(items[1].order.primary, 6);
+  EXPECT_EQ(items[2].order.primary, 5);
+  EXPECT_EQ(items[3].order.primary, 4);
+  EXPECT_EQ(items[4].order.primary, 3);
+}
+
+TEST(TopK, AtMostOneTuplePerOrderHighestCoreWins) {
+  TopKSet set(5);
+  EXPECT_TRUE(set.Insert(OrderedTuple{OrderKey{7, 0}, 1, "core1"}));
+  // Same order, higher core: replaces.
+  EXPECT_TRUE(set.Insert(OrderedTuple{OrderKey{7, 0}, 3, "core3"}));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.items()[0].payload, "core3");
+  // Same order, lower core: rejected.
+  EXPECT_FALSE(set.Insert(OrderedTuple{OrderKey{7, 0}, 2, "core2"}));
+  EXPECT_EQ(set.items()[0].payload, "core3");
+  // Identical insert: idempotent.
+  EXPECT_FALSE(set.Insert(OrderedTuple{OrderKey{7, 0}, 3, "core3"}));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TopK, DropsSmallestWhenFull) {
+  TopKSet set(3);
+  set.Insert(OrderedTuple{OrderKey{10, 0}, 0, "a"});
+  set.Insert(OrderedTuple{OrderKey{20, 0}, 0, "b"});
+  set.Insert(OrderedTuple{OrderKey{30, 0}, 0, "c"});
+  // Larger than the minimum: evicts order 10.
+  EXPECT_TRUE(set.Insert(OrderedTuple{OrderKey{25, 0}, 0, "d"}));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.back().order.primary, 20);
+  // Smaller than the minimum: rejected.
+  EXPECT_FALSE(set.Insert(OrderedTuple{OrderKey{5, 0}, 0, "e"}));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(TopK, SecondaryOrderBreaksPrimaryTies) {
+  TopKSet set(4);
+  set.Insert(OrderedTuple{OrderKey{10, 1}, 0, "a"});
+  set.Insert(OrderedTuple{OrderKey{10, 2}, 0, "b"});  // distinct order: both retained
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.items()[0].order.secondary, 2);
+}
+
+TEST(TopK, KOne) {
+  TopKSet set(1);
+  set.Insert(OrderedTuple{OrderKey{1, 0}, 0, "a"});
+  set.Insert(OrderedTuple{OrderKey{5, 0}, 0, "b"});
+  set.Insert(OrderedTuple{OrderKey{3, 0}, 0, "c"});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.items()[0].payload, "b");
+}
+
+// Reference implementation: global top-K over all inserted tuples with per-order dedup
+// by max core.
+TopKSet ReferenceTopK(std::size_t k, const std::vector<OrderedTuple>& all) {
+  std::vector<OrderedTuple> best;
+  for (const auto& t : all) {
+    auto it = std::find_if(best.begin(), best.end(),
+                           [&](const OrderedTuple& b) { return b.order == t.order; });
+    if (it == best.end()) {
+      best.push_back(t);
+    } else if (t.core > it->core) {
+      *it = t;
+    }
+  }
+  std::sort(best.begin(), best.end(),
+            [](const OrderedTuple& a, const OrderedTuple& b) {
+              return OrderedTuple::Wins(a, b);
+            });
+  if (best.size() > k) {
+    best.resize(k);
+  }
+  TopKSet out(k);
+  for (const auto& t : best) {
+    out.Insert(t);
+  }
+  return out;
+}
+
+class TopKPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Property (the §4 merge requirement): splitting a random insert stream across J "cores"
+// and merging the per-core sets equals inserting the whole stream into one set.
+TEST_P(TopKPropertyTest, MergeEqualsSerialInsertion) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t k = 1 + rng.NextBounded(12);
+  const int cores = 2 + static_cast<int>(rng.NextBounded(4));
+  const int n = 1 + static_cast<int>(rng.NextBounded(300));
+
+  std::vector<OrderedTuple> all;
+  std::vector<TopKSet> slices(static_cast<std::size_t>(cores), TopKSet(k));
+  TopKSet serial(k);
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t core = static_cast<std::uint32_t>(rng.NextBounded(cores));
+    OrderedTuple t{OrderKey{static_cast<std::int64_t>(rng.NextBounded(40)), 0}, core,
+                   "p" + std::to_string(i)};
+    all.push_back(t);
+    serial.Insert(t);
+    slices[core].Insert(t);
+  }
+  TopKSet merged(k);
+  for (const auto& s : slices) {
+    merged.MergeFrom(s);
+  }
+  // Both must equal the reference; note serial insertion itself must too.
+  const TopKSet expected = ReferenceTopK(k, all);
+  EXPECT_EQ(merged, expected) << "seed=" << seed;
+  EXPECT_EQ(serial, expected) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, TopKPropertyTest, ::testing::Range(0, 25));
+
+TEST(TopK, MergeFromEmptyIsNoop) {
+  TopKSet a(3);
+  a.Insert(OrderedTuple{OrderKey{1, 0}, 0, "x"});
+  const TopKSet before = a;
+  a.MergeFrom(TopKSet(3));
+  EXPECT_EQ(a, before);
+}
+
+TEST(ValueType, MatchesAlternatives) {
+  EXPECT_EQ(ValueType(Value{std::int64_t{3}}), RecordType::kInt64);
+  EXPECT_EQ(ValueType(Value{std::string("x")}), RecordType::kBytes);
+  EXPECT_EQ(ValueType(Value{OrderedTuple{}}), RecordType::kOrdered);
+  EXPECT_EQ(ValueType(Value{TopKSet(2)}), RecordType::kTopK);
+}
+
+TEST(RecordTypeName, AllNamed) {
+  EXPECT_STREQ(RecordTypeName(RecordType::kInt64), "int64");
+  EXPECT_STREQ(RecordTypeName(RecordType::kBytes), "bytes");
+  EXPECT_STREQ(RecordTypeName(RecordType::kOrdered), "ordered");
+  EXPECT_STREQ(RecordTypeName(RecordType::kTopK), "topk");
+}
+
+}  // namespace
+}  // namespace doppel

@@ -1,0 +1,133 @@
+// Property tests for the shared operation-application logic: the read-own-writes overlay
+// (ApplyWriteToResult) must agree exactly with the committed application path
+// (ApplyWriteToRecord), and op metadata must be self-consistent.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/txn/apply.h"
+
+namespace doppel {
+namespace {
+
+TEST(OpMetadata, SplittableOpsAreRmwAndTyped) {
+  for (int i = 0; i < kNumOps; ++i) {
+    const OpCode op = static_cast<OpCode>(i);
+    if (IsSplittable(op)) {
+      // Every splittable op logically reads its record (the OCC contention source the
+      // split phase removes).
+      EXPECT_TRUE(IsReadModifyWrite(op)) << OpName(op);
+    }
+  }
+  EXPECT_FALSE(IsSplittable(OpCode::kGet));
+  EXPECT_FALSE(IsSplittable(OpCode::kPutInt));
+  EXPECT_FALSE(IsSplittable(OpCode::kPutBytes));
+  EXPECT_EQ(OpRecordType(OpCode::kAdd), RecordType::kInt64);
+  EXPECT_EQ(OpRecordType(OpCode::kPutBytes), RecordType::kBytes);
+  EXPECT_EQ(OpRecordType(OpCode::kOPut), RecordType::kOrdered);
+  EXPECT_EQ(OpRecordType(OpCode::kTopKInsert), RecordType::kTopK);
+}
+
+TEST(OpMetadata, AllOpsNamed) {
+  for (int i = 0; i < kNumOps; ++i) {
+    EXPECT_STRNE(OpName(static_cast<OpCode>(i)), "?");
+  }
+}
+
+class OverlayEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+// Random int-op sequences: applying through the overlay (uncommitted view) and through
+// the record (committed view) must produce identical values and presence.
+TEST_P(OverlayEquivalenceTest, IntOpsMatch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  Record record(Key::FromU64(1), RecordType::kInt64, 0);
+  ReadResult overlay;  // starts absent, like the record
+  overlay.present = false;
+
+  const OpCode int_ops[] = {OpCode::kPutInt, OpCode::kAdd, OpCode::kMax, OpCode::kMin};
+  const int n = 1 + static_cast<int>(rng.NextBounded(50));
+  for (int i = 0; i < n; ++i) {
+    PendingWrite w;
+    w.record = &record;
+    w.op = int_ops[rng.NextBounded(4)];
+    w.n = static_cast<std::int64_t>(rng.NextBounded(200)) - 100;
+    record.LockOcc();
+    ApplyWriteToRecord(w);
+    record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
+    ApplyWriteToResult(w, &overlay);
+
+    const auto snap = record.ReadInt();
+    ASSERT_EQ(snap.present, overlay.present);
+    ASSERT_EQ(snap.value, overlay.i) << "after " << OpName(w.op) << "(" << w.n << ")";
+  }
+}
+
+TEST_P(OverlayEquivalenceTest, TopKOpsMatch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 1);
+  const std::size_t k = 1 + rng.NextBounded(6);
+  Record record(Key::FromU64(1), RecordType::kTopK, k);
+  ReadResult overlay;
+  overlay.present = true;  // engine Read fills `complex` with the record's typed default
+  overlay.complex = TopKSet(k);
+
+  const int n = 1 + static_cast<int>(rng.NextBounded(60));
+  for (int i = 0; i < n; ++i) {
+    PendingWrite w;
+    w.record = &record;
+    w.op = OpCode::kTopKInsert;
+    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(30)), 0};
+    w.core = static_cast<std::uint32_t>(rng.NextBounded(4));
+    w.payload = "p" + std::to_string(i);
+    record.LockOcc();
+    ApplyWriteToRecord(w);
+    record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
+    ApplyWriteToResult(w, &overlay);
+  }
+  const auto snap = record.ReadComplex();
+  EXPECT_EQ(std::get<TopKSet>(snap.value), std::get<TopKSet>(overlay.complex));
+}
+
+TEST_P(OverlayEquivalenceTest, OPutMatch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3191 + 5);
+  Record record(Key::FromU64(1), RecordType::kOrdered, 0);
+  ReadResult overlay;
+  overlay.present = false;
+  overlay.complex = OrderedTuple{};
+
+  const int n = 1 + static_cast<int>(rng.NextBounded(40));
+  for (int i = 0; i < n; ++i) {
+    PendingWrite w;
+    w.record = &record;
+    w.op = OpCode::kOPut;
+    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(20)),
+                       static_cast<std::int64_t>(rng.NextBounded(3))};
+    w.core = static_cast<std::uint32_t>(rng.NextBounded(4));
+    w.payload = "v" + std::to_string(i);
+    record.LockOcc();
+    ApplyWriteToRecord(w);
+    record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
+    ApplyWriteToResult(w, &overlay);
+  }
+  const auto snap = record.ReadComplex();
+  EXPECT_EQ(std::get<OrderedTuple>(snap.value), std::get<OrderedTuple>(overlay.complex));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayEquivalenceTest, ::testing::Range(0, 12));
+
+TEST(MultOverflowDiscipline, SmallOperandsStayExact) {
+  Record record(Key::FromU64(1), RecordType::kInt64, 0);
+  PendingWrite w;
+  w.record = &record;
+  w.op = OpCode::kMult;
+  w.n = 2;
+  for (int i = 0; i < 10; ++i) {
+    record.LockOcc();
+    ApplyWriteToRecord(w);  // absent treated as multiplicative identity 1
+    record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
+  }
+  EXPECT_EQ(record.ReadInt().value, 1024);
+}
+
+}  // namespace
+}  // namespace doppel

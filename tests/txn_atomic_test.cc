@@ -1,0 +1,109 @@
+// Tests for the Atomic engine: direct atomic application, upper-bound semantics.
+#include <gtest/gtest.h>
+
+#include "src/txn/atomic_engine.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+using testing::EngineHarness;
+using testing::IntAt;
+
+class AtomicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    h_.engine = std::make_unique<AtomicEngine>(h_.store);
+    h_.MakeWorkers(2);
+  }
+  EngineHarness h_;
+  Worker& w0() { return *h_.workers[0]; }
+};
+
+TEST_F(AtomicTest, OpsApplyImmediately) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  Txn& txn = w0().txn;
+  txn.Reset(h_.engine.get(), &w0());
+  txn.Add(Key::FromU64(1), 5);
+  // Visible before commit: the Atomic scheme has no isolation.
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 5);
+  EXPECT_EQ(h_.engine->Commit(w0(), txn), TxnStatus::kCommitted);
+}
+
+TEST_F(AtomicTest, NeverConflicts) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(h_.TryOnce(w0(), [](Txn& t) { t.Add(Key::FromU64(1), 1); }),
+              TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 100);
+}
+
+TEST_F(AtomicTest, ConcurrentAddsSumExactly) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  constexpr int kOps = 100000;
+  h_.Parallel([&](Worker& w) {
+    for (int i = 0; i < kOps; ++i) {
+      h_.MustCommit(w, [](Txn& t) { t.Add(Key::FromU64(1), 1); });
+    }
+  });
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 2 * kOps);
+}
+
+TEST_F(AtomicTest, ConcurrentMaxExact) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  h_.Parallel([&](Worker& w) {
+    for (int i = 0; i < 50000; ++i) {
+      const std::int64_t v = static_cast<std::int64_t>(w.rng.NextBounded(1000000));
+      h_.MustCommit(w, [v](Txn& t) { t.Max(Key::FromU64(1), v); });
+    }
+  });
+  // With 100K samples over 1M values the max is overwhelmingly likely > 900000 and the
+  // record must hold a value some worker actually wrote.
+  EXPECT_GT(IntAt(h_.store, Key::FromU64(1)), 900000);
+  EXPECT_LT(IntAt(h_.store, Key::FromU64(1)), 1000000);
+}
+
+TEST_F(AtomicTest, GetReadsCurrentValue) {
+  h_.store.LoadInt(Key::FromU64(1), 3);
+  std::int64_t v = 0;
+  ASSERT_EQ(h_.TryOnce(w0(), [&](Txn& t) { v = t.GetInt(Key::FromU64(1)).value_or(-1); }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(v, 3);
+}
+
+TEST_F(AtomicTest, ComplexOpsSerializedByValueLock) {
+  h_.store.LoadTopK(Key::FromU64(1), 5);
+  h_.Parallel([&](Worker& w) {
+    for (int i = 0; i < 5000; ++i) {
+      const std::int64_t o = static_cast<std::int64_t>(w.rng.NextBounded(100000));
+      h_.MustCommit(w, [&, o](Txn& t) {
+        t.TopKInsert(Key::FromU64(1), OrderKey{o, w.id}, "p", 5);
+      });
+    }
+  });
+  const auto topk = std::get<TopKSet>(h_.store.ReadSnapshot(Key::FromU64(1)).value);
+  EXPECT_EQ(topk.size(), 5u);
+  // Descending and internally consistent.
+  for (std::size_t i = 1; i < topk.items().size(); ++i) {
+    EXPECT_TRUE(OrderedTuple::Wins(topk.items()[i - 1], topk.items()[i]));
+  }
+}
+
+TEST_F(AtomicTest, OPutKeepsWinner) {
+  h_.Parallel([&](Worker& w) {
+    for (int i = 0; i < 10000; ++i) {
+      const std::int64_t o = static_cast<std::int64_t>(w.rng.NextBounded(1000));
+      h_.MustCommit(w, [&, o](Txn& t) {
+        t.OPut(Key::FromU64(2), OrderKey{o, 0}, std::to_string(o));
+      });
+    }
+  });
+  const auto tuple = std::get<OrderedTuple>(h_.store.ReadSnapshot(Key::FromU64(2)).value);
+  // Payload always matches its own order: no torn mixes.
+  EXPECT_EQ(tuple.payload, std::to_string(tuple.order.primary));
+  EXPECT_GT(tuple.order.primary, 900);  // 20K draws over [0,1000)
+}
+
+}  // namespace
+}  // namespace doppel

@@ -1,0 +1,272 @@
+// Tests for the Silo-style OCC engine (Fig. 2): buffered writes, read-own-writes,
+// validation, conflict reporting, and exactness under concurrency.
+#include <gtest/gtest.h>
+
+#include "src/txn/occ_engine.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+using testing::EngineHarness;
+using testing::IntAt;
+
+class OccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    h_.engine = std::make_unique<OccEngine>(h_.store);
+    h_.MakeWorkers(2);
+  }
+  EngineHarness h_;
+  Worker& w0() { return *h_.workers[0]; }
+  Worker& w1() { return *h_.workers[1]; }
+};
+
+TEST_F(OccTest, PutThenGetAcrossTxns) {
+  ASSERT_EQ(h_.TryOnce(w0(), [](Txn& t) { t.PutInt(Key::FromU64(1), 5); }),
+            TxnStatus::kCommitted);
+  std::int64_t v = -1;
+  ASSERT_EQ(h_.TryOnce(w0(), [&](Txn& t) { v = t.GetInt(Key::FromU64(1)).value_or(-1); }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(v, 5);
+}
+
+TEST_F(OccTest, GetAbsentReturnsNullopt) {
+  bool absent = false;
+  ASSERT_EQ(h_.TryOnce(w0(),
+                       [&](Txn& t) { absent = !t.GetInt(Key::FromU64(9)).has_value(); }),
+            TxnStatus::kCommitted);
+  EXPECT_TRUE(absent);
+}
+
+TEST_F(OccTest, ReadOwnWrites) {
+  std::int64_t after_put = 0;
+  std::int64_t after_add = 0;
+  std::string bytes;
+  ASSERT_EQ(h_.TryOnce(w0(),
+                       [&](Txn& t) {
+                         t.PutInt(Key::FromU64(1), 10);
+                         after_put = t.GetInt(Key::FromU64(1)).value_or(-1);
+                         t.Add(Key::FromU64(1), 5);
+                         after_add = t.GetInt(Key::FromU64(1)).value_or(-1);
+                         t.PutBytes(Key::FromU64(2), "own");
+                         bytes = t.GetBytes(Key::FromU64(2)).value_or("");
+                       }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(after_put, 10);
+  EXPECT_EQ(after_add, 15);
+  EXPECT_EQ(bytes, "own");
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 15);
+}
+
+TEST_F(OccTest, ReadOwnWritesTopKAndOrdered) {
+  std::size_t size = 0;
+  OrderedTuple winner;
+  ASSERT_EQ(h_.TryOnce(w0(),
+                       [&](Txn& t) {
+                         t.TopKInsert(Key::FromU64(3), OrderKey{5, 0}, "a", 4);
+                         t.TopKInsert(Key::FromU64(3), OrderKey{7, 0}, "b", 4);
+                         size = t.GetTopK(Key::FromU64(3), 4)->size();
+                         t.OPut(Key::FromU64(4), OrderKey{1, 0}, "x");
+                         t.OPut(Key::FromU64(4), OrderKey{9, 0}, "y");
+                         winner = *t.GetOrdered(Key::FromU64(4));
+                       }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(size, 2u);
+  EXPECT_EQ(winner.payload, "y");
+}
+
+TEST_F(OccTest, AbsentSemanticsOfCommutativeOps) {
+  ASSERT_EQ(h_.TryOnce(w0(),
+                       [](Txn& t) {
+                         t.Add(Key::FromU64(1), 7);     // absent + 7 = 7
+                         t.Max(Key::FromU64(2), -5);    // absent -> -5
+                         t.Min(Key::FromU64(3), 11);    // absent -> 11
+                         t.Mult(Key::FromU64(4), 6);    // absent treated as 1 -> 6
+                       }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 7);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(2)), -5);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(3)), 11);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(4)), 6);
+}
+
+TEST_F(OccTest, MinMaxMultApplySemantics) {
+  h_.store.LoadInt(Key::FromU64(1), 10);
+  ASSERT_EQ(h_.TryOnce(w0(),
+                       [](Txn& t) {
+                         t.Max(Key::FromU64(1), 3);   // keeps 10
+                         t.Min(Key::FromU64(1), 8);   // 8
+                         t.Mult(Key::FromU64(1), -2); // -16
+                       }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), -16);
+}
+
+TEST_F(OccTest, WriteConflictAborts) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  // w0 reads (via Add's RMW read entry) but does not commit yet; w1 commits a write in
+  // between; w0's validation must fail.
+  Txn& txn = w0().txn;
+  txn.Reset(h_.engine.get(), &w0());
+  txn.Add(Key::FromU64(1), 1);
+  ASSERT_EQ(h_.TryOnce(w1(), [](Txn& t) { t.Add(Key::FromU64(1), 1); }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(h_.engine->Commit(w0(), txn), TxnStatus::kConflict);
+  EXPECT_EQ(txn.conflict_record, h_.store.Find(Key::FromU64(1)));
+  // The loser's effects are not applied.
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 1);
+}
+
+TEST_F(OccTest, ReadValidationFailureAborts) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  Txn& txn = w0().txn;
+  txn.Reset(h_.engine.get(), &w0());
+  (void)txn.GetInt(Key::FromU64(1));
+  txn.PutInt(Key::FromU64(2), 1);  // write something else so commit isn't trivial
+  ASSERT_EQ(h_.TryOnce(w1(), [](Txn& t) { t.PutInt(Key::FromU64(1), 9); }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(h_.engine->Commit(w0(), txn), TxnStatus::kConflict);
+  // Aborted: key 2 must not exist.
+  EXPECT_FALSE(h_.store.ReadSnapshot(Key::FromU64(2)).present);
+}
+
+TEST_F(OccTest, BlindWritesDoNotValidate) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  Txn& txn = w0().txn;
+  txn.Reset(h_.engine.get(), &w0());
+  txn.PutInt(Key::FromU64(1), 100);  // blind write: no read entry
+  ASSERT_EQ(h_.TryOnce(w1(), [](Txn& t) { t.PutInt(Key::FromU64(1), 50); }),
+            TxnStatus::kCommitted);
+  // Last writer wins; no validation failure for blind writes (Silo semantics).
+  EXPECT_EQ(h_.engine->Commit(w0(), txn), TxnStatus::kCommitted);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 100);
+}
+
+TEST_F(OccTest, MultiConflictReportingListsAllHotRecords) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  h_.store.LoadInt(Key::FromU64(2), 0);
+  Txn& txn = w0().txn;
+  txn.Reset(h_.engine.get(), &w0());
+  txn.Add(Key::FromU64(1), 1);
+  txn.Add(Key::FromU64(2), 1);
+  ASSERT_EQ(h_.TryOnce(w1(),
+                       [](Txn& t) {
+                         t.Add(Key::FromU64(1), 1);
+                         t.Add(Key::FromU64(2), 1);
+                       }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(h_.engine->Commit(w0(), txn), TxnStatus::kConflict);
+  // Both co-hot records must be charged (classifier input, §5.5).
+  ASSERT_EQ(txn.conflicts.size(), 2u);
+  EXPECT_EQ(txn.conflicts[0].second, OpCode::kAdd);
+  EXPECT_EQ(txn.conflicts[1].second, OpCode::kAdd);
+}
+
+TEST_F(OccTest, SameKeyWrittenTwiceAppliesInOrder) {
+  ASSERT_EQ(h_.TryOnce(w0(),
+                       [](Txn& t) {
+                         t.PutInt(Key::FromU64(1), 3);
+                         t.Add(Key::FromU64(1), 4);
+                         t.Mult(Key::FromU64(1), 2);
+                       }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 14);
+}
+
+TEST_F(OccTest, TidAdvancesPerCommit) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  Record* r = h_.store.Find(Key::FromU64(1));
+  std::uint64_t prev = Record::TidOf(r->LoadTidWord());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(h_.TryOnce(w0(), [](Txn& t) { t.Add(Key::FromU64(1), 1); }),
+              TxnStatus::kCommitted);
+    const std::uint64_t cur = Record::TidOf(r->LoadTidWord());
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_F(OccTest, TidEmbedsWorkerId) {
+  Worker w(3, 1);
+  const std::uint64_t tid = w.GenerateTid(0);
+  EXPECT_EQ(tid & ((1u << Worker::kWorkerTidBits) - 1), 3u);
+  const std::uint64_t tid2 = w.GenerateTid(tid + 12345);
+  EXPECT_GT(tid2, tid + 12345);
+  EXPECT_EQ(tid2 & ((1u << Worker::kWorkerTidBits) - 1), 3u);
+}
+
+TEST_F(OccTest, UserAbortDiscardsEverything) {
+  h_.store.LoadInt(Key::FromU64(1), 5);
+  EXPECT_EQ(h_.TryOnce(w0(),
+                       [](Txn& t) {
+                         t.PutInt(Key::FromU64(1), 99);
+                         t.UserAbort();
+                       }),
+            TxnStatus::kUserAbort);
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 5);
+}
+
+TEST_F(OccTest, ConcurrentAddsSumExactly) {
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  constexpr int kOps = 30000;
+  h_.Parallel([&](Worker& w) {
+    for (int i = 0; i < kOps; ++i) {
+      h_.MustCommit(w, [](Txn& t) { t.Add(Key::FromU64(1), 1); });
+    }
+  });
+  EXPECT_EQ(IntAt(h_.store, Key::FromU64(1)), 2 * kOps);
+}
+
+TEST_F(OccTest, ConcurrentDisjointMultiKeySums) {
+  constexpr int kKeys = 16;
+  constexpr int kOps = 5000;
+  for (int k = 0; k < kKeys; ++k) {
+    h_.store.LoadInt(Key::FromU64(static_cast<std::uint64_t>(k)), 0);
+  }
+  h_.Parallel([&](Worker& w) {
+    for (int i = 0; i < kOps; ++i) {
+      const std::uint64_t k = w.rng.NextBounded(kKeys);
+      h_.MustCommit(w, [k](Txn& t) { t.Add(Key::FromU64(k), 1); });
+    }
+  });
+  std::int64_t total = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    total += IntAt(h_.store, Key::FromU64(static_cast<std::uint64_t>(k)));
+  }
+  EXPECT_EQ(total, 2 * kOps);
+}
+
+TEST_F(OccTest, SnapshotPairInvariantUnderConcurrency) {
+  // Writers set (k1, k2) to the same value inside one transaction; readers must never
+  // observe k1 != k2 in a committed read transaction.
+  h_.store.LoadInt(Key::FromU64(1), 0);
+  h_.store.LoadInt(Key::FromU64(2), 0);
+  std::atomic<bool> mismatch{false};
+  h_.Parallel([&](Worker& w) {
+    if (w.id == 0) {
+      for (std::int64_t i = 1; i <= 20000; ++i) {
+        h_.MustCommit(w, [i](Txn& t) {
+          t.PutInt(Key::FromU64(1), i);
+          t.PutInt(Key::FromU64(2), i);
+        });
+      }
+    } else {
+      for (int i = 0; i < 20000; ++i) {
+        std::int64_t a = 0;
+        std::int64_t b = 0;
+        h_.MustCommit(w, [&](Txn& t) {
+          a = t.GetInt(Key::FromU64(1)).value_or(0);
+          b = t.GetInt(Key::FromU64(2)).value_or(0);
+        });
+        if (a != b) {
+          mismatch = true;
+        }
+      }
+    }
+  });
+  EXPECT_FALSE(mismatch.load());
+}
+
+}  // namespace
+}  // namespace doppel
