@@ -11,6 +11,49 @@
 
 namespace doppel {
 
+// ---- TxnHandle ----
+
+bool TxnHandle::done() const {
+  DOPPEL_CHECK(ticket_ != nullptr);
+  return ticket_->state.load(std::memory_order_acquire) != 0;
+}
+
+TxnResult TxnHandle::Wait() const {
+  DOPPEL_CHECK(ticket_ != nullptr);
+  int state = ticket_->state.load(std::memory_order_acquire);
+  while (state == 0) {
+    ticket_->state.wait(0, std::memory_order_acquire);
+    state = ticket_->state.load(std::memory_order_acquire);
+  }
+  return TxnResult{state == 1, ticket_->attempts.load(std::memory_order_relaxed)};
+}
+
+bool TxnHandle::TryGet(TxnResult* out) const {
+  DOPPEL_CHECK(ticket_ != nullptr);
+  const int state = ticket_->state.load(std::memory_order_acquire);
+  if (state == 0) {
+    return false;
+  }
+  *out = TxnResult{state == 1, ticket_->attempts.load(std::memory_order_relaxed)};
+  return true;
+}
+
+void TxnHandle::OnComplete(std::function<void(const TxnResult&)> cb) {
+  DOPPEL_CHECK(ticket_ != nullptr);
+  SubmitTicket& t = *ticket_;
+  t.cb_mu.lock();
+  if (!t.finished) {
+    DOPPEL_CHECK(!t.callback);  // at most one callback per handle
+    t.callback = std::move(cb);
+    t.cb_mu.unlock();
+    return;
+  }
+  t.cb_mu.unlock();
+  cb(t.result());  // already terminal: deliver inline on the caller's thread
+}
+
+// ---- Database ----
+
 Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
   if (opts_.num_workers <= 0) {
     opts_.num_workers = NumCpus();
@@ -25,6 +68,7 @@ Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
   for (int i = 0; i < opts_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(
         i, 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1)));
+    inboxes_.push_back(std::make_unique<SubmitInbox>(opts_.submit_inbox_capacity));
   }
 
   switch (opts_.protocol) {
@@ -65,6 +109,7 @@ void Database::Start(SourceFactory factory) {
   for (int i = 0; i < opts_.num_workers; ++i) {
     sources_.push_back(factory ? factory(i) : nullptr);
   }
+  accepting_.store(true);
   for (int i = 0; i < opts_.num_workers; ++i) {
     Worker* w = workers_[static_cast<std::size_t>(i)].get();
     TxnSource* src = sources_[static_cast<std::size_t>(i)].get();
@@ -80,8 +125,15 @@ void Database::Stop() {
     return;
   }
   stopped_ = true;
-  // Coordinator first: it finishes any split phase (reconciling all slices) and then
-  // releases the workers.
+  // Phase 1: refuse new submissions, then drain the ones already accepted. Workers and
+  // the coordinator are still running, so queued, retried, and stashed transactions all
+  // reach a terminal state (stashes need the coordinator to reach a joined phase).
+  accepting_.store(false);
+  while (inflight_.load() != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  // Phase 2: coordinator next. It finishes any split phase (reconciling all slices) and
+  // then releases the workers.
   stop_coord_.store(true, std::memory_order_release);
   if (coordinator_ == nullptr) {
     stop_workers_.store(true, std::memory_order_release);
@@ -93,26 +145,10 @@ void Database::Stop() {
 }
 
 bool Database::TryRunSubmitted(Worker& w) {
-  if (submit_count_.load(std::memory_order_relaxed) == 0) {
-    return false;
-  }
-  std::shared_ptr<SubmitTicket> ticket;
-  {
-    if (!submit_mu_.try_lock()) {
-      return false;
-    }
-    if (!submit_queue_.empty()) {
-      ticket = std::move(submit_queue_.front());
-      submit_queue_.pop_front();
-      submit_count_.fetch_sub(1, std::memory_order_relaxed);
-    }
-    submit_mu_.unlock();
-  }
-  if (!ticket) {
-    return false;
-  }
   PendingTxn pt;
-  pt.ticket = std::move(ticket);
+  if (!inboxes_[static_cast<std::size_t>(w.id)]->TryPop(&pt)) {
+    return false;
+  }
   RunPendingTxn(*engine_, runner_cfg_, w, std::move(pt));
   return true;
 }
@@ -149,27 +185,109 @@ void Database::WorkerMain(Worker& w, TxnSource* source) {
       RunPendingTxn(*engine_, runner_cfg_, w, std::move(pt));
       continue;
     }
-    // Idle (Execute-only mode): nap briefly, staying responsive to phase changes.
-    std::this_thread::sleep_for(std::chrono::microseconds(w.retry_heap.empty() ? 50 : 5));
+    // Idle (submission-only mode): nap briefly, staying responsive to phase changes and
+    // fresh inbox arrivals.
+    std::this_thread::sleep_for(std::chrono::microseconds(w.retry_heap.empty() ? 20 : 5));
   }
 }
 
+SubmitStatus Database::TrySubmitPending(PendingTxn&& pt, std::uint32_t start_inbox,
+                                        bool failover, TxnHandle* handle) {
+  DOPPEL_CHECK(started_);
+  DOPPEL_CHECK(pt.ticket != nullptr);
+  // Charge the drain counter before the accepting_ check (both sides seq_cst): Stop()'s
+  // drain loop then observes either this in-flight submission or nothing at all — never
+  // a push it has already stopped waiting for.
+  pt.ticket->inflight = &inflight_;
+  inflight_.fetch_add(1);
+  if (!accepting_.load()) {
+    inflight_.fetch_sub(1);
+    return SubmitStatus::kStopped;
+  }
+  // Stamp at acceptance, not first execution: reported latency must include queueing.
+  pt.req.args.submit_ns = NowNanos();
+  std::shared_ptr<SubmitTicket> ticket = pt.ticket;
+  const std::size_t n = inboxes_.size();
+  const std::size_t attempts = failover ? n : 1;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    if (inboxes_[(start_inbox + i) % n]->TryPush(pt)) {
+      *handle = TxnHandle(std::move(ticket));
+      return SubmitStatus::kOk;
+    }
+  }
+  inflight_.fetch_sub(1);
+  return SubmitStatus::kQueueFull;
+}
+
+TxnHandle Database::SubmitPendingBlocking(PendingTxn&& pt, std::uint32_t start_inbox,
+                                          bool failover) {
+  TxnHandle handle;
+  while (true) {
+    const SubmitStatus s = TrySubmitPending(std::move(pt), start_inbox, failover, &handle);
+    if (s == SubmitStatus::kOk) {
+      return handle;
+    }
+    if (s == SubmitStatus::kStopped) {
+      // Stop() began while we were blocked on backpressure (or the caller raced Stop):
+      // reject gracefully with a handle that reports the abort, never a crash.
+      pt.ticket->state.store(2, std::memory_order_release);
+      pt.ticket->state.notify_all();
+      return TxnHandle(std::move(pt.ticket));
+    }
+    // Inbox(es) full: yield briefly, then retry from the same starting inbox.
+    std::this_thread::sleep_for(std::chrono::microseconds(5));
+  }
+}
+
+TxnHandle Database::Submit(TxnRequest req) {
+  DOPPEL_CHECK(req.proc != nullptr);  // a null proc would kill a worker thread later
+  PendingTxn pt;
+  pt.req = req;
+  pt.ticket = std::make_shared<SubmitTicket>();
+  return SubmitPendingBlocking(std::move(pt), next_inbox_.fetch_add(1),
+                               /*failover=*/true);
+}
+
+TxnHandle Database::Submit(std::function<void(Txn&)> fn) {
+  PendingTxn pt;
+  pt.ticket = std::make_shared<SubmitTicket>();
+  pt.ticket->fn = std::move(fn);
+  return SubmitPendingBlocking(std::move(pt), next_inbox_.fetch_add(1),
+                               /*failover=*/true);
+}
+
+SubmitStatus Database::TrySubmit(const TxnRequest& req, TxnHandle* handle) {
+  DOPPEL_CHECK(req.proc != nullptr);
+  PendingTxn pt;
+  pt.req = req;
+  pt.ticket = std::make_shared<SubmitTicket>();
+  return TrySubmitPending(std::move(pt), next_inbox_.fetch_add(1), /*failover=*/true,
+                          handle);
+}
+
+std::vector<TxnHandle> Database::SubmitBatch(std::span<const TxnRequest> reqs) {
+  std::vector<TxnHandle> handles;
+  handles.reserve(reqs.size());
+  // One cursor reservation for the whole batch: request i goes to inbox (start + i) % n,
+  // so consecutive requests land on consecutive workers and order is preserved within
+  // each inbox.
+  const std::uint32_t start =
+      next_inbox_.fetch_add(static_cast<std::uint32_t>(reqs.size()));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    DOPPEL_CHECK(reqs[i].proc != nullptr);
+    PendingTxn pt;
+    pt.req = reqs[i];
+    pt.ticket = std::make_shared<SubmitTicket>();
+    // No failover: a full designated inbox blocks this entry rather than reordering it
+    // behind a later same-inbox entry.
+    handles.push_back(SubmitPendingBlocking(
+        std::move(pt), start + static_cast<std::uint32_t>(i), /*failover=*/false));
+  }
+  return handles;
+}
+
 TxnResult Database::Execute(std::function<void(Txn&)> fn) {
-  DOPPEL_CHECK(started_ && !stopped_);
-  auto ticket = std::make_shared<SubmitTicket>();
-  ticket->fn = std::move(fn);
-  {
-    submit_mu_.lock();
-    submit_queue_.push_back(ticket);
-    submit_mu_.unlock();
-  }
-  submit_count_.fetch_add(1, std::memory_order_relaxed);
-  int state = ticket->state.load(std::memory_order_acquire);
-  while (state == 0) {
-    ticket->state.wait(0, std::memory_order_acquire);
-    state = ticket->state.load(std::memory_order_acquire);
-  }
-  return TxnResult{state == 1, ticket->attempts.load(std::memory_order_relaxed)};
+  return Submit(std::move(fn)).Wait();
 }
 
 std::uint64_t Database::SampleTotalCommits() const {

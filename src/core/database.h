@@ -1,31 +1,50 @@
 // The public facade: a Doppel database instance.
 //
-// Typical use (see examples/quickstart.cc):
+// Transactions are submitted asynchronously: Submit hands the transaction to one of the
+// per-worker MPSC inboxes (round-robin) and immediately returns a TxnHandle — a
+// lightweight future that can be waited on (Wait/TryGet) or given a completion callback
+// (OnComplete, invoked on the committing worker's thread). SubmitBatch amortises cursor
+// traffic across a whole batch, and TrySubmit exposes backpressure: when every inbox is
+// full it returns SubmitStatus::kQueueFull instead of queueing unboundedly, so open-loop
+// clients see overload instead of hiding it in memory.
 //
 //   doppel::Options opts;
 //   opts.protocol = doppel::Protocol::kDoppel;
 //   doppel::Database db(opts);
 //   db.store().LoadInt(doppel::Key::FromU64(1), 0);
 //   db.Start();
-//   db.Execute([](doppel::Txn& txn) { txn.Add(doppel::Key::FromU64(1), 1); });
-//   db.Stop();
 //
-// Benchmarks instead attach a per-worker TxnSource: each worker generates transactions
-// as if it were a client and executes them closed-loop (§8.1).
+//   // Asynchronous: pipeline many transactions, then wait.
+//   std::vector<doppel::TxnHandle> handles;
+//   for (int i = 0; i < 1000; ++i) {
+//     handles.push_back(db.Submit([](doppel::Txn& txn) {
+//       txn.Add(doppel::Key::FromU64(1), 1);
+//     }));
+//   }
+//   for (auto& h : handles) h.Wait();
+//
+//   // Synchronous convenience (Submit + Wait):
+//   db.Execute([](doppel::Txn& txn) { txn.Add(doppel::Key::FromU64(1), 1); });
+//   db.Stop();  // drains in-flight submissions before joining workers
+//
+// See examples/quickstart.cpp and examples/async_pipeline.cpp. Benchmarks instead attach
+// a per-worker TxnSource: each worker generates transactions as if it were a client and
+// executes them closed-loop (§8.1); the open-loop driver (src/workload/driver.h) uses
+// Submit from external threads at a paced offered load.
 #ifndef DOPPEL_SRC_CORE_DATABASE_H_
 #define DOPPEL_SRC_CORE_DATABASE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
-#include "src/common/spinlock.h"
 #include "src/core/coordinator.h"
 #include "src/core/doppel_engine.h"
+#include "src/core/inbox.h"
 #include "src/core/options.h"
 #include "src/core/runner.h"
 #include "src/persist/wal.h"
@@ -44,9 +63,35 @@ class TxnSource {
 
 using SourceFactory = std::function<std::unique_ptr<TxnSource>(int worker_id)>;
 
-struct TxnResult {
-  bool committed = false;
-  std::uint32_t attempts = 0;
+// Future for one submitted transaction. Cheap to copy (one shared_ptr); thread-safe.
+class TxnHandle {
+ public:
+  TxnHandle() = default;
+
+  bool valid() const { return ticket_ != nullptr; }
+  // True once the transaction reached a terminal state (committed or user-aborted).
+  bool done() const;
+  // Blocks until terminal (parks on an atomic wait, no spinning).
+  TxnResult Wait() const;
+  // Non-blocking: fills *out and returns true iff already terminal.
+  bool TryGet(TxnResult* out) const;
+  // Registers `cb` to run exactly once with the terminal result. If the transaction is
+  // still in flight the callback runs on the worker thread that finishes it (it must not
+  // block); if it already finished, `cb` runs inline on the calling thread. At most one
+  // callback per handle.
+  void OnComplete(std::function<void(const TxnResult&)> cb);
+
+ private:
+  friend class Database;
+  explicit TxnHandle(std::shared_ptr<SubmitTicket> t) : ticket_(std::move(t)) {}
+
+  std::shared_ptr<SubmitTicket> ticket_;
+};
+
+enum class SubmitStatus {
+  kOk = 0,
+  kQueueFull,  // every worker inbox is at capacity; retry later (backpressure)
+  kStopped,    // Stop() has begun; no new submissions are accepted
 };
 
 class Database {
@@ -72,17 +117,39 @@ class Database {
   // Spawns worker threads (and, for Doppel, the coordinator). `factory`, if provided,
   // creates one TxnSource per worker for closed-loop generation.
   void Start(SourceFactory factory = nullptr);
-  // Stops generation, reconciles outstanding split state, joins all threads. Idempotent.
+  // Stops accepting submissions, drains every inbox and in-flight handle (stashed
+  // transactions are replayed in a final joined phase), then joins all threads.
+  // Idempotent.
   void Stop();
   bool started() const { return started_; }
 
-  // Submits a transaction and blocks until it commits (internally retrying conflicts and
-  // stashes) or user-aborts. Thread-safe; requires Start() first.
+  // ---- Asynchronous submission (thread-safe; requires Start() first) ----
+  // Places `req` on a worker inbox (round-robin, with failover to the other inboxes) and
+  // returns a handle. `req.args.submit_ns` is stamped at acceptance so reported latency
+  // includes queueing delay; `req.on_complete`, if set, fires on the committing worker.
+  // Blocks only when every inbox is full. If Stop() begins while blocked (or has already
+  // begun), returns a handle that reports committed == false.
+  TxnHandle Submit(TxnRequest req);
+  // std::function convenience body (heap-allocates one ticket, like Execute always did).
+  TxnHandle Submit(std::function<void(Txn&)> fn);
+  // Non-blocking variant: kQueueFull leaves *handle invalid and the request unqueued.
+  SubmitStatus TrySubmit(const TxnRequest& req, TxnHandle* handle);
+  // Submits a batch with one cursor reservation: request i lands on inbox
+  // (start + i) % num_workers, preserving submission order within each inbox. Blocks
+  // until all requests are accepted; returns one handle per request, in order.
+  std::vector<TxnHandle> SubmitBatch(std::span<const TxnRequest> reqs);
+
+  // Synchronous wrapper: Submit(fn).Wait(). Blocks until the transaction commits
+  // (internally retrying conflicts and stashes) or user-aborts.
   TxnResult Execute(std::function<void(Txn&)> fn);
 
   // ---- Metrics ----
   // Racy sum of per-worker commit counters; safe to call while running (Fig. 10 series).
   std::uint64_t SampleTotalCommits() const;
+  // Racy count of accepted-but-unfinished external submissions.
+  std::uint64_t InflightSubmissions() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
 
   struct Stats {
     std::uint64_t committed = 0;
@@ -105,6 +172,14 @@ class Database {
  private:
   void WorkerMain(Worker& w, TxnSource* source);
   bool TryRunSubmitted(Worker& w);
+  // Stamps submit_ns, charges the drain counter, and pushes onto the inbox at
+  // `start_inbox` (trying the others too when `failover` is set — batch submission
+  // disables failover to keep per-inbox FIFO order under backpressure). On
+  // kQueueFull/kStopped nothing is queued or charged.
+  SubmitStatus TrySubmitPending(PendingTxn&& pt, std::uint32_t start_inbox, bool failover,
+                                TxnHandle* handle);
+  TxnHandle SubmitPendingBlocking(PendingTxn&& pt, std::uint32_t start_inbox,
+                                  bool failover);
 
   Options opts_;
   Store store_;
@@ -121,9 +196,11 @@ class Database {
   bool started_ = false;
   bool stopped_ = false;
 
-  Spinlock submit_mu_;
-  std::deque<std::shared_ptr<SubmitTicket>> submit_queue_;
-  std::atomic<std::size_t> submit_count_{0};
+  // ---- Submission path ----
+  std::vector<std::unique_ptr<SubmitInbox>> inboxes_;  // one per worker
+  std::atomic<std::uint32_t> next_inbox_{0};           // round-robin placement cursor
+  std::atomic<std::uint64_t> inflight_{0};             // accepted, not yet terminal
+  std::atomic<bool> accepting_{false};                 // false before Start / after Stop
 };
 
 }  // namespace doppel

@@ -1,0 +1,80 @@
+#include "src/core/inbox.h"
+
+#include <utility>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+SubmitInbox::SubmitInbox(std::size_t capacity)
+    : capacity_(RoundUpPow2(capacity < 2 ? 2 : capacity)),
+      mask_(capacity_ - 1),
+      cells_(new Cell[capacity_]) {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool SubmitInbox::TryPush(PendingTxn& item) {
+  std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  while (true) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      // Cell is free at this position; claim it by advancing the cursor.
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        cell.item = std::move(item);
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded `pos`; retry with the new cursor.
+    } else if (dif < 0) {
+      // Cell still holds an unconsumed item from one lap ago: the ring is full. A racing
+      // pop may free it any nanosecond, but callers treat "momentarily full" as full —
+      // that is the backpressure contract.
+      return false;
+    } else {
+      // Another producer claimed this position; chase the cursor.
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool SubmitInbox::TryPop(PendingTxn* out) {
+  // Single consumer: no CAS needed on dequeue_pos_, a plain advance suffices.
+  const std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[pos & mask_];
+  const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+  const std::int64_t dif =
+      static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+  if (dif < 0) {
+    return false;  // producer has not published this cell yet
+  }
+  DOPPEL_DCHECK(dif == 0);
+  *out = std::move(cell.item);
+  cell.item = PendingTxn{};  // drop the ticket reference eagerly
+  cell.seq.store(pos + capacity_, std::memory_order_release);
+  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SubmitInbox::ApproxSize() const {
+  const std::uint64_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+  const std::uint64_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+  return enq > deq ? static_cast<std::size_t>(enq - deq) : 0;
+}
+
+}  // namespace doppel

@@ -1,0 +1,64 @@
+// Bounded MPSC inbox: the per-worker submission queue behind Database::Submit.
+//
+// Multiple client threads push transactions; exactly one worker (the owner) pops them in
+// FIFO order between transactions. The design is a bounded ring of sequence-stamped cells
+// (Vyukov's bounded queue): producers claim a cell with one fetch-add-like CAS on the
+// enqueue cursor and publish with a release store of the cell's sequence, so a push is
+// wait-free in the common case and never takes a lock — this removes the try_lock bailout
+// that let the old global deque strand a submitted transaction for a full worker cycle.
+// Cursors and cells are cache-line padded (src/common/cacheline.h): producers on one
+// core must not false-share with the consuming worker's pops.
+//
+// A full inbox rejects the push (backpressure, Database::SubmitStatus::kQueueFull)
+// instead of resizing: unbounded queues just move overload from the client into memory.
+#ifndef DOPPEL_SRC_CORE_INBOX_H_
+#define DOPPEL_SRC_CORE_INBOX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/cacheline.h"
+#include "src/txn/worker.h"
+
+namespace doppel {
+
+class SubmitInbox {
+ public:
+  // `capacity` is rounded up to a power of two; minimum 2.
+  explicit SubmitInbox(std::size_t capacity);
+  SubmitInbox(const SubmitInbox&) = delete;
+  SubmitInbox& operator=(const SubmitInbox&) = delete;
+
+  // Producer side (any thread). Returns false when the ring is full; `item` is left
+  // intact so the caller can retry on another inbox.
+  bool TryPush(PendingTxn& item);
+
+  // Consumer side (owning worker only). Returns false when empty.
+  bool TryPop(PendingTxn* out);
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Racy occupancy estimate (diagnostics; placement itself is plain round-robin).
+  std::size_t ApproxSize() const;
+
+ private:
+  // alignas rounds sizeof(Cell) up to a cache-line multiple, so neighbouring cells never
+  // share a line: a producer publishing cell i must not invalidate the consumer draining
+  // cell i-1.
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<std::uint64_t> seq;
+    PendingTxn item;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_CORE_INBOX_H_

@@ -61,6 +61,11 @@ struct Options {
   std::uint64_t backoff_min_us = 2;
   std::uint64_t backoff_max_us = 1000;
 
+  // Capacity of each per-worker submission inbox (rounded up to a power of two). When
+  // every inbox is full, TrySubmit reports SubmitStatus::kQueueFull (backpressure) and
+  // blocking Submit spins until a slot frees up.
+  std::size_t submit_inbox_capacity = 1024;
+
   // Durability (extension, §3 of the paper): when non-empty, committed transactions'
   // logical operations are appended to this redo log by an asynchronous batched flusher.
   // Commits never wait for disk. See src/persist/wal.h.

@@ -3,16 +3,41 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/dassert.h"
 #include "src/common/timing.h"
 
 namespace doppel {
 namespace {
 
-void FinishTicket(PendingTxn& pt, int state) {
-  if (pt.ticket) {
-    pt.ticket->attempts.store(pt.attempts + 1, std::memory_order_relaxed);
-    pt.ticket->state.store(state, std::memory_order_release);
-    pt.ticket->state.notify_one();
+// Delivers the terminal outcome of a submitted transaction: the POD completion slot
+// first, then the ticket (handle waiters, OnComplete callback, drain counter). Runs on
+// the worker thread that finished the transaction.
+void CompleteSubmission(PendingTxn& pt, bool committed) {
+  const TxnResult result{committed, pt.attempts + 1};
+  if (pt.req.on_complete != nullptr) {
+    pt.req.on_complete(result, pt.req.on_complete_ctx);
+  }
+  if (!pt.ticket) {
+    return;
+  }
+  SubmitTicket& t = *pt.ticket;
+  t.attempts.store(result.attempts, std::memory_order_relaxed);
+  t.state.store(committed ? 1 : 2, std::memory_order_release);
+  t.state.notify_all();
+  std::function<void(const TxnResult&)> cb;
+  {
+    t.cb_mu.lock();
+    t.finished = true;
+    cb = std::move(t.callback);
+    t.callback = nullptr;
+    t.cb_mu.unlock();
+  }
+  if (cb) {
+    cb(result);
+  }
+  if (t.inflight != nullptr) {
+    // Last: once this hits zero Database::Stop may tear the workers down.
+    t.inflight->fetch_sub(1, std::memory_order_release);
   }
 }
 
@@ -35,10 +60,10 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
   Txn& txn = w.txn;
   txn.Reset(&engine, &w);
   try {
-    if (pt.ticket) {
-      pt.ticket->fn(txn);
-    } else {
+    if (pt.req.proc != nullptr) {
       pt.req.proc(txn, pt.req.args);
+    } else {
+      pt.ticket->fn(txn);
     }
   } catch (const StashSignal& s) {
     engine.Abort(w, txn);
@@ -57,7 +82,7 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
   } catch (const UserAbortSignal&) {
     engine.Abort(w, txn);
     w.user_aborts++;
-    FinishTicket(pt, 2);
+    CompleteSubmission(pt, /*committed=*/false);
     return RunOutcome::kUserAborted;
   }
 
@@ -88,13 +113,19 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
     w.committed_split_phase++;
   }
   w.shared_commits.Add(1);
-  const std::uint8_t tag = pt.ticket ? 0 : pt.req.args.tag;
+  const std::uint8_t tag = pt.req.args.tag;
+  // committed_by_tag / latency_by_tag are kNumTags-sized; an out-of-range workload tag
+  // would silently corrupt adjacent counters, so fail fast even in release builds.
+  DOPPEL_CHECK(tag < kNumTags);
   w.committed_by_tag[tag]++;
-  const std::uint64_t submit_ns = pt.ticket ? 0 : pt.req.args.submit_ns;
+  const std::uint64_t submit_ns = pt.req.args.submit_ns;
   if (submit_ns != 0) {
-    w.latency_by_tag[tag].Record(NowNanos() - submit_ns);
+    // Floor at 1ns: a commit inside one clock tick must still record a nonzero sample
+    // (report.cc treats latency 0 as a missing submit_ns stamp).
+    const std::uint64_t latency = NowNanos() - submit_ns;
+    w.latency_by_tag[tag].Record(latency == 0 ? 1 : latency);
   }
-  FinishTicket(pt, 1);
+  CompleteSubmission(pt, /*committed=*/true);
   return RunOutcome::kCommitted;
 }
 

@@ -1,7 +1,11 @@
 // Drives one transaction attempt through an engine and routes the outcome: committed
-// transactions are counted and their latency recorded; conflict aborts are scheduled for
-// retry with exponential backoff; split-blocked transactions are stashed for the next
-// joined phase (§8.1, §5.2).
+// transactions are counted and their latency recorded (from args.submit_ns, stamped at
+// submission so queueing delay is included); conflict aborts are scheduled for retry
+// with exponential backoff; split-blocked transactions are stashed for the next joined
+// phase (§8.1, §5.2). Terminal outcomes (commit / user abort) additionally deliver the
+// TxnResult to the request's POD completion slot and, for external submissions, to the
+// SubmitTicket behind the client's TxnHandle — including its OnComplete callback and the
+// Database drain counter.
 #ifndef DOPPEL_SRC_CORE_RUNNER_H_
 #define DOPPEL_SRC_CORE_RUNNER_H_
 

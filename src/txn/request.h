@@ -23,14 +23,28 @@ struct TxnArgs {
   std::int64_t n = 0;
   std::uint32_t aux = 0;
   std::uint8_t tag = 0;          // workload-defined class (e.g. read vs write)
-  std::uint64_t submit_ns = 0;   // first submission time; latency includes retries/stash
+  std::uint64_t submit_ns = 0;   // stamped at submission; latency includes queueing,
+                                 // retries, and stash delay
 };
 
 using TxnProc = void (*)(Txn&, const TxnArgs&);
 
+// Final outcome of a submitted transaction.
+struct TxnResult {
+  bool committed = false;
+  std::uint32_t attempts = 0;
+};
+
+// Completion slot: invoked exactly once on the committing worker's thread when the
+// transaction reaches a terminal state (commit or user abort). Must not block; a plain
+// function pointer + context keeps TxnRequest POD (no per-request heap allocation).
+using TxnCompletionFn = void (*)(const TxnResult& result, void* ctx);
+
 struct TxnRequest {
   TxnProc proc = nullptr;
   TxnArgs args;
+  TxnCompletionFn on_complete = nullptr;
+  void* on_complete_ctx = nullptr;
 };
 
 // Workload tags used by the built-in benchmarks (Table 3 separates read and write

@@ -14,20 +14,41 @@
 #include "src/common/cacheline.h"
 #include "src/common/histogram.h"
 #include "src/common/rand.h"
+#include "src/common/spinlock.h"
 #include "src/txn/phase.h"
 #include "src/txn/request.h"
 #include "src/txn/txn.h"
 
 namespace doppel {
 
-// Completion ticket for Database::Execute (the std::function convenience path).
+// Completion state shared between a TxnHandle and the worker that finishes the
+// transaction. One ticket is allocated per external submission (Submit / SubmitBatch /
+// Execute); source-generated benchmark transactions never allocate one.
 struct SubmitTicket {
+  // Set iff the submission used the std::function convenience path; POD submissions
+  // carry their proc in PendingTxn::req instead.
   std::function<void(Txn&)> fn;
   std::atomic<int> state{0};  // 0 = pending, 1 = committed, 2 = user-aborted
   std::atomic<std::uint32_t> attempts{0};
+  // Database's drain counter: decremented (release) once the ticket is fully finished,
+  // so Stop() can wait for in-flight handles.
+  std::atomic<std::uint64_t>* inflight = nullptr;
+
+  // TxnHandle::OnComplete hook. cb_mu orders callback registration against completion:
+  // whichever side arrives second delivers the callback exactly once.
+  Spinlock cb_mu;
+  bool finished = false;  // guarded by cb_mu
+  std::function<void(const TxnResult&)> callback;  // guarded by cb_mu until finished
+
+  TxnResult result() const {
+    return TxnResult{state.load(std::memory_order_acquire) == 1,
+                     attempts.load(std::memory_order_relaxed)};
+  }
 };
 
-// A transaction waiting in a retry or stash queue: either a POD request or a ticket.
+// A transaction waiting in an inbox, retry, or stash queue. `req` carries the POD proc
+// (or, for the std::function path, just args/metadata with proc == nullptr, in which
+// case `ticket->fn` is the body).
 struct PendingTxn {
   TxnRequest req;
   std::shared_ptr<SubmitTicket> ticket;

@@ -1,8 +1,10 @@
 #include "src/workload/driver.h"
 
 #include <chrono>
+#include <deque>
 #include <thread>
 
+#include "src/common/cacheline.h"
 #include "src/common/timing.h"
 
 namespace doppel {
@@ -60,6 +62,109 @@ RunMetrics RunWorkloadTimeSeries(Database& db, SourceFactory factory,
   m.throughput = static_cast<double>(total) / seconds;
   m.stats = db.CollectStats();
   m.split_records = db.LastPlanSize();
+  return m;
+}
+
+namespace {
+
+// Sleeps coarsely, then spins, until `due_ns`; returns immediately when already late
+// (open-loop catch-up burst rather than silent rate reduction).
+void PaceUntil(std::uint64_t due_ns) {
+  while (true) {
+    const std::uint64_t now = NowNanos();
+    if (now >= due_ns) {
+      return;
+    }
+    const std::uint64_t remaining = due_ns - now;
+    if (remaining > 200000) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(remaining / 2));
+    } else {
+      CpuRelax();
+    }
+  }
+}
+
+}  // namespace
+
+OpenLoopMetrics RunOpenLoop(Database& db, const RequestGen& gen,
+                            const OpenLoopOptions& opts) {
+  // Cache-line aligned: adjacent submitters' counters must not false-share while they
+  // are incremented millions of times per second in the submission loop.
+  struct alignas(kCacheLineSize) SubmitterTally {
+    std::uint64_t offered = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t committed = 0;
+  };
+
+  db.Start();
+  Stopwatch clock;
+
+  std::vector<SubmitterTally> tallies(static_cast<std::size_t>(opts.submitters));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opts.submitters));
+  const double per_submitter =
+      opts.offered_per_sec > 0.0 ? opts.offered_per_sec / opts.submitters : 0.0;
+  const std::uint64_t interval_ns =
+      per_submitter > 0.0 ? static_cast<std::uint64_t>(1e9 / per_submitter) : 0;
+  const std::uint64_t deadline_ns = NowNanos() + MillisToNanos(opts.measure_ms);
+
+  for (int s = 0; s < opts.submitters; ++s) {
+    threads.emplace_back([&, s] {
+      SubmitterTally& tally = tallies[static_cast<std::size_t>(s)];
+      Rng rng(0xda3e39cb94b95bdbULL * static_cast<std::uint64_t>(s + 1));
+      std::deque<TxnHandle> outstanding;
+      std::uint64_t due_ns = NowNanos();
+      while (NowNanos() < deadline_ns) {
+        if (interval_ns != 0) {
+          PaceUntil(due_ns);
+          due_ns += interval_ns;
+        }
+        TxnRequest req = gen(s, rng);
+        tally.offered++;
+        TxnHandle h;
+        if (db.TrySubmit(req, &h) == SubmitStatus::kOk) {
+          tally.accepted++;
+          outstanding.push_back(std::move(h));
+          // Bound memory: reap the oldest handle once the window is full. Under backlog
+          // this also self-clocks an unpaced submitter to the completion rate.
+          if (outstanding.size() >= opts.max_outstanding) {
+            tally.committed += outstanding.front().Wait().committed ? 1 : 0;
+            outstanding.pop_front();
+          }
+        } else {
+          // Backpressure: the offered transaction is dropped, as an open-loop client
+          // would time it out. Unpaced submitters yield so workers can drain.
+          tally.rejected++;
+          if (interval_ns == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(2));
+          }
+        }
+      }
+      for (TxnHandle& h : outstanding) {
+        tally.committed += h.Wait().committed ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double seconds = clock.ElapsedSeconds();  // includes the post-deadline drain
+  db.Stop();
+
+  OpenLoopMetrics m;
+  m.seconds = seconds;
+  for (const SubmitterTally& t : tallies) {
+    m.offered += t.offered;
+    m.rejected += t.rejected;
+    m.accepted += t.accepted;
+    m.committed += t.committed;
+  }
+  m.throughput = static_cast<double>(m.committed) / seconds;
+  m.stats = db.CollectStats();
+  for (int t = 0; t < kNumTags; ++t) {
+    m.latency.Merge(m.stats.latency_by_tag[t]);
+  }
   return m;
 }
 

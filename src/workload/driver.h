@@ -1,6 +1,14 @@
-// Closed-loop benchmark driver (§8.1): runs a workload against a Database for a fixed
-// duration and reports throughput (committed transactions / elapsed) and latency stats.
-// "Each point is the mean of three consecutive runs, with error bars showing min and max."
+// Benchmark drivers.
+//
+// Closed-loop (§8.1): each worker generates its own transactions via a TxnSource and
+// executes them back-to-back for a fixed duration; reports throughput (committed
+// transactions / elapsed) and latency stats. "Each point is the mean of three consecutive
+// runs, with error bars showing min and max."
+//
+// Open-loop: external submitter threads push transactions through Database::Submit at a
+// paced offered load (or flat out), so submission→commit latency includes inbox queueing
+// and backpressure is visible as rejected submissions — the server-facing regime the
+// closed-loop driver cannot measure.
 #ifndef DOPPEL_SRC_WORKLOAD_DRIVER_H_
 #define DOPPEL_SRC_WORKLOAD_DRIVER_H_
 
@@ -36,6 +44,41 @@ RunMetrics RunWorkloadTimeSeries(Database& db, SourceFactory factory,
                                  std::uint64_t measure_ms, std::uint64_t sample_ms,
                                  TimeSeries* series,
                                  const std::function<void(std::uint64_t ms)>& on_tick);
+
+// ---- Open-loop driver ----
+
+// Generates one request per call on a submitter thread. `submitter_id` is 0-based;
+// `rng` is the submitter's private generator.
+using RequestGen = std::function<TxnRequest(int submitter_id, Rng& rng)>;
+
+struct OpenLoopOptions {
+  int submitters = 4;
+  // Total offered load across all submitters, txns/sec. 0 = unpaced: submit as fast as
+  // the inboxes accept.
+  double offered_per_sec = 0.0;
+  std::uint64_t measure_ms = 1000;
+  // Per-submitter cap on handles awaited at once; bounds memory at high offered loads.
+  std::size_t max_outstanding = 4096;
+};
+
+struct OpenLoopMetrics {
+  double seconds = 0.0;
+  std::uint64_t offered = 0;    // generation attempts (incl. rejected)
+  std::uint64_t rejected = 0;   // TrySubmit returned kQueueFull
+  std::uint64_t accepted = 0;
+  std::uint64_t committed = 0;  // of accepted, handles that reported commit
+  double throughput = 0.0;      // committed/sec over the submission window
+  // submission→commit latency (stamped at Submit acceptance; includes inbox queueing,
+  // conflict retries, and stash delay), merged across all tags.
+  LatencyHistogram latency;
+  Database::Stats stats;  // exact post-stop aggregation
+};
+
+// Starts `db` with no sources, runs `opts.submitters` external threads submitting
+// `gen`-produced requests for `opts.measure_ms`, waits for every accepted handle, stops
+// the database, and aggregates. The database must be freshly constructed.
+OpenLoopMetrics RunOpenLoop(Database& db, const RequestGen& gen,
+                            const OpenLoopOptions& opts);
 
 }  // namespace doppel
 

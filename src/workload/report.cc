@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/common/dassert.h"
+#include "src/common/histogram.h"
 
 namespace doppel {
 
@@ -77,6 +78,21 @@ std::string FormatMicros(double nanos) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.1f", nanos / 1000.0);
   return buf;
+}
+
+std::vector<std::string> LatencyPercentileHeaders() {
+  return {"mean_us", "p50_us", "p90_us", "p99_us", "max_us"};
+}
+
+std::vector<std::string> LatencyPercentileCells(const LatencyHistogram& h) {
+  // Every sample must carry a real submission timestamp: Database::Submit and the worker
+  // loop both stamp submit_ns before execution, so a zero minimum means some path lost
+  // the stamp and its queueing delay.
+  DOPPEL_CHECK(h.count() == 0 || h.min() > 0);
+  return {FormatMicros(h.Mean()), FormatMicros(static_cast<double>(h.Percentile(50))),
+          FormatMicros(static_cast<double>(h.Percentile(90))),
+          FormatMicros(static_cast<double>(h.Percentile(99))),
+          FormatMicros(static_cast<double>(h.max()))};
 }
 
 }  // namespace doppel

@@ -29,6 +29,16 @@ std::string FormatCount(double v);        // 12.3M, 456K, ...
 std::string FormatDouble(double v, int precision);
 std::string FormatMicros(double nanos);   // nanoseconds -> "12.3" (microseconds)
 
+class LatencyHistogram;
+
+// Formats mean/p50/p90/p99/max (microseconds) for a latency table row. Checks that every
+// recorded sample is non-zero: a zero latency means a transaction was executed without
+// its submit_ns stamp, i.e. queueing delay silently dropped out of the numbers.
+std::vector<std::string> LatencyPercentileCells(const LatencyHistogram& h);
+
+// Matching headers for LatencyPercentileCells.
+std::vector<std::string> LatencyPercentileHeaders();
+
 }  // namespace doppel
 
 #endif  // DOPPEL_SRC_WORKLOAD_REPORT_H_
