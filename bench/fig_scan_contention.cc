@@ -1,0 +1,112 @@
+// Scan contention: throughput of a mixed workload where scanners range-scan a fixed
+// window of keys while writers increment one hot key inside that window, Doppel vs OCC.
+//
+// Under OCC every scan records the hot record in its read set, so each concurrent
+// increment invalidates in-flight scans and the two halves of the workload serialize.
+// Under Doppel the classifier splits the hot key; scans that meet the split record
+// during a split phase are stashed (split data is unreadable mid-scan, §7) and retire in
+// the next joined phase, while the increments fan out across per-core slices — the
+// stash/throughput tradeoff this bench makes visible (stash column).
+#include <memory>
+
+#include "bench/bench_common.h"
+
+namespace doppel {
+namespace {
+
+constexpr std::uint32_t kScanTable = 2;  // clear of the INCR (0) and RUBiS (16+) tables
+
+void ScanWindowProc(Txn& t, const TxnArgs& a) {
+  // a.k1.lo = inclusive window end. Consume the values so the scan cannot be elided.
+  std::int64_t sum = 0;
+  t.Scan(kScanTable, 0, a.k1.lo, 0, [&](const Key&, const ReadResult& v) {
+    sum += v.i;
+    return true;
+  });
+  if (sum < 0) {
+    t.UserAbort();  // unreachable; keeps `sum` observable
+  }
+}
+
+void AddHotProc(Txn& t, const TxnArgs& a) { t.Add(a.k1, 1); }
+
+class ScanContentionSource : public TxnSource {
+ public:
+  ScanContentionSource(std::uint64_t window, std::uint32_t scan_pct)
+      : window_(window), scan_pct_(scan_pct) {}
+
+  TxnRequest Next(Worker& w) override {
+    TxnRequest r;
+    if (w.rng.NextBounded(100) < scan_pct_) {
+      r.proc = &ScanWindowProc;
+      r.args.tag = kTagRead;
+      r.args.k1 = Key::Table(kScanTable, window_ - 1);
+    } else {
+      r.proc = &AddHotProc;
+      r.args.tag = kTagWrite;
+      r.args.k1 = Key::Table(kScanTable, window_ / 2);  // the hot key sits mid-window
+    }
+    return r;
+  }
+
+ private:
+  const std::uint64_t window_;
+  const std::uint32_t scan_pct_;
+};
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const std::uint64_t window = flags.Keys(64);  // scanned keys per transaction
+  const std::vector<int> scan_pcts =
+      flags.full ? std::vector<int>{1, 5, 10, 20, 30, 50, 70, 90}
+                 : std::vector<int>{5, 20, 50, 90};
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc};
+
+  std::printf("Scan contention: window scan vs hot-key increments (window=%llu)\n",
+              static_cast<unsigned long long>(window));
+  std::printf("threads=%d phase=%llums\n\n", flags.ResolvedThreads(),
+              static_cast<unsigned long long>(flags.phase_ms));
+
+  Table table({"scan%", "Doppel", "OCC", "doppel_split", "doppel_stashes"});
+  for (int pct : scan_pcts) {
+    std::vector<std::string> row{std::to_string(pct)};
+    std::size_t split_records = 0;
+    std::uint64_t stashes = 0;
+    for (Protocol p : protocols) {
+      auto point = bench::MeasurePoint(
+          flags, /*default_seconds=*/0.4,
+          [&] {
+            auto db =
+                std::make_unique<Database>(bench::BaseOptions(flags, p, window * 4));
+            for (std::uint64_t i = 0; i < window; ++i) {
+              db->store().LoadInt(Key::Table(kScanTable, i), 0);
+            }
+            return db;
+          },
+          [&] {
+            const std::uint32_t scan_pct = static_cast<std::uint32_t>(pct);
+            return [=](int) -> std::unique_ptr<TxnSource> {
+              return std::make_unique<ScanContentionSource>(window, scan_pct);
+            };
+          });
+      row.push_back(FormatCount(point.throughput.mean()));
+      if (p == Protocol::kDoppel) {
+        split_records = point.last.split_records;
+        stashes = point.last.stats.stash_events;
+      }
+    }
+    row.push_back(std::to_string(split_records));
+    row.push_back(std::to_string(stashes));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

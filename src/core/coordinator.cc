@@ -13,6 +13,8 @@ constexpr std::uint64_t kPollChunkNs = 200 * 1000;  // 200us stop/feedback polli
 }  // namespace
 
 void Coordinator::SleepJoined(std::uint64_t ns) const {
+  // No drain check here: a draining database *wants* to sit in the joined phase (that is
+  // where workers retire stashed transactions), so only stop cuts this sleep short.
   const std::uint64_t deadline = NowNanos() + ns;
   while (!stop_coord_.load(std::memory_order_relaxed)) {
     const std::uint64_t now = NowNanos();
@@ -26,7 +28,8 @@ void Coordinator::SleepJoined(std::uint64_t ns) const {
 
 void Coordinator::SleepSplit(std::uint64_t ns) const {
   const std::uint64_t deadline = NowNanos() + ns;
-  while (!stop_coord_.load(std::memory_order_relaxed)) {
+  while (!stop_coord_.load(std::memory_order_relaxed) &&
+         !drain_.load(std::memory_order_relaxed)) {
     const std::uint64_t now = NowNanos();
     if (now >= deadline || engine_.ShouldHurrySplitEnd()) {
       return;
@@ -49,8 +52,9 @@ void Coordinator::Run() {
       break;
     }
     // "If, in a joined phase, no records appear contended ... the coordinator delays the
-    // next split phase."
-    if (!engine_.HasSplitCandidates()) {
+    // next split phase." While draining for Stop, never start one: a new split phase
+    // could stash the very submissions Stop is waiting to retire.
+    if (!engine_.HasSplitCandidates() || drain_.load(std::memory_order_relaxed)) {
       continue;
     }
 

@@ -16,10 +16,18 @@ namespace doppel {
 class Coordinator {
  public:
   // `stop_coord` asks the coordinator to wind down; it finishes any split phase (so all
-  // slices reconcile), then sets `stop_workers` and returns.
+  // slices reconcile), then sets `stop_workers` and returns. `drain` (set by
+  // Database::Stop before it waits on in-flight submissions) makes the coordinator
+  // hurry: phase sleeps end immediately and no new split phase starts, so transactions
+  // stashed in a split phase retire in the next joined phase instead of keeping Stop
+  // waiting for up to a full phase length.
   Coordinator(DoppelEngine& engine, const Options& opts, std::atomic<bool>& stop_coord,
-              std::atomic<bool>& stop_workers)
-      : engine_(engine), opts_(opts), stop_coord_(stop_coord), stop_workers_(stop_workers) {}
+              std::atomic<bool>& stop_workers, const std::atomic<bool>& drain)
+      : engine_(engine),
+        opts_(opts),
+        stop_coord_(stop_coord),
+        stop_workers_(stop_workers),
+        drain_(drain) {}
 
   // Thread body.
   void Run();
@@ -53,6 +61,7 @@ class Coordinator {
   const Options& opts_;
   std::atomic<bool>& stop_coord_;
   std::atomic<bool>& stop_workers_;
+  const std::atomic<bool>& drain_;
   std::atomic<std::uint64_t> cycles_{0};
   std::atomic<std::uint64_t> joined_ns_{0};
   std::atomic<std::uint64_t> split_ns_{0};

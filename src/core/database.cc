@@ -78,8 +78,8 @@ Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
       doppel_->RegisterWorkers(workers_);
       doppel_->SetWal(wal_.get());
       engine_ = std::move(engine);
-      coordinator_ =
-          std::make_unique<Coordinator>(*doppel_, opts_, stop_coord_, stop_workers_);
+      coordinator_ = std::make_unique<Coordinator>(*doppel_, opts_, stop_coord_,
+                                                   stop_workers_, draining_);
       break;
     }
     case Protocol::kOcc:
@@ -128,9 +128,27 @@ void Database::Stop() {
   // Phase 1: refuse new submissions, then drain the ones already accepted. Workers and
   // the coordinator are still running, so queued, retried, and stashed transactions all
   // reach a terminal state (stashes need the coordinator to reach a joined phase).
+  // `draining_` makes the coordinator end any running split phase immediately and start
+  // no new one: otherwise a submission stashed on split data keeps this wait pinned for
+  // up to a full phase length (or, with recurring splits, indefinitely).
   accepting_.store(false);
-  while (inflight_.load() != 0) {
+  draining_.store(true, std::memory_order_release);
+  // Wait while the drain makes progress; give up only if the in-flight count stalls
+  // outright (a wedged worker or queue). Bailing out here is what makes the post-join
+  // sweep below reachable — it then completes the stuck handles as aborted instead of
+  // this loop spinning on them forever.
+  std::uint64_t last_inflight = inflight_.load();
+  auto stall_start = std::chrono::steady_clock::now();
+  while (last_inflight != 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(20));
+    const std::uint64_t cur = inflight_.load();
+    if (cur != last_inflight) {
+      last_inflight = cur;
+      stall_start = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - stall_start >
+               std::chrono::seconds(2)) {
+      break;
+    }
   }
   // Phase 2: coordinator next. It finishes any split phase (reconciling all slices) and
   // then releases the workers.
@@ -142,6 +160,25 @@ void Database::Stop() {
     t.join();
   }
   threads_.clear();
+  // Safety net: no ticketed transaction may be left pending after Stop — a leaked ticket
+  // hangs TxnHandle::Wait forever. Workers are joined, so their queues are ours to sweep;
+  // anything still holding a live SubmitTicket completes as aborted.
+  for (auto& w : workers_) {
+    while (!w->stash.empty()) {
+      AbandonPendingTxn(std::move(w->stash.front()));
+      w->stash.pop_front();
+    }
+    for (RetryItem& item : w->retry_heap) {
+      AbandonPendingTxn(std::move(item.txn));
+    }
+    w->retry_heap.clear();
+  }
+  for (auto& inbox : inboxes_) {
+    PendingTxn pt;
+    while (inbox->TryPop(&pt)) {
+      AbandonPendingTxn(std::move(pt));
+    }
+  }
 }
 
 bool Database::TryRunSubmitted(Worker& w) {

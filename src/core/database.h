@@ -186,6 +186,7 @@ class Database {
   std::unique_ptr<WriteAheadLog> wal_;
   std::atomic<bool> stop_coord_{false};
   std::atomic<bool> stop_workers_{false};
+  std::atomic<bool> draining_{false};  // Stop() in progress: coordinator hurries phases
   std::unique_ptr<Engine> engine_;
   DoppelEngine* doppel_ = nullptr;  // borrowed view of engine_ when protocol is Doppel
   RunnerConfig runner_cfg_;

@@ -42,7 +42,7 @@ void DoppelEngine::RegisterWorkers(const std::vector<std::unique_ptr<Worker>>& w
 void DoppelEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
   // "Recall that split data cannot be read during a split phase" (§7): doom the
   // transaction; it will be stashed and restarted in the next joined phase.
-  if (w.phase == Phase::kSplit && r->IsSplit()) {
+  if (w.LoadPhase() == Phase::kSplit && r->IsSplit()) {
     txn.MarkStash(r, OpCode::kGet);
     out->present = false;
     return;
@@ -51,7 +51,7 @@ void DoppelEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
 }
 
 void DoppelEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
-  if (w.phase == Phase::kSplit && pw.record->IsSplit()) {
+  if (w.LoadPhase() == Phase::kSplit && pw.record->IsSplit()) {
     if (pw.op == static_cast<OpCode>(pw.record->split_op())) {
       txn.split_writes().push_back(std::move(pw));
       return;
@@ -64,6 +64,13 @@ void DoppelEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   OccBufferWrite(txn, std::move(pw));
 }
 
+std::size_t DoppelEngine::Scan(Worker& w, Txn& txn, std::uint64_t table,
+                               std::uint64_t lo, std::uint64_t hi, std::size_t limit,
+                               const ScanFn& fn) {
+  return OccScan(txn, table, lo, hi, limit, fn,
+                 /*stash_on_split=*/w.LoadPhase() == Phase::kSplit);
+}
+
 TxnStatus DoppelEngine::Commit(Worker& w, Txn& txn) {
   // Fig. 3: OCC commit for the read set and reconciled write set; if that succeeds, the
   // split-write set is applied to this core's slices — no locks or version checks, since
@@ -73,7 +80,7 @@ TxnStatus DoppelEngine::Commit(Worker& w, Txn& txn) {
     return status;
   }
   if (!txn.split_writes().empty()) {
-    DOPPEL_DCHECK(w.phase == Phase::kSplit);
+    DOPPEL_DCHECK(w.LoadPhase() == Phase::kSplit);
     auto& slices = Ext(w).slices;
     for (const PendingWrite& sw : txn.split_writes()) {
       const std::int32_t idx = sw.record->slice_index();
@@ -85,7 +92,7 @@ TxnStatus DoppelEngine::Commit(Worker& w, Txn& txn) {
 }
 
 void DoppelEngine::OnConflict(Worker& w, Txn& txn) {
-  if (w.phase != Phase::kJoined) {
+  if (w.LoadPhase() != Phase::kJoined) {
     return;
   }
   ConflictSampler& sampler = Ext(w).sampler;
@@ -117,7 +124,7 @@ void DoppelEngine::MaybeTransition(Worker& w) {
     return;
   }
   const Phase target = PhaseController::DecodePhase(pend);
-  if (w.phase == Phase::kSplit) {
+  if (w.LoadPhase() == Phase::kSplit) {
     // Leaving the split phase: reconcile this core's slices into the global store.
     MergeWorkerSlices(w);
   }
@@ -144,7 +151,7 @@ void DoppelEngine::MaybeTransition(Worker& w) {
   if (target == Phase::kSplit) {
     PrepareSlices(w);
   }
-  w.phase = target;
+  w.phase.store(target, std::memory_order_relaxed);
   w.seen_word = pend;
 }
 
@@ -166,8 +173,15 @@ void DoppelEngine::MergeWorkerSlices(Worker& w) {
     }
     if (s.dirty) {
       const std::uint64_t tid = w.GenerateTid(Record::TidOf(e.record->LoadTidWord()));
-      MergeSliceToGlobal(e.record, e.op, s, tid);
+      MergeSliceToGlobal(e.record, e.op, s, tid, &store_.index());
     }
+    // Consume the slice so the merge is idempotent. MaybeTransition can re-enter after
+    // its early stop_ return (which acks but leaves seen_word stale); without this, the
+    // re-entered transition re-merged the same accumulator and double-applied
+    // kAdd/kMult deltas (and double-counted the write/stash samples) at shutdown.
+    s.dirty = false;
+    s.writes = 0;
+    s.stashes = 0;
   }
 }
 
@@ -255,11 +269,19 @@ void DoppelEngine::BarrierBuildPlan() {
           continue;
         }
         Agg& a = agg[r];
-        a.count += e.count;
+        // Clamp to the op-tally sum: eviction inheritance (space-saving) can leave
+        // e.count above what this key's own sampled ops account for. Counting the raw
+        // value skewed min_splittable_fraction both ways — an inflated count made the
+        // test refuse genuine heavy hitters, and attributing the inherited mass to an
+        // op bucket instead would let a churn key that evicted a big victim qualify.
+        std::uint64_t op_sum = 0;
         for (int i = 0; i < kNumOps; ++i) {
           a.ops[i] += e.op_counts[i];
+          op_sum += e.op_counts[i];
         }
-        total += e.count;
+        const std::uint64_t counted = std::min<std::uint64_t>(e.count, op_sum);
+        a.count += counted;
+        total += counted;
       }
       s.Clear();
     }

@@ -45,9 +45,14 @@ class DoppelEngine : public OccEngine {
   // ---- Engine interface ----
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
+  // Joined phase: plain OCC scan. Split phase: a scan whose window contains a split
+  // record dooms the transaction for stashing (§7) — the stash feeds the same pressure
+  // signal (ShouldHurrySplitEnd) as split-record point reads.
+  std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void BetweenTxns(Worker& w) override;
-  Phase CurrentPhase(const Worker& w) const override { return w.phase; }
+  Phase CurrentPhase(const Worker& w) const override { return w.LoadPhase(); }
   void OnConflict(Worker& w, Txn& txn) override;
   void OnStash(Worker& w, const StashSignal& s) override;
 

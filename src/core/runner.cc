@@ -43,6 +43,8 @@ void CompleteSubmission(PendingTxn& pt, bool committed) {
 
 }  // namespace
 
+void AbandonPendingTxn(PendingTxn&& pt) { CompleteSubmission(pt, /*committed=*/false); }
+
 void ScheduleRetry(Worker& w, const RunnerConfig& cfg, PendingTxn&& pt) {
   pt.attempts++;
   const std::uint32_t shift = std::min(pt.attempts, 20u);
@@ -109,7 +111,7 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
     cfg.wal->Append(w.id, w.last_tid, txn.write_set(), txn.split_writes());
   }
   w.committed++;
-  if (w.phase == Phase::kSplit) {
+  if (w.LoadPhase() == Phase::kSplit) {
     w.committed_split_phase++;
   }
   w.shared_commits.Add(1);

@@ -33,6 +33,12 @@ enum class RunOutcome {
 // Pushes `pt` onto the worker's retry heap with exponential backoff + jitter.
 void ScheduleRetry(Worker& w, const RunnerConfig& cfg, PendingTxn&& pt);
 
+// Delivers a terminal "aborted" outcome for a queued transaction that will never run
+// again (Database::Stop sweeps inboxes / retry heaps / stashes after joining workers):
+// fires the POD completion slot and the SubmitTicket (waking Wait-ers, running the
+// OnComplete callback, releasing the drain counter).
+void AbandonPendingTxn(PendingTxn&& pt);
+
 // Executes one attempt of `pt` on `w` (which must be the calling thread's worker).
 RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
                          PendingTxn&& pt);

@@ -35,7 +35,11 @@ void ConflictSampler::RecordConflict(const Key& key, OpCode op) {
   }
   DOPPEL_DCHECK(victim != nullptr);
   // Space-saving replacement: the newcomer inherits the evicted count so that a genuine
-  // heavy hitter cannot be permanently starved by churn.
+  // heavy hitter cannot be permanently starved by churn. The inherited mass is NOT
+  // attributed to any op bucket (it belongs to the victim's unknown ops), so `count`
+  // may exceed sum(op_counts) by the inherited overestimate; eviction priority uses the
+  // raw count, while the classifier clamps to the op-tally sum (BarrierBuildPlan) so
+  // inherited mass can neither refuse a genuine heavy hitter nor promote a churn key.
   const std::uint32_t inherited = victim->used ? victim->count : 0;
   *victim = Entry{};
   victim->used = true;

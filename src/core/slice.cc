@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/dassert.h"
+#include "src/store/ordered_index.h"
 
 namespace doppel {
 
@@ -68,7 +69,8 @@ void SliceApply(Slice& slice, const PendingWrite& w) {
   slice.writes++;
 }
 
-void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t new_tid) {
+void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t new_tid,
+                        OrderedIndex* index) {
   if (!slice.dirty) {
     return;
   }
@@ -107,6 +109,9 @@ void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t 
       break;
     default:
       DOPPEL_CHECK(false);
+  }
+  if (!present && index != nullptr && r->PresentLocked()) {
+    index->Insert(r->key(), r);
   }
   r->UnlockOccSetTid(new_tid);
 }

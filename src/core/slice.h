@@ -34,9 +34,14 @@ struct Slice {
 // checks: slices are invisible to other cores (§5.2).
 void SliceApply(Slice& slice, const PendingWrite& w);
 
+class OrderedIndex;
+
 // Merges a dirty slice into the global record under the record's OCC lock, installing
-// `new_tid` (Fig. 4 / Fig. 5 merge functions).
-void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t new_tid);
+// `new_tid` (Fig. 4 / Fig. 5 merge functions). When `index` is given and the merge makes
+// the record logically present for the first time, the record enters the ordered index
+// before the unlock (scan/phantom visibility matches the OCC commit path).
+void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t new_tid,
+                        OrderedIndex* index = nullptr);
 
 }  // namespace doppel
 

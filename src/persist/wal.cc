@@ -222,7 +222,12 @@ std::uint64_t WriteAheadLog::Replay(const std::string& path, Store* store) {
       w.core = op.core;
       w.payload = op.payload;
       r->LockOcc();
+      const bool was_present = r->PresentLocked();
       ApplyWriteToRecord(w);
+      if (!was_present) {
+        // Keep the ordered index consistent on recovery so range scans see redone rows.
+        store->index().Insert(op.key, r);
+      }
       r->UnlockOccSetTid(txn.tid);
     }
   }

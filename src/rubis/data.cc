@@ -95,6 +95,8 @@ void Populate(Store& store, const Config& cfg) {
     store.LoadTopKItem(ItemsByRegionKey(region), kBrowseIndexK,
                        OrderedTuple{OrderKey{static_cast<std::int64_t>(i), 0}, 0,
                                     std::to_string(i)});
+    // Ordered (category, item) secondary index row; SearchItemsByCategory range-scans it.
+    store.LoadBytes(ItemsByCatOrdKey(category, i), std::to_string(i));
   }
 }
 

@@ -33,6 +33,7 @@ enum TableId : std::uint32_t {
   kItemsByRegion = 29,   // top-K: item index per region
   kNumComments = 30,     // int: comment count per item
   kUserNumBought = 31,   // int: buy-now purchases per user
+  kItemsByCatOrd = 33,   // bytes: ordered (category, item) secondary index, range-scanned
 };
 
 inline Key UserKey(std::uint64_t id) { return Key::Table(kUsers, id); }
@@ -63,6 +64,30 @@ inline std::uint64_t ShardedId(int worker, std::uint64_t local) {
 // Index capacities (top-K sets used as indexes, §7).
 inline constexpr std::size_t kBidIndexK = 10;
 inline constexpr std::size_t kBrowseIndexK = 20;
+
+// ---- Ordered (category, item) index, scanned by SearchItemsByCategory ----
+// One bytes row per item, keyed lo = (category << 40) | compact(item) so a category's
+// items form one contiguous range. The shift matches OrderedIndex::kPartitionShift, so
+// each category maps onto its own version-stamped partition stripe. compact() folds
+// worker-sharded item ids (worker * 2^40 + local, see ShardedId) into 40 bits: loaded
+// items keep their id, inserted items become (worker << 32) | low-32-bits — distinct
+// ranges as long as loaded ids stay below 2^32, which every configuration here does.
+inline constexpr std::uint64_t kCatOrdShift = 40;
+inline std::uint64_t CompactItemId(std::uint64_t item) {
+  return item < (std::uint64_t{1} << kCatOrdShift)
+             ? item
+             : ((item >> kCatOrdShift) << 32) | (item & 0xFFFFFFFFULL);
+}
+inline Key ItemsByCatOrdKey(std::uint64_t category, std::uint64_t item) {
+  return Key::Table(kItemsByCatOrd, (category << kCatOrdShift) | CompactItemId(item));
+}
+// Inclusive scan bounds covering every item of `category`.
+inline std::uint64_t ItemsByCatOrdLo(std::uint64_t category) {
+  return category << kCatOrdShift;
+}
+inline std::uint64_t ItemsByCatOrdHi(std::uint64_t category) {
+  return (category << kCatOrdShift) | ((std::uint64_t{1} << kCatOrdShift) - 1);
+}
 
 }  // namespace rubis
 }  // namespace doppel

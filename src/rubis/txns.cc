@@ -47,13 +47,19 @@ void ViewBidHistory(Txn& txn, const TxnArgs& a) {
   }
 }
 
+// Browses a category with a real range scan over the ordered (category, item) index —
+// the serializable form of the view the top-K materialization approximates. Under Doppel
+// a window containing a split item row stashes the transaction for the next joined phase.
 void SearchItemsByCategory(Txn& txn, const TxnArgs& a) {
   const std::uint64_t category = a.k1.lo;
   (void)txn.GetBytes(a.k1);
-  const auto index = txn.GetTopK(ItemsByCategoryKey(category), kBrowseIndexK);
-  if (index.has_value()) {
-    ReadIndexedRows(txn, *index, kItems, 5);
-  }
+  txn.Scan(kItemsByCatOrd, ItemsByCatOrdLo(category), ItemsByCatOrdHi(category), 5,
+           [&](const Key&, const ReadResult& v) {
+             const std::uint64_t id =
+                 std::strtoull(std::get<std::string>(v.complex).c_str(), nullptr, 10);
+             (void)txn.GetBytes(Key::Table(kItems, id));
+             return true;
+           });
 }
 
 void SearchItemsByRegion(Txn& txn, const TxnArgs& a) {
@@ -144,6 +150,9 @@ void StoreItem(Txn& txn, const TxnArgs& a) {
   txn.TopKInsert(ItemsByCategoryKey(category), order, std::to_string(item),
                  kBrowseIndexK);
   txn.TopKInsert(ItemsByRegionKey(region), order, std::to_string(item), kBrowseIndexK);
+  // Insert into the ordered (category, item) index; committed inserts abort concurrent
+  // category scans that missed them (phantom protection) instead of being invisible.
+  txn.PutBytes(ItemsByCatOrdKey(category, item), std::to_string(item));
 }
 
 void StoreBuyNow(Txn& txn, const TxnArgs& a) {

@@ -2,9 +2,11 @@
 //
 // The six §7-modified transactions use Doppel operations: StoreBid (Fig. 7: Max + OPut +
 // Add + TopKInsert), StoreComment (Add on userRating), StoreItem (TopKInsert into the
-// category/region indexes), and the three readers of top-K index records. StoreBidPlain
-// is the original Fig. 6 form (explicit read-modify-write), kept for the ablation that
+// category/region indexes), and the readers of top-K index records. StoreBidPlain is
+// the original Fig. 6 form (explicit read-modify-write), kept for the ablation that
 // shows non-commutative programming forfeits Doppel's parallelism.
+// SearchItemsByCategory is instead a real serializable range scan over the ordered
+// (category, item) index (Txn::Scan with phantom protection; see schema.h).
 //
 // Argument conventions (TxnArgs):
 //   k1  - primary row key (item/user/category/region key as documented per proc)

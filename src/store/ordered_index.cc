@@ -1,0 +1,102 @@
+#include "src/store/ordered_index.h"
+
+#include "src/common/dassert.h"
+#include "src/common/hash.h"
+#include "src/store/record.h"
+
+namespace doppel {
+
+OrderedIndex::OrderedIndex() : slots_(kMaxTables) {}
+
+OrderedIndex::~OrderedIndex() {
+  for (Slot& s : slots_) {
+    delete s.index.load(std::memory_order_relaxed);
+  }
+}
+
+OrderedIndex::TableIndex* OrderedIndex::FindTable(std::uint64_t table) const {
+  const std::uint64_t tag = table + 1;
+  std::size_t i = static_cast<std::size_t>(Mix64(table)) % kMaxTables;
+  for (std::size_t probes = 0; probes < kMaxTables; ++probes) {
+    const std::uint64_t t = slots_[i].tag.load(std::memory_order_acquire);
+    if (t == 0) {
+      return nullptr;
+    }
+    if (t == tag) {
+      // tag is published after index (release), so the acquire above orders this load.
+      return slots_[i].index.load(std::memory_order_relaxed);
+    }
+    i = (i + 1) % kMaxTables;
+  }
+  return nullptr;
+}
+
+OrderedIndex::TableIndex& OrderedIndex::GetOrCreateTable(std::uint64_t table) {
+  if (TableIndex* t = FindTable(table)) {
+    return *t;
+  }
+  create_mu_.lock();
+  TableIndex* existing = FindTable(table);  // re-check under the creation lock
+  if (existing != nullptr) {
+    create_mu_.unlock();
+    return *existing;
+  }
+  const std::uint64_t tag = table + 1;
+  std::size_t i = static_cast<std::size_t>(Mix64(table)) % kMaxTables;
+  for (std::size_t probes = 0; probes < kMaxTables; ++probes) {
+    if (slots_[i].tag.load(std::memory_order_relaxed) == 0) {
+      auto* idx = new TableIndex();
+      idx->table = table;
+      slots_[i].index.store(idx, std::memory_order_relaxed);
+      slots_[i].tag.store(tag, std::memory_order_release);
+      create_mu_.unlock();
+      return *idx;
+    }
+    i = (i + 1) % kMaxTables;
+  }
+  create_mu_.unlock();
+  DOPPEL_CHECK(false);  // more than kMaxTables distinct tables
+  __builtin_unreachable();
+}
+
+void OrderedIndex::Insert(const Key& key, Record* r) {
+  IndexPartition& part = PartitionFor(key);
+  part.mu.lock();
+  const bool inserted = part.entries.emplace(key.lo, r).second;
+  if (inserted) {
+    part.version.fetch_add(1, std::memory_order_release);
+  }
+  part.mu.unlock();
+}
+
+std::uint64_t OrderedIndex::SnapshotRange(
+    IndexPartition& part, std::uint64_t lo, std::uint64_t hi, std::size_t max_items,
+    std::vector<std::pair<std::uint64_t, Record*>>* out) {
+  part.mu.lock();
+  const std::uint64_t version = part.version.load(std::memory_order_relaxed);
+  for (auto it = part.entries.lower_bound(lo); it != part.entries.end() && it->first <= hi;
+       ++it) {
+    out->emplace_back(it->first, it->second);
+    if (max_items != 0 && out->size() >= max_items) {
+      break;
+    }
+  }
+  part.mu.unlock();
+  return version;
+}
+
+std::size_t OrderedIndex::size(std::uint64_t table) const {
+  const TableIndex* t = FindTable(table);
+  if (t == nullptr) {
+    return 0;
+  }
+  std::size_t n = 0;
+  for (const IndexPartition& p : t->partitions) {
+    p.mu.lock();
+    n += p.entries.size();
+    p.mu.unlock();
+  }
+  return n;
+}
+
+}  // namespace doppel

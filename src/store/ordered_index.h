@@ -1,0 +1,117 @@
+// Per-table ordered key index with version-stamped partitions (Silo-style phantom
+// protection for range scans).
+//
+// The store's RecordMap is an unordered hash table; this index layers an ordered view on
+// top of it. Records enter the index when they first become logically present (the
+// absent -> present transition happens under the record's OCC lock bit, so the engine
+// applying the write inserts race-free), and never leave: presence is monotonic in this
+// system, matching the insert-only RecordMap.
+//
+// Each table's key space ([lo] within the Key.hi namespace) is striped into
+// kPartitionsPerTable contiguous ranges. A partition is the phantom-protection unit: it
+// carries a version counter bumped by every insert into its range. A transactional scan
+// records the (partition, version) pairs it traversed; OCC commit validation rechecks
+// them alongside the read set, so an insert into a scanned range between scan and commit
+// aborts the scanner (no phantoms). 2PL instead takes the partition's reader/writer lock
+// for the transaction's duration.
+//
+// Partition boundaries sit at multiples of 2^kPartitionShift (the last partition is
+// open-ended). This is chosen to match the repo's key layouts: RUBiS shards inserted row
+// ids by worker at bit 40 (schema.h kShardStride), so concurrent inserters land on
+// distinct partitions, and composite scan keys put the scan dimension (category, bucket)
+// in bits >= 40, so one scan dimension maps to one partition stripe.
+#ifndef DOPPEL_SRC_STORE_ORDERED_INDEX_H_
+#define DOPPEL_SRC_STORE_ORDERED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/spinlock.h"
+#include "src/store/key.h"
+
+namespace doppel {
+
+class Record;
+
+// One version-stamped stripe of a table's ordered key space.
+struct IndexPartition {
+  // Guards `entries`; held only for O(log n) map operations and bounded range copies.
+  // Never acquire a record lock while holding `mu` (writers insert while holding their
+  // record's OCC lock bit, so the reverse order would deadlock).
+  mutable Spinlock mu;
+  // Bumped under `mu` by every structural insert; read without `mu` by OCC validation.
+  std::atomic<std::uint64_t> version{0};
+  // Ordered by key lo. Values are stable Record pointers (records never move or die).
+  std::map<std::uint64_t, Record*> entries;
+  // Transaction-duration phantom lock for the 2PL engine (unused by OCC/Doppel).
+  RWSpinlock rw;
+};
+
+class OrderedIndex {
+ public:
+  static constexpr std::size_t kPartitionsPerTable = 64;
+  static constexpr unsigned kPartitionShift = 40;
+  // Open-addressed table directory capacity; far above any workload's table count.
+  static constexpr std::size_t kMaxTables = 256;
+
+  struct TableIndex {
+    std::uint64_t table = 0;
+    std::vector<IndexPartition> partitions{kPartitionsPerTable};
+  };
+
+  OrderedIndex();
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+  ~OrderedIndex();
+
+  static std::size_t PartitionOf(std::uint64_t lo) {
+    const std::uint64_t p = lo >> kPartitionShift;
+    return p < kPartitionsPerTable ? static_cast<std::size_t>(p)
+                                   : kPartitionsPerTable - 1;
+  }
+
+  // Inserts `key` -> `r`. Idempotent (re-inserting an indexed key is a no-op and does
+  // not bump the partition version). The caller must hold whatever lock made the
+  // record's absent -> present transition exclusive (the OCC lock bit, or the record's
+  // 2PL write lock); this keeps insert-before-record-unlock ordering, which is what
+  // makes a committed insert visible to any scan that validates after the writer's
+  // commit point.
+  void Insert(const Key& key, Record* r);
+
+  // The table's index, created on demand. Scans call this (not FindTable) so that even
+  // a never-written table gets version-stamped partitions — otherwise an insert racing
+  // the first scan of an empty table could slip in unvalidated.
+  TableIndex& GetOrCreateTable(std::uint64_t table);
+
+  // Lock-free lookup; nullptr if no record of this table was ever indexed or scanned.
+  TableIndex* FindTable(std::uint64_t table) const;
+
+  IndexPartition& PartitionFor(const Key& key) {
+    return GetOrCreateTable(key.hi).partitions[PartitionOf(key.lo)];
+  }
+
+  // Copies the entries of `part` lying in [lo, hi] (inclusive) in ascending key order,
+  // up to `max_items` (0 = unbounded), and returns the partition version that the copy
+  // is consistent with (read under the same critical section).
+  static std::uint64_t SnapshotRange(IndexPartition& part, std::uint64_t lo,
+                                     std::uint64_t hi, std::size_t max_items,
+                                     std::vector<std::pair<std::uint64_t, Record*>>* out);
+
+  std::size_t size(std::uint64_t table) const;  // entries across partitions (tests)
+
+ private:
+  struct Slot {
+    // 0 = empty; otherwise table id + 1 (so table id 0 is representable).
+    std::atomic<std::uint64_t> tag{0};
+    std::atomic<TableIndex*> index{nullptr};
+  };
+
+  std::vector<Slot> slots_;
+  Spinlock create_mu_;  // serializes table creation (rare: once per table)
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_STORE_ORDERED_INDEX_H_

@@ -8,6 +8,7 @@ void Store::LoadInt(const Key& key, std::int64_t v) {
   Record* r = GetOrCreate(key, RecordType::kInt64);
   r->LockOcc();
   r->SetInt(v);
+  index_.Insert(key, r);
   r->UnlockOccSetTid(kLoadTid);
 }
 
@@ -15,6 +16,7 @@ void Store::LoadBytes(const Key& key, std::string v) {
   Record* r = GetOrCreate(key, RecordType::kBytes);
   r->LockOcc();
   r->MutateComplex([&](ComplexValue& cv) { std::get<std::string>(cv) = std::move(v); });
+  index_.Insert(key, r);
   r->UnlockOccSetTid(kLoadTid);
 }
 
@@ -22,6 +24,7 @@ void Store::LoadOrdered(const Key& key, OrderedTuple v) {
   Record* r = GetOrCreate(key, RecordType::kOrdered);
   r->LockOcc();
   r->MutateComplex([&](ComplexValue& cv) { std::get<OrderedTuple>(cv) = std::move(v); });
+  index_.Insert(key, r);
   r->UnlockOccSetTid(kLoadTid);
 }
 
@@ -29,6 +32,7 @@ void Store::LoadTopK(const Key& key, std::size_t k) {
   Record* r = GetOrCreate(key, RecordType::kTopK, k);
   r->LockOcc();
   r->MutateComplex([&](ComplexValue&) {});  // mark present, keep empty set
+  index_.Insert(key, r);
   r->UnlockOccSetTid(kLoadTid);
 }
 
@@ -37,6 +41,7 @@ void Store::LoadTopKItem(const Key& key, std::size_t k, OrderedTuple t) {
   r->LockOcc();
   r->MutateComplex(
       [&](ComplexValue& cv) { std::get<TopKSet>(cv).Insert(std::move(t)); });
+  index_.Insert(key, r);
   r->UnlockOccSetTid(kLoadTid);
 }
 

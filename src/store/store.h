@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/store/ordered_index.h"
 #include "src/store/record_map.h"
 
 namespace doppel {
@@ -16,6 +17,11 @@ class Store {
 
   RecordMap& map() { return map_; }
   const RecordMap& map() const { return map_; }
+
+  // Ordered per-table key index over the map; records appear when first logically
+  // present. Engines consult it for Txn::Scan and maintain it at commit time.
+  OrderedIndex& index() { return index_; }
+  const OrderedIndex& index() const { return index_; }
 
   Record* Find(const Key& key) const { return map_.Find(key); }
   std::size_t size() const { return map_.size(); }
@@ -44,6 +50,7 @@ class Store {
   static constexpr std::uint64_t kLoadTid = 2;  // above 0 so loaded != never-written
 
   RecordMap map_;
+  OrderedIndex index_;
 };
 
 }  // namespace doppel

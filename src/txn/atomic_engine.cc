@@ -28,6 +28,9 @@ void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   (void)w;
   (void)txn;
   Record* r = pw.record;
+  // Racy first-presence detection (no lock discipline in this engine); the index insert
+  // below is idempotent, so a double-detect costs nothing.
+  const bool was_present = pw.op != OpCode::kGet && r->PresentLocked();
   switch (pw.op) {
     case OpCode::kAdd:
       r->AtomicAdd(pw.n);
@@ -66,6 +69,42 @@ void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
     case OpCode::kGet:
       break;
   }
+  if (pw.op != OpCode::kGet && !was_present) {
+    store_.index().Insert(r->key(), r);
+  }
+}
+
+std::size_t AtomicEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
+                               std::uint64_t hi, std::size_t limit, const ScanFn& fn) {
+  if (lo > hi) {
+    return 0;
+  }
+  OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(table);
+  const std::size_t p_lo = OrderedIndex::PartitionOf(lo);
+  const std::size_t p_hi = OrderedIndex::PartitionOf(hi);
+  std::size_t visited = 0;
+  std::vector<std::pair<std::uint64_t, Record*>> batch;
+  for (std::size_t p = p_lo; p <= p_hi; ++p) {
+    batch.clear();
+    OrderedIndex::SnapshotRange(tab.partitions[p], lo, hi,
+                                limit == 0 ? 0 : limit - visited, &batch);
+    for (const auto& [key_lo, rec] : batch) {
+      (void)key_lo;
+      ReadResult res;
+      Read(w, txn, rec, &res);
+      if (!res.present) {
+        continue;
+      }
+      ++visited;
+      if (!fn(rec->key(), res)) {
+        return visited;
+      }
+      if (limit != 0 && visited >= limit) {
+        return visited;
+      }
+    }
+  }
+  return visited;
 }
 
 TxnStatus AtomicEngine::Commit(Worker& w, Txn& txn) {

@@ -20,6 +20,10 @@ class AtomicEngine : public Engine {
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   // Applies the operation immediately; nothing is buffered.
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
+  // Best-effort ordered traversal with no phantom protection (like Read, it carries the
+  // engine's non-serializable semantics).
+  std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void Abort(Worker& w, Txn& txn) override;
 

@@ -56,6 +56,58 @@ void OccEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   OccBufferWrite(txn, std::move(pw));
 }
 
+std::size_t OccEngine::OccScan(Txn& txn, std::uint64_t table, std::uint64_t lo,
+                               std::uint64_t hi, std::size_t limit, const ScanFn& fn,
+                               bool stash_on_split) {
+  if (lo > hi) {
+    return 0;
+  }
+  // GetOrCreate (not Find): scanning an empty table must still version-stamp its
+  // partitions, or the first insert could slip past this scan unvalidated.
+  OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(table);
+  const std::size_t p_lo = OrderedIndex::PartitionOf(lo);
+  const std::size_t p_hi = OrderedIndex::PartitionOf(hi);
+  std::size_t visited = 0;
+  std::vector<std::pair<std::uint64_t, Record*>> batch;
+  for (std::size_t p = p_lo; p <= p_hi; ++p) {
+    IndexPartition& part = tab.partitions[p];
+    batch.clear();
+    // Snapshot entry pointers under the partition lock, then read the records outside
+    // it: index inserters hold their record's OCC lock while taking `part.mu`, so
+    // spinning on a record's TID word under `mu` would deadlock.
+    const std::uint64_t version = OrderedIndex::SnapshotRange(
+        part, lo, hi, limit == 0 ? 0 : limit - visited, &batch);
+    txn.scan_set().push_back(IndexScanEntry{&part, version});
+    for (const auto& [key_lo, rec] : batch) {
+      (void)key_lo;
+      if (stash_on_split && rec->IsSplit()) {
+        txn.MarkStash(rec, OpCode::kGet);
+        return visited;
+      }
+      ReadResult res;
+      OccRead(txn, rec, &res);
+      txn.OverlayPending(rec, &res);
+      if (!res.present) {
+        continue;  // index entries are present by construction; defensive only
+      }
+      ++visited;
+      if (!fn(rec->key(), res)) {
+        return visited;
+      }
+      if (limit != 0 && visited >= limit) {
+        return visited;
+      }
+    }
+  }
+  return visited;
+}
+
+std::size_t OccEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
+                            std::uint64_t hi, std::size_t limit, const ScanFn& fn) {
+  (void)w;
+  return OccScan(txn, table, lo, hi, limit, fn, /*stash_on_split=*/false);
+}
+
 TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
   auto& ws = txn.write_set();
   auto& rs = txn.read_set();
@@ -98,9 +150,15 @@ TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
   }
   const std::uint64_t commit_tid = w.GenerateTid(max_seen);
 
-  // Part 2: validate the read set. On failure the whole set is still scanned so every
-  // conflicting record is reported (the contention classifier needs co-hot records, not
-  // just the first failure).
+  // Part 2: validate the scan set (phantom protection: any insert into a traversed
+  // index partition bumped its version) and the read set. On failure the whole set is
+  // still scanned so every conflicting record is reported (the contention classifier
+  // needs co-hot records, not just the first failure).
+  for (const IndexScanEntry& e : txn.scan_set()) {
+    if (e.partition->version.load(std::memory_order_acquire) != e.version) {
+      txn.scan_conflict = true;
+    }
+  }
   for (const ReadEntry& e : rs) {
     const std::uint64_t word = e.record->LoadTidWord();
     const PendingWrite* own = FindInWriteSet(ws, e.record);
@@ -116,7 +174,7 @@ TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
       }
     }
   }
-  if (txn.conflict_record != nullptr) {
+  if (txn.conflict_record != nullptr || txn.scan_conflict) {
     Record* p = nullptr;
     for (PendingWrite& pw : ws) {
       if (pw.record != p) {
@@ -128,11 +186,19 @@ TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
   }
 
   // Part 3: apply and release. Same-record writes are adjacent (stable sort) and applied
-  // in issue order; the record is unlocked after its last buffered write.
+  // in issue order; the record is unlocked after its last buffered write. A record
+  // becoming logically present enters the ordered index before its unlock, so a scan
+  // that validates after this commit point either saw the entry or fails on the
+  // partition version.
   for (std::size_t i = 0; i < ws.size(); ++i) {
+    Record* r = ws[i].record;
+    const bool was_present = r->PresentLocked();
     ApplyWriteToRecord(ws[i]);
-    if (i + 1 == ws.size() || ws[i + 1].record != ws[i].record) {
-      ws[i].record->UnlockOccSetTid(commit_tid);
+    if (!was_present) {
+      store_.index().Insert(r->key(), r);
+    }
+    if (i + 1 == ws.size() || ws[i + 1].record != r) {
+      r->UnlockOccSetTid(commit_tid);
     }
   }
   return TxnStatus::kCommitted;

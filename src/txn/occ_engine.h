@@ -17,6 +17,8 @@ class OccEngine : public Engine {
   Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) override;
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
+  std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void Abort(Worker& w, Txn& txn) override;
 
@@ -26,6 +28,11 @@ class OccEngine : public Engine {
   void OccRead(Txn& txn, Record* r, ReadResult* out);
   void OccBufferWrite(Txn& txn, PendingWrite&& pw);
   TxnStatus OccCommit(Worker& w, Txn& txn);
+  // Scan body shared with DoppelEngine. With `stash_on_split` set (Doppel split phases),
+  // meeting a split record in the window dooms the transaction for stashing and the scan
+  // stops (§7: split data cannot be read during a split phase).
+  std::size_t OccScan(Txn& txn, std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
+                      std::size_t limit, const ScanFn& fn, bool stash_on_split);
 
   Store& store_;
 };

@@ -45,6 +45,37 @@ void TwoPLEngine::EnsureExclusive(Txn& txn, Record* r, OpCode op) {
   txn.locks().push_back(LockEntry{r, true});
 }
 
+void TwoPLEngine::EnsureIndexShared(Txn& txn, IndexPartition* p) {
+  for (const IndexLockEntry& e : txn.index_locks()) {
+    if (e.partition == p) {
+      return;
+    }
+  }
+  if (!p->rw.try_lock_shared_for(limits_.shared_spin)) {
+    throw ConflictSignal{nullptr, OpCode::kGet};
+  }
+  txn.index_locks().push_back(IndexLockEntry{p, false});
+}
+
+void TwoPLEngine::EnsureIndexExclusive(Txn& txn, IndexPartition* p, OpCode op) {
+  for (IndexLockEntry& e : txn.index_locks()) {
+    if (e.partition == p) {
+      if (e.exclusive) {
+        return;
+      }
+      if (!p->rw.try_upgrade_for(limits_.upgrade_spin)) {
+        throw ConflictSignal{nullptr, op};
+      }
+      e.exclusive = true;
+      return;
+    }
+  }
+  if (!p->rw.try_lock_for(limits_.exclusive_spin)) {
+    throw ConflictSignal{nullptr, op};
+  }
+  txn.index_locks().push_back(IndexLockEntry{p, true});
+}
+
 void TwoPLEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
   (void)w;
   EnsureShared(txn, r);
@@ -64,7 +95,51 @@ void TwoPLEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
 void TwoPLEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   (void)w;
   EnsureExclusive(txn, pw.record, pw.op);
+  // A write to a logically-absent record is an insert-to-be: commit will add it to the
+  // ordered index, so the growing phase must also take the index partition's exclusive
+  // lock (2PL phantom protection against concurrent scanners). Presence is stable here
+  // because it only changes under the record's exclusive lock, which we now hold.
+  if (!pw.record->PresentLocked()) {
+    EnsureIndexExclusive(txn, &store_.index().PartitionFor(pw.record->key()), pw.op);
+  }
   txn.write_set().push_back(std::move(pw));
+}
+
+std::size_t TwoPLEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
+                              std::uint64_t hi, std::size_t limit, const ScanFn& fn) {
+  (void)w;
+  if (lo > hi) {
+    return 0;
+  }
+  OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(table);
+  const std::size_t p_lo = OrderedIndex::PartitionOf(lo);
+  const std::size_t p_hi = OrderedIndex::PartitionOf(hi);
+  std::size_t visited = 0;
+  std::vector<std::pair<std::uint64_t, Record*>> batch;
+  for (std::size_t p = p_lo; p <= p_hi; ++p) {
+    IndexPartition& part = tab.partitions[p];
+    // Held until commit/abort: no insert into this stripe can commit while we run.
+    EnsureIndexShared(txn, &part);
+    batch.clear();
+    OrderedIndex::SnapshotRange(part, lo, hi, limit == 0 ? 0 : limit - visited, &batch);
+    for (const auto& [key_lo, rec] : batch) {
+      (void)key_lo;
+      ReadResult res;
+      Read(w, txn, rec, &res);  // takes the record's shared lock for the txn's duration
+      txn.OverlayPending(rec, &res);
+      if (!res.present) {
+        continue;
+      }
+      ++visited;
+      if (!fn(rec->key(), res)) {
+        return visited;
+      }
+      if (limit != 0 && visited >= limit) {
+        return visited;
+      }
+    }
+  }
+  return visited;
 }
 
 TxnStatus TwoPLEngine::Commit(Worker& w, Txn& txn) {
@@ -84,7 +159,13 @@ TxnStatus TwoPLEngine::Commit(Worker& w, Txn& txn) {
     if (i == 0 || ws[i].record != ws[i - 1].record) {
       ws[i].record->LockOcc();
     }
+    const bool was_present = ws[i].record->PresentLocked();
     ApplyWriteToRecord(ws[i]);
+    if (!was_present) {
+      // The partition's exclusive lock was taken at Write() time, so no scanner holds
+      // the stripe; the version bump keeps OCC-side bookkeeping consistent.
+      store_.index().Insert(ws[i].record->key(), ws[i].record);
+    }
     if (i + 1 == ws.size() || ws[i + 1].record != ws[i].record) {
       ws[i].record->UnlockOccSetTid(commit_tid);
     }
@@ -107,6 +188,14 @@ void TwoPLEngine::ReleaseAll(Txn& txn) {
     }
   }
   txn.locks().clear();
+  for (const IndexLockEntry& e : txn.index_locks()) {
+    if (e.exclusive) {
+      e.partition->rw.unlock();
+    } else {
+      e.partition->rw.unlock_shared();
+    }
+  }
+  txn.index_locks().clear();
 }
 
 }  // namespace doppel

@@ -28,12 +28,18 @@ class TwoPLEngine : public Engine {
   Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) override;
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
+  std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
+                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void Abort(Worker& w, Txn& txn) override;
 
  private:
   void EnsureShared(Txn& txn, Record* r);
   void EnsureExclusive(Txn& txn, Record* r, OpCode op);
+  // Transaction-duration index-partition locks (phantom protection: scans share,
+  // inserts of newly-present records exclude).
+  void EnsureIndexShared(Txn& txn, IndexPartition* p);
+  void EnsureIndexExclusive(Txn& txn, IndexPartition* p, OpCode op);
   static void ReleaseAll(Txn& txn);
 
   Store& store_;

@@ -155,6 +155,14 @@ void Txn::TopKInsert(const Key& key, OrderKey order, std::string payload, std::s
   IssueWrite(key, OpCode::kTopKInsert, 0, order, std::move(payload), k);
 }
 
+std::size_t Txn::Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
+                      std::size_t limit, const ScanFn& fn) {
+  if (stash_doomed_) {
+    return 0;  // the transaction will be stashed; execution continues without effects
+  }
+  return engine_->Scan(*worker_, *this, table, lo, hi, limit, fn);
+}
+
 void Txn::UserAbort() { throw UserAbortSignal{}; }
 
 }  // namespace doppel

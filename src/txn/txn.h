@@ -8,6 +8,7 @@
 #define DOPPEL_SRC_TXN_TXN_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@ namespace doppel {
 
 class Engine;
 class Worker;
+struct IndexPartition;
 
 // A read-set entry: the TID the record had when this transaction read it (Fig. 2).
 struct ReadEntry {
@@ -52,6 +54,24 @@ struct LockEntry {
   bool exclusive;
 };
 
+// A scan-set entry: one ordered-index partition this transaction's scan traversed, and
+// the version it saw. OCC commit validation rechecks these alongside the read set
+// (Silo-style phantom protection: an insert into the range bumps the version).
+struct IndexScanEntry {
+  IndexPartition* partition;
+  std::uint64_t version;
+};
+
+// A 2PL index-partition lock (shared by scanners, exclusive by inserters).
+struct IndexLockEntry {
+  IndexPartition* partition;
+  bool exclusive;
+};
+
+// Scan callback: invoked per logically-present record in ascending key order with the
+// record's snapshot (ints in `i`, other types in `complex`). Return false to stop early.
+using ScanFn = std::function<bool(const Key& key, const ReadResult& value)>;
+
 class Txn {
  public:
   Txn() = default;
@@ -78,6 +98,19 @@ class Txn {
   void TopKInsert(const Key& key, OrderKey order, std::string payload,
                   std::size_t k = TopKSet::kDefaultK);
 
+  // Serializable range scan over the ordered index of `table` (a Key.hi namespace):
+  // visits every logically-present record with key lo in [lo, hi] (inclusive), ascending,
+  // calling `fn` for up to `limit` records (0 = unlimited). Returns the number visited.
+  // The scan observes this transaction's own buffered writes to already-present records;
+  // its own not-yet-committed inserts (writes to absent records) are not visible.
+  // Phantom protection is per index partition: under OCC a concurrent committed insert
+  // into a traversed partition aborts this transaction at commit; under 2PL partitions
+  // are read-locked for the transaction's duration; under Doppel a scan whose window
+  // contains a split record during a split phase stashes the transaction (§7: split data
+  // is unreadable in a split phase).
+  std::size_t Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
+                   std::size_t limit, const ScanFn& fn);
+
   // Aborts the transaction; it will not be retried.
   [[noreturn]] void UserAbort();
 
@@ -94,9 +127,12 @@ class Txn {
     write_set_.clear();
     split_writes_.clear();
     locks_.clear();
+    scan_set_.clear();
+    index_locks_.clear();
     conflict_record = nullptr;
     conflict_op = OpCode::kGet;
     conflicts.clear();
+    scan_conflict = false;
     stash_doomed_ = false;
     stash_record_ = nullptr;
     stash_op_ = OpCode::kGet;
@@ -106,6 +142,11 @@ class Txn {
   std::vector<PendingWrite>& write_set() { return write_set_; }
   std::vector<PendingWrite>& split_writes() { return split_writes_; }
   std::vector<LockEntry>& locks() { return locks_; }
+  std::vector<IndexScanEntry>& scan_set() { return scan_set_; }
+  std::vector<IndexLockEntry>& index_locks() { return index_locks_; }
+  // Applies this transaction's buffered writes for `r` on top of a fresh snapshot
+  // (engines use it so scans observe the transaction's own writes).
+  void OverlayPending(Record* r, ReadResult* res) const;
   Worker& worker() { return *worker_; }
   Engine& engine() { return *engine_; }
 
@@ -116,6 +157,9 @@ class Txn {
   Record* conflict_record = nullptr;
   OpCode conflict_op = OpCode::kGet;
   std::vector<std::pair<Record*, OpCode>> conflicts;
+  // Set when scan-set (index partition) validation fails; there is no single record to
+  // attribute, so it is reported separately from conflict_record.
+  bool scan_conflict = false;
 
   // ---- Stash poisoning (split-phase blocking, §5.2) ----
   // A transaction that touches split data incompatibly is doomed: it will be stashed and
@@ -137,8 +181,6 @@ class Txn {
  private:
   void IssueWrite(const Key& key, OpCode op, std::int64_t n, OrderKey order,
                   std::string payload, std::size_t topk_k);
-  // Applies this transaction's buffered writes for `r` on top of a fresh snapshot.
-  void OverlayPending(Record* r, ReadResult* res) const;
 
   Engine* engine_ = nullptr;
   Worker* worker_ = nullptr;
@@ -146,6 +188,8 @@ class Txn {
   std::vector<PendingWrite> write_set_;
   std::vector<PendingWrite> split_writes_;
   std::vector<LockEntry> locks_;
+  std::vector<IndexScanEntry> scan_set_;
+  std::vector<IndexLockEntry> index_locks_;
   bool stash_doomed_ = false;
   Record* stash_record_ = nullptr;
   OpCode stash_op_ = OpCode::kGet;

@@ -109,7 +109,12 @@ class Worker {
   }
 
   // ---- Phase machinery (Doppel; inert for other engines) ----
-  Phase phase = Phase::kJoined;
+  // Written only by the owning worker at phase transitions; atomic because observers
+  // (tests, diagnostics) may peek via Engine::CurrentPhase from other threads. All
+  // owner-side accesses use relaxed ordering (plain loads/stores on every target);
+  // cross-thread visibility of barrier-time state rides on the ack/release words below.
+  std::atomic<Phase> phase{Phase::kJoined};
+  Phase LoadPhase() const { return phase.load(std::memory_order_relaxed); }
   std::uint64_t seen_word = 0;
   alignas(kCacheLineSize) std::atomic<std::uint64_t> acked_word{0};
 

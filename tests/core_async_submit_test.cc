@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -424,6 +425,61 @@ TEST(AsyncSubmit, ExecuteHammerFromManyThreads) {
   db.Stop();
   EXPECT_EQ(committed.load(), static_cast<std::uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(testing::IntAt(db.store(), k), kThreads * kPerThread);
+}
+
+// ---- Shutdown with stashed submissions ----
+
+// A submission stashed on split data must not pin Stop() for the rest of the split
+// phase: Stop sets the drain flag, the coordinator ends the split phase immediately and
+// starts no new one, and the stashed transaction retires in the joined phase. Before the
+// fix, Stop's in-flight wait sat out the remaining phase length (2s here).
+TEST(AsyncSubmit, StopRetiresStashedSubmissionsPromptly) {
+  Options o;
+  o.protocol = Protocol::kDoppel;
+  o.num_workers = 2;
+  o.manual_split_only = true;
+  o.phase_us = 2000000;  // 2s phases: a stash early in a split phase has ~2s to wait
+  o.store_capacity = 1 << 10;
+  Database db(o);
+  const Key hot = Key::FromU64(1);
+  db.store().LoadInt(hot, 7);
+  db.MarkSplitManually(hot, OpCode::kAdd);
+  db.Start();
+
+  // Submit reads of the split record during a live split phase until one is observed
+  // stashed (a read can slip through unstashed in the instant before a worker finishes
+  // entering the split phase, so this retries).
+  std::atomic<std::int64_t> seen{-1};
+  std::vector<TxnHandle> handles;
+  bool stashed = false;
+  for (int attempt = 0; attempt < 50 && !stashed; ++attempt) {
+    bool in_split = false;
+    for (int i = 0; i < 5000 && !in_split; ++i) {
+      in_split = db.doppel()->controller().CurrentReleasedPhase() == Phase::kSplit;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(in_split);
+    handles.push_back(
+        db.Submit([&](Txn& t) { seen.store(t.GetInt(hot).value_or(-2)); }));
+    for (int i = 0; i < 100 && !stashed; ++i) {
+      stashed = db.doppel()->stash_pressure() > 0;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+  ASSERT_TRUE(stashed) << "no submitted read ever reached the split record";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  db.Stop();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (const TxnHandle& h : handles) {
+    EXPECT_TRUE(h.Wait().committed);
+  }
+  EXPECT_EQ(seen.load(), 7);
+  EXPECT_GE(db.CollectStats().stash_events, 1u);
+  EXPECT_LT(stop_seconds, 1.0)
+      << "Stop must drain stashed submissions without waiting out the split phase";
 }
 
 // ---- Workload tag bounds ----

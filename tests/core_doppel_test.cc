@@ -301,5 +301,50 @@ INSTANTIATE_TEST_SUITE_P(
              OpName(std::get<1>(info.param));
     });
 
+// Regression (double merge at shutdown): MaybeTransition's early stop_ return acks the
+// transition but leaves seen_word stale, so the worker loop re-enters the same
+// transition. Before the fix, MergeWorkerSlices never cleared Slice::dirty, and the
+// re-entered transition re-merged the same accumulator — double-applying kAdd/kMult
+// deltas. The exact interleaving is forced here on a raw engine with no coordinator.
+TEST(DoppelRegression, ShutdownReentryDoesNotDoubleMergeSlices) {
+  std::atomic<bool> stop{false};
+  Store store(1 << 10);
+  Options opts;
+  opts.manual_split_only = true;
+  DoppelEngine engine(store, opts, stop);
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.push_back(std::make_unique<Worker>(0, 42));
+  engine.RegisterWorkers(workers);
+  Worker& w = *workers[0];
+  const Key k = Key::FromU64(1);
+  store.LoadInt(k, 100);
+  engine.MarkSplitManually(k, OpCode::kAdd);
+
+  // JOINED -> SPLIT, single-threaded barrier protocol (as the coordinator would run it).
+  engine.controller().BeginTransition(Phase::kSplit);
+  engine.BarrierBuildPlan();
+  engine.controller().Release();
+  engine.BetweenTxns(w);
+  ASSERT_EQ(engine.CurrentPhase(w), Phase::kSplit);
+
+  // One committed split write: the worker's slice now holds a dirty +5 accumulator.
+  w.txn.Reset(&engine, &w);
+  w.txn.Add(k, 5);
+  ASSERT_EQ(engine.Commit(w, w.txn), TxnStatus::kCommitted);
+
+  // SPLIT -> JOINED whose release the worker never observes (the shutdown race): with
+  // stop set before the worker notices the transition, it merges, acks, and returns
+  // early from the release spin with seen_word still stale...
+  engine.controller().BeginTransition(Phase::kJoined);
+  stop.store(true);
+  engine.BetweenTxns(w);  // merge #1, ack, early return
+  // ...so the worker loop re-enters the transition and merges again.
+  engine.BetweenTxns(w);  // re-entry: must be a no-op on the already-consumed slice
+  engine.controller().Release();
+  engine.BarrierAfterReconcile();
+
+  EXPECT_EQ(IntAt(store, k), 105) << "re-entered transition re-applied the Add delta";
+}
+
 }  // namespace
 }  // namespace doppel
