@@ -7,6 +7,12 @@
 // during a split phase are stashed (split data is unreadable mid-scan, §7) and retire in
 // the next joined phase, while the increments fan out across per-core slices — the
 // stash/throughput tradeoff this bench makes visible (stash column).
+//
+// A second experiment measures dense-key insert scaling: every worker bulk-inserts rows
+// whose ids all sit far below 2^40. Under the fixed default layout (shift 40) the whole
+// table serializes on one partition stripe; a tuned per-table PartitionConfig gives each
+// worker's id range its own stripe; the adaptive layout starts at the bad default and
+// lets the Doppel coordinator narrow the boundaries from the observed telemetry.
 #include <memory>
 
 #include "bench/bench_common.h"
@@ -15,6 +21,8 @@ namespace doppel {
 namespace {
 
 constexpr std::uint32_t kScanTable = 2;  // clear of the INCR (0) and RUBiS (16+) tables
+constexpr std::uint32_t kDenseTable = 3;
+constexpr std::uint64_t kDenseStride = 1ULL << 20;  // per-worker id range, all < 2^26
 
 void ScanWindowProc(Txn& t, const TxnArgs& a) {
   // a.k1.lo = inclusive window end. Consume the values so the scan cannot be elided.
@@ -53,6 +61,80 @@ class ScanContentionSource : public TxnSource {
   const std::uint64_t window_;
   const std::uint32_t scan_pct_;
 };
+
+// ---- Dense-key insert scaling ---------------------------------------------------------
+
+void InsertDenseProc(Txn& t, const TxnArgs& a) { t.PutInt(a.k1, 1); }
+
+class DenseInsertSource : public TxnSource {
+ public:
+  TxnRequest Next(Worker& w) override {
+    TxnRequest r;
+    r.proc = &InsertDenseProc;
+    r.args.tag = kTagWrite;
+    // Wrap within the worker's id range: a very long run overwrites its own keys
+    // instead of spilling into the next worker's stripe (which would silently break
+    // the one-stripe-per-worker premise this experiment measures).
+    r.args.k1 = Key::Table(
+        kDenseTable, static_cast<std::uint64_t>(w.id) * kDenseStride + next_);
+    next_ = (next_ + 1) % kDenseStride;
+    return r;
+  }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+void RunDenseInsertScaling(const bench::Flags& flags) {
+  struct Layout {
+    const char* name;
+    Protocol proto;
+    bool configure;
+    PartitionConfig cfg;
+  };
+  const unsigned tuned_shift = 20;  // one worker id range (kDenseStride) per stripe
+  const Layout layouts[] = {
+      {"fixed-shift40", Protocol::kOcc, false, {}},
+      {"tuned-shift20", Protocol::kOcc, true, {tuned_shift, 64, false}},
+      {"adaptive", Protocol::kDoppel, true, {40, 64, true}},
+  };
+
+  std::printf("\nDense insert scaling: per-worker bulk inserts, ids all below 2^26\n");
+  std::printf("(fixed default layout serializes every insert on stripe 0)\n\n");
+  Table table({"layout", "proto", "inserts/s", "final_shift", "stripes_used", "rebins"});
+  for (const Layout& lay : layouts) {
+    RunStats tput;
+    OrderedIndex::TableStats st;
+    std::size_t stripes_used = 0;  // distinct stripes holding entries = insert parallelism
+    for (int run = 0; run < flags.Runs(); ++run) {
+      Options opts = bench::BaseOptions(flags, lay.proto, std::size_t{1} << 21);
+      opts.index_tune.min_inserts = 2048;
+      auto db = std::make_unique<Database>(opts);
+      if (lay.configure) {
+        db->store().ConfigureTable(kDenseTable, lay.cfg);
+      }
+      const RunMetrics m = RunWorkload(
+          *db, [](int) { return std::make_unique<DenseInsertSource>(); },
+          flags.MeasureMs(/*default_seconds=*/0.3), /*warmup_ms=*/flags.full ? 500 : 100);
+      tput.Add(m.throughput);
+      st = db->store().index().StatsFor(kDenseTable);
+      stripes_used = 0;
+      if (const OrderedIndex::TableIndex* t =
+              db->store().index().FindTable(kDenseTable)) {
+        for (const IndexPartition& p : t->partitions) {
+          stripes_used += p.entries.empty() ? 0 : 1;
+        }
+      }
+    }
+    table.AddRow({lay.name, ProtocolName(lay.proto), FormatCount(tput.mean()),
+                  std::to_string(st.shift), std::to_string(stripes_used),
+                  std::to_string(st.rebins)});
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+}
 
 int Main(int argc, char** argv) {
   const bench::Flags flags = bench::ParseFlags(argc, argv);
@@ -103,6 +185,8 @@ int Main(int argc, char** argv) {
   if (flags.csv) {
     table.PrintCsv();
   }
+
+  RunDenseInsertScaling(flags);
   return 0;
 }
 

@@ -55,6 +55,19 @@ void Coordinator::Run() {
     // next split phase." While draining for Stop, never start one: a new split phase
     // could stash the very submissions Stop is waiting to retire.
     if (!engine_.HasSplitCandidates() || drain_.load(std::memory_order_relaxed)) {
+      // Insert-heavy adaptive tables may need their boundaries narrowed even though
+      // nothing qualifies for splitting (bulk inserts rarely conflict — they just
+      // serialize on one stripe). Re-binning requires every worker quiesced, so run a
+      // tune-only joined -> joined barrier: workers ack and resume without any slice or
+      // stash work.
+      if (!drain_.load(std::memory_order_relaxed) &&
+          !stop_coord_.load(std::memory_order_relaxed) && engine_.IndexTunePending()) {
+        ctrl.BeginTransition(Phase::kJoined);
+        engine_.WaitForWorkerAcks();
+        engine_.BarrierTuneIndexes();
+        ctrl.Release();
+        tune_barriers_.fetch_add(1, std::memory_order_relaxed);
+      }
       continue;
     }
 

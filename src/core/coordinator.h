@@ -36,6 +36,11 @@ class Coordinator {
     return cycles_.load(std::memory_order_relaxed);
   }
 
+  // Tune-only quiesce barriers run for adaptive index narrowing (observability).
+  std::uint64_t tune_barriers() const {
+    return tune_barriers_.load(std::memory_order_relaxed);
+  }
+
   // Cumulative wall time per stage (nanoseconds), for observability and tests.
   struct StageTimes {
     std::uint64_t joined_ns = 0;
@@ -63,6 +68,7 @@ class Coordinator {
   std::atomic<bool>& stop_workers_;
   const std::atomic<bool>& drain_;
   std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> tune_barriers_{0};
   std::atomic<std::uint64_t> joined_ns_{0};
   std::atomic<std::uint64_t> split_ns_{0};
   std::atomic<std::uint64_t> to_split_barrier_ns_{0};

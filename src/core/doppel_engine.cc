@@ -1,6 +1,7 @@
 #include "src/core/doppel_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <thread>
 #include <utility>
 
@@ -102,6 +103,13 @@ void DoppelEngine::OnConflict(Worker& w, Txn& txn) {
     }
   } else if (txn.conflict_record != nullptr) {
     sampler.RecordConflict(txn.conflict_record->key(), txn.conflict_op);
+  }
+  for (const ScanSetConflict& sc : txn.scan_set_conflicts) {
+    if (sc.has_record) {
+      sampler.RecordScanConflict(sc.table, sc.partition, sc.key, sc.op);
+    } else {
+      sampler.RecordScanConflict(sc.table, sc.partition);
+    }
   }
 }
 
@@ -255,11 +263,62 @@ void DoppelEngine::BarrierBuildPlan() {
     std::uint64_t count = 0;
     std::uint64_t ops[kNumOps] = {};
   };
+  // Per-partition scan-conflict aggregation across workers (the entry universe is tiny:
+  // each worker's scan table holds at most 64 stripes, so linear search suffices).
+  struct ScanAgg {
+    std::uint64_t table = 0;
+    std::uint32_t partition = 0;
+    std::uint64_t count = 0;
+    std::uint64_t phantoms = 0;
+    std::uint64_t ops[kNumOps] = {};
+    std::vector<std::pair<Key, std::uint64_t>> votes;
+  };
   std::unordered_map<Record*, Agg> agg;
+  std::vector<ScanAgg> sagg;
   std::uint64_t total = 0;
   if (!opts_.manual_split_only) {
     for (Worker* w : workers_) {
       ConflictSampler& s = Ext(*w).sampler;
+      for (const ConflictSampler::ScanEntry& e : s.scan_entries()) {
+        if (!e.used) {
+          continue;
+        }
+        ScanAgg* a = nullptr;
+        for (ScanAgg& sa : sagg) {
+          if (sa.table == e.table && sa.partition == e.partition) {
+            a = &sa;
+            break;
+          }
+        }
+        if (a == nullptr) {
+          sagg.push_back(ScanAgg{});
+          a = &sagg.back();
+          a->table = e.table;
+          a->partition = e.partition;
+        }
+        // Clamp to what this entry's own tallies account for (space-saving eviction
+        // inheritance, same reasoning as the record table below).
+        std::uint64_t tally_sum = e.phantoms;
+        for (int i = 0; i < kNumOps; ++i) {
+          a->ops[i] += e.op_counts[i];
+          tally_sum += e.op_counts[i];
+        }
+        a->count += std::min<std::uint64_t>(e.count, tally_sum);
+        a->phantoms += e.phantoms;
+        if (e.has_hot && e.hot_votes > 0) {
+          bool found = false;
+          for (auto& [key, votes] : a->votes) {
+            if (key == e.hot_key) {
+              votes += e.hot_votes;
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            a->votes.emplace_back(e.hot_key, e.hot_votes);
+          }
+        }
+      }
       for (const ConflictSampler::Entry& e : s.entries()) {
         if (!e.used) {
           continue;
@@ -293,21 +352,43 @@ void DoppelEngine::BarrierBuildPlan() {
     std::uint64_t score;
   };
   std::vector<Candidate> cands;
-  for (const auto& [record, a] : agg) {
-    std::uint64_t splittable = 0;
+  // Most-sampled splittable op in `ops`, plus the splittable mass; -1 if none.
+  auto best_splittable_op = [](const std::uint64_t (&ops)[kNumOps],
+                               std::uint64_t* splittable_sum) {
+    std::uint64_t sum = 0;
     int best = -1;
     std::uint64_t best_count = 0;
     for (int i = 0; i < kNumOps; ++i) {
       if (!IsSplittable(static_cast<OpCode>(i))) {
         continue;
       }
-      splittable += a.ops[i];
-      if (a.ops[i] > best_count) {
-        best_count = a.ops[i];
+      sum += ops[i];
+      if (ops[i] > best_count) {
+        best_count = ops[i];
         best = i;
       }
     }
-    if (best < 0 || best_count == 0) {
+    if (splittable_sum != nullptr) {
+      *splittable_sum = sum;
+    }
+    return best;
+  };
+  // Inside an un-split suppression window (§5.5 damping)? Expired windows are erased.
+  auto is_suppressed = [&](Record* r) {
+    const auto it = suppressed_until_.find(r);
+    if (it == suppressed_until_.end()) {
+      return false;
+    }
+    if (cycle_ < it->second) {
+      return true;
+    }
+    suppressed_until_.erase(it);
+    return false;
+  };
+  for (const auto& [record, a] : agg) {
+    std::uint64_t splittable = 0;
+    const int best = best_splittable_op(a.ops, &splittable);
+    if (best < 0 || a.ops[best] == 0) {
       continue;  // contended, but only on unsplittable operations
     }
     if (a.count < c.min_conflicts ||
@@ -317,14 +398,46 @@ void DoppelEngine::BarrierBuildPlan() {
             c.min_splittable_fraction * static_cast<double>(a.count)) {
       continue;
     }
-    const auto it = suppressed_until_.find(record);
-    if (it != suppressed_until_.end()) {
-      if (cycle_ < it->second) {
-        continue;
-      }
-      suppressed_until_.erase(it);
+    if (is_suppressed(record)) {
+      continue;
     }
     cands.push_back(Candidate{record, static_cast<OpCode>(best), a.count});
+  }
+  // Scan-window votes: a contended partition whose conflicts concentrate on one interior
+  // record nominates that record for splitting on its winning writers' operation. This
+  // is the signal record-level sampling cannot produce — scanners losing validation
+  // charge kGet, so min_splittable_fraction would keep a scan-contended record
+  // reconciled forever.
+  for (const ScanAgg& a : sagg) {
+    if (a.count < c.min_scan_conflicts) {
+      continue;
+    }
+    const std::pair<Key, std::uint64_t>* top = nullptr;
+    for (const auto& kv : a.votes) {
+      if (top == nullptr || kv.second > top->second) {
+        top = &kv;
+      }
+    }
+    if (top == nullptr ||
+        static_cast<double>(top->second) <
+            c.scan_vote_fraction * static_cast<double>(a.count)) {
+      continue;
+    }
+    Record* r = store_.Find(top->first);
+    if (r == nullptr) {
+      continue;
+    }
+    // Split on the voted record's own last committed write op — not the partition-wide
+    // op aggregate, which can carry a different record's writers (splitting X on Y's op
+    // would stash every one of X's writers for up to a phase each).
+    const OpCode op = static_cast<OpCode>(r->last_write_op());
+    if (!IsSplittable(op)) {
+      continue;  // phantoms only, or unsplittable writers: narrowing territory instead
+    }
+    if (is_suppressed(r)) {
+      continue;
+    }
+    cands.push_back(Candidate{r, op, a.count});
   }
   std::sort(cands.begin(), cands.end(),
             [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
@@ -363,6 +476,93 @@ void DoppelEngine::BarrierBuildPlan() {
 
   stash_pressure_.store(0, std::memory_order_relaxed);
   split_start_commits_ = SampleCommits();
+
+  // Workers are still quiesced at this barrier: the only moment adaptive boundary
+  // narrowing (which re-bins keys under the partition lock set) is race-free.
+  TuneAdaptiveTables();
+}
+
+// ---- Adaptive index partitioning ------------------------------------------------------
+
+DoppelEngine::TuneDeltas DoppelEngine::ComputeTuneDeltas(
+    const OrderedIndex::TableIndex& t) {
+  TuneDeltas d;
+  for (std::size_t i = 0; i < t.partitions.size(); ++i) {
+    const std::uint64_t ins = t.partitions[i].inserts.load(std::memory_order_relaxed);
+    const std::uint64_t delta = ins - t.tune_insert_marks[i];
+    d.inserts += delta;
+    d.hot_inserts = std::max(d.hot_inserts, delta);
+    d.conflict_total += t.partitions[i].scan_conflicts.load(std::memory_order_relaxed);
+  }
+  d.conflicts = d.conflict_total - t.tune_conflict_mark;
+  return d;
+}
+
+unsigned DoppelEngine::NarrowTargetShift(const OrderedIndex::TableIndex& t) {
+  // Spread [0, 2 * max_key] over the table's stripe capacity. The doubling is growth
+  // headroom: narrowing is irreversible (no widening), so an append-style table whose
+  // ids keep climbing must be able to at least double before new keys start clamping
+  // into the last stripe and re-serializing there.
+  const std::uint64_t max_key = t.max_key.load(std::memory_order_relaxed);
+  const unsigned log2_cap =
+      static_cast<unsigned>(std::bit_width(t.partitions.size()) - 1);
+  const unsigned need = static_cast<unsigned>(std::bit_width(max_key)) + 1;
+  return need > log2_cap ? need - log2_cap : 0;
+}
+
+bool DoppelEngine::WouldNarrow(const OrderedIndex::TableIndex& t,
+                               const TuneDeltas& d) const {
+  if (t.partitions.size() < 2) {
+    return false;  // NarrowTable would refuse; don't trigger useless quiesce barriers
+  }
+  const IndexTuneOptions& tu = opts_.index_tune;
+  const bool insert_skew =
+      d.inserts >= tu.min_inserts &&
+      static_cast<double>(d.hot_inserts) >=
+          tu.hot_stripe_fraction * static_cast<double>(d.inserts);
+  const bool phantom_pressure = d.conflicts >= tu.scan_conflict_pressure;
+  if (!insert_skew && !phantom_pressure) {
+    return false;
+  }
+  return NarrowTargetShift(t) < t.shift.load(std::memory_order_relaxed);
+}
+
+bool DoppelEngine::IndexTunePending() {
+  if (!opts_.index_tune.adaptive_enabled) {
+    return false;
+  }
+  bool pending = false;
+  store_.index().ForEachTable([&](OrderedIndex::TableIndex& t) {
+    if (!pending && t.adaptive) {
+      pending = WouldNarrow(t, ComputeTuneDeltas(t));
+    }
+  });
+  return pending;
+}
+
+void DoppelEngine::TuneAdaptiveTables() {
+  if (!opts_.index_tune.adaptive_enabled) {
+    return;
+  }
+  const IndexTuneOptions& tu = opts_.index_tune;
+  store_.index().ForEachTable([&](OrderedIndex::TableIndex& t) {
+    if (!t.adaptive) {
+      return;
+    }
+    const TuneDeltas d = ComputeTuneDeltas(t);
+    // Leave a trickle accumulating across barriers; evaluate (and start a fresh
+    // interval) only once either telemetry stream has enough mass to mean something.
+    if (d.inserts < tu.min_inserts && d.conflicts < tu.scan_conflict_pressure) {
+      return;
+    }
+    if (WouldNarrow(t, d)) {
+      store_.index().NarrowTable(t, NarrowTargetShift(t));
+    }
+    for (std::size_t i = 0; i < t.partitions.size(); ++i) {
+      t.tune_insert_marks[i] = t.partitions[i].inserts.load(std::memory_order_relaxed);
+    }
+    t.tune_conflict_mark = d.conflict_total;
+  });
 }
 
 void DoppelEngine::BarrierAfterReconcile() {

@@ -67,6 +67,13 @@ class DoppelEngine : public OccEngine {
   void BarrierBuildPlan();
   // At the SPLIT -> JOINED barrier (all slices merged): retention / un-split decisions.
   void BarrierAfterReconcile();
+  // Racy peek between barriers: would TuneAdaptiveTables narrow any adaptive table's
+  // boundaries right now? Lets the coordinator run a tune-only quiesce barrier for
+  // insert-heavy tables that never produce split candidates.
+  bool IndexTunePending();
+  // At any quiesce barrier (workers acked, not yet released): adaptive narrowing.
+  // BarrierBuildPlan runs it too; this entry point serves tune-only barriers.
+  void BarrierTuneIndexes() { TuneAdaptiveTables(); }
   // Split-phase feedback (§5.4): too many stashes => hurry the next joined phase.
   bool ShouldHurrySplitEnd() const;
   void WaitForWorkerAcks() const;  // spins until every worker acked `pending`
@@ -96,6 +103,20 @@ class DoppelEngine : public OccEngine {
   void MergeWorkerSlices(Worker& w);  // reconciliation, Fig. 4
   void DrainStash(Worker& w);         // restart stashed txns before acking a split phase
   void PrepareSlices(Worker& w);      // size + reset slices from the published plan
+
+  // ---- Adaptive index partitioning (coordinator thread, barriers only) ----
+  // Telemetry deltas for one table since its last tuning evaluation.
+  struct TuneDeltas {
+    std::uint64_t inserts = 0;        // new structural inserts across all stripes
+    std::uint64_t hot_inserts = 0;    // ... the busiest single stripe's share of them
+    std::uint64_t conflicts = 0;      // new scan conflicts across all stripes
+    std::uint64_t conflict_total = 0; // cumulative (the next interval's mark)
+  };
+  static TuneDeltas ComputeTuneDeltas(const OrderedIndex::TableIndex& t);
+  // Spread [0, max_key] over the table's stripe capacity.
+  static unsigned NarrowTargetShift(const OrderedIndex::TableIndex& t);
+  bool WouldNarrow(const OrderedIndex::TableIndex& t, const TuneDeltas& d) const;
+  void TuneAdaptiveTables();
 
   std::uint64_t SampleCommits() const;
 

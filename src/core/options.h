@@ -41,6 +41,34 @@ struct ClassifierOptions {
   double unsplit_stash_ratio = 2.5;
   // After a stash-pressure unsplit, don't re-split the record for this many phase cycles.
   std::uint32_t resplit_suppress_phases = 16;
+
+  // ---- Per-partition scan-conflict signal (ordered-index telemetry) ----
+  // An index partition's sampled scan conflicts over one joined phase must reach this
+  // floor before the classifier acts on the partition at all.
+  std::uint64_t min_scan_conflicts = 8;
+  // When at least this share of a contended partition's scan conflicts pin one interior
+  // record (the sampler's majority vote), that record becomes a split candidate on its
+  // winning writers' operation — even if its own record-level conflicts are all reads
+  // (scanners losing validation charge kGet, which min_splittable_fraction would
+  // otherwise refuse forever).
+  double scan_vote_fraction = 0.5;
+};
+
+// Adaptive ordered-index partitioning (coordinator-driven, Doppel only). Tables
+// registered with PartitionConfig::adaptive get their boundary shift narrowed at phase
+// barriers — with every worker quiesced — when the per-partition telemetry shows the
+// load collapsing onto one stripe.
+struct IndexTuneOptions {
+  // Master switch for coordinator narrowing.
+  bool adaptive_enabled = true;
+  // Evaluate a table only once it has absorbed this many new inserts since the last
+  // evaluation (the share test below is meaningless on a trickle).
+  std::uint64_t min_inserts = 4096;
+  // Narrow when one stripe absorbed at least this share of the interval's inserts.
+  double hot_stripe_fraction = 0.5;
+  // ... or when the table's stripes absorbed this many new scan conflicts (phantom
+  // pressure: inserts keep invalidating scans of a too-wide stripe).
+  std::uint64_t scan_conflict_pressure = 64;
 };
 
 struct Options {
@@ -54,6 +82,7 @@ struct Options {
   std::size_t store_capacity = std::size_t{1} << 20;
 
   ClassifierOptions classifier;
+  IndexTuneOptions index_tune;
   // Disable automatic detection; only manually labeled records split (ablation §5.5).
   bool manual_split_only = false;
 

@@ -8,6 +8,7 @@ namespace doppel {
 
 ConflictSampler::ConflictSampler(std::uint32_t sample_every, std::size_t capacity)
     : table_(std::bit_ceil(capacity < 64 ? std::size_t{64} : capacity)),
+      scan_table_(kScanCapacity),
       mask_(table_.size() - 1),
       sample_every_(sample_every == 0 ? 1 : sample_every) {}
 
@@ -49,9 +50,75 @@ void ConflictSampler::RecordConflict(const Key& key, OpCode op) {
   total_.fetch_add(1, std::memory_order_relaxed);
 }
 
+ConflictSampler::ScanEntry& ConflictSampler::ScanSlot(std::uint64_t table,
+                                                      std::uint32_t partition) {
+  const std::size_t base =
+      static_cast<std::size_t>(HashCombine(Mix64(table), partition)) % kScanCapacity;
+  ScanEntry* victim = nullptr;
+  for (int i = 0; i < kProbeWindow; ++i) {
+    ScanEntry& e = scan_table_[(base + static_cast<std::size_t>(i)) % kScanCapacity];
+    if (e.used && e.table == table && e.partition == partition) {
+      return e;
+    }
+    if (!e.used) {
+      victim = &e;
+      break;
+    }
+    if (victim == nullptr || e.count < victim->count) {
+      victim = &e;
+    }
+  }
+  DOPPEL_DCHECK(victim != nullptr);
+  // Space-saving replacement, like the record table: inherit the evicted count so a
+  // persistently hot stripe survives churn. Inherited mass is attributed to no op or
+  // record (the classifier clamps to op_counts + phantoms, mirroring the record path).
+  const std::uint32_t inherited = victim->used ? victim->count : 0;
+  *victim = ScanEntry{};
+  victim->used = true;
+  victim->table = table;
+  victim->partition = partition;
+  victim->count = inherited;
+  return *victim;
+}
+
+void ConflictSampler::RecordScanConflict(std::uint64_t table, std::uint32_t partition) {
+  if (++tick_ % sample_every_ != 0) {
+    return;
+  }
+  ScanEntry& e = ScanSlot(table, partition);
+  e.count++;
+  e.phantoms++;
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConflictSampler::RecordScanConflict(std::uint64_t table, std::uint32_t partition,
+                                         const Key& key, OpCode op) {
+  if (++tick_ % sample_every_ != 0) {
+    return;
+  }
+  ScanEntry& e = ScanSlot(table, partition);
+  e.count++;
+  e.op_counts[static_cast<int>(op)]++;
+  // Boyer-Moore majority: the interior record the window's conflicts concentrate on.
+  if (!e.has_hot) {
+    e.has_hot = true;
+    e.hot_key = key;
+    e.hot_votes = 1;
+  } else if (e.hot_key == key) {
+    e.hot_votes++;
+  } else if (--e.hot_votes == 0) {
+    e.hot_key = key;
+    e.hot_votes = 1;
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ConflictSampler::Clear() {
   for (Entry& e : table_) {
     e = Entry{};
+  }
+  for (ScanEntry& e : scan_table_) {
+    e = ScanEntry{};
   }
   total_.store(0, std::memory_order_relaxed);
   tick_ = 0;

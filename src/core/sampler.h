@@ -9,6 +9,13 @@
 // counter racily between barriers to decide whether a split phase is worth starting.
 // Eviction uses a space-saving approximation: a new key replaces the smallest-count entry
 // in its probe window and inherits that count, so heavy hitters survive churn.
+//
+// A second, smaller table aggregates *scan* conflicts per ordered-index partition
+// (RecordScanConflict): phantom inserts that invalidated a scanned stripe, and failed
+// validations of records reached through a scan. Each entry additionally runs a
+// Boyer-Moore majority vote over the attributed record keys, so the classifier can see
+// which interior record a contended scan window keeps dying on — and by which operation
+// its winning writers are updating it.
 #ifndef DOPPEL_SRC_CORE_SAMPLER_H_
 #define DOPPEL_SRC_CORE_SAMPLER_H_
 
@@ -30,23 +37,50 @@ class ConflictSampler {
     bool used = false;
   };
 
+  // One ordered-index partition's sampled scan-conflict tally.
+  struct ScanEntry {
+    std::uint64_t table = 0;
+    std::uint32_t partition = 0;
+    std::uint32_t count = 0;     // all sampled scan conflicts on this partition
+    std::uint32_t phantoms = 0;  // subset with no attributable record (pure inserts)
+    std::uint32_t op_counts[kNumOps] = {};  // ops of attributed records' winning writers
+    // Boyer-Moore majority candidate among attributed record keys.
+    Key hot_key{};
+    std::uint32_t hot_votes = 0;
+    bool has_hot = false;
+    bool used = false;
+  };
+
   explicit ConflictSampler(std::uint32_t sample_every, std::size_t capacity = 512);
 
   // Owner worker: record that a transaction aborted because of `key`, where the aborted
   // transaction's operation on the record was `op` (kGet for pure read validation loss).
   void RecordConflict(const Key& key, OpCode op);
 
+  // Owner worker: record a scan conflict on (table, partition). The record-less overload
+  // is a phantom (a concurrent insert invalidated the stripe); the keyed overload
+  // attributes the conflict to a record inside the scan window, with `op` the operation
+  // its winning writers last applied.
+  void RecordScanConflict(std::uint64_t table, std::uint32_t partition);
+  void RecordScanConflict(std::uint64_t table, std::uint32_t partition, const Key& key,
+                          OpCode op);
+
   // Racy peek (coordinator, between barriers): sampled conflicts since the last Clear.
   std::uint64_t ApproxTotal() const { return total_.load(std::memory_order_relaxed); }
 
   // Coordinator, at barriers only.
   const std::vector<Entry>& entries() const { return table_; }
+  const std::vector<ScanEntry>& scan_entries() const { return scan_table_; }
   void Clear();
 
  private:
   static constexpr int kProbeWindow = 8;
+  static constexpr std::size_t kScanCapacity = 64;
+
+  ScanEntry& ScanSlot(std::uint64_t table, std::uint32_t partition);
 
   std::vector<Entry> table_;
+  std::vector<ScanEntry> scan_table_;
   std::uint64_t mask_;
   std::uint32_t sample_every_;
   std::uint32_t tick_ = 0;

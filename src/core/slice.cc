@@ -113,6 +113,7 @@ void MergeSliceToGlobal(Record* r, OpCode op, const Slice& slice, std::uint64_t 
   if (!present && index != nullptr && r->PresentLocked()) {
     index->Insert(r->key(), r);
   }
+  r->NoteWriteOp(static_cast<std::uint8_t>(op));
   r->UnlockOccSetTid(new_tid);
 }
 

@@ -66,6 +66,10 @@ std::string RegionRow(std::uint64_t region) {
 void Populate(Store& store, const Config& cfg) {
   g_active_config = cfg;
 
+  // Register the ordered (category, item) index with a stripe per category before the
+  // first row lands in it (partition layouts are fixed at table creation).
+  store.ConfigureTable(kItemsByCatOrd, ItemsByCatOrdConfig(cfg.num_categories));
+
   for (std::uint64_t c = 0; c < cfg.num_categories; ++c) {
     store.LoadBytes(CategoryKey(c), CategoryRow(c));
     store.LoadTopK(ItemsByCategoryKey(c), kBrowseIndexK);

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "src/store/key.h"
+#include "src/store/ordered_index.h"
 
 namespace doppel {
 namespace rubis {
@@ -67,8 +68,9 @@ inline constexpr std::size_t kBrowseIndexK = 20;
 
 // ---- Ordered (category, item) index, scanned by SearchItemsByCategory ----
 // One bytes row per item, keyed lo = (category << 40) | compact(item) so a category's
-// items form one contiguous range. The shift matches OrderedIndex::kPartitionShift, so
-// each category maps onto its own version-stamped partition stripe. compact() folds
+// items form one contiguous range. The shift matches the table's registered partition
+// boundary (ItemsByCatOrdConfig below), so each category maps onto its own
+// version-stamped partition stripe. compact() folds
 // worker-sharded item ids (worker * 2^40 + local, see ShardedId) into 40 bits: loaded
 // items keep their id, inserted items become (worker << 32) | low-32-bits — distinct
 // ranges as long as loaded ids stay below 2^32, which every configuration here does.
@@ -87,6 +89,22 @@ inline std::uint64_t ItemsByCatOrdLo(std::uint64_t category) {
 }
 inline std::uint64_t ItemsByCatOrdHi(std::uint64_t category) {
   return (category << kCatOrdShift) | ((std::uint64_t{1} << kCatOrdShift) - 1);
+}
+
+// Tuned partition layout for kItemsByCatOrd, registered by rubis::Populate. The shift
+// keeps one category = one phantom-protection stripe (a SearchItemsByCategory scan locks
+// or version-checks exactly its category), while sizing the stripe count to the
+// category cardinality — the default 64-stripe layout clamps every category >= 63 into
+// the last stripe, making unrelated hot categories share one insert lock and abort each
+// other's scans.
+inline PartitionConfig ItemsByCatOrdConfig(std::uint64_t num_categories) {
+  PartitionConfig cfg;
+  cfg.shift = kCatOrdShift;
+  const std::uint64_t want = num_categories + 1;  // last stripe stays open-ended
+  cfg.partitions = static_cast<std::uint32_t>(
+      want < OrderedIndex::kMaxPartitionsPerTable ? want
+                                                  : OrderedIndex::kMaxPartitionsPerTable);
+  return cfg;
 }
 
 }  // namespace rubis

@@ -1,5 +1,7 @@
 #include "src/store/ordered_index.h"
 
+#include <utility>
+
 #include "src/common/dassert.h"
 #include "src/common/hash.h"
 #include "src/store/record.h"
@@ -31,6 +33,35 @@ OrderedIndex::TableIndex* OrderedIndex::FindTable(std::uint64_t table) const {
   return nullptr;
 }
 
+OrderedIndex::TableIndex& OrderedIndex::CreateTable(std::uint64_t table,
+                                                    const PartitionConfig& cfg) {
+  DOPPEL_CHECK(cfg.partitions <= kMaxPartitionsPerTable);
+  const std::uint64_t tag = table + 1;
+  std::size_t i = static_cast<std::size_t>(Mix64(table)) % kMaxTables;
+  for (std::size_t probes = 0; probes < kMaxTables; ++probes) {
+    if (slots_[i].tag.load(std::memory_order_relaxed) == 0) {
+      auto* idx = new TableIndex(table, cfg);
+      slots_[i].index.store(idx, std::memory_order_relaxed);
+      slots_[i].tag.store(tag, std::memory_order_release);
+      return *idx;
+    }
+    i = (i + 1) % kMaxTables;
+  }
+  DOPPEL_CHECK(false);  // more than kMaxTables distinct tables
+  __builtin_unreachable();
+}
+
+OrderedIndex::TableIndex& OrderedIndex::ConfigureTable(std::uint64_t table,
+                                                       const PartitionConfig& cfg) {
+  create_mu_.lock();
+  // Layouts are fixed at creation (partition addresses are held raw by scan and lock
+  // sets), so reconfiguring a live table is a programming error.
+  DOPPEL_CHECK(FindTable(table) == nullptr);
+  TableIndex& t = CreateTable(table, cfg);
+  create_mu_.unlock();
+  return t;
+}
+
 OrderedIndex::TableIndex& OrderedIndex::GetOrCreateTable(std::uint64_t table) {
   if (TableIndex* t = FindTable(table)) {
     return *t;
@@ -41,32 +72,96 @@ OrderedIndex::TableIndex& OrderedIndex::GetOrCreateTable(std::uint64_t table) {
     create_mu_.unlock();
     return *existing;
   }
-  const std::uint64_t tag = table + 1;
-  std::size_t i = static_cast<std::size_t>(Mix64(table)) % kMaxTables;
-  for (std::size_t probes = 0; probes < kMaxTables; ++probes) {
-    if (slots_[i].tag.load(std::memory_order_relaxed) == 0) {
-      auto* idx = new TableIndex();
-      idx->table = table;
-      slots_[i].index.store(idx, std::memory_order_relaxed);
-      slots_[i].tag.store(tag, std::memory_order_release);
-      create_mu_.unlock();
-      return *idx;
-    }
-    i = (i + 1) % kMaxTables;
-  }
+  TableIndex& t = CreateTable(table, PartitionConfig{});
   create_mu_.unlock();
-  DOPPEL_CHECK(false);  // more than kMaxTables distinct tables
-  __builtin_unreachable();
+  return t;
 }
 
 void OrderedIndex::Insert(const Key& key, Record* r) {
-  IndexPartition& part = PartitionFor(key);
-  part.mu.lock();
-  const bool inserted = part.entries.emplace(key.lo, r).second;
-  if (inserted) {
-    part.version.fetch_add(1, std::memory_order_release);
+  TableIndex& t = GetOrCreateTable(key.hi);
+  while (true) {
+    const unsigned s = t.shift.load(std::memory_order_acquire);
+    IndexPartition& part = t.partitions[t.PartitionWithShift(key.lo, s)];
+    part.mu.lock();
+    if (t.shift.load(std::memory_order_relaxed) != s) {
+      // Lost a race with NarrowTable (which holds every partition lock while it moves
+      // entries and publishes the new shift): re-bin under the new boundaries.
+      part.mu.unlock();
+      continue;
+    }
+    const bool inserted = part.entries.emplace(key.lo, r).second;
+    if (inserted) {
+      part.version.fetch_add(1, std::memory_order_release);
+      part.inserts.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t cur = t.max_key.load(std::memory_order_relaxed);
+      while (key.lo > cur &&
+             !t.max_key.compare_exchange_weak(cur, key.lo, std::memory_order_relaxed)) {
+      }
+    }
+    part.mu.unlock();
+    return;
   }
-  part.mu.unlock();
+}
+
+bool OrderedIndex::NarrowTable(TableIndex& t, unsigned new_shift) {
+  if (t.partitions.size() < 2 || new_shift >= t.shift.load(std::memory_order_acquire)) {
+    return false;
+  }
+  for (IndexPartition& p : t.partitions) {
+    p.mu.lock();
+  }
+  // Re-check under the full lock set (a concurrent NarrowTable call may have won).
+  if (new_shift >= t.shift.load(std::memory_order_relaxed)) {
+    for (auto it = t.partitions.rbegin(); it != t.partitions.rend(); ++it) {
+      it->mu.unlock();
+    }
+    return false;
+  }
+  std::vector<std::pair<std::uint64_t, Record*>> all;
+  for (IndexPartition& p : t.partitions) {
+    for (const auto& [lo, rec] : p.entries) {
+      all.emplace_back(lo, rec);
+    }
+    p.entries.clear();
+  }
+  // Publish the new boundary before re-binning so a blocked Insert that re-checks its
+  // partition choice sees the new layout the moment its stripe lock is released.
+  t.shift.store(new_shift, std::memory_order_release);
+  for (const auto& [lo, rec] : all) {
+    IndexPartition& p = t.partitions[t.PartitionWithShift(lo, new_shift)];
+    p.entries.emplace(lo, rec);
+  }
+  for (IndexPartition& p : t.partitions) {
+    // Conservatively invalidate every scan that straddles the re-bin: entry membership
+    // moved, so old (partition, version) observations no longer describe any range.
+    p.version.fetch_add(1, std::memory_order_release);
+  }
+  t.rebins.fetch_add(1, std::memory_order_relaxed);
+  for (auto it = t.partitions.rbegin(); it != t.partitions.rend(); ++it) {
+    it->mu.unlock();
+  }
+  return true;
+}
+
+OrderedIndex::TableStats OrderedIndex::StatsFor(std::uint64_t table) const {
+  TableStats st;
+  const TableIndex* t = FindTable(table);
+  if (t == nullptr) {
+    return st;
+  }
+  st.shift = t->shift.load(std::memory_order_acquire);
+  st.partitions = t->partitions.size();
+  st.adaptive = t->adaptive;
+  st.rebins = t->rebins.load(std::memory_order_relaxed);
+  st.max_key = t->max_key.load(std::memory_order_relaxed);
+  for (const IndexPartition& p : t->partitions) {
+    p.mu.lock();
+    st.entries += p.entries.size();
+    p.mu.unlock();
+    st.inserts += p.inserts.load(std::memory_order_relaxed);
+    st.scan_conflicts += p.scan_conflicts.load(std::memory_order_relaxed);
+  }
+  return st;
 }
 
 std::uint64_t OrderedIndex::SnapshotRange(

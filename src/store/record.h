@@ -153,6 +153,14 @@ class Record {
   void AtomicMin(std::int64_t n);
   void AtomicMult(std::int64_t n);
 
+  // ---- Last committed write op ----
+  // Best-effort tag of the most recent operation applied to this record (set by commit
+  // application and slice reconciliation). Scan-conflict telemetry reads it to guess
+  // which operation a contended interior record is hot on: when a scanner loses
+  // validation to concurrent writers, the record already carries the winners' op.
+  void NoteWriteOp(std::uint8_t op) { last_op_.store(op, std::memory_order_relaxed); }
+  std::uint8_t last_write_op() const { return last_op_.load(std::memory_order_relaxed); }
+
   // ---- Doppel split descriptor ----
   bool IsSplit() const { return split_op_.load(std::memory_order_relaxed) != kNotSplit; }
   std::uint8_t split_op() const { return split_op_.load(std::memory_order_relaxed); }
@@ -180,6 +188,7 @@ class Record {
   mutable Spinlock val_lock_;
   std::atomic<std::uint8_t> present_{0};
   RecordType type_;
+  std::atomic<std::uint8_t> last_op_{0};  // OpCode::kGet until first applied write
   std::atomic<std::uint8_t> split_op_{kNotSplit};
   std::atomic<std::int32_t> slice_index_{-1};
   std::uint32_t topk_k_ = 0;

@@ -23,6 +23,13 @@ class Store {
   OrderedIndex& index() { return index_; }
   const OrderedIndex& index() const { return index_; }
 
+  // Registers a table's ordered-index partition layout (shift, stripe count, adaptive
+  // narrowing). Must run before the table's first insert or scan — typically right
+  // before pre-population. Tables never configured get the default layout.
+  void ConfigureTable(std::uint64_t table, const PartitionConfig& cfg) {
+    index_.ConfigureTable(table, cfg);
+  }
+
   Record* Find(const Key& key) const { return map_.Find(key); }
   std::size_t size() const { return map_.size(); }
 

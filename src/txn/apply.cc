@@ -48,6 +48,7 @@ void ApplyWriteToRecord(const PendingWrite& w) {
       DOPPEL_CHECK(false);  // reads are never buffered as writes
       break;
   }
+  r->NoteWriteOp(static_cast<std::uint8_t>(w.op));
 }
 
 void ApplyWriteToResult(const PendingWrite& w, ReadResult* res) {

@@ -80,8 +80,8 @@ std::size_t AtomicEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::ui
     return 0;
   }
   OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(table);
-  const std::size_t p_lo = OrderedIndex::PartitionOf(lo);
-  const std::size_t p_hi = OrderedIndex::PartitionOf(hi);
+  const std::size_t p_lo = tab.PartitionOf(lo);
+  const std::size_t p_hi = tab.PartitionOf(hi);
   std::size_t visited = 0;
   std::vector<std::pair<std::uint64_t, Record*>> batch;
   for (std::size_t p = p_lo; p <= p_hi; ++p) {

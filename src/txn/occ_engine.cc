@@ -65,8 +65,8 @@ std::size_t OccEngine::OccScan(Txn& txn, std::uint64_t table, std::uint64_t lo,
   // GetOrCreate (not Find): scanning an empty table must still version-stamp its
   // partitions, or the first insert could slip past this scan unvalidated.
   OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(table);
-  const std::size_t p_lo = OrderedIndex::PartitionOf(lo);
-  const std::size_t p_hi = OrderedIndex::PartitionOf(hi);
+  const std::size_t p_lo = tab.PartitionOf(lo);
+  const std::size_t p_hi = tab.PartitionOf(hi);
   std::size_t visited = 0;
   std::vector<std::pair<std::uint64_t, Record*>> batch;
   for (std::size_t p = p_lo; p <= p_hi; ++p) {
@@ -77,7 +77,8 @@ std::size_t OccEngine::OccScan(Txn& txn, std::uint64_t table, std::uint64_t lo,
     // spinning on a record's TID word under `mu` would deadlock.
     const std::uint64_t version = OrderedIndex::SnapshotRange(
         part, lo, hi, limit == 0 ? 0 : limit - visited, &batch);
-    txn.scan_set().push_back(IndexScanEntry{&part, version});
+    txn.scan_set().push_back(
+        IndexScanEntry{&part, version, table, static_cast<std::uint32_t>(p)});
     for (const auto& [key_lo, rec] : batch) {
       (void)key_lo;
       if (stash_on_split && rec->IsSplit()) {
@@ -86,6 +87,9 @@ std::size_t OccEngine::OccScan(Txn& txn, std::uint64_t table, std::uint64_t lo,
       }
       ReadResult res;
       OccRead(txn, rec, &res);
+      // Tag the read entry with its scan origin so a validation failure on this record
+      // is also charged to the partition (per-partition conflict telemetry).
+      txn.read_set().back().scan_part = static_cast<std::int32_t>(p);
       txn.OverlayPending(rec, &res);
       if (!res.present) {
         continue;  // index entries are present by construction; defensive only
@@ -157,6 +161,12 @@ TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
   for (const IndexScanEntry& e : txn.scan_set()) {
     if (e.partition->version.load(std::memory_order_acquire) != e.version) {
       txn.scan_conflict = true;
+      // Phantom: a concurrent insert moved the stripe under the scan. No record to
+      // blame, so the conflict is charged to the partition itself.
+      e.partition->scan_conflicts.fetch_add(1, std::memory_order_relaxed);
+      if (txn.scan_set_conflicts.size() < 8) {
+        txn.scan_set_conflicts.push_back(ScanSetConflict{e.table, e.part_index});
+      }
     }
   }
   for (const ReadEntry& e : rs) {
@@ -171,6 +181,21 @@ TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
       if (txn.conflicts.size() < 8) {
         txn.conflicts.emplace_back(e.record,
                                    own != nullptr ? own->op : OpCode::kGet);
+      }
+      if (e.scan_part >= 0) {
+        // The record was reached through a scan: also charge the scan window's
+        // partition, naming the record and the op its winning writers last applied —
+        // the classifier's cue that splitting this record would relieve the window.
+        const std::uint64_t table = e.record->key().hi;
+        if (OrderedIndex::TableIndex* t = store_.index().FindTable(table)) {
+          t->partitions[static_cast<std::size_t>(e.scan_part)].scan_conflicts.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        if (txn.scan_set_conflicts.size() < 8) {
+          txn.scan_set_conflicts.push_back(ScanSetConflict{
+              table, static_cast<std::uint32_t>(e.scan_part), true, e.record->key(),
+              static_cast<OpCode>(e.record->last_write_op())});
+        }
       }
     }
   }

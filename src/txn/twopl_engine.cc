@@ -45,33 +45,52 @@ void TwoPLEngine::EnsureExclusive(Txn& txn, Record* r, OpCode op) {
   txn.locks().push_back(LockEntry{r, true});
 }
 
-void TwoPLEngine::EnsureIndexShared(Txn& txn, IndexPartition* p) {
+namespace {
+
+// A partition-lock timeout is this protocol's scan conflict: record it against the
+// stripe (raw telemetry) and in the transaction (sampled attribution) before unwinding.
+[[noreturn]] void ThrowIndexConflict(Txn& txn, std::uint64_t table,
+                                     std::uint32_t part_index, IndexPartition* p,
+                                     OpCode op) {
+  p->scan_conflicts.fetch_add(1, std::memory_order_relaxed);
+  if (txn.scan_set_conflicts.size() < 8) {
+    txn.scan_set_conflicts.push_back(ScanSetConflict{table, part_index});
+  }
+  throw ConflictSignal{nullptr, op};
+}
+
+}  // namespace
+
+void TwoPLEngine::EnsureIndexShared(Txn& txn, std::uint64_t table,
+                                    std::uint32_t part_index, IndexPartition* p) {
   for (const IndexLockEntry& e : txn.index_locks()) {
     if (e.partition == p) {
       return;
     }
   }
   if (!p->rw.try_lock_shared_for(limits_.shared_spin)) {
-    throw ConflictSignal{nullptr, OpCode::kGet};
+    ThrowIndexConflict(txn, table, part_index, p, OpCode::kGet);
   }
   txn.index_locks().push_back(IndexLockEntry{p, false});
 }
 
-void TwoPLEngine::EnsureIndexExclusive(Txn& txn, IndexPartition* p, OpCode op) {
+void TwoPLEngine::EnsureIndexExclusive(Txn& txn, std::uint64_t table,
+                                       std::uint32_t part_index, IndexPartition* p,
+                                       OpCode op) {
   for (IndexLockEntry& e : txn.index_locks()) {
     if (e.partition == p) {
       if (e.exclusive) {
         return;
       }
       if (!p->rw.try_upgrade_for(limits_.upgrade_spin)) {
-        throw ConflictSignal{nullptr, op};
+        ThrowIndexConflict(txn, table, part_index, p, op);
       }
       e.exclusive = true;
       return;
     }
   }
   if (!p->rw.try_lock_for(limits_.exclusive_spin)) {
-    throw ConflictSignal{nullptr, op};
+    ThrowIndexConflict(txn, table, part_index, p, op);
   }
   txn.index_locks().push_back(IndexLockEntry{p, true});
 }
@@ -100,7 +119,11 @@ void TwoPLEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   // lock (2PL phantom protection against concurrent scanners). Presence is stable here
   // because it only changes under the record's exclusive lock, which we now hold.
   if (!pw.record->PresentLocked()) {
-    EnsureIndexExclusive(txn, &store_.index().PartitionFor(pw.record->key()), pw.op);
+    const Key& k = pw.record->key();
+    OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(k.hi);
+    const std::size_t p = tab.PartitionOf(k.lo);
+    EnsureIndexExclusive(txn, k.hi, static_cast<std::uint32_t>(p), &tab.partitions[p],
+                         pw.op);
   }
   txn.write_set().push_back(std::move(pw));
 }
@@ -112,14 +135,14 @@ std::size_t TwoPLEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uin
     return 0;
   }
   OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(table);
-  const std::size_t p_lo = OrderedIndex::PartitionOf(lo);
-  const std::size_t p_hi = OrderedIndex::PartitionOf(hi);
+  const std::size_t p_lo = tab.PartitionOf(lo);
+  const std::size_t p_hi = tab.PartitionOf(hi);
   std::size_t visited = 0;
   std::vector<std::pair<std::uint64_t, Record*>> batch;
   for (std::size_t p = p_lo; p <= p_hi; ++p) {
     IndexPartition& part = tab.partitions[p];
     // Held until commit/abort: no insert into this stripe can commit while we run.
-    EnsureIndexShared(txn, &part);
+    EnsureIndexShared(txn, table, static_cast<std::uint32_t>(p), &part);
     batch.clear();
     OrderedIndex::SnapshotRange(part, lo, hi, limit == 0 ? 0 : limit - visited, &batch);
     for (const auto& [key_lo, rec] : batch) {

@@ -37,9 +37,13 @@ class TwoPLEngine : public Engine {
   void EnsureShared(Txn& txn, Record* r);
   void EnsureExclusive(Txn& txn, Record* r, OpCode op);
   // Transaction-duration index-partition locks (phantom protection: scans share,
-  // inserts of newly-present records exclude).
-  void EnsureIndexShared(Txn& txn, IndexPartition* p);
-  void EnsureIndexExclusive(Txn& txn, IndexPartition* p, OpCode op);
+  // inserts of newly-present records exclude). A timeout is a scan conflict: it is
+  // charged to the partition's telemetry and attributed in txn.scan_set_conflicts
+  // before the ConflictSignal unwinds.
+  void EnsureIndexShared(Txn& txn, std::uint64_t table, std::uint32_t part_index,
+                         IndexPartition* p);
+  void EnsureIndexExclusive(Txn& txn, std::uint64_t table, std::uint32_t part_index,
+                            IndexPartition* p, OpCode op);
   static void ReleaseAll(Txn& txn);
 
   Store& store_;

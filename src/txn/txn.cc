@@ -1,5 +1,6 @@
 #include "src/txn/txn.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/dassert.h"
@@ -160,7 +161,74 @@ std::size_t Txn::Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
   if (stash_doomed_) {
     return 0;  // the transaction will be stashed; execution continues without effects
   }
-  return engine_->Scan(*worker_, *this, table, lo, hi, limit, fn);
+  // Read-your-own-writes for inserts: a write-set record that is still absent from the
+  // index (a not-yet-committed insert) is invisible to the engine scan, so the window's
+  // own pending keys are merged into the result stream here, in key order. Write-set
+  // entries for records the engine does visit are dropped on the key match below (the
+  // engine already overlays pending writes onto visited snapshots).
+  std::vector<std::pair<std::uint64_t, Record*>> own;
+  for (const PendingWrite& pw : write_set_) {
+    const Key& k = pw.record->key();
+    if (k.hi == table && k.lo >= lo && k.lo <= hi) {
+      own.emplace_back(k.lo, pw.record);
+    }
+  }
+  if (own.empty()) {
+    return engine_->Scan(*worker_, *this, table, lo, hi, limit, fn);
+  }
+  std::sort(own.begin(), own.end());
+  own.erase(std::unique(own.begin(), own.end(),
+                        [](const auto& a, const auto& b) { return a.first == b.first; }),
+            own.end());
+
+  std::size_t emitted = 0;
+  bool stopped = false;
+  std::size_t oi = 0;
+  // Emits one pending-insert row (absent base + this transaction's buffered writes);
+  // returns false once the user stops or the limit is reached.
+  auto emit_own = [&](Record* r) {
+    ReadResult base;  // absent
+    OverlayPending(r, &base);
+    if (!base.present) {
+      return true;  // the buffered ops never made the record logically present
+    }
+    ++emitted;
+    if (!fn(r->key(), base) || (limit != 0 && emitted >= limit)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  };
+  // The limit applies to the merged stream, enforced through the wrapped callback's
+  // return value. Passing it through to the engine as well keeps the engine's own
+  // bounding (snapshot caps, 2PL partition-lock early-out); its internal limit check
+  // can never fire first because `emitted` >= engine-visited rows at every step.
+  engine_->Scan(*worker_, *this, table, lo, hi, limit,
+                [&](const Key& k, const ReadResult& v) {
+                  while (oi < own.size() && own[oi].first < k.lo) {
+                    if (!emit_own(own[oi++].second)) {
+                      return false;
+                    }
+                  }
+                  if (oi < own.size() && own[oi].first == k.lo) {
+                    ++oi;  // visited by the engine: the overlay already applied our writes
+                  }
+                  ++emitted;
+                  if (!fn(k, v) || (limit != 0 && emitted >= limit)) {
+                    stopped = true;
+                    return false;
+                  }
+                  return true;
+                });
+  if (stash_doomed_) {
+    return emitted;  // doomed mid-scan (split window); all effects are discarded anyway
+  }
+  while (!stopped && oi < own.size()) {
+    if (!emit_own(own[oi++].second)) {
+      break;
+    }
+  }
+  return emitted;
 }
 
 void Txn::UserAbort() { throw UserAbortSignal{}; }

@@ -25,9 +25,14 @@ class Worker;
 struct IndexPartition;
 
 // A read-set entry: the TID the record had when this transaction read it (Fig. 2).
+// Entries recorded by a range scan also carry the index partition the record was reached
+// through, so a validation failure can be attributed to that scan window (per-partition
+// conflict telemetry). The table is not stored: index entries are keyed by Key.hi, so it
+// is recoverable as record->key().hi.
 struct ReadEntry {
   Record* record;
   std::uint64_t tid;
+  std::int32_t scan_part = -1;  // >= 0: reached via a scan of this partition index
 };
 
 // A buffered write. `n` carries int operands; `order`/`payload`/`core` carry tuple and
@@ -60,6 +65,21 @@ struct LockEntry {
 struct IndexScanEntry {
   IndexPartition* partition;
   std::uint64_t version;
+  std::uint64_t table = 0;
+  std::uint32_t part_index = 0;
+};
+
+// One scan conflict, attributed to an index partition: either a phantom (the partition's
+// version moved under a scan — a concurrent insert; no record to blame) or a validation
+// failure on a record that was reached through a scan (`key` names it, `op` is the
+// record's last committed write op — the operation the winners are hot on). Commit
+// protocols fill these; DoppelEngine::OnConflict feeds them to the per-worker sampler.
+struct ScanSetConflict {
+  std::uint64_t table = 0;
+  std::uint32_t partition = 0;
+  bool has_record = false;
+  Key key{};
+  OpCode op = OpCode::kGet;
 };
 
 // A 2PL index-partition lock (shared by scanners, exclusive by inserters).
@@ -101,8 +121,10 @@ class Txn {
   // Serializable range scan over the ordered index of `table` (a Key.hi namespace):
   // visits every logically-present record with key lo in [lo, hi] (inclusive), ascending,
   // calling `fn` for up to `limit` records (0 = unlimited). Returns the number visited.
-  // The scan observes this transaction's own buffered writes to already-present records;
-  // its own not-yet-committed inserts (writes to absent records) are not visible.
+  // The scan observes all of this transaction's own buffered writes: updates to
+  // already-present records are overlaid onto their snapshots, and the transaction's own
+  // not-yet-committed inserts (writes to records absent from the index) are merged into
+  // the result in key order.
   // Phantom protection is per index partition: under OCC a concurrent committed insert
   // into a traversed partition aborts this transaction at commit; under 2PL partitions
   // are read-locked for the transaction's duration; under Doppel a scan whose window
@@ -133,6 +155,7 @@ class Txn {
     conflict_op = OpCode::kGet;
     conflicts.clear();
     scan_conflict = false;
+    scan_set_conflicts.clear();
     stash_doomed_ = false;
     stash_record_ = nullptr;
     stash_op_ = OpCode::kGet;
@@ -160,6 +183,9 @@ class Txn {
   // Set when scan-set (index partition) validation fails; there is no single record to
   // attribute, so it is reported separately from conflict_record.
   bool scan_conflict = false;
+  // Per-partition attribution of scan-related conflicts (phantom inserts and failed
+  // validations of scanned records); bounded like `conflicts`.
+  std::vector<ScanSetConflict> scan_set_conflicts;
 
   // ---- Stash poisoning (split-phase blocking, §5.2) ----
   // A transaction that touches split data incompatibly is doomed: it will be stashed and

@@ -13,9 +13,11 @@ class ClassifierDynamicsTest : public ::testing::Test {
  protected:
   ClassifierDynamicsTest() : store_(1 << 10) {}
 
-  void Build(const Options& opts) {
+  void Build(const Options& opts, int num_workers = 1) {
     engine_ = std::make_unique<DoppelEngine>(store_, opts, stop_);
-    workers_.push_back(std::make_unique<Worker>(0, 11));
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.push_back(std::make_unique<Worker>(i, 11 + 7 * i));
+    }
     engine_->RegisterWorkers(workers_);
     w_ = workers_[0].get();
   }
@@ -37,14 +39,18 @@ class ClassifierDynamicsTest : public ::testing::Test {
     engine_->controller().BeginTransition(Phase::kSplit);
     engine_->BarrierBuildPlan();
     engine_->controller().Release();
-    engine_->BetweenTxns(*w_);  // ack, observe release, prepare slices, enter split
+    for (auto& w : workers_) {
+      engine_->BetweenTxns(*w);  // ack, observe release, prepare slices, enter split
+    }
     ASSERT_EQ(engine_->CurrentPhase(*w_), Phase::kSplit);
   }
 
   void EnterJoined() {
     engine_->controller().BeginTransition(Phase::kJoined);
     engine_->controller().Release();
-    engine_->BetweenTxns(*w_);  // merge slices, ack, enter joined
+    for (auto& w : workers_) {
+      engine_->BetweenTxns(*w);  // merge slices, ack, enter joined
+    }
     engine_->BarrierAfterReconcile();  // reads the stats the merge just reported
     ASSERT_EQ(engine_->CurrentPhase(*w_), Phase::kJoined);
   }
@@ -203,6 +209,153 @@ TEST_F(ClassifierDynamicsTest, EvictionInheritanceDoesNotSkewClassification) {
   EXPECT_TRUE(hot_r->IsSplit()) << "inherited count skew refused the heavy hitter";
   EXPECT_FALSE(churn_r->IsSplit()) << "inherited count promoted a one-shot churn key";
   EnterJoined();
+}
+
+// ---- Per-partition scan-conflict signal ----
+
+// A hot scanned window with a contended interior record: scanners keep losing read-set
+// validation to writers incrementing a record inside the window. Record-level sampling
+// charges the losers' op (kGet), which min_splittable_fraction refuses forever; the
+// per-partition scan attribution carries the winners' op (the record's last committed
+// write), so the classifier splits the record within the next joined -> split
+// transition — i.e. well inside the required two joined phases. This is the regression
+// test that a scan-window conflict alone can drive a record split.
+TEST_F(ClassifierDynamicsTest, ScanWindowConflictAloneDrivesRecordSplit) {
+  Options opts;
+  Build(opts, 2);
+  constexpr std::uint64_t kT = 2;
+  for (std::uint64_t i = 10; i <= 20; ++i) {
+    store_.LoadInt(Key::Table(kT, i), 0);
+  }
+  const Key hot = Key::Table(kT, 15);
+  Worker& scanner = *workers_[0];
+  Worker& writer = *workers_[1];
+
+  for (int i = 0; i < 12; ++i) {
+    Txn& t = scanner.txn;
+    t.Reset(engine_.get(), &scanner);
+    (void)t.Scan(kT, 10, 20, 0, [](const Key&, const ReadResult&) { return true; });
+    // A writer commits an Add on the interior record while the scan is open.
+    writer.txn.Reset(engine_.get(), &writer);
+    writer.txn.Add(hot, 1);
+    ASSERT_EQ(engine_->Commit(writer, writer.txn), TxnStatus::kCommitted);
+    ASSERT_EQ(engine_->Commit(scanner, t), TxnStatus::kConflict);
+    ASSERT_FALSE(t.scan_set_conflicts.empty());
+    engine_->OnConflict(scanner, t);
+  }
+
+  EnterSplit();
+  Record* r = store_.Find(hot);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->IsSplit()) << "scan-window votes must split the interior record";
+  auto entries = engine_->LastPlanEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].second, OpCode::kAdd) << "split op must be the winners' op";
+  EnterJoined();
+}
+
+// Control for the test above: the same contention pattern expressed as plain point
+// reads (no scan) must NOT split the record — read-mostly records stay reconciled
+// (§5.5); the scan window is what changes the verdict.
+TEST_F(ClassifierDynamicsTest, PlainReadConflictsDoNotSplit) {
+  Options opts;
+  Build(opts, 2);
+  const Key hot = Key::FromU64(15);
+  store_.LoadInt(hot, 0);
+  Worker& reader = *workers_[0];
+  Worker& writer = *workers_[1];
+
+  for (int i = 0; i < 12; ++i) {
+    Txn& t = reader.txn;
+    t.Reset(engine_.get(), &reader);
+    (void)t.GetInt(hot);
+    writer.txn.Reset(engine_.get(), &writer);
+    writer.txn.Add(hot, 1);
+    ASSERT_EQ(engine_->Commit(writer, writer.txn), TxnStatus::kCommitted);
+    ASSERT_EQ(engine_->Commit(reader, t), TxnStatus::kConflict);
+    engine_->OnConflict(reader, t);
+  }
+
+  EnterSplit();
+  Record* r = store_.Find(hot);
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->IsSplit());
+  EnterJoined();
+}
+
+// ---- Adaptive boundary narrowing ----
+
+TEST_F(ClassifierDynamicsTest, SkewedInsertsNarrowAdaptiveTable) {
+  Options opts;
+  opts.index_tune.min_inserts = 512;
+  Build(opts);
+  store_.ConfigureTable(6, {40, 64, true});
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    store_.LoadInt(Key::Table(6, i), 1);  // dense sub-2^40 keys: all on stripe 0
+  }
+  EXPECT_TRUE(engine_->IndexTunePending());
+  engine_->BarrierTuneIndexes();
+  const OrderedIndex::TableStats st = store_.index().StatsFor(6);
+  EXPECT_EQ(st.rebins, 1u);
+  // bit_width(1999) = 11, +1 headroom bit, minus log2(64 stripes).
+  EXPECT_EQ(st.shift, 6u);
+  EXPECT_EQ(st.entries, 2000u);
+  // A fresh interval starts at the evaluation: nothing pending until new telemetry.
+  EXPECT_FALSE(engine_->IndexTunePending());
+  // Scans see every row across the re-binned layout.
+  w_->txn.Reset(engine_.get(), w_);
+  EXPECT_EQ(w_->txn.Scan(6, 0, 1ULL << 41, 0,
+                         [](const Key&, const ReadResult&) { return true; }),
+            2000u);
+  ASSERT_EQ(engine_->Commit(*w_, w_->txn), TxnStatus::kCommitted);
+}
+
+TEST_F(ClassifierDynamicsTest, NarrowingDoesNotFireOnUniformWorkload) {
+  Options opts;
+  opts.index_tune.min_inserts = 256;
+  Build(opts);
+  // Uniform: 64 keys into each of the 16 configured stripes.
+  store_.ConfigureTable(7, {12, 16, true});
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    store_.LoadInt(Key::Table(7, ((i % 16) << 12) | (i / 16)), 1);
+  }
+  EXPECT_FALSE(engine_->IndexTunePending());
+  engine_->BarrierTuneIndexes();
+  EXPECT_EQ(store_.index().StatsFor(7).rebins, 0u);
+  EXPECT_EQ(store_.index().StatsFor(7).shift, 12u);
+
+  // Contrast: the same volume collapsed onto one stripe narrows.
+  store_.ConfigureTable(8, {12, 16, true});
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    store_.LoadInt(Key::Table(8, i), 1);
+  }
+  EXPECT_TRUE(engine_->IndexTunePending());
+  engine_->BarrierTuneIndexes();
+  EXPECT_EQ(store_.index().StatsFor(8).rebins, 1u);
+  // bit_width(1023) = 10, +1 headroom bit, minus log2(16).
+  EXPECT_EQ(store_.index().StatsFor(8).shift, 7u);
+}
+
+TEST_F(ClassifierDynamicsTest, PhantomScanPressureNarrowsAdaptiveTable) {
+  Options opts;
+  opts.index_tune.min_inserts = std::uint64_t{1} << 30;  // isolate the conflict trigger
+  opts.index_tune.scan_conflict_pressure = 16;
+  Build(opts);
+  store_.ConfigureTable(9, {40, 64, true});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    store_.LoadInt(Key::Table(9, i), 1);
+  }
+  EXPECT_FALSE(engine_->IndexTunePending());
+  // Inserts keep invalidating scans of the one overloaded stripe (raw telemetry the
+  // OCC commit path and 2PL lock timeouts feed).
+  OrderedIndex::TableIndex* t = store_.index().FindTable(9);
+  ASSERT_NE(t, nullptr);
+  t->partitions[0].scan_conflicts.store(20);
+  EXPECT_TRUE(engine_->IndexTunePending());
+  engine_->BarrierTuneIndexes();
+  const OrderedIndex::TableStats st = store_.index().StatsFor(9);
+  EXPECT_EQ(st.rebins, 1u);
+  EXPECT_EQ(st.shift, 5u);  // bit_width(999) = 10, +1 headroom bit, minus log2(64)
 }
 
 // With consistent tallies, a genuine heavy hitter survives churn and still splits.

@@ -16,13 +16,83 @@ namespace {
 
 using testing::EngineHarness;
 
-TEST(OrderedIndex, PartitionMappingIsMonotonicAndClamped) {
-  EXPECT_EQ(OrderedIndex::PartitionOf(0), 0u);
-  EXPECT_EQ(OrderedIndex::PartitionOf((1ULL << 40) - 1), 0u);
-  EXPECT_EQ(OrderedIndex::PartitionOf(1ULL << 40), 1u);
-  EXPECT_EQ(OrderedIndex::PartitionOf(63ULL << 40), 63u);
-  EXPECT_EQ(OrderedIndex::PartitionOf(64ULL << 40), 63u);  // clamped to the last stripe
-  EXPECT_EQ(OrderedIndex::PartitionOf(~0ULL), 63u);
+TEST(OrderedIndex, DefaultPartitionMappingIsMonotonicAndClamped) {
+  OrderedIndex idx;
+  const OrderedIndex::TableIndex& t = idx.GetOrCreateTable(1);
+  EXPECT_EQ(t.PartitionOf(0), 0u);
+  EXPECT_EQ(t.PartitionOf((1ULL << 40) - 1), 0u);
+  EXPECT_EQ(t.PartitionOf(1ULL << 40), 1u);
+  EXPECT_EQ(t.PartitionOf(63ULL << 40), 63u);
+  EXPECT_EQ(t.PartitionOf(64ULL << 40), 63u);  // clamped to the last stripe
+  EXPECT_EQ(t.PartitionOf(~0ULL), 63u);
+}
+
+TEST(OrderedIndex, PerTablePartitionConfig) {
+  OrderedIndex idx;
+  // 1-key-per-partition extreme: shift 0 with a small stripe count.
+  const OrderedIndex::TableIndex& fine = idx.ConfigureTable(1, {0, 8, false});
+  EXPECT_EQ(fine.PartitionOf(0), 0u);
+  EXPECT_EQ(fine.PartitionOf(7), 7u);
+  EXPECT_EQ(fine.PartitionOf(8), 7u);  // clamped
+  EXPECT_EQ(fine.partitions.size(), 8u);
+  // Degenerate single partition: everything maps to stripe 0.
+  const OrderedIndex::TableIndex& one = idx.ConfigureTable(2, {40, 1, false});
+  EXPECT_EQ(one.PartitionOf(0), 0u);
+  EXPECT_EQ(one.PartitionOf(~0ULL), 0u);
+  EXPECT_EQ(one.partitions.size(), 1u);
+  // Unconfigured tables keep the default layout.
+  const OrderedIndex::TableIndex& dflt = idx.GetOrCreateTable(3);
+  EXPECT_EQ(dflt.partitions.size(), OrderedIndex::kDefaultPartitions);
+  EXPECT_EQ(dflt.shift.load(), OrderedIndex::kDefaultShift);
+}
+
+TEST(OrderedIndex, ConfiguredShiftSpreadsDenseKeysAcrossStripes) {
+  Store store(1 << 12);
+  store.ConfigureTable(9, {4, 16, false});  // stripes of 16 keys each
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    store.LoadInt(Key::Table(9, i), 1);
+  }
+  const OrderedIndex::TableIndex* t = store.index().FindTable(9);
+  ASSERT_NE(t, nullptr);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(t->partitions[p].entries.size(), 16u) << p;
+    EXPECT_EQ(t->partitions[p].inserts.load(), 16u) << p;
+  }
+  EXPECT_EQ(store.index().StatsFor(9).max_key, 63u);
+}
+
+TEST(OrderedIndex, NarrowTableRebinsEntriesAndBumpsVersions) {
+  Store store(1 << 12);
+  store.ConfigureTable(5, {40, 16, true});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    store.LoadInt(Key::Table(5, i * 3), static_cast<std::int64_t>(i));
+  }
+  OrderedIndex::TableIndex* t = store.index().FindTable(5);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->partitions[0].entries.size(), 100u);  // everything below 2^40: one stripe
+  const std::uint64_t v0 = t->partitions[0].version.load();
+
+  // Narrowing to shift 5 spreads [0, 297] over ~10 stripes and bumps every version.
+  EXPECT_TRUE(store.index().NarrowTable(*t, 5));
+  EXPECT_EQ(t->shift.load(), 5u);
+  EXPECT_EQ(store.index().size(5), 100u);
+  EXPECT_GT(t->partitions[0].version.load(), v0);
+  EXPECT_LT(t->partitions[0].entries.size(), 100u);
+  std::size_t nonempty = 0;
+  for (const IndexPartition& p : t->partitions) {
+    nonempty += p.entries.empty() ? 0 : 1;
+  }
+  EXPECT_GT(nonempty, 5u);
+  // Every entry is findable where the new mapping says it lives.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const std::uint64_t lo = i * 3;
+    const IndexPartition& p = t->partitions[t->PartitionOf(lo)];
+    EXPECT_EQ(p.entries.count(lo), 1u) << lo;
+  }
+  // Widening (or an equal shift) is refused.
+  EXPECT_FALSE(store.index().NarrowTable(*t, 5));
+  EXPECT_FALSE(store.index().NarrowTable(*t, 6));
+  EXPECT_EQ(store.index().StatsFor(5).rebins, 1u);
 }
 
 TEST(OrderedIndex, InsertIsIdempotentAndVersionStamped) {

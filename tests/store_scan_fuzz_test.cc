@@ -1,0 +1,216 @@
+// Cross-protocol randomized scan fuzz: seeded client threads run balanced transfers,
+// balanced hot-key increments, balanced pair-inserts, and full-window scans against one
+// table, under OCC, 2PL, and Doppel, across several PartitionConfigs — including the
+// degenerate 1-partition layout, the 1-key-per-partition (shift 0) extreme, and an
+// adaptive layout the coordinator narrows mid-run.
+//
+// Invariants checked on every committed scan transaction:
+//   * scan-sum: every write transaction preserves the table's total sum (0), so any
+//     serializable scan of the full window must observe sum == 0;
+//   * phantom-freedom: two scans inside one transaction see identical key sequences.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/core/database.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+constexpr std::uint32_t kFuzzTable = 7;
+constexpr std::uint64_t kBaseKeys = 32;   // pre-loaded keys 0..31, all zero
+constexpr std::uint64_t kScanHi = 1ULL << 60;  // window covering every stripe
+
+struct FuzzConfig {
+  const char* name;
+  bool configure;        // false: leave the default layout
+  PartitionConfig cfg;
+};
+
+void RunFuzz(Protocol proto, const FuzzConfig& fc, std::uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << ProtocolName(proto) << " / " << fc.name);
+  Options opts;
+  opts.protocol = proto;
+  opts.num_workers = 2;
+  opts.phase_us = 2000;  // cycle phases during the run (Doppel)
+  opts.store_capacity = 1 << 12;
+  opts.index_tune.min_inserts = 32;  // let adaptive narrowing fire on fuzz-sized volume
+  Database db(opts);
+  if (fc.configure) {
+    db.store().ConfigureTable(kFuzzTable, fc.cfg);
+  }
+  for (std::uint64_t i = 0; i < kBaseKeys; ++i) {
+    db.store().LoadInt(Key::Table(kFuzzTable, i), 0);
+  }
+  db.Start();
+
+  constexpr int kThreads = 3;
+  constexpr int kItersPerThread = 60;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Rng rng(seed + static_cast<std::uint64_t>(tid) * 7919);
+      std::uint64_t next_insert = 0;
+      for (int iter = 0; iter < kItersPerThread; ++iter) {
+        const std::uint32_t dice = rng.NextBounded(100);
+        if (dice < 30) {
+          // Balanced transfer between two base keys (read-modify-write).
+          const std::uint64_t a = rng.NextBounded(kBaseKeys);
+          std::uint64_t b = rng.NextBounded(kBaseKeys);
+          if (b == a) {
+            b = (b + 1) % kBaseKeys;
+          }
+          const std::int64_t amt = 1 + rng.NextBounded(5);
+          db.Execute([&](Txn& t) {
+            const auto va = t.GetInt(Key::Table(kFuzzTable, a));
+            const auto vb = t.GetInt(Key::Table(kFuzzTable, b));
+            if (!va || !vb) {
+              return;  // doomed execution (Doppel split phase); will be stashed
+            }
+            t.PutInt(Key::Table(kFuzzTable, a), *va - amt);
+            t.PutInt(Key::Table(kFuzzTable, b), *vb + amt);
+          });
+        } else if (dice < 55) {
+          // Balanced increments of the two hottest keys (splittable: lets the Doppel
+          // classifier split them, so scans exercise the stash path).
+          const std::int64_t amt = 1 + rng.NextBounded(3);
+          db.Execute([&](Txn& t) {
+            t.Add(Key::Table(kFuzzTable, 0), amt);
+            t.Add(Key::Table(kFuzzTable, 1), -amt);
+          });
+        } else if (dice < 75) {
+          // Balanced pair-insert of two fresh keys (+v, -v): grows the index without
+          // disturbing the sum. Per-thread disjoint id ranges.
+          const std::uint64_t k =
+              kBaseKeys + static_cast<std::uint64_t>(tid) * 100000 + 2 * next_insert++;
+          const std::int64_t v = 1 + rng.NextBounded(9);
+          db.Execute([&](Txn& t) {
+            t.PutInt(Key::Table(kFuzzTable, k), v);
+            t.PutInt(Key::Table(kFuzzTable, k + 1), -v);
+          });
+        } else {
+          // Full-window scan: sum must be zero, and a second scan in the same
+          // transaction must see the identical key sequence (phantom-freedom).
+          std::int64_t sum = 0;
+          std::vector<std::uint64_t> first, second;
+          db.Execute([&](Txn& t) {
+            sum = 0;
+            first.clear();
+            second.clear();
+            t.Scan(kFuzzTable, 0, kScanHi, 0, [&](const Key& key, const ReadResult& v) {
+              sum += v.i;
+              first.push_back(key.lo);
+              return true;
+            });
+            t.Scan(kFuzzTable, 0, kScanHi, 0, [&](const Key& key, const ReadResult&) {
+              second.push_back(key.lo);
+              return true;
+            });
+          });
+          // Only the committed execution's observations survive in the locals.
+          if (sum != 0 || first != second) {
+            failures.fetch_add(1);
+            ADD_FAILURE() << "scan invariant broken: sum=" << sum
+                          << " first=" << first.size() << " second=" << second.size();
+          }
+        }
+        if (failures.load() != 0) {
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  if (fc.configure && fc.cfg.adaptive && proto == Protocol::kDoppel) {
+    // The coordinator narrows at its next phase wakeup; give it a bounded window.
+    for (int i = 0; i < 2000 && db.store().index().StatsFor(kFuzzTable).rebins == 0;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // Final serializable check, then a post-drain snapshot sweep over the whole index.
+  std::int64_t final_sum = 0;
+  std::size_t final_count = 0;
+  db.Execute([&](Txn& t) {
+    final_sum = 0;
+    final_count = 0;
+    t.Scan(kFuzzTable, 0, kScanHi, 0, [&](const Key&, const ReadResult& v) {
+      final_sum += v.i;
+      ++final_count;
+      return true;
+    });
+  });
+  EXPECT_EQ(final_sum, 0);
+  EXPECT_GE(final_count, kBaseKeys);
+  db.Stop();
+
+  std::int64_t snapshot_sum = 0;
+  std::size_t snapshot_count = 0;
+  OrderedIndex::TableIndex* tab = db.store().index().FindTable(kFuzzTable);
+  ASSERT_NE(tab, nullptr);
+  for (IndexPartition& p : tab->partitions) {
+    std::vector<std::pair<std::uint64_t, Record*>> batch;
+    OrderedIndex::SnapshotRange(p, 0, ~0ULL, 0, &batch);
+    for (const auto& [lo, rec] : batch) {
+      (void)lo;
+      const Record::IntSnapshot s = rec->ReadInt();
+      if (s.present) {
+        snapshot_sum += s.value;
+        ++snapshot_count;
+      }
+    }
+  }
+  EXPECT_EQ(snapshot_sum, 0);
+  EXPECT_EQ(snapshot_count, final_count);
+
+  if (fc.configure && fc.cfg.adaptive && proto == Protocol::kDoppel) {
+    // The skewed dense inserts must have narrowed the adaptive table's boundaries.
+    const OrderedIndex::TableStats st = db.store().index().StatsFor(kFuzzTable);
+    EXPECT_LT(st.shift, fc.cfg.shift) << "adaptive narrowing never fired";
+    EXPECT_GE(st.rebins, 1u);
+  }
+}
+
+const FuzzConfig kConfigs[] = {
+    {"default", false, {}},
+    {"one-partition", true, {40, 1, false}},
+    {"key-per-partition", true, {0, 64, false}},
+    {"tuned-16x16", true, {4, 16, false}},
+};
+
+TEST(StoreScanFuzz, Occ) {
+  for (const FuzzConfig& fc : kConfigs) {
+    RunFuzz(Protocol::kOcc, fc, 0xA11CE);
+  }
+}
+
+TEST(StoreScanFuzz, TwoPL) {
+  for (const FuzzConfig& fc : kConfigs) {
+    RunFuzz(Protocol::kTwoPL, fc, 0xB0B);
+  }
+}
+
+TEST(StoreScanFuzz, Doppel) {
+  for (const FuzzConfig& fc : kConfigs) {
+    RunFuzz(Protocol::kDoppel, fc, 0xCAFE);
+  }
+}
+
+TEST(StoreScanFuzz, DoppelAdaptiveNarrowsMidRun) {
+  RunFuzz(Protocol::kDoppel, FuzzConfig{"adaptive", true, {40, 64, true}}, 0xD0D0);
+}
+
+}  // namespace
+}  // namespace doppel
