@@ -8,6 +8,11 @@
 //   --phase-ms=N     Doppel phase length (default 20, as in the paper)
 //   --full           paper-scale parameters (1M keys, 20s runs, 3 repeats)
 //   --csv            also emit csv rows
+//   --wal-dir=PATH   enable durability logging into PATH (each point prints a
+//                    "wal: ..." summary line, so logging overhead is visible in any
+//                    bench; each point discards the previous point's durable state
+//                    rather than recovering it — this measures logging, not replay)
+//   --wal-fsync      fsync every group-commit flush (with --wal-dir)
 #ifndef DOPPEL_BENCH_BENCH_COMMON_H_
 #define DOPPEL_BENCH_BENCH_COMMON_H_
 
@@ -33,6 +38,8 @@ struct Flags {
   std::uint64_t phase_ms = 20;
   bool full = false;
   bool csv = false;
+  std::string wal_dir;  // empty = logging off
+  bool wal_fsync = false;
 
   int ResolvedThreads() const { return threads > 0 ? threads : NumCpus(); }
   std::uint64_t MeasureMs(double default_seconds) const {
@@ -63,13 +70,18 @@ inline Flags ParseFlags(int argc, char** argv) {
       f.keys = std::strtoull(v, nullptr, 10);
     } else if (const char* v = val("--phase-ms=")) {
       f.phase_ms = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--wal-dir=")) {
+      f.wal_dir = v;
+    } else if (std::strcmp(a, "--wal-fsync") == 0) {
+      f.wal_fsync = true;
     } else if (std::strcmp(a, "--full") == 0) {
       f.full = true;
     } else if (std::strcmp(a, "--csv") == 0) {
       f.csv = true;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
-          "flags: --threads=N --seconds=F --runs=N --keys=N --phase-ms=N --full --csv\n");
+          "flags: --threads=N --seconds=F --runs=N --keys=N --phase-ms=N --full --csv "
+          "--wal-dir=PATH --wal-fsync\n");
       std::exit(0);
     }
   }
@@ -82,6 +94,14 @@ inline Options BaseOptions(const Flags& f, Protocol p, std::size_t capacity) {
   o.num_workers = f.ResolvedThreads();
   o.phase_us = f.phase_ms * 1000;
   o.store_capacity = capacity;
+  if (!f.wal_dir.empty()) {
+    // The pointer aliases the Flags string: bench flags outlive every Database they
+    // configure. Recovery is skipped (which discards the previous point's durable
+    // state) — each point measures logging overhead, not replay.
+    o.wal_dir = f.wal_dir.c_str();
+    o.wal_fsync = f.wal_fsync;
+    o.recover_on_start = false;
+  }
   return o;
 }
 
@@ -102,6 +122,9 @@ PointResult MeasurePoint(const Flags& f, double default_seconds, MakeDb&& make_d
                                /*warmup_ms=*/f.full ? 500 : 100);
     r.throughput.Add(m.throughput);
     r.last = std::move(m);
+  }
+  if (r.last.wal_enabled) {
+    std::printf("%s\n", WalSummary(r.last).c_str());
   }
   return r;
 }

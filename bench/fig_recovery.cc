@@ -1,0 +1,153 @@
+// Durability bench (extension, §3): what does asynchronous batched logging cost, and
+// how fast is recovery as the log grows?
+//
+// Part 1 — logging overhead: INCR1 throughput with logging off / on / on+fsync; the
+// paper's claim is that group-commit redo logging does not become a bottleneck.
+//
+// Part 2 — recovery time vs log volume: run a logged workload for increasing
+// durations, then time a reopen's recovery (segment parse + TID sort + replay) with 1
+// thread and with parallel replay. A checkpointed variant shows the coordinator's
+// joined-phase snapshots truncating the log: recovery cost tracks the volume since the
+// last checkpoint, not database lifetime (STAR's observation).
+//
+//   ./fig_recovery [--threads=N] [--seconds=F] [--keys=N] [--csv]
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "src/common/timing.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace bench {
+namespace {
+
+std::string BenchDir(const char* tag) {
+  return "/tmp/doppel_fig_recovery_" + std::string(tag) + "_" +
+         std::to_string(::getpid());
+}
+
+void RemoveDir(const std::string& dir) {
+  // Best-effort: the WAL layer names every file it creates.
+  Manifest m;
+  if (Manifest::Load(dir, &m)) {
+    for (std::uint64_t seg : m.live_segments) {
+      std::remove((dir + "/" + Manifest::SegmentFileName(seg)).c_str());
+    }
+    if (!m.checkpoint.empty()) {
+      std::remove((dir + "/" + m.checkpoint).c_str());
+    }
+  }
+  std::remove((dir + "/MANIFEST").c_str());
+  ::rmdir(dir.c_str());
+}
+
+struct LoggedRun {
+  RunMetrics metrics;
+  std::string dir;
+};
+
+LoggedRun RunLogged(const Flags& f, std::uint64_t keys, std::uint64_t measure_ms,
+                    const char* tag, bool fsync, std::uint64_t checkpoint_us) {
+  LoggedRun r;
+  r.dir = BenchDir(tag);
+  RemoveDir(r.dir);
+  Options o = BaseOptions(f, Protocol::kDoppel, keys * 2);
+  o.wal_dir = r.dir.c_str();
+  o.wal_fsync = fsync;
+  o.checkpoint_interval_us = checkpoint_us;
+  auto db = std::make_unique<Database>(o);
+  PopulateIncr(db->store(), keys);
+  std::atomic<std::uint64_t> hot{0};
+  r.metrics = RunWorkload(*db, MakeIncr1Factory(keys, 10, &hot), measure_ms, 100);
+  return r;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags f = ParseFlags(argc, argv);
+  const std::uint64_t keys = f.Keys(1 << 14);
+  const std::uint64_t measure_ms = f.MeasureMs(0.5);
+
+  // ---- Part 1: logging overhead ----
+  std::printf("== logging overhead (INCR1, 10%% hot, %llu keys, %llums) ==\n",
+              static_cast<unsigned long long>(keys),
+              static_cast<unsigned long long>(measure_ms));
+  Table overhead({"mode", "throughput", "wal_txns", "flushes", "flushed"});
+  {
+    Options o = BaseOptions(f, Protocol::kDoppel, keys * 2);
+    auto db = std::make_unique<Database>(o);
+    PopulateIncr(db->store(), keys);
+    std::atomic<std::uint64_t> hot{0};
+    RunMetrics m = RunWorkload(*db, MakeIncr1Factory(keys, 10, &hot), measure_ms, 100);
+    overhead.AddRow({"off", FormatCount(m.throughput), "-", "-", "-"});
+  }
+  for (const bool fsync : {false, true}) {
+    LoggedRun r = RunLogged(f, keys, measure_ms, fsync ? "ov_fsync" : "ov_wal", fsync,
+                            /*checkpoint_us=*/0);
+    overhead.AddRow({fsync ? "wal+fsync" : "wal",
+                     FormatCount(r.metrics.throughput),
+                     FormatCount(static_cast<double>(r.metrics.wal_appended_txns)),
+                     FormatCount(static_cast<double>(r.metrics.wal_flushed_batches)),
+                     FormatBytes(static_cast<double>(r.metrics.wal_flushed_bytes))});
+    std::printf("%s\n", WalSummary(r.metrics).c_str());
+    RemoveDir(r.dir);
+  }
+  overhead.Print();
+  if (f.csv) {
+    overhead.PrintCsv();
+  }
+
+  // ---- Part 2: recovery time vs log volume ----
+  std::printf("\n== recovery time vs log volume ==\n");
+  Table recovery({"run_ms", "mode", "log", "ckpt_records", "replayed", "recover_1t_ms",
+                  "recover_par_ms", "par_threads"});
+  const std::uint64_t volumes[] = {measure_ms / 2, measure_ms, measure_ms * 2};
+  for (const std::uint64_t run_ms : volumes) {
+    for (const bool checkpointed : {false, true}) {
+      LoggedRun r =
+          RunLogged(f, keys, run_ms, checkpointed ? "vol_ckpt" : "vol_log", false,
+                    // Checkpoint roughly four times per run; 0 disables.
+                    checkpointed ? std::max<std::uint64_t>(run_ms * 250, 1000) : 0);
+      double ms_serial = 0.0;
+      double ms_parallel = 0.0;
+      RecoveryResult res_parallel;
+      {
+        Store store(keys * 2);
+        PopulateIncr(store, keys);
+        WriteAheadLog wal(r.dir);
+        Stopwatch clock;
+        wal.Recover(&store, 1);
+        ms_serial = clock.ElapsedSeconds() * 1000.0;
+      }
+      {
+        Store store(keys * 2);
+        PopulateIncr(store, keys);
+        WriteAheadLog wal(r.dir);
+        Stopwatch clock;
+        res_parallel = wal.Recover(&store, 0);
+        ms_parallel = clock.ElapsedSeconds() * 1000.0;
+      }
+      recovery.AddRow(
+          {std::to_string(run_ms), checkpointed ? "checkpointed" : "log-only",
+           FormatBytes(static_cast<double>(r.metrics.wal_flushed_bytes)),
+           FormatCount(static_cast<double>(res_parallel.checkpoint_records)),
+           FormatCount(static_cast<double>(res_parallel.replayed_txns)),
+           FormatDouble(ms_serial, 1), FormatDouble(ms_parallel, 1),
+           std::to_string(res_parallel.replay_threads)});
+      RemoveDir(r.dir);
+    }
+  }
+  recovery.Print();
+  if (f.csv) {
+    recovery.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::bench::Main(argc, argv); }

@@ -57,14 +57,17 @@ void Coordinator::Run() {
     if (!engine_.HasSplitCandidates() || drain_.load(std::memory_order_relaxed)) {
       // Insert-heavy adaptive tables may need their boundaries narrowed even though
       // nothing qualifies for splitting (bulk inserts rarely conflict — they just
-      // serialize on one stripe). Re-binning requires every worker quiesced, so run a
-      // tune-only joined -> joined barrier: workers ack and resume without any slice or
-      // stash work.
+      // serialize on one stripe), and a due checkpoint needs a consistency point even
+      // on an uncontended system. Both require every worker quiesced, so run a
+      // tune/checkpoint-only joined -> joined barrier: workers ack and resume without
+      // any slice or stash work.
       if (!drain_.load(std::memory_order_relaxed) &&
-          !stop_coord_.load(std::memory_order_relaxed) && engine_.IndexTunePending()) {
+          !stop_coord_.load(std::memory_order_relaxed) &&
+          (engine_.IndexTunePending() || engine_.CheckpointDue())) {
         ctrl.BeginTransition(Phase::kJoined);
         engine_.WaitForWorkerAcks();
         engine_.BarrierTuneIndexes();
+        engine_.BarrierMaybeCheckpoint();
         ctrl.Release();
         tune_barriers_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -88,6 +91,13 @@ void Coordinator::Run() {
     ctrl.BeginTransition(Phase::kJoined);
     engine_.WaitForWorkerAcks();
     engine_.BarrierAfterReconcile();
+    // Workers are still quiesced and every slice is merged: the joined-phase barrier is
+    // a free transaction-consistent point, so a due checkpoint snapshots here. Skipped
+    // while draining — Stop is waiting on in-flight submissions and a snapshot would
+    // only stretch that wait.
+    if (!drain_.load(std::memory_order_relaxed)) {
+      engine_.BarrierMaybeCheckpoint();
+    }
     ctrl.Release();
     to_joined_barrier_ns_.fetch_add(NowNanos() - t3, std::memory_order_relaxed);
     cycles_.fetch_add(1, std::memory_order_relaxed);

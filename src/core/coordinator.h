@@ -36,7 +36,8 @@ class Coordinator {
     return cycles_.load(std::memory_order_relaxed);
   }
 
-  // Tune-only quiesce barriers run for adaptive index narrowing (observability).
+  // Quiesce-only joined -> joined barriers run for adaptive index narrowing and/or
+  // due checkpoints (observability).
   std::uint64_t tune_barriers() const {
     return tune_barriers_.load(std::memory_order_relaxed);
   }

@@ -60,8 +60,12 @@ Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
   }
   runner_cfg_.backoff_min_ns = opts_.backoff_min_us * 1000;
   runner_cfg_.backoff_max_ns = opts_.backoff_max_us * 1000;
-  if (opts_.wal_path != nullptr && opts_.wal_path[0] != '\0') {
-    wal_ = std::make_unique<WriteAheadLog>(opts_.wal_path, opts_.wal_flush_us);
+  if (opts_.wal_dir != nullptr && opts_.wal_dir[0] != '\0') {
+    WalOptions wo;
+    wo.flush_interval_us = opts_.wal_flush_us;
+    wo.fsync = opts_.wal_fsync;
+    wo.segment_bytes = opts_.wal_segment_bytes;
+    wal_ = std::make_unique<WriteAheadLog>(opts_.wal_dir, wo);
     runner_cfg_.wal = wal_.get();
   }
 
@@ -105,6 +109,23 @@ void Database::MarkSplitManually(const Key& key, OpCode op, std::size_t topk_k) 
 void Database::Start(SourceFactory factory) {
   DOPPEL_CHECK(!started_);
   started_ = true;
+  if (wal_ != nullptr) {
+    if (opts_.recover_on_start) {
+      recovery_ = wal_->Recover(&store_, opts_.recovery_threads);
+      // Seed TID clocks past everything recovered: a fresh worker would otherwise mint
+      // TIDs below already-logged ones, corrupting the replay order of the next log
+      // generation (non-commutative redo entries sort by TID).
+      for (auto& w : workers_) {
+        w->last_tid = std::max(w->last_tid, recovery_.max_tid);
+      }
+    } else {
+      // Ignoring the durable state means abandoning it: this generation's TID clocks
+      // restart, so its entries must never share a manifest with the old segments (a
+      // later recovery would sort the generations' TIDs into one bogus history).
+      wal_->DiscardDurableState();
+    }
+    wal_->StartLogging();
+  }
   sources_.clear();
   for (int i = 0; i < opts_.num_workers; ++i) {
     sources_.push_back(factory ? factory(i) : nullptr);
@@ -179,6 +200,19 @@ void Database::Stop() {
       AbandonPendingTxn(std::move(pt));
     }
   }
+  if (wal_ != nullptr) {
+    // Workers are joined: every committed transaction has been appended. Make the tail
+    // durable so a clean Stop never loses acknowledged work to the group-commit window.
+    wal_->Flush();
+  }
+}
+
+bool Database::RequestCheckpoint() {
+  if (wal_ == nullptr || doppel_ == nullptr) {
+    return false;
+  }
+  doppel_->RequestCheckpoint();
+  return true;
 }
 
 bool Database::TryRunSubmitted(Worker& w) {

@@ -116,6 +116,14 @@ class Database {
 
   // Spawns worker threads (and, for Doppel, the coordinator). `factory`, if provided,
   // creates one TxnSource per worker for closed-loop generation.
+  //
+  // When Options::wal_dir is set, Start first runs recovery: the directory's latest
+  // checkpoint is loaded, live log segments are replayed in commit-TID order (work
+  // partitioned by key stripe across Options::recovery_threads), ordered-index
+  // partitions are rebuilt, and every worker's TID clock is seeded past the maximum
+  // recovered TID — only then does logging resume on a fresh segment and do workers
+  // spawn. Call pre-population loaders before Start: recovery overwrites any record the
+  // durable state knows about, so reloading the same initial data is harmless.
   void Start(SourceFactory factory = nullptr);
   // Stops accepting submissions, drains every inbox and in-flight handle (stashed
   // transactions are replayed in a final joined phase), then joins all threads.
@@ -166,8 +174,18 @@ class Database {
   // Doppel introspection: split records in the most recent plan (0 otherwise).
   std::size_t LastPlanSize() const { return doppel_ ? doppel_->LastPlanSize() : 0; }
 
-  // Non-null when Options::wal_path is set.
+  // Non-null when Options::wal_dir is set.
   WriteAheadLog* wal() { return wal_.get(); }
+  const WriteAheadLog* wal() const { return wal_.get(); }
+
+  // What Start()'s recovery pass restored (all-zero when no wal_dir / recovery ran).
+  const RecoveryResult& recovery() const { return recovery_; }
+
+  // Asks the Doppel coordinator to take a consistent checkpoint at its next quiesce
+  // barrier (in addition to any Options::checkpoint_interval_us cadence). Returns false
+  // when there is nothing to checkpoint with (no WAL, or a protocol without the
+  // coordinator's quiesce barriers — OCC/2PL recover by full log replay instead).
+  bool RequestCheckpoint();
 
  private:
   void WorkerMain(Worker& w, TxnSource* source);
@@ -184,6 +202,7 @@ class Database {
   Options opts_;
   Store store_;
   std::unique_ptr<WriteAheadLog> wal_;
+  RecoveryResult recovery_;
   std::atomic<bool> stop_coord_{false};
   std::atomic<bool> stop_workers_{false};
   std::atomic<bool> draining_{false};  // Stop() in progress: coordinator hurries phases

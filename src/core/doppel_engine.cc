@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/dassert.h"
+#include "src/common/timing.h"
 
 namespace doppel {
 
@@ -585,6 +586,31 @@ void DoppelEngine::BarrierAfterReconcile() {
     e.record->ClearSplit();
   }
   plan_.reset();
+}
+
+bool DoppelEngine::CheckpointDue() const {
+  if (wal_ == nullptr) {
+    return false;
+  }
+  if (checkpoint_requested_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (opts_.checkpoint_interval_us == 0) {
+    return false;
+  }
+  // First barrier after Start checkpoints immediately (last_checkpoint_ns_ == 0), then
+  // the cadence applies. Coordinator thread only — the plain reads are safe.
+  return last_checkpoint_ns_ == 0 ||
+         NowNanos() - last_checkpoint_ns_ >= opts_.checkpoint_interval_us * 1000;
+}
+
+void DoppelEngine::BarrierMaybeCheckpoint() {
+  if (!CheckpointDue()) {
+    return;
+  }
+  checkpoint_requested_.store(false, std::memory_order_relaxed);
+  wal_->WriteCheckpoint(store_);
+  last_checkpoint_ns_ = NowNanos();
 }
 
 bool DoppelEngine::ShouldHurrySplitEnd() const {

@@ -40,7 +40,12 @@ class DoppelEngine : public OccEngine {
   void RegisterWorkers(const std::vector<std::unique_ptr<Worker>>& workers);
 
   // Optional redo log used when draining stashed transactions (must match Database's).
-  void SetWal(WriteAheadLog* wal) { runner_cfg_.wal = wal; }
+  // Also the checkpoint target: the coordinator snapshots the store into it at
+  // joined-phase quiesce barriers.
+  void SetWal(WriteAheadLog* wal) {
+    runner_cfg_.wal = wal;
+    wal_ = wal;
+  }
 
   // ---- Engine interface ----
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
@@ -74,6 +79,19 @@ class DoppelEngine : public OccEngine {
   // At any quiesce barrier (workers acked, not yet released): adaptive narrowing.
   // BarrierBuildPlan runs it too; this entry point serves tune-only barriers.
   void BarrierTuneIndexes() { TuneAdaptiveTables(); }
+  // Racy peek between barriers: is a checkpoint due (interval elapsed or explicitly
+  // requested)? Lets the coordinator run a checkpoint-only quiesce barrier when no
+  // split candidates exist.
+  bool CheckpointDue() const;
+  // At a joined-phase quiesce barrier (slices merged, workers acked, not yet
+  // released): take the checkpoint if one is due. The barrier is the free consistency
+  // point phase reconciliation gives us — the store holds exactly the committed
+  // prefix, and every commit's redo entry is already in the WAL buffers.
+  void BarrierMaybeCheckpoint();
+  // Marks a checkpoint due at the next quiesce barrier (Database::RequestCheckpoint).
+  void RequestCheckpoint() {
+    checkpoint_requested_.store(true, std::memory_order_relaxed);
+  }
   // Split-phase feedback (§5.4): too many stashes => hurry the next joined phase.
   bool ShouldHurrySplitEnd() const;
   void WaitForWorkerAcks() const;  // spins until every worker acked `pending`
@@ -122,6 +140,9 @@ class DoppelEngine : public OccEngine {
 
   Options opts_;
   RunnerConfig runner_cfg_;
+  WriteAheadLog* wal_ = nullptr;
+  std::atomic<bool> checkpoint_requested_{false};
+  std::uint64_t last_checkpoint_ns_ = 0;  // coordinator thread only (barriers)
   const std::atomic<bool>& stop_;
   PhaseController ctrl_;
   std::vector<Worker*> workers_;

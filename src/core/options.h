@@ -95,11 +95,32 @@ struct Options {
   // blocking Submit spins until a slot frees up.
   std::size_t submit_inbox_capacity = 1024;
 
-  // Durability (extension, §3 of the paper): when non-empty, committed transactions'
-  // logical operations are appended to this redo log by an asynchronous batched flusher.
-  // Commits never wait for disk. See src/persist/wal.h.
-  const char* wal_path = "";
+  // Durability (extension, §3 of the paper): when non-empty, this directory holds the
+  // persistence state — segmented redo logs plus checkpoints under a MANIFEST.
+  // Committed transactions' logical operations are appended by an asynchronous batched
+  // flusher; commits never wait for disk. On Start the directory is recovered into the
+  // store (checkpoint + parallel segment replay) before workers spawn. See
+  // src/persist/wal.h.
+  const char* wal_dir = "";
   std::uint64_t wal_flush_us = 2000;
+  // fsync the active segment on every group-commit flush (and on seal). Off by
+  // default: flushed data then survives process death but not OS/power failure — the
+  // paper's asynchronous-durability regime. Benches report the overhead either way.
+  bool wal_fsync = false;
+  // Seal the active segment and rotate once it exceeds this size.
+  std::uint64_t wal_segment_bytes = 8ull << 20;
+  // Doppel only: the coordinator takes a consistent checkpoint at a joined-phase
+  // quiesce barrier at least this often (0 = only when RequestCheckpoint is called).
+  // Each checkpoint truncates the sealed log segments it subsumes, bounding recovery
+  // cost by the log volume since the last barrier-aligned snapshot.
+  std::uint64_t checkpoint_interval_us = 0;
+  // Threads for partitioned segment replay on Start (0 = auto).
+  int recovery_threads = 0;
+  // Replay the persistence directory into the store on Start. Disabling it DISCARDS
+  // the directory's durable state (manifest is repointed at nothing and old files are
+  // swept): the new generation's TID clocks restart, so its log can never legally
+  // coexist with the old one. For tools/benches that want logging without recovery.
+  bool recover_on_start = true;
 
   // Split-phase feedback (§5.4): hurry the next joined phase when too large a share of
   // split-phase transactions is being stashed (they are deferred work that only the next

@@ -1,0 +1,218 @@
+#include "src/persist/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/common/dassert.h"
+#include "src/persist/crc32.h"
+#include "src/persist/encoding.h"
+#include "src/persist/fsutil.h"
+
+namespace doppel {
+namespace {
+
+// File layout:
+//   u32 magic, u32 version
+//   u64 max_tid
+//   u32 n_tables;  per table: u64 id, u32 shift, u32 partitions, u8 adaptive
+//   u64 n_records; per record: u64 key.hi, u64 key.lo, u64 tid, u8 type, u32 topk_k,
+//                  value (encoding per type below)
+//   u32 crc  (over everything after the 8-byte magic/version header)
+constexpr std::uint32_t kMagic = 0x504b4344;  // "DCKP"
+constexpr std::uint32_t kVersion = 1;
+
+void EncodeValue(std::vector<char>& out, const Value& v) {
+  switch (ValueType(v)) {
+    case RecordType::kInt64:
+      PutRaw(out, std::get<std::int64_t>(v));
+      break;
+    case RecordType::kBytes:
+      PutBytes(out, std::get<std::string>(v));
+      break;
+    case RecordType::kOrdered: {
+      const auto& t = std::get<OrderedTuple>(v);
+      PutRaw(out, t.order.primary);
+      PutRaw(out, t.order.secondary);
+      PutRaw(out, t.core);
+      PutBytes(out, t.payload);
+      break;
+    }
+    case RecordType::kTopK: {
+      const auto& set = std::get<TopKSet>(v);
+      PutRaw(out, static_cast<std::uint32_t>(set.size()));
+      for (const OrderedTuple& t : set.items()) {
+        PutRaw(out, t.order.primary);
+        PutRaw(out, t.order.secondary);
+        PutRaw(out, t.core);
+        PutBytes(out, t.payload);
+      }
+      break;
+    }
+  }
+}
+
+bool DecodeTuple(ByteCursor& c, OrderedTuple* t) {
+  return c.Read(&t->order.primary) && c.Read(&t->order.secondary) && c.Read(&t->core) &&
+         c.ReadString(&t->payload);
+}
+
+}  // namespace
+
+CheckpointStats Checkpoint::Write(const std::string& dir, const std::string& file_name,
+                                  const Store& store) {
+  CheckpointStats stats;
+  std::vector<char> body;
+
+  std::uint32_t n_tables = 0;
+  const std::size_t tables_pos = body.size();
+  PutRaw(body, n_tables);  // patched below
+  store.index().ForEachTable([&](const OrderedIndex::TableIndex& t) {
+    PutRaw(body, t.table);
+    PutRaw(body, t.shift.load(std::memory_order_acquire));
+    PutRaw(body, static_cast<std::uint32_t>(t.partitions.size()));
+    PutRaw(body, static_cast<std::uint8_t>(t.adaptive ? 1 : 0));
+    ++n_tables;
+  });
+  std::memcpy(body.data() + tables_pos, &n_tables, sizeof(n_tables));
+
+  std::uint64_t n_records = 0;
+  const std::size_t records_pos = body.size();
+  PutRaw(body, n_records);  // patched below
+  store.map().ForEach([&](const Record& r) {
+    // Workers are quiesced (caller's precondition), so the seqlock read is stable and
+    // present records cannot regress; never-written placeholder records are skipped.
+    const Record::ValueSnapshot s = r.ReadValue();
+    if (!s.present) {
+      return;
+    }
+    PutRaw(body, r.key().hi);
+    PutRaw(body, r.key().lo);
+    PutRaw(body, s.tid);
+    PutRaw(body, static_cast<std::uint8_t>(r.type()));
+    PutRaw(body, static_cast<std::uint32_t>(r.topk_k()));
+    EncodeValue(body, s.value);
+    stats.max_tid = std::max(stats.max_tid, s.tid);
+    ++n_records;
+  });
+  std::memcpy(body.data() + records_pos, &n_records, sizeof(n_records));
+  stats.records = n_records;
+  stats.tables = n_tables;
+
+  const std::string tmp = dir + "/" + file_name + ".tmp";
+  const std::string final_path = dir + "/" + file_name;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    DOPPEL_CHECK(out.good());
+    std::vector<char> header;
+    PutRaw(header, kMagic);
+    PutRaw(header, kVersion);
+    PutRaw(header, stats.max_tid);
+    const std::uint32_t crc =
+        Crc32(body.data(), body.size(),
+              Crc32(header.data() + 8, header.size() - 8));  // max_tid onward
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    std::vector<char> trailer;
+    PutRaw(trailer, crc);
+    out.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+    out.flush();
+    DOPPEL_CHECK(out.good());
+  }
+  FsyncPath(tmp);
+  DOPPEL_CHECK(std::rename(tmp.c_str(), final_path.c_str()) == 0);
+  return stats;
+}
+
+CheckpointStats Checkpoint::Load(const std::string& path, Store* store) {
+  std::ifstream in(path, std::ios::binary);
+  DOPPEL_CHECK(in.good());
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  // The manifest never references a checkpoint that was not fully written and renamed,
+  // so any parse failure here is real corruption — fail loudly rather than silently
+  // recovering a partial store.
+  DOPPEL_CHECK(data.size() >= sizeof(std::uint32_t) * 3 + sizeof(std::uint64_t));
+  ByteCursor c(data.data(), data.size() - sizeof(std::uint32_t));
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  DOPPEL_CHECK(c.Read(&magic) && magic == kMagic);
+  DOPPEL_CHECK(c.Read(&version) && version == kVersion);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  DOPPEL_CHECK(Crc32(data.data() + 8, data.size() - 8 - sizeof(stored_crc)) ==
+               stored_crc);
+
+  CheckpointStats stats;
+  DOPPEL_CHECK(c.Read(&stats.max_tid));
+
+  std::uint32_t n_tables = 0;
+  DOPPEL_CHECK(c.Read(&n_tables));
+  for (std::uint32_t i = 0; i < n_tables; ++i) {
+    std::uint64_t table = 0;
+    PartitionConfig cfg;
+    std::uint8_t adaptive = 0;
+    DOPPEL_CHECK(c.Read(&table) && c.Read(&cfg.shift) && c.Read(&cfg.partitions) &&
+                 c.Read(&adaptive));
+    cfg.adaptive = adaptive != 0;
+    store->index().RestoreTable(table, cfg);
+  }
+  stats.tables = n_tables;
+
+  std::uint64_t n_records = 0;
+  DOPPEL_CHECK(c.Read(&n_records));
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    Key key;
+    std::uint64_t tid = 0;
+    std::uint8_t type = 0;
+    std::uint32_t topk_k = 0;
+    DOPPEL_CHECK(c.Read(&key.hi) && c.Read(&key.lo) && c.Read(&tid) && c.Read(&type) &&
+                 c.Read(&topk_k));
+    const RecordType rt = static_cast<RecordType>(type);
+    Record* r = store->GetOrCreate(key, rt, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+    r->LockOcc();
+    switch (rt) {
+      case RecordType::kInt64: {
+        std::int64_t v = 0;
+        DOPPEL_CHECK(c.Read(&v));
+        r->SetInt(v);
+        break;
+      }
+      case RecordType::kBytes: {
+        std::string v;
+        DOPPEL_CHECK(c.ReadString(&v));
+        r->MutateComplex(
+            [&](ComplexValue& cv) { std::get<std::string>(cv) = std::move(v); });
+        break;
+      }
+      case RecordType::kOrdered: {
+        OrderedTuple t;
+        DOPPEL_CHECK(DecodeTuple(c, &t));
+        r->MutateComplex(
+            [&](ComplexValue& cv) { std::get<OrderedTuple>(cv) = std::move(t); });
+        break;
+      }
+      case RecordType::kTopK: {
+        std::uint32_t count = 0;
+        DOPPEL_CHECK(c.Read(&count));
+        TopKSet set(topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+        for (std::uint32_t j = 0; j < count; ++j) {
+          OrderedTuple t;
+          DOPPEL_CHECK(DecodeTuple(c, &t));
+          set.Insert(std::move(t));
+        }
+        r->MutateComplex(
+            [&](ComplexValue& cv) { std::get<TopKSet>(cv) = std::move(set); });
+        break;
+      }
+    }
+    store->index().Insert(key, r);
+    r->UnlockOccSetTid(tid);
+  }
+  stats.records = n_records;
+  DOPPEL_CHECK(c.AtEnd());
+  return stats;
+}
+
+}  // namespace doppel

@@ -1,0 +1,52 @@
+// Consistent store checkpoints for the persistence directory.
+//
+// A checkpoint is a full snapshot of the store — every logically-present record with
+// its committed TID — plus the ordered-index partition layout of every registered
+// table, so recovery can rebuild range-scan structures exactly as they were tuned (a
+// narrowed adaptive table recovers narrowed, not at its registration default). The
+// phase-reconciliation coordinator takes checkpoints at joined-phase quiesce barriers:
+// per-core slices are merged and every worker is parked between transactions, so a
+// plain iteration over the record map observes a transaction-consistent state without
+// any locking. STAR-style reasoning applies: recovery cost is dominated by the log
+// volume between snapshots, and the joined-phase barrier is a consistency point the
+// system already pays for.
+//
+// Durability: the snapshot is written to a temporary file, fsynced, and renamed; the
+// MANIFEST only references it afterwards, so a half-written checkpoint can never
+// become live. The file carries a trailing CRC as defense in depth.
+#ifndef DOPPEL_SRC_PERSIST_CHECKPOINT_H_
+#define DOPPEL_SRC_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/store/store.h"
+
+namespace doppel {
+
+struct CheckpointStats {
+  std::uint64_t records = 0;
+  std::uint64_t tables = 0;
+  // Highest committed TID captured (Write) or restored (Load); recovery seeds worker
+  // TID clocks past it so post-recovery commits sort after everything checkpointed.
+  std::uint64_t max_tid = 0;
+};
+
+class Checkpoint {
+ public:
+  // Snapshots `store` into `dir`/`file_name` (via tmp + fsync + rename). PRECONDITION:
+  // no writer may be mutating records — the caller quiesces workers (coordinator
+  // barrier) or has exclusive ownership (tests, post-Stop shutdown checkpoints).
+  static CheckpointStats Write(const std::string& dir, const std::string& file_name,
+                               const Store& store);
+
+  // Restores `path` into `store`, overwriting any record it names (pre-loaded initial
+  // data keeps its value only for keys the checkpoint never captured — i.e. keys that
+  // did not exist when it was taken). Ordered-index table layouts are restored first so
+  // record insertion re-bins under the checkpointed partition boundaries.
+  static CheckpointStats Load(const std::string& path, Store* store);
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3 polynomial, table-driven) for log-entry and checkpoint integrity.
+// Torn writes at the tail of a segment are detected by the length prefix; CRC catches
+// the harder case of a partially-overwritten or bit-flipped entry body, which a length
+// check alone would happily parse into garbage operations.
+#ifndef DOPPEL_SRC_PERSIST_CRC32_H_
+#define DOPPEL_SRC_PERSIST_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace doppel {
+
+namespace internal {
+
+inline constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+inline std::uint32_t Crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_PERSIST_CRC32_H_

@@ -1,0 +1,76 @@
+// Little binary plumbing shared by the segmented WAL and the checkpointer: raw POD
+// append to a byte buffer and a bounds-checked read cursor. All on-disk integers are
+// host-endian (the persistence directory is not a portable interchange format; it is
+// reopened by the process image that wrote it).
+#ifndef DOPPEL_SRC_PERSIST_ENCODING_H_
+#define DOPPEL_SRC_PERSIST_ENCODING_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace doppel {
+
+// resize + memcpy rather than vector::insert of an iterator range: equivalent, a hair
+// cheaper, and it does not trip GCC 12's spurious -Wstringop-overflow on char ranges.
+inline void PutSpan(std::vector<char>& out, const void* data, std::size_t len) {
+  const std::size_t off = out.size();
+  out.resize(off + len);
+  std::memcpy(out.data() + off, data, len);
+}
+
+template <typename T>
+void PutRaw(std::vector<char>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PutSpan(out, &v, sizeof(T));
+}
+
+inline void PutBytes(std::vector<char>& out, const std::string& s) {
+  PutRaw(out, static_cast<std::uint32_t>(s.size()));
+  PutSpan(out, s.data(), s.size());
+}
+
+// Bounds-checked reader over a byte range; every Read reports whether the bytes were
+// actually there, which is how torn tails and truncated files surface as a clean stop
+// instead of an out-of-bounds read.
+class ByteCursor {
+ public:
+  ByteCursor(const char* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > static_cast<std::size_t>(end_ - p_)) {
+      return false;
+    }
+    std::memcpy(out, p_, sizeof(T));
+    p_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, std::size_t len) {
+    if (len > static_cast<std::size_t>(end_ - p_)) {
+      return false;
+    }
+    out->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    std::uint32_t len = 0;
+    return Read(&len) && ReadBytes(out, len);
+  }
+
+  bool AtEnd() const { return p_ == end_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_PERSIST_ENCODING_H_

@@ -1,0 +1,29 @@
+// Shared filesystem durability helpers for the persistence directory. The
+// crash-safety-critical fsync sequence (make the new bytes durable, then make the
+// rename durable) lives here once, used by both the manifest and the checkpointer.
+#ifndef DOPPEL_SRC_PERSIST_FSUTIL_H_
+#define DOPPEL_SRC_PERSIST_FSUTIL_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+inline void FsyncPath(const std::string& path, int open_flags = O_RDONLY) {
+  const int fd = ::open(path.c_str(), open_flags);
+  DOPPEL_CHECK(fd >= 0);
+  DOPPEL_CHECK(::fsync(fd) == 0);
+  ::close(fd);
+}
+
+inline void FsyncDir(const std::string& dir) {
+  FsyncPath(dir, O_RDONLY | O_DIRECTORY);
+}
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_PERSIST_FSUTIL_H_

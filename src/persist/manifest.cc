@@ -1,0 +1,93 @@
+#include "src/persist/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/dassert.h"
+#include "src/persist/fsutil.h"
+
+namespace doppel {
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kHeader = "doppel-wal-manifest v1";
+
+}  // namespace
+
+std::string Manifest::SegmentFileName(std::uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+std::string Manifest::CheckpointFileName(std::uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%06llu.ckpt",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+bool Manifest::Load(const std::string& dir, Manifest* out) {
+  *out = Manifest{};
+  std::ifstream in(dir + "/" + kManifestName);
+  if (!in.good()) {
+    return false;
+  }
+  std::string line;
+  DOPPEL_CHECK(std::getline(in, line) && line == kHeader);
+  bool saw_next = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "checkpoint") {
+      fields >> out->checkpoint;
+      DOPPEL_CHECK(!fields.fail() && !out->checkpoint.empty());
+    } else if (kind == "segment") {
+      std::uint64_t n = 0;
+      fields >> n;
+      DOPPEL_CHECK(!fields.fail());
+      DOPPEL_CHECK(out->live_segments.empty() || out->live_segments.back() < n);
+      out->live_segments.push_back(n);
+    } else if (kind == "next") {
+      fields >> out->next_segment;
+      DOPPEL_CHECK(!fields.fail());
+      saw_next = true;
+    } else {
+      DOPPEL_CHECK(false);  // unknown manifest line: corruption or version skew
+    }
+  }
+  DOPPEL_CHECK(saw_next);
+  return true;
+}
+
+void Manifest::Save(const std::string& dir, const Manifest& m) {
+  const std::string tmp = dir + "/" + kManifestName + ".tmp";
+  const std::string final_path = dir + "/" + kManifestName;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    DOPPEL_CHECK(out.good());
+    out << kHeader << "\n";
+    if (!m.checkpoint.empty()) {
+      out << "checkpoint " << m.checkpoint << "\n";
+    }
+    for (std::uint64_t n : m.live_segments) {
+      out << "segment " << n << "\n";
+    }
+    out << "next " << m.next_segment << "\n";
+    out.flush();
+    DOPPEL_CHECK(out.good());
+  }
+  FsyncPath(tmp);
+  DOPPEL_CHECK(std::rename(tmp.c_str(), final_path.c_str()) == 0);
+  // The rename itself must be durable before any caller deletes files the *old*
+  // manifest depended on.
+  FsyncDir(dir);
+}
+
+}  // namespace doppel

@@ -1,0 +1,47 @@
+// The persistence directory's MANIFEST: the single source of truth for which files in
+// the directory are live. It names the current checkpoint (if any), the log segments
+// that must be replayed on top of it, and the next segment number to allocate.
+//
+// Crash safety comes from ordering, not locking: every state change (segment rotation,
+// checkpoint install) first makes the new file durable under a temporary name, then
+// atomically renames the rewritten MANIFEST over the old one. A crash at any point
+// leaves either the old or the new manifest — never a manifest naming a partial file —
+// so recovery can trust it blindly. Files present in the directory but not named by the
+// manifest are garbage from an interrupted transition; they are ignored by recovery and
+// deleted when logging next starts (WriteAheadLog::SweepUnreferencedLocked).
+#ifndef DOPPEL_SRC_PERSIST_MANIFEST_H_
+#define DOPPEL_SRC_PERSIST_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doppel {
+
+struct Manifest {
+  // File name (relative to the directory) of the current checkpoint; empty if none has
+  // been taken since the directory was created (recovery then replays segments only).
+  std::string checkpoint;
+  // Segment numbers to replay, ascending. The last one is the active (appendable)
+  // segment; earlier ones are sealed.
+  std::vector<std::uint64_t> live_segments;
+  // Next segment number to allocate (strictly above every number ever used, so a stale
+  // sealed segment can never be confused with a fresh one).
+  std::uint64_t next_segment = 1;
+
+  static std::string SegmentFileName(std::uint64_t number);
+  static std::string CheckpointFileName(std::uint64_t number);
+
+  // Loads `dir`/MANIFEST. Returns false (and leaves *out default-initialized) when the
+  // file does not exist — a fresh directory. A present-but-unparsable manifest is a
+  // checked error: it means corruption of the one file whose atomicity we guarantee.
+  static bool Load(const std::string& dir, Manifest* out);
+
+  // Atomically replaces `dir`/MANIFEST: write MANIFEST.tmp, fsync it, rename over
+  // MANIFEST, fsync the directory.
+  static void Save(const std::string& dir, const Manifest& m);
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_PERSIST_MANIFEST_H_

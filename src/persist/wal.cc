@@ -1,6 +1,8 @@
 #include "src/persist/wal.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -9,22 +11,28 @@
 #include <fstream>
 
 #include "src/common/dassert.h"
+#include "src/persist/crc32.h"
+#include "src/persist/encoding.h"
 #include "src/txn/apply.h"
 
 namespace doppel {
 namespace {
 
-// On-disk transaction entry:
-//   u32 payload_len (bytes after this field)
+// Segment layout:
+//   u32 magic, u32 version, u64 segment_number
+//   entries: u32 payload_len, u32 payload_crc, payload
+// Entry payload:
 //   u64 commit_tid
 //   u16 op_count
 //   per op: u8 opcode, u64 key.hi, u64 key.lo, i64 n, i64 order.primary,
 //           i64 order.secondary, u32 core, u32 topk_k, u32 payload_len, bytes payload
-template <typename T>
-void PutRaw(std::vector<char>& out, const T& v) {
-  const char* p = reinterpret_cast<const char*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
-}
+constexpr std::uint32_t kSegmentMagic = 0x4c415744;  // "DWAL"
+constexpr std::uint32_t kSegmentVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+// An entry's payload can't plausibly exceed this; a larger length prefix is a tear or
+// corruption, not data (the group-commit path writes entries far smaller).
+constexpr std::uint32_t kMaxEntryBytes = 64u << 20;
 
 void PutOp(std::vector<char>& out, const PendingWrite& w) {
   PutRaw(out, static_cast<std::uint8_t>(w.op));
@@ -35,8 +43,7 @@ void PutOp(std::vector<char>& out, const PendingWrite& w) {
   PutRaw(out, w.order.secondary);
   PutRaw(out, w.core);
   PutRaw(out, static_cast<std::uint32_t>(w.record->topk_k()));
-  PutRaw(out, static_cast<std::uint32_t>(w.payload.size()));
-  out.insert(out.end(), w.payload.begin(), w.payload.end());
+  PutBytes(out, w.payload);
 }
 
 struct ReplayOp {
@@ -54,50 +61,280 @@ struct ReplayTxn {
   std::vector<ReplayOp> ops;
 };
 
-class Cursor {
- public:
-  Cursor(const char* data, std::size_t size) : p_(data), end_(data + size) {}
-
-  template <typename T>
-  bool Read(T* out) {
-    if (p_ + sizeof(T) > end_) {
+// Parses one segment file into `out`. Stops (returning false, with everything parsed
+// so far appended) at the first torn or CRC-failing entry; returns true only when the
+// file parsed cleanly to its end. A tear in the segment that was active at the crash
+// is the normal case — everything before it is a committed prefix. A parse failure in
+// any *earlier* segment is corruption, and the caller must not replay the segments
+// after it (that would recover a state matching no committed prefix). Missing or
+// unrecognizable files parse as empty and not-clean — recovery must degrade, never
+// crash, on a damaged directory.
+bool ParseSegment(const std::string& path, std::vector<ReplayTxn>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return false;
+  }
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  ByteCursor outer(data.data(), data.size());
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t segment_number = 0;
+  if (!outer.Read(&magic) || magic != kSegmentMagic || !outer.Read(&version) ||
+      version != kSegmentVersion || !outer.Read(&segment_number)) {
+    return false;
+  }
+  while (!outer.AtEnd()) {
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    if (!outer.Read(&len) || !outer.Read(&crc) || len > kMaxEntryBytes) {
+      return false;  // torn length/crc prefix
+    }
+    std::string body;
+    if (!outer.ReadBytes(&body, len)) {
+      return false;  // torn final batch: length promises more bytes than exist
+    }
+    if (Crc32(body.data(), body.size()) != crc) {
+      return false;  // partially-overwritten or corrupted entry body
+    }
+    ByteCursor entry(body.data(), body.size());
+    ReplayTxn txn;
+    std::uint16_t n_ops = 0;
+    if (!entry.Read(&txn.tid) || !entry.Read(&n_ops)) {
       return false;
     }
-    std::memcpy(out, p_, sizeof(T));
-    p_ += sizeof(T);
-    return true;
-  }
-
-  bool ReadBytes(std::string* out, std::size_t len) {
-    if (p_ + len > end_) {
+    bool ok = true;
+    for (std::uint16_t i = 0; i < n_ops && ok; ++i) {
+      ReplayOp op;
+      std::uint8_t code = 0;
+      ok = entry.Read(&code) && entry.Read(&op.key.hi) && entry.Read(&op.key.lo) &&
+           entry.Read(&op.n) && entry.Read(&op.order.primary) &&
+           entry.Read(&op.order.secondary) && entry.Read(&op.core) &&
+           entry.Read(&op.topk_k) && entry.ReadString(&op.payload);
+      op.op = static_cast<OpCode>(code);
+      if (ok) {
+        txn.ops.push_back(std::move(op));
+      }
+    }
+    if (!ok || !entry.AtEnd()) {
+      // Short ops, or trailing bytes the op count does not account for: either way the
+      // entry does not faithfully describe one committed transaction — stop here.
       return false;
     }
-    out->assign(p_, len);
-    p_ += len;
-    return true;
+    out->push_back(std::move(txn));
   }
+  return true;
+}
 
-  bool AtEnd() const { return p_ == end_; }
+// Redo one logical operation against the store, maintaining the ordered index exactly
+// like a live commit does (a record entering logical presence becomes scannable).
+void ApplyReplayOp(Store* store, const ReplayOp& op, std::uint64_t tid) {
+  Record* r = store->GetOrCreate(op.key, OpRecordType(op.op),
+                                 op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k);
+  PendingWrite w;
+  w.record = r;
+  w.op = op.op;
+  w.n = op.n;
+  w.order = op.order;
+  w.core = op.core;
+  w.payload = op.payload;
+  r->LockOcc();
+  const bool was_present = r->PresentLocked();
+  ApplyWriteToRecord(w);
+  if (!was_present) {
+    store->index().Insert(op.key, r);
+  }
+  r->UnlockOccSetTid(tid);
+}
 
- private:
-  const char* p_;
-  const char* end_;
-};
+void WriteFully(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    DOPPEL_CHECK(n > 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
 
 }  // namespace
 
-WriteAheadLog::WriteAheadLog(std::string path, std::uint64_t flush_interval_us)
-    : path_(std::move(path)), flush_interval_us_(flush_interval_us) {
-  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  DOPPEL_CHECK(fd_ >= 0);
-  flusher_ = std::thread([this] { FlusherMain(); });
+WriteAheadLog::WriteAheadLog(std::string dir, WalOptions opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  DOPPEL_CHECK(!dir_.empty());
+  if (::mkdir(dir_.c_str(), 0755) != 0) {
+    DOPPEL_CHECK(errno == EEXIST);
+  }
+  Manifest::Load(dir_, &manifest_);  // fresh directory leaves the default manifest
 }
 
 WriteAheadLog::~WriteAheadLog() {
-  stop_.store(true, std::memory_order_release);
-  flusher_.join();
-  Flush();
-  ::close(fd_);
+  if (logging_) {
+    stop_.store(true, std::memory_order_release);
+    flusher_.join();
+    Flush();
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
+  DOPPEL_CHECK(!logging_);
+  RecoveryResult result;
+  if (!manifest_.checkpoint.empty()) {
+    const CheckpointStats ck =
+        Checkpoint::Load(dir_ + "/" + manifest_.checkpoint, store);
+    result.had_checkpoint = true;
+    result.checkpoint_records = ck.records;
+    result.checkpoint_tables = ck.tables;
+    result.max_tid = ck.max_tid;
+  }
+
+  std::vector<ReplayTxn> txns;
+  for (std::uint64_t seg : manifest_.live_segments) {
+    const std::size_t before = txns.size();
+    const bool clean = ParseSegment(dir_ + "/" + Manifest::SegmentFileName(seg), &txns);
+    if (txns.size() != before) {
+      result.replayed_segments++;
+    }
+    if (!clean) {
+      // A tear here ends the recoverable history: entries in later segments were
+      // logged *after* the ones this segment lost, and replaying them over the gap
+      // would produce a state matching no committed prefix. (For the last — active —
+      // segment this is the ordinary crash tail and the break is a no-op.)
+      break;
+    }
+  }
+  // Redo in commit-TID order (TIDs are unique: worker id lives in the low bits).
+  std::sort(txns.begin(), txns.end(),
+            [](const ReplayTxn& a, const ReplayTxn& b) { return a.tid < b.tid; });
+  result.replayed_txns = txns.size();
+  for (const ReplayTxn& t : txns) {
+    result.max_tid = std::max(result.max_tid, t.tid);
+  }
+
+  int threads = replay_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::min<unsigned>(4, std::max<unsigned>(1, std::thread::hardware_concurrency())));
+  }
+  if (txns.size() < 256) {
+    threads = 1;  // not worth the fan-out
+  }
+  result.replay_threads = threads;
+
+  if (threads <= 1) {
+    for (const ReplayTxn& t : txns) {
+      for (const ReplayOp& op : t.ops) {
+        ApplyReplayOp(store, op, t.tid);
+      }
+    }
+    return result;
+  }
+
+  // Parallel replay: partition ops by key stripe so each record's redo sequence is
+  // applied by exactly one thread, in TID order (the txn list is already sorted). Final
+  // state per record depends only on that per-record sequence, so this matches serial
+  // replay; cross-record interleaving is unobservable in the recovered snapshot.
+  struct StripedOp {
+    std::uint64_t tid;
+    const ReplayOp* op;
+  };
+  std::vector<std::vector<StripedOp>> striped(static_cast<std::size_t>(threads));
+  for (const ReplayTxn& t : txns) {
+    for (const ReplayOp& op : t.ops) {
+      const std::size_t stripe =
+          static_cast<std::size_t>(op.key.Hash()) % static_cast<std::size_t>(threads);
+      striped[stripe].push_back(StripedOp{t.tid, &op});
+    }
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    pool.emplace_back([store, &striped, i] {
+      for (const StripedOp& s : striped[static_cast<std::size_t>(i)]) {
+        ApplyReplayOp(store, *s.op, s.tid);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return result;
+}
+
+void WriteAheadLog::OpenSegmentLocked(std::uint64_t number) {
+  const std::string path = dir_ + "/" + Manifest::SegmentFileName(number);
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  DOPPEL_CHECK(fd_ >= 0);
+  std::vector<char> header;
+  PutRaw(header, kSegmentMagic);
+  PutRaw(header, kSegmentVersion);
+  PutRaw(header, number);
+  WriteFully(fd_, header.data(), header.size());
+  // Make the (possibly empty) segment durable before the manifest references it, so a
+  // crash between the two never leaves the manifest naming a missing file.
+  DOPPEL_CHECK(::fsync(fd_) == 0);
+  active_segment_ = number;
+  active_bytes_ = kSegmentHeaderBytes;
+  segments_created_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WriteAheadLog::SweepUnreferencedLocked() {
+  // Files the manifest does not name are garbage from an interrupted transition (a
+  // crash between repointing the manifest and unlinking what it replaced, or a torn
+  // tmp write). Only files matching our own naming are touched.
+  DIR* d = ::opendir(dir_.c_str());
+  DOPPEL_CHECK(d != nullptr);
+  std::vector<std::string> doomed;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    const bool wal_file =
+        name.size() > 4 && name.compare(0, 4, "wal-") == 0 &&
+        name.compare(name.size() - 4, 4, ".log") == 0;
+    const bool ckpt_file =
+        name.size() > 5 && name.compare(0, 5, "ckpt-") == 0 &&
+        name.compare(name.size() - 5, 5, ".ckpt") == 0;
+    const bool tmp_file =
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if (!wal_file && !ckpt_file && !tmp_file) {
+      continue;
+    }
+    bool referenced = name == manifest_.checkpoint;
+    for (std::uint64_t seg : manifest_.live_segments) {
+      referenced = referenced || name == Manifest::SegmentFileName(seg);
+    }
+    if (!referenced) {
+      doomed.push_back(name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& name : doomed) {
+    ::unlink((dir_ + "/" + name).c_str());
+  }
+}
+
+void WriteAheadLog::DiscardDurableState() {
+  DOPPEL_CHECK(!logging_);
+  file_mu_.lock();
+  manifest_.checkpoint.clear();
+  manifest_.live_segments.clear();
+  Manifest::Save(dir_, manifest_);
+  file_mu_.unlock();
+}
+
+void WriteAheadLog::StartLogging() {
+  DOPPEL_CHECK(!logging_);
+  file_mu_.lock();
+  SweepUnreferencedLocked();
+  const std::uint64_t seg = manifest_.next_segment;
+  OpenSegmentLocked(seg);
+  manifest_.live_segments.push_back(seg);
+  manifest_.next_segment = seg + 1;
+  Manifest::Save(dir_, manifest_);
+  file_mu_.unlock();
+  logging_ = true;
+  flusher_ = std::thread([this] { FlusherMain(); });
 }
 
 void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
@@ -107,131 +344,137 @@ void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
   if (n_ops == 0) {
     return;  // read-only transactions need no redo entry
   }
+  // The entry header carries the op count as u16; silently truncating it would make a
+  // CRC-valid entry that replays only a subset of a committed transaction's writes.
+  DOPPEL_CHECK(n_ops <= 0xffff);
   Buffer& buf = buffers_[static_cast<std::size_t>(worker_id) % kBuffers];
   buf.mu.lock();
-  std::vector<char>& out = buf.bytes;
-  const std::size_t len_pos = out.size();
-  PutRaw(out, std::uint32_t{0});  // patched below
-  PutRaw(out, commit_tid);
-  PutRaw(out, static_cast<std::uint16_t>(n_ops));
+  buf.scratch.clear();
+  PutRaw(buf.scratch, commit_tid);
+  PutRaw(buf.scratch, static_cast<std::uint16_t>(n_ops));
   for (const PendingWrite& w : writes) {
-    PutOp(out, w);
+    PutOp(buf.scratch, w);
   }
   for (const PendingWrite& w : split_writes) {
-    PutOp(out, w);
+    PutOp(buf.scratch, w);
   }
-  const std::uint32_t payload_len =
-      static_cast<std::uint32_t>(out.size() - len_pos - sizeof(std::uint32_t));
-  std::memcpy(out.data() + len_pos, &payload_len, sizeof(payload_len));
+  PutRaw(buf.bytes, static_cast<std::uint32_t>(buf.scratch.size()));
+  PutRaw(buf.bytes, Crc32(buf.scratch.data(), buf.scratch.size()));
+  PutSpan(buf.bytes, buf.scratch.data(), buf.scratch.size());
   buf.mu.unlock();
   appended_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void WriteAheadLog::FlushLocked() {
-  std::vector<char> gathered;
+  DOPPEL_CHECK(fd_ >= 0);
+  // Steal each buffer with an O(1) swap instead of copying under its spinlock: a
+  // worker appending into a buffer whose accumulated batch is being gathered must not
+  // stall behind a multi-megabyte memcpy. The buffer gets last cycle's recycled
+  // vector (empty, grown) in exchange, so appends keep their amortized capacity.
+  struct TakenChunk {
+    Buffer* buf;
+    std::vector<char> bytes;
+  };
+  std::vector<TakenChunk> taken;
   for (Buffer& buf : buffers_) {
     buf.mu.lock();
     if (!buf.bytes.empty()) {
-      gathered.insert(gathered.end(), buf.bytes.begin(), buf.bytes.end());
-      buf.bytes.clear();
+      taken.push_back(TakenChunk{&buf, {}});
+      taken.back().bytes.swap(buf.bytes);
+      buf.bytes.swap(buf.spare);
     }
     buf.mu.unlock();
   }
-  if (gathered.empty()) {
+  if (taken.empty()) {
     return;
   }
-  std::size_t off = 0;
-  while (off < gathered.size()) {
-    const ssize_t n = ::write(fd_, gathered.data() + off, gathered.size() - off);
-    DOPPEL_CHECK(n > 0);
-    off += static_cast<std::size_t>(n);
+  std::size_t total = 0;
+  for (TakenChunk& chunk : taken) {
+    WriteFully(fd_, chunk.bytes.data(), chunk.bytes.size());
+    total += chunk.bytes.size();
+    // Return the grown vector as the buffer's next spare.
+    chunk.bytes.clear();
+    chunk.buf->mu.lock();
+    chunk.buf->spare.swap(chunk.bytes);
+    chunk.buf->mu.unlock();
   }
+  if (opts_.fsync) {
+    DOPPEL_CHECK(::fsync(fd_) == 0);
+  }
+  active_bytes_ += total;
   flushes_.fetch_add(1, std::memory_order_relaxed);
+  flushed_bytes_.fetch_add(total, std::memory_order_relaxed);
+  if (active_bytes_ >= opts_.segment_bytes) {
+    RotateLocked();
+  }
+}
+
+void WriteAheadLog::RotateLocked() {
+  // Seal the active segment. Its bytes' durability follows the fsync policy: with
+  // wal_fsync off, sealed data still rides on OS writeback (asynchronous durability).
+  if (opts_.fsync) {
+    DOPPEL_CHECK(::fsync(fd_) == 0);
+  }
+  ::close(fd_);
+  const std::uint64_t seg = manifest_.next_segment;
+  OpenSegmentLocked(seg);
+  manifest_.live_segments.push_back(seg);
+  manifest_.next_segment = seg + 1;
+  Manifest::Save(dir_, manifest_);
 }
 
 void WriteAheadLog::Flush() {
   file_mu_.lock();
-  FlushLocked();
+  if (fd_ >= 0) {
+    FlushLocked();
+  }
   file_mu_.unlock();
+}
+
+CheckpointStats WriteAheadLog::WriteCheckpoint(const Store& store) {
+  DOPPEL_CHECK(logging_);
+  file_mu_.lock();
+  // Everything committed is in the buffers (workers are quiesced past their last
+  // commit); flush it, then seal so the sealed set is exactly the checkpoint's past.
+  FlushLocked();
+  RotateLocked();
+  std::vector<std::uint64_t> sealed = manifest_.live_segments;
+  sealed.pop_back();  // the freshly-opened active segment stays live
+
+  const std::string ckpt_name = Manifest::CheckpointFileName(active_segment_);
+  const CheckpointStats stats = Checkpoint::Write(dir_, ckpt_name, store);
+
+  const std::string old_ckpt = manifest_.checkpoint;
+  manifest_.checkpoint = ckpt_name;
+  manifest_.live_segments = {active_segment_};
+  Manifest::Save(dir_, manifest_);
+
+  // Only now are the sealed segments (and the previous checkpoint) unreferenced by any
+  // manifest a crash could resurrect.
+  for (std::uint64_t seg : sealed) {
+    ::unlink((dir_ + "/" + Manifest::SegmentFileName(seg)).c_str());
+  }
+  if (!old_ckpt.empty()) {
+    ::unlink((dir_ + "/" + old_ckpt).c_str());
+  }
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  file_mu_.unlock();
+  return stats;
 }
 
 void WriteAheadLog::FlusherMain() {
   while (!stop_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(std::chrono::microseconds(flush_interval_us_));
-    Flush();
-  }
-}
-
-std::uint64_t WriteAheadLog::Replay(const std::string& path, Store* store) {
-  std::ifstream in(path, std::ios::binary);
-  DOPPEL_CHECK(in.good());
-  const std::string data((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
-
-  std::vector<ReplayTxn> txns;
-  Cursor outer(data.data(), data.size());
-  while (!outer.AtEnd()) {
-    std::uint32_t len = 0;
-    if (!outer.Read(&len)) {
-      break;  // torn length prefix
-    }
-    ReplayTxn txn;
-    // Bound the entry body; a torn final batch yields a short read and stops replay.
-    std::string body;
-    if (!outer.ReadBytes(&body, len)) {
-      break;
-    }
-    Cursor entry(body.data(), body.size());
-    std::uint16_t n_ops = 0;
-    if (!entry.Read(&txn.tid) || !entry.Read(&n_ops)) {
-      break;
-    }
-    bool ok = true;
-    for (std::uint16_t i = 0; i < n_ops && ok; ++i) {
-      ReplayOp op;
-      std::uint8_t code = 0;
-      std::uint32_t payload_len = 0;
-      ok = entry.Read(&code) && entry.Read(&op.key.hi) && entry.Read(&op.key.lo) &&
-           entry.Read(&op.n) && entry.Read(&op.order.primary) &&
-           entry.Read(&op.order.secondary) && entry.Read(&op.core) &&
-           entry.Read(&op.topk_k) && entry.Read(&payload_len) &&
-           entry.ReadBytes(&op.payload, payload_len);
-      op.op = static_cast<OpCode>(code);
-      if (ok) {
-        txn.ops.push_back(std::move(op));
+    std::this_thread::sleep_for(std::chrono::microseconds(opts_.flush_interval_us));
+    // try_lock, not lock: a checkpoint holds file_mu_ for a full store serialization
+    // plus fsyncs, and a background cadence tick must skip that window instead of
+    // burning a core spinning on it. The buffers just carry over to the next tick.
+    if (file_mu_.try_lock()) {
+      if (fd_ >= 0) {
+        FlushLocked();
       }
-    }
-    if (!ok) {
-      break;
-    }
-    txns.push_back(std::move(txn));
-  }
-
-  // Redo in commit-TID order (TIDs are unique: worker id lives in the low bits).
-  std::sort(txns.begin(), txns.end(),
-            [](const ReplayTxn& a, const ReplayTxn& b) { return a.tid < b.tid; });
-  for (const ReplayTxn& txn : txns) {
-    for (const ReplayOp& op : txn.ops) {
-      Record* r = store->GetOrCreate(op.key, OpRecordType(op.op),
-                                     op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k);
-      PendingWrite w;
-      w.record = r;
-      w.op = op.op;
-      w.n = op.n;
-      w.order = op.order;
-      w.core = op.core;
-      w.payload = op.payload;
-      r->LockOcc();
-      const bool was_present = r->PresentLocked();
-      ApplyWriteToRecord(w);
-      if (!was_present) {
-        // Keep the ordered index consistent on recovery so range scans see redone rows.
-        store->index().Insert(op.key, r);
-      }
-      r->UnlockOccSetTid(txn.tid);
+      file_mu_.unlock();
     }
   }
-  return txns.size();
 }
 
 }  // namespace doppel

@@ -1,11 +1,14 @@
-// Asynchronous batched redo logging + recovery (an extension the paper points to in §3:
-// "Existing work suggests that asynchronous batched logging could be added to Doppel
-// without becoming a bottleneck").
+// Durability: a persistence *directory* of segmented redo logs plus consistent
+// checkpoints (an extension the paper points to in §3: "Existing work suggests that
+// asynchronous batched logging could be added to Doppel without becoming a
+// bottleneck").
 //
-// Design: workers append *logical* operations (not values) with their Silo commit TID to
-// per-worker buffers at commit time; a background flusher batches buffers to disk on a
-// fixed interval (group commit). Commits do not wait for disk — durability is
-// asynchronous, matching the paper's assumption.
+// Logging: workers append *logical* operations (not values) with their Silo commit TID
+// to per-worker buffers at commit time; a background flusher batches buffers to the
+// active log segment on a fixed interval (group commit, optionally fsynced). Commits do
+// not wait for disk — durability is asynchronous, matching the paper's assumption.
+// Segments rotate at a size threshold; the directory's MANIFEST names the checkpoint
+// and the live segments and is replaced atomically on every transition.
 //
 // Logging operations rather than states is what makes this compatible with phase
 // reconciliation: a split-phase commit knows only its operation (e.g. Add(k, 1)), never
@@ -13,6 +16,18 @@
 // consistent with the serial order for conflicting non-commutative writes (the later
 // writer's GenerateTid absorbs the earlier TID), and commutative split-phase operations
 // are order-insensitive by definition (§4).
+//
+// Checkpoints: the coordinator calls WriteCheckpoint at joined-phase quiesce barriers
+// (slices merged, workers parked), which seals the active segment, snapshots the store
+// and ordered-index layouts, repoints the MANIFEST, and deletes the sealed segments the
+// checkpoint subsumes — bounding recovery cost by the log volume since the last
+// barrier-aligned snapshot rather than by database lifetime.
+//
+// Recovery (Database::Start): load the checkpoint (if any), replay the live segments in
+// commit-TID order — partitioned by key stripe across threads, since per-record redo
+// order is all that final state depends on — rebuild ordered-index partitions as
+// records regain presence, and seed worker TID clocks past the maximum recovered TID so
+// the next log generation's TIDs sort after everything recovered.
 #ifndef DOPPEL_SRC_PERSIST_WAL_H_
 #define DOPPEL_SRC_PERSIST_WAL_H_
 
@@ -23,59 +38,142 @@
 #include <vector>
 
 #include "src/common/spinlock.h"
+#include "src/persist/checkpoint.h"
+#include "src/persist/manifest.h"
 #include "src/store/store.h"
 #include "src/txn/txn.h"
 
 namespace doppel {
 
+struct WalOptions {
+  // Group-commit cadence for the background flusher.
+  std::uint64_t flush_interval_us = 2000;
+  // fsync the active segment on every group-commit flush (and on segment seal). Off by
+  // default: flushed data then survives process death but not OS/power failure, which
+  // is the paper's asynchronous-durability regime. See Options::wal_fsync.
+  bool fsync = false;
+  // Seal the active segment and open a fresh one once it exceeds this size.
+  std::uint64_t segment_bytes = 8ull << 20;
+};
+
+struct RecoveryResult {
+  bool had_checkpoint = false;
+  std::uint64_t checkpoint_records = 0;
+  std::uint64_t checkpoint_tables = 0;
+  std::uint64_t replayed_txns = 0;
+  std::uint64_t replayed_segments = 0;
+  // Highest TID restored from checkpoint or segment replay; Database seeds every
+  // worker's TID clock past this.
+  std::uint64_t max_tid = 0;
+  int replay_threads = 0;
+};
+
 class WriteAheadLog {
  public:
-  // Opens (truncates) `path`. `flush_interval_us` is the group-commit cadence.
-  WriteAheadLog(std::string path, std::uint64_t flush_interval_us);
+  // Opens (creating if needed) the persistence directory and reads its MANIFEST. Does
+  // not start logging: the open/recover lifecycle is
+  //   WriteAheadLog wal(dir);          // read manifest
+  //   wal.Recover(&store);             // checkpoint + segment replay into the store
+  //   wal.StartLogging();              // fresh active segment + background flusher
+  explicit WriteAheadLog(std::string dir, WalOptions opts = WalOptions{});
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  // Worker-side: append one committed transaction's buffered writes. `worker_id` selects
-  // the per-worker buffer; safe to call concurrently from distinct workers.
+  // Replays the directory's durable state (checkpoint, then live segments in commit-TID
+  // order) into `store`, which must not be receiving concurrent transactional writes.
+  // `replay_threads` <= 0 picks a default; replay work is partitioned by key stripe, so
+  // any thread count produces the same final state as serial replay. Must precede
+  // StartLogging. Tolerates torn tails and CRC-failing entries: replay stops at the
+  // first damaged entry and ignores all later segments too, so what is applied is
+  // exactly a prefix of the logged history — never a state with a gap in the middle.
+  RecoveryResult Recover(Store* store, int replay_threads = 0);
+
+  // Opens a fresh active segment, registers it in the MANIFEST, and starts the
+  // background flusher. Called once (Database::Start does this after recovery).
+  void StartLogging();
+  bool logging() const { return logging_; }
+
+  // Declares the directory's durable state abandoned: drops the checkpoint and every
+  // live segment from the manifest (segment numbering keeps climbing, so stale files
+  // can never be confused with fresh ones; the files themselves are swept when logging
+  // starts). Required before StartLogging when recovery was intentionally skipped —
+  // appending a new generation with reset TID clocks into a manifest that still lists
+  // the old generation's segments would interleave the generations' TIDs and corrupt
+  // any later recovery. Must precede StartLogging.
+  void DiscardDurableState();
+
+  // Worker-side: append one committed transaction's buffered writes. `worker_id`
+  // selects the per-worker buffer; safe to call concurrently from distinct workers.
   void Append(int worker_id, std::uint64_t commit_tid,
               const std::vector<PendingWrite>& writes,
               const std::vector<PendingWrite>& split_writes);
 
-  // Forces all buffered bytes to the file (called on Stop and by tests).
+  // Forces all buffered bytes to the active segment (fsyncing when configured). Called
+  // by the flusher, on Stop, and by tests/clients that need a durability point.
   void Flush();
 
+  // Takes a consistent checkpoint of `store`: flush + seal the active segment, snapshot
+  // store + index layouts to a new checkpoint file, repoint the MANIFEST, delete the
+  // sealed segments and the previous checkpoint. PRECONDITION: no worker may be
+  // mutating records or appending — the Doppel coordinator calls this at quiesce
+  // barriers; tests call it with workers stopped.
+  CheckpointStats WriteCheckpoint(const Store& store);
+
+  // ---- Stats ----
   std::uint64_t appended_txns() const {
     return appended_.load(std::memory_order_relaxed);
   }
   std::uint64_t flushed_batches() const {
     return flushes_.load(std::memory_order_relaxed);
   }
+  std::uint64_t flushed_bytes() const {
+    return flushed_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t segments_created() const {
+    return segments_created_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoints_taken() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
 
-  // ---- Recovery ----
-  // Replays a log file into `store`, applying entries in commit-TID order. Returns the
-  // number of transactions replayed; partial trailing entries (torn final batch) are
-  // ignored, mirroring standard redo-log recovery.
-  static std::uint64_t Replay(const std::string& path, Store* store);
+  const std::string& dir() const { return dir_; }
 
  private:
   struct Buffer {
     Spinlock mu;
     std::vector<char> bytes;
+    std::vector<char> scratch;  // per-entry payload staging (CRC needs it contiguous)
+    // Emptied-but-grown vector recycled by the flusher (see FlushLocked): steals and
+    // returns are both O(1) swaps, and steady-state appends never re-grow from zero.
+    std::vector<char> spare;
   };
 
   void FlusherMain();
-  void FlushLocked();  // gathers buffers and writes them
+  void FlushLocked();                    // gathers buffers and writes them
+  void OpenSegmentLocked(std::uint64_t number);  // create file + header (+fsync)
+  void RotateLocked();                   // seal active, open next, save manifest
+  // Deletes wal/ckpt/tmp files the manifest does not reference (garbage left by a
+  // crash between a manifest repoint and the unlink of what it replaced).
+  void SweepUnreferencedLocked();
 
-  const std::string path_;
-  const std::uint64_t flush_interval_us_;
+  const std::string dir_;
+  const WalOptions opts_;
+  Manifest manifest_;
   int fd_ = -1;
+  std::uint64_t active_segment_ = 0;
+  std::uint64_t active_bytes_ = 0;
+  bool logging_ = false;
+
   static constexpr int kBuffers = 64;  // worker_id % kBuffers
   std::vector<Buffer> buffers_{kBuffers};
   Spinlock file_mu_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> appended_{0};
   std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> flushed_bytes_{0};
+  std::atomic<std::uint64_t> segments_created_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
   std::thread flusher_;
 };
 

@@ -62,6 +62,25 @@ OrderedIndex::TableIndex& OrderedIndex::ConfigureTable(std::uint64_t table,
   return t;
 }
 
+OrderedIndex::TableIndex& OrderedIndex::RestoreTable(std::uint64_t table,
+                                                     const PartitionConfig& cfg) {
+  create_mu_.lock();
+  TableIndex* existing = FindTable(table);
+  if (existing == nullptr) {
+    TableIndex& t = CreateTable(table, cfg);
+    create_mu_.unlock();
+    return t;
+  }
+  create_mu_.unlock();
+  // The table was registered (and possibly pre-populated) before recovery. Stripe
+  // capacity cannot change, but a checkpoint taken after adaptive narrowing carries a
+  // tighter shift than the registration default — resume from it.
+  if (cfg.shift < existing->shift.load(std::memory_order_acquire)) {
+    NarrowTable(*existing, cfg.shift);
+  }
+  return *existing;
+}
+
 OrderedIndex::TableIndex& OrderedIndex::GetOrCreateTable(std::uint64_t table) {
   if (TableIndex* t = FindTable(table)) {
     return *t;

@@ -140,6 +140,15 @@ class OrderedIndex {
   // existing table is a checked error.
   TableIndex& ConfigureTable(std::uint64_t table, const PartitionConfig& cfg);
 
+  // Checkpoint-recovery variant of ConfigureTable: restores `cfg` as the table's
+  // layout, tolerating a table that already exists (the application may have
+  // ConfigureTable'd and pre-populated before recovery ran). An existing table keeps
+  // its stripe capacity — partition addresses are held raw by scan and lock sets and
+  // cannot move — but its boundary shift is narrowed to the checkpointed value when the
+  // checkpoint captured a tighter (adaptively tuned) layout, so recovered tables resume
+  // from their tuned boundaries instead of re-learning them.
+  TableIndex& RestoreTable(std::uint64_t table, const PartitionConfig& cfg);
+
   // Inserts `key` -> `r`. Idempotent (re-inserting an indexed key is a no-op and does
   // not bump the partition version). The caller must hold whatever lock made the
   // record's absent -> present transition exclusive (the OCC lock bit, or the record's
@@ -178,6 +187,15 @@ class OrderedIndex {
     for (Slot& s : slots_) {
       if (s.tag.load(std::memory_order_acquire) != 0) {
         fn(*s.index.load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEachTable(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.tag.load(std::memory_order_acquire) != 0) {
+        fn(const_cast<const TableIndex&>(*s.index.load(std::memory_order_relaxed)));
       }
     }
   }

@@ -8,6 +8,22 @@
 #include "src/common/timing.h"
 
 namespace doppel {
+namespace {
+
+void FillWalMetrics(const Database& db, RunMetrics* m) {
+  const WriteAheadLog* wal = db.wal();
+  if (wal == nullptr) {
+    return;
+  }
+  m->wal_enabled = true;
+  m->wal_appended_txns = wal->appended_txns();
+  m->wal_flushed_batches = wal->flushed_batches();
+  m->wal_flushed_bytes = wal->flushed_bytes();
+  m->wal_segments = wal->segments_created();
+  m->wal_checkpoints = wal->checkpoints_taken();
+}
+
+}  // namespace
 
 RunMetrics RunWorkload(Database& db, SourceFactory factory, std::uint64_t measure_ms,
                        std::uint64_t warmup_ms) {
@@ -28,6 +44,7 @@ RunMetrics RunWorkload(Database& db, SourceFactory factory, std::uint64_t measur
   m.throughput = static_cast<double>(m.committed) / seconds;
   m.stats = db.CollectStats();
   m.split_records = db.LastPlanSize();
+  FillWalMetrics(db, &m);
   return m;
 }
 
@@ -62,6 +79,7 @@ RunMetrics RunWorkloadTimeSeries(Database& db, SourceFactory factory,
   m.throughput = static_cast<double>(total) / seconds;
   m.stats = db.CollectStats();
   m.split_records = db.LastPlanSize();
+  FillWalMetrics(db, &m);
   return m;
 }
 

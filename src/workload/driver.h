@@ -27,6 +27,15 @@ struct RunMetrics {
   Database::Stats stats;    // exact post-stop aggregation (includes warmup)
   std::size_t split_records = 0;
   std::uint64_t phase_cycles = 0;
+
+  // Durability-side accounting (zero when the run had no wal_dir), so logging overhead
+  // is visible next to every throughput number. See report.h WalSummary.
+  bool wal_enabled = false;
+  std::uint64_t wal_appended_txns = 0;
+  std::uint64_t wal_flushed_batches = 0;
+  std::uint64_t wal_flushed_bytes = 0;
+  std::uint64_t wal_segments = 0;
+  std::uint64_t wal_checkpoints = 0;
 };
 
 // Starts `db` with `factory`, warms up, measures for `measure_ms`, stops, aggregates.

@@ -4,6 +4,7 @@
 
 #include "src/common/dassert.h"
 #include "src/common/histogram.h"
+#include "src/workload/driver.h"
 
 namespace doppel {
 
@@ -77,6 +78,35 @@ std::string FormatDouble(double v, int precision) {
 std::string FormatMicros(double nanos) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.1f", nanos / 1000.0);
+  return buf;
+}
+
+std::string FormatBytes(double v) {
+  char buf[64];
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", v / (1024.0 * 1024.0 * 1024.0));
+  } else if (v >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", v / (1024.0 * 1024.0));
+  } else if (v >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", v / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", v);
+  }
+  return buf;
+}
+
+std::string WalSummary(const RunMetrics& m) {
+  if (!m.wal_enabled) {
+    return "";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "wal: %s txns logged, %llu flushes, %s, %llu segments, %llu checkpoints",
+                FormatCount(static_cast<double>(m.wal_appended_txns)).c_str(),
+                static_cast<unsigned long long>(m.wal_flushed_batches),
+                FormatBytes(static_cast<double>(m.wal_flushed_bytes)).c_str(),
+                static_cast<unsigned long long>(m.wal_segments),
+                static_cast<unsigned long long>(m.wal_checkpoints));
   return buf;
 }
 

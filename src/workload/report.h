@@ -28,8 +28,15 @@ class Table {
 std::string FormatCount(double v);        // 12.3M, 456K, ...
 std::string FormatDouble(double v, int precision);
 std::string FormatMicros(double nanos);   // nanoseconds -> "12.3" (microseconds)
+std::string FormatBytes(double v);        // 12.3MB, 456KB, ...
 
 class LatencyHistogram;
+struct RunMetrics;
+
+// One-line durability summary for a run ("wal: 1.2M txns logged, 640 flushes, 18.4MB,
+// 3 segments, 2 checkpoints"); empty string when the run had no WAL, so benches can
+// print it unconditionally after every row.
+std::string WalSummary(const RunMetrics& m);
 
 // Formats mean/p50/p90/p99/max (microseconds) for a latency table row. Checks that every
 // recorded sample is non-zero: a zero latency means a transaction was executed without

@@ -1,24 +1,33 @@
-// Tests for the asynchronous batched redo log and recovery replay.
+// Tests for the persistence directory: manifest, segmented group-commit redo logs,
+// checkpoints, torn-tail handling, and TID-ordered (optionally parallel) recovery.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
+#include <thread>
 
 #include "src/core/database.h"
+#include "src/persist/checkpoint.h"
+#include "src/persist/manifest.h"
 #include "src/persist/wal.h"
 #include "src/workload/driver.h"
 #include "src/workload/incr.h"
+#include "tests/persist_test_util.h"
 #include "tests/test_util.h"
 
 namespace doppel {
 namespace {
 
+using testing::FreshDir;
 using testing::IntAt;
+using testing::ReadFileBytes;
+using testing::RemoveDirRecursive;
+using testing::WriteFileBytes;
 
-std::string TempLogPath(const char* tag) {
-  return std::string(::testing::TempDir().empty() ? "/tmp" : "/tmp") + "/doppel_wal_" +
-         tag + "_" + std::to_string(::getpid()) + ".log";
-}
+constexpr std::size_t kSegmentHeaderBytes = 16;  // magic + version + segment number
 
 PendingWrite IntWrite(Record* r, OpCode op, std::int64_t n) {
   PendingWrite w;
@@ -28,13 +37,51 @@ PendingWrite IntWrite(Record* r, OpCode op, std::int64_t n) {
   return w;
 }
 
-TEST(Wal, AppendFlushReplayRoundTrip) {
-  const std::string path = TempLogPath("roundtrip");
+std::string ActiveSegmentPath(const std::string& dir) {
+  Manifest m;
+  DOPPEL_CHECK(Manifest::Load(dir, &m));
+  DOPPEL_CHECK(!m.live_segments.empty());
+  return dir + "/" + Manifest::SegmentFileName(m.live_segments.back());
+}
+
+std::uint64_t FuzzSeed() {
+  const char* env = std::getenv("DOPPEL_FUZZ_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0xfeedULL;
+}
+
+TEST(Manifest, SaveLoadRoundTrip) {
+  const std::string dir = FreshDir("manifest");
+  Manifest m;
+  m.checkpoint = "ckpt-000007.ckpt";
+  m.live_segments = {7, 9, 12};
+  m.next_segment = 13;
+  Manifest::Save(dir, m);
+  Manifest loaded;
+  ASSERT_TRUE(Manifest::Load(dir, &loaded));
+  EXPECT_EQ(loaded.checkpoint, m.checkpoint);
+  EXPECT_EQ(loaded.live_segments, m.live_segments);
+  EXPECT_EQ(loaded.next_segment, 13u);
+  RemoveDirRecursive(dir);
+}
+
+TEST(Manifest, MissingFileMeansFreshDirectory) {
+  const std::string dir = FreshDir("manifest_missing");
+  Manifest m;
+  EXPECT_FALSE(Manifest::Load(dir, &m));
+  EXPECT_TRUE(m.checkpoint.empty());
+  EXPECT_TRUE(m.live_segments.empty());
+  EXPECT_EQ(m.next_segment, 1u);
+  RemoveDirRecursive(dir);
+}
+
+TEST(Wal, AppendFlushRecoverRoundTrip) {
+  const std::string dir = FreshDir("roundtrip");
   Store source(64);
   source.LoadInt(Key::FromU64(1), 0);
   Record* r = source.Find(Key::FromU64(1));
   {
-    WriteAheadLog wal(path, 1000);
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
     std::vector<PendingWrite> ws;
     ws.push_back(IntWrite(r, OpCode::kAdd, 5));
     wal.Append(0, 256, ws, {});
@@ -46,30 +93,37 @@ TEST(Wal, AppendFlushReplayRoundTrip) {
 
   Store recovered(64);
   recovered.LoadInt(Key::FromU64(1), 0);  // same initial load as the original store
-  EXPECT_EQ(WriteAheadLog::Replay(path, &recovered), 2u);
+  WriteAheadLog reopened(dir);
+  const RecoveryResult res = reopened.Recover(&recovered);
+  EXPECT_EQ(res.replayed_txns, 2u);
+  EXPECT_FALSE(res.had_checkpoint);
+  EXPECT_EQ(res.max_tid, 513u);
   EXPECT_EQ(IntAt(recovered, Key::FromU64(1)), 12);
-  std::remove(path.c_str());
+  RemoveDirRecursive(dir);
 }
 
 TEST(Wal, ReadOnlyTransactionsNotLogged) {
-  const std::string path = TempLogPath("readonly");
+  const std::string dir = FreshDir("readonly");
   {
-    WriteAheadLog wal(path, 1000);
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
     wal.Append(0, 256, {}, {});
     EXPECT_EQ(wal.appended_txns(), 0u);
   }
   Store recovered(64);
-  EXPECT_EQ(WriteAheadLog::Replay(path, &recovered), 0u);
-  std::remove(path.c_str());
+  WriteAheadLog reopened(dir);
+  EXPECT_EQ(reopened.Recover(&recovered).replayed_txns, 0u);
+  RemoveDirRecursive(dir);
 }
 
-TEST(Wal, ReplayOrdersByCommitTid) {
-  const std::string path = TempLogPath("tidorder");
+TEST(Wal, RecoverOrdersByCommitTid) {
+  const std::string dir = FreshDir("tidorder");
   Store source(64);
   source.LoadInt(Key::FromU64(1), 0);
   Record* r = source.Find(Key::FromU64(1));
   {
-    WriteAheadLog wal(path, 1000);
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
     // Appended out of TID order (different workers flush interleaved in real runs):
     // PutInt(9) at tid 1024 must apply after PutInt(4) at tid 512.
     std::vector<PendingWrite> ws;
@@ -80,19 +134,22 @@ TEST(Wal, ReplayOrdersByCommitTid) {
     wal.Append(1, 512, ws, {});
   }
   Store recovered(64);
-  EXPECT_EQ(WriteAheadLog::Replay(path, &recovered), 2u);
+  recovered.LoadInt(Key::FromU64(1), 0);
+  WriteAheadLog reopened(dir);
+  EXPECT_EQ(reopened.Recover(&recovered).replayed_txns, 2u);
   EXPECT_EQ(IntAt(recovered, Key::FromU64(1)), 9);
-  std::remove(path.c_str());
+  RemoveDirRecursive(dir);
 }
 
 TEST(Wal, ComplexOpsRoundTrip) {
-  const std::string path = TempLogPath("complex");
+  const std::string dir = FreshDir("complex");
   Store source(64);
   source.LoadTopK(Key::FromU64(2), 3);
   source.LoadOrdered(Key::FromU64(3), OrderedTuple{});
   source.LoadBytes(Key::FromU64(4), "");
   {
-    WriteAheadLog wal(path, 1000);
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
     std::vector<PendingWrite> ws;
     PendingWrite topk;
     topk.record = source.Find(Key::FromU64(2));
@@ -119,7 +176,8 @@ TEST(Wal, ComplexOpsRoundTrip) {
   recovered.LoadTopK(Key::FromU64(2), 3);
   recovered.LoadOrdered(Key::FromU64(3), OrderedTuple{});
   recovered.LoadBytes(Key::FromU64(4), "");
-  EXPECT_EQ(WriteAheadLog::Replay(path, &recovered), 1u);
+  WriteAheadLog reopened(dir);
+  EXPECT_EQ(reopened.Recover(&recovered).replayed_txns, 1u);
   const auto topk = std::get<TopKSet>(recovered.ReadSnapshot(Key::FromU64(2)).value);
   ASSERT_EQ(topk.size(), 1u);
   EXPECT_EQ(topk.items()[0].payload, "entry");
@@ -127,38 +185,397 @@ TEST(Wal, ComplexOpsRoundTrip) {
             "winner");
   EXPECT_EQ(std::get<std::string>(recovered.ReadSnapshot(Key::FromU64(4)).value),
             "blob-data");
-  std::remove(path.c_str());
+  RemoveDirRecursive(dir);
 }
 
 TEST(Wal, TornTailIgnored) {
-  const std::string path = TempLogPath("torn");
+  const std::string dir = FreshDir("torn");
   Store source(64);
   source.LoadInt(Key::FromU64(1), 0);
   Record* r = source.Find(Key::FromU64(1));
   {
-    WriteAheadLog wal(path, 1000);
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
     std::vector<PendingWrite> ws;
     ws.push_back(IntWrite(r, OpCode::kAdd, 5));
     wal.Append(0, 256, ws, {});
   }
   // Corrupt: append a truncated entry (length prefix promises more bytes than exist).
   {
+    const std::string path = ActiveSegmentPath(dir);
     FILE* f = std::fopen(path.c_str(), "ab");
     const std::uint32_t bogus_len = 1000;
+    const std::uint32_t bogus_crc = 0;
     std::fwrite(&bogus_len, sizeof(bogus_len), 1, f);
+    std::fwrite(&bogus_crc, sizeof(bogus_crc), 1, f);
     const char junk[8] = {1, 2, 3, 4, 5, 6, 7, 8};
     std::fwrite(junk, 1, sizeof(junk), f);
     std::fclose(f);
   }
   Store recovered(64);
   recovered.LoadInt(Key::FromU64(1), 0);
-  EXPECT_EQ(WriteAheadLog::Replay(path, &recovered), 1u);  // only the intact entry
+  WriteAheadLog reopened(dir);
+  EXPECT_EQ(reopened.Recover(&recovered).replayed_txns, 1u);  // only the intact entry
   EXPECT_EQ(IntAt(recovered, Key::FromU64(1)), 5);
-  std::remove(path.c_str());
+  RemoveDirRecursive(dir);
 }
 
-// End-to-end: run the contended workload with logging enabled under each protocol;
-// replaying the log into a freshly-loaded store reproduces the exact final counter.
+TEST(Wal, StartLoggingSweepsUnreferencedFiles) {
+  const std::string dir = FreshDir("sweep");
+  Store source(64);
+  source.LoadInt(Key::FromU64(1), 0);
+  {
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
+    std::vector<PendingWrite> ws;
+    ws.push_back(IntWrite(source.Find(Key::FromU64(1)), OpCode::kAdd, 5));
+    wal.Append(0, 256, ws, {});
+  }
+  // Garbage a crash mid-transition could leave: an unreferenced sealed segment, an
+  // unreferenced checkpoint, a torn tmp. Plus a foreign file the sweep must not touch.
+  WriteFileBytes(dir + "/wal-999999.log", "stale");
+  WriteFileBytes(dir + "/ckpt-999999.ckpt", "stale");
+  WriteFileBytes(dir + "/MANIFEST.tmp", "torn");
+  WriteFileBytes(dir + "/notes.txt", "keep me");
+
+  Store recovered(64);
+  recovered.LoadInt(Key::FromU64(1), 0);
+  WriteAheadLog reopened(dir);
+  EXPECT_EQ(reopened.Recover(&recovered).replayed_txns, 1u);  // garbage ignored
+  reopened.StartLogging();
+  EXPECT_FALSE(std::ifstream(dir + "/wal-999999.log").good());
+  EXPECT_FALSE(std::ifstream(dir + "/ckpt-999999.ckpt").good());
+  EXPECT_FALSE(std::ifstream(dir + "/MANIFEST.tmp").good());
+  EXPECT_TRUE(std::ifstream(dir + "/notes.txt").good());
+  // The referenced segment (with the replayed entry) survived the sweep.
+  Manifest m;
+  ASSERT_TRUE(Manifest::Load(dir, &m));
+  EXPECT_TRUE(std::ifstream(dir + "/" + Manifest::SegmentFileName(m.live_segments[0]))
+                  .good());
+  EXPECT_EQ(IntAt(recovered, Key::FromU64(1)), 5);
+  RemoveDirRecursive(dir);
+}
+
+TEST(Wal, RotationSpreadsEntriesAcrossSegments) {
+  const std::string dir = FreshDir("rotate");
+  Store source(64);
+  source.LoadInt(Key::FromU64(1), 0);
+  Record* r = source.Find(Key::FromU64(1));
+  constexpr int kTxns = 64;
+  {
+    WalOptions wo;
+    wo.segment_bytes = 256;  // tiny: force rotation every couple of flushes
+    WriteAheadLog wal(dir, wo);
+    wal.StartLogging();
+    for (int i = 0; i < kTxns; ++i) {
+      std::vector<PendingWrite> ws;
+      ws.push_back(IntWrite(r, OpCode::kAdd, 1));
+      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {});
+      wal.Flush();
+    }
+    EXPECT_GT(wal.segments_created(), 4u);
+  }
+  Manifest m;
+  ASSERT_TRUE(Manifest::Load(dir, &m));
+  EXPECT_GT(m.live_segments.size(), 4u);
+
+  Store recovered(64);
+  recovered.LoadInt(Key::FromU64(1), 0);
+  WriteAheadLog reopened(dir);
+  const RecoveryResult res = reopened.Recover(&recovered);
+  EXPECT_EQ(res.replayed_txns, static_cast<std::uint64_t>(kTxns));
+  EXPECT_GT(res.replayed_segments, 4u);
+  EXPECT_EQ(IntAt(recovered, Key::FromU64(1)), kTxns);
+  RemoveDirRecursive(dir);
+}
+
+// Corruption in a *sealed* (non-final) segment must end the recoverable history
+// there: replaying later segments over the gap would produce a state matching no
+// committed prefix. The marker key proves it — each txn i writes PutInt(marker, i),
+// so marker == replayed - 1 iff exactly the first `replayed` txns applied.
+TEST(Wal, CorruptSealedSegmentStopsLaterSegments) {
+  const std::string dir = FreshDir("sealedcorrupt");
+  const Key counter = Key::FromU64(1);
+  const Key marker = Key::FromU64(2);
+  Store source(64);
+  source.LoadInt(counter, 0);
+  source.LoadInt(marker, 0);
+  constexpr int kTxns = 40;
+  {
+    WalOptions wo;
+    wo.segment_bytes = 256;  // a couple of entries per segment
+    WriteAheadLog wal(dir, wo);
+    wal.StartLogging();
+    for (int i = 0; i < kTxns; ++i) {
+      std::vector<PendingWrite> ws;
+      ws.push_back(IntWrite(source.Find(counter), OpCode::kAdd, 1));
+      ws.push_back(IntWrite(source.Find(marker), OpCode::kPutInt, i));
+      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {});
+      wal.Flush();
+    }
+  }
+  Manifest m;
+  ASSERT_TRUE(Manifest::Load(dir, &m));
+  ASSERT_GE(m.live_segments.size(), 3u);
+  const std::string victim =
+      dir + "/" + Manifest::SegmentFileName(m.live_segments[1]);
+  std::string bytes = ReadFileBytes(victim);
+  bytes[kSegmentHeaderBytes + 4] = static_cast<char>(bytes[kSegmentHeaderBytes + 4] ^ 0xff);
+  WriteFileBytes(victim, bytes);
+
+  Store recovered(64);
+  recovered.LoadInt(counter, 0);
+  recovered.LoadInt(marker, 0);
+  WriteAheadLog reopened(dir);
+  const RecoveryResult res = reopened.Recover(&recovered);
+  EXPECT_GT(res.replayed_txns, 0u);   // the intact first segment replays
+  EXPECT_LT(res.replayed_txns, static_cast<std::uint64_t>(kTxns));
+  EXPECT_EQ(IntAt(recovered, counter), static_cast<std::int64_t>(res.replayed_txns));
+  EXPECT_EQ(IntAt(recovered, marker),
+            static_cast<std::int64_t>(res.replayed_txns) - 1);
+  RemoveDirRecursive(dir);
+}
+
+TEST(Wal, CheckpointSubsumesSealedSegments) {
+  const std::string dir = FreshDir("ckpt");
+  Store store(64);
+  store.LoadInt(Key::FromU64(1), 0);
+  store.LoadBytes(Key::FromU64(9), "hello");
+  Record* r = store.Find(Key::FromU64(1));
+  {
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
+    std::vector<PendingWrite> ws;
+    ws.push_back(IntWrite(r, OpCode::kAdd, 41));
+    wal.Append(0, 256, ws, {});
+    // Mirror what a live commit does so the store state matches the log.
+    r->LockOcc();
+    r->SetInt(41);
+    r->UnlockOccSetTid(256);
+
+    const CheckpointStats ck = wal.WriteCheckpoint(store);
+    EXPECT_EQ(ck.records, 2u);
+    EXPECT_EQ(ck.max_tid, 256u);
+    EXPECT_EQ(wal.checkpoints_taken(), 1u);
+
+    // Post-checkpoint tail, recovered by segment replay on top of the snapshot.
+    ws.clear();
+    ws.push_back(IntWrite(r, OpCode::kAdd, 1));
+    wal.Append(0, 512, ws, {});
+  }
+  Manifest m;
+  ASSERT_TRUE(Manifest::Load(dir, &m));
+  EXPECT_FALSE(m.checkpoint.empty());
+  ASSERT_EQ(m.live_segments.size(), 1u);
+  // The sealed pre-checkpoint segment was truncated (deleted).
+  std::ifstream sealed(dir + "/" + Manifest::SegmentFileName(1));
+  EXPECT_FALSE(sealed.good());
+
+  Store recovered(64);
+  WriteAheadLog reopened(dir);
+  const RecoveryResult res = reopened.Recover(&recovered);
+  EXPECT_TRUE(res.had_checkpoint);
+  EXPECT_EQ(res.checkpoint_records, 2u);
+  EXPECT_EQ(res.replayed_txns, 1u);  // only the post-checkpoint entry
+  EXPECT_EQ(res.max_tid, 512u);
+  EXPECT_EQ(IntAt(recovered, Key::FromU64(1)), 42);
+  EXPECT_EQ(std::get<std::string>(recovered.ReadSnapshot(Key::FromU64(9)).value),
+            "hello");
+  RemoveDirRecursive(dir);
+}
+
+TEST(Checkpoint, PreservesOrderedIndexTableConfigs) {
+  const std::string dir = FreshDir("ckpt_cfg");
+  Store store(256);
+  PartitionConfig cfg;
+  cfg.shift = 3;
+  cfg.partitions = 8;
+  cfg.adaptive = true;
+  store.ConfigureTable(5, cfg);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    store.LoadInt(Key::Table(5, i), static_cast<std::int64_t>(i));
+  }
+  const CheckpointStats w = Checkpoint::Write(dir, "c.ckpt", store);
+  EXPECT_EQ(w.records, 40u);
+  EXPECT_GE(w.tables, 1u);
+
+  Store recovered(256);
+  const CheckpointStats l = Checkpoint::Load(dir + "/c.ckpt", &recovered);
+  EXPECT_EQ(l.records, 40u);
+  const OrderedIndex::TableStats st = recovered.index().StatsFor(5);
+  EXPECT_EQ(st.shift, 3u);
+  EXPECT_EQ(st.partitions, 8u);
+  EXPECT_TRUE(st.adaptive);
+  EXPECT_EQ(st.entries, 40u);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(IntAt(recovered, Key::Table(5, i)), static_cast<std::int64_t>(i));
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(Checkpoint, RestoreNarrowsPreRegisteredTable) {
+  const std::string dir = FreshDir("ckpt_narrow");
+  Store store(256);
+  PartitionConfig cfg;
+  cfg.shift = 8;
+  cfg.partitions = 16;
+  cfg.adaptive = true;
+  store.ConfigureTable(5, cfg);
+  store.LoadInt(Key::Table(5, 100), 1);
+  // Simulate adaptive narrowing before the checkpoint.
+  ASSERT_TRUE(store.index().NarrowTable(*store.index().FindTable(5), 4));
+  Checkpoint::Write(dir, "c.ckpt", store);
+
+  // Recovery-time pattern: the application re-registers the table (registration
+  // default), then the checkpoint restores the tuned (narrower) boundaries.
+  Store recovered(256);
+  recovered.ConfigureTable(5, cfg);
+  Checkpoint::Load(dir + "/c.ckpt", &recovered);
+  EXPECT_EQ(recovered.index().StatsFor(5).shift, 4u);
+  RemoveDirRecursive(dir);
+}
+
+TEST(Wal, ParallelReplayMatchesSerial) {
+  const std::string dir = FreshDir("parreplay");
+  constexpr std::uint64_t kKeys = 64;
+  constexpr int kTxns = 3000;
+  Store source(1 << 10);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    source.LoadInt(Key::FromU64(k), 0);
+  }
+  {
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
+    Rng rng(7);
+    for (int i = 0; i < kTxns; ++i) {
+      const std::uint64_t tid = 256u * static_cast<std::uint64_t>(i + 1);
+      std::vector<PendingWrite> ws;
+      Record* a = source.Find(Key::FromU64(rng.NextBounded(kKeys)));
+      Record* b = source.Find(Key::FromU64(rng.NextBounded(kKeys)));
+      // A mix of commutative and order-sensitive ops so replay-order bugs surface.
+      ws.push_back(IntWrite(a, OpCode::kAdd, static_cast<std::int64_t>(rng.NextBounded(9))));
+      ws.push_back(IntWrite(b, rng.Chance(50) ? OpCode::kPutInt : OpCode::kMax,
+                            static_cast<std::int64_t>(rng.NextBounded(1000))));
+      wal.Append(static_cast<int>(i % 4), tid, ws, {});
+    }
+  }
+
+  Store serial(1 << 10);
+  Store parallel(1 << 10);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    serial.LoadInt(Key::FromU64(k), 0);
+    parallel.LoadInt(Key::FromU64(k), 0);
+  }
+  {
+    WriteAheadLog w1(dir);
+    const RecoveryResult r1 = w1.Recover(&serial, 1);
+    EXPECT_EQ(r1.replayed_txns, static_cast<std::uint64_t>(kTxns));
+    EXPECT_EQ(r1.replay_threads, 1);
+  }
+  {
+    WriteAheadLog w2(dir);
+    const RecoveryResult r2 = w2.Recover(&parallel, 4);
+    EXPECT_EQ(r2.replayed_txns, static_cast<std::uint64_t>(kTxns));
+    EXPECT_EQ(r2.replay_threads, 4);
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(IntAt(serial, Key::FromU64(k)), IntAt(parallel, Key::FromU64(k))) << k;
+    // Per-record final TID must match serial replay too (last writer in TID order).
+    EXPECT_EQ(Record::TidOf(serial.Find(Key::FromU64(k))->LoadTidWord()),
+              Record::TidOf(parallel.Find(Key::FromU64(k))->LoadTidWord()))
+        << k;
+  }
+  RemoveDirRecursive(dir);
+}
+
+// ---- Torn-tail / corruption fuzz ------------------------------------------------------
+// Each logged transaction i does Add(kCounter, 1) and PutInt(kMarker, i), appended from
+// one worker buffer in ascending TID order, so the segment's byte order equals TID
+// order and "exactly a committed prefix was applied" is machine-checkable: counter == R
+// (replayed count) and marker == R - 1.
+
+class WalTornTailFuzz : public ::testing::Test {
+ protected:
+  static constexpr int kTxns = 120;
+  const Key kCounter = Key::FromU64(1);
+  const Key kMarker = Key::FromU64(2);
+
+  std::string BuildLog(const char* tag) {
+    const std::string dir = FreshDir(tag);
+    Store source(256);
+    source.LoadInt(kCounter, 0);
+    source.LoadInt(kMarker, 0);
+    WriteAheadLog wal(dir);
+    wal.StartLogging();
+    for (int i = 0; i < kTxns; ++i) {
+      std::vector<PendingWrite> ws;
+      ws.push_back(IntWrite(source.Find(kCounter), OpCode::kAdd, 1));
+      ws.push_back(IntWrite(source.Find(kMarker), OpCode::kPutInt, i));
+      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {});
+    }
+    wal.Flush();
+    return dir;  // wal dtor flushes (no-op) and closes
+  }
+
+  // Recovers `dir` into a fresh store and asserts the exact-prefix property.
+  void CheckPrefix(const std::string& dir) {
+    Store recovered(256);
+    recovered.LoadInt(kCounter, 0);
+    recovered.LoadInt(kMarker, 0);
+    WriteAheadLog reopened(dir);
+    RecoveryResult res;
+    ASSERT_NO_THROW(res = reopened.Recover(&recovered));
+    const std::uint64_t r = res.replayed_txns;
+    ASSERT_LE(r, static_cast<std::uint64_t>(kTxns));
+    EXPECT_EQ(IntAt(recovered, kCounter), static_cast<std::int64_t>(r));
+    if (r > 0) {
+      EXPECT_EQ(IntAt(recovered, kMarker), static_cast<std::int64_t>(r - 1));
+    }
+  }
+};
+
+TEST_F(WalTornTailFuzz, TruncationReplaysExactCommittedPrefix) {
+  const std::string dir = BuildLog("fuzz_trunc");
+  const std::string path = ActiveSegmentPath(dir);
+  const std::string full = ReadFileBytes(path);
+  ASSERT_GT(full.size(), kSegmentHeaderBytes);
+  Rng rng(FuzzSeed());
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t cut =
+        kSegmentHeaderBytes +
+        static_cast<std::size_t>(rng.NextBounded(full.size() - kSegmentHeaderBytes + 1));
+    WriteFileBytes(path, full.substr(0, cut));
+    CheckPrefix(dir);
+  }
+  // Degenerate cuts: inside the header, and empty file.
+  WriteFileBytes(path, full.substr(0, 7));
+  CheckPrefix(dir);
+  WriteFileBytes(path, "");
+  CheckPrefix(dir);
+  RemoveDirRecursive(dir);
+}
+
+TEST_F(WalTornTailFuzz, ByteCorruptionNeverReplaysGarbage) {
+  const std::string dir = BuildLog("fuzz_flip");
+  const std::string path = ActiveSegmentPath(dir);
+  const std::string full = ReadFileBytes(path);
+  Rng rng(FuzzSeed() ^ 0x5eedULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = full;
+    const std::size_t pos =
+        kSegmentHeaderBytes +
+        static_cast<std::size_t>(rng.NextBounded(full.size() - kSegmentHeaderBytes));
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0xff);
+    WriteFileBytes(path, mutated);
+    // CRC validation stops replay at (or before) the corrupted entry; everything
+    // applied is still an exact prefix.
+    CheckPrefix(dir);
+  }
+  RemoveDirRecursive(dir);
+}
+
+// ---- Database-level end-to-end --------------------------------------------------------
+
 class WalEndToEnd : public ::testing::TestWithParam<Protocol> {};
 
 INSTANTIATE_TEST_SUITE_P(Protocols, WalEndToEnd,
@@ -168,33 +585,210 @@ INSTANTIATE_TEST_SUITE_P(Protocols, WalEndToEnd,
                            return ProtocolName(info.param);
                          });
 
-TEST_P(WalEndToEnd, RecoveryReproducesFinalState) {
-  const std::string path = TempLogPath(ProtocolName(GetParam()));
+// End-to-end: run the contended workload with logging enabled under each protocol;
+// reopening a Database on the directory (checkpoint-free: pure segment replay)
+// reproduces the exact final counter, and the reopened instance's TID clocks are
+// seeded past everything recovered.
+TEST_P(WalEndToEnd, ReopenReproducesFinalState) {
+  const std::string dir = FreshDir(ProtocolName(GetParam()));
   std::int64_t live_value = 0;
   std::uint64_t committed = 0;
+  Options o;
+  o.protocol = GetParam();
+  o.num_workers = 2;
+  o.phase_us = 2000;
+  o.store_capacity = 1 << 10;
+  o.wal_dir = dir.c_str();
   {
-    Options o;
-    o.protocol = GetParam();
-    o.num_workers = 2;
-    o.phase_us = 2000;
-    o.store_capacity = 1 << 10;
-    o.wal_path = path.c_str();
     Database db(o);
     PopulateIncr(db.store(), 16);
     std::atomic<std::uint64_t> hot{0};
     RunMetrics m = RunWorkload(db, MakeIncr1Factory(16, 100, &hot), 300, 50);
     committed = m.stats.committed;
     live_value = IntAt(db.store(), IncrKey(0));
-    db.wal()->Flush();
-    EXPECT_EQ(db.wal()->appended_txns(), committed);
+    EXPECT_TRUE(m.wal_enabled);
+    EXPECT_EQ(m.wal_appended_txns, committed);
+    EXPECT_GT(m.wal_flushed_bytes, 0u);
   }
   ASSERT_EQ(live_value, static_cast<std::int64_t>(committed));
 
-  Store recovered(1 << 10);
-  PopulateIncr(recovered, 16);  // recovery starts from the same initial load
-  EXPECT_EQ(WriteAheadLog::Replay(path, &recovered), committed);
-  EXPECT_EQ(IntAt(recovered, IncrKey(0)), live_value);
-  std::remove(path.c_str());
+  Database db2(o);
+  PopulateIncr(db2.store(), 16);  // recovery overwrites/extends the initial load
+  db2.Start();
+  EXPECT_EQ(db2.recovery().replayed_txns, committed);
+  EXPECT_EQ(IntAt(db2.store(), IncrKey(0)), live_value);
+  // New commits must mint TIDs above everything recovered (regression: TID clocks
+  // restarted from zero after replay, corrupting the next log generation's order).
+  const std::uint64_t max_recovered = db2.recovery().max_tid;
+  ASSERT_GT(max_recovered, 0u);
+  db2.Execute([](Txn& txn) { txn.Add(IncrKey(0), 1); });
+  EXPECT_GT(Record::TidOf(db2.store().Find(IncrKey(0))->LoadTidWord()), max_recovered);
+  db2.Stop();
+  RemoveDirRecursive(dir);
+}
+
+// Regression for the TID-seeding bug via observable state: generation 1 writes a key
+// many times, generation 2 overwrites it once, and recovery of both generations'
+// segments must keep generation 2's PutInt last in TID order. Without seeding,
+// generation 2's fresh worker mints a low TID and its write replays *first*,
+// resurrecting generation 1's value.
+TEST(WalRecovery, SecondGenerationTidsSortAfterFirst) {
+  const std::string dir = FreshDir("tidseed");
+  Options o;
+  o.protocol = Protocol::kOcc;
+  o.num_workers = 1;
+  o.store_capacity = 1 << 8;
+  o.wal_dir = dir.c_str();
+  const Key k = Key::FromU64(3);
+  {
+    Database db(o);
+    db.store().LoadInt(k, 0);
+    db.Start();
+    for (int i = 0; i < 100; ++i) {
+      db.Execute([&](Txn& txn) { txn.PutInt(k, i); });
+    }
+    db.Stop();
+  }
+  {
+    Database db(o);
+    db.store().LoadInt(k, 0);
+    db.Start();
+    EXPECT_EQ(db.recovery().replayed_txns, 100u);
+    db.Execute([&](Txn& txn) { txn.PutInt(k, 777); });
+    db.Stop();
+  }
+  {
+    Database db(o);
+    db.store().LoadInt(k, 0);
+    db.Start();
+    EXPECT_EQ(db.recovery().replayed_txns, 101u);
+    EXPECT_EQ(IntAt(db.store(), k), 777);
+    db.Stop();
+  }
+  RemoveDirRecursive(dir);
+}
+
+// recover_on_start=false declares the directory's old contents abandoned: the new
+// generation restarts its TID clocks, so keeping the old segments in the manifest
+// would interleave two incompatible TID histories. Recovery after a skipped-recovery
+// generation must see only the new generation.
+TEST(WalRecovery, SkippedRecoveryDiscardsOldGeneration) {
+  const std::string dir = FreshDir("discard");
+  Options o;
+  o.protocol = Protocol::kOcc;
+  o.num_workers = 1;
+  o.store_capacity = 1 << 8;
+  o.wal_dir = dir.c_str();
+  const Key k = Key::FromU64(4);
+  {
+    Database db(o);
+    db.store().LoadInt(k, 0);
+    db.Start();
+    for (int i = 0; i < 10; ++i) {
+      db.Execute([&](Txn& txn) { txn.Add(k, 1); });
+    }
+    db.Stop();
+  }
+  {
+    Options o2 = o;
+    o2.recover_on_start = false;
+    Database db(o2);
+    db.store().LoadInt(k, 0);
+    db.Start();
+    EXPECT_EQ(db.recovery().replayed_txns, 0u);
+    db.Execute([&](Txn& txn) { txn.PutInt(k, 5); });
+    db.Stop();
+  }
+  {
+    Database db(o);
+    db.store().LoadInt(k, 0);
+    db.Start();
+    // Only the second generation's single transaction exists; the first generation's
+    // ten Adds were discarded with their segments (no bogus merged history).
+    EXPECT_EQ(db.recovery().replayed_txns, 1u);
+    EXPECT_EQ(IntAt(db.store(), k), 5);
+    db.Stop();
+  }
+  RemoveDirRecursive(dir);
+}
+
+// A requested checkpoint lands at the coordinator's next quiesce barrier, truncates
+// the log, and the reopened database recovers from snapshot + tail instead of full
+// replay.
+TEST(WalRecovery, DoppelRequestedCheckpointTruncatesLog) {
+  const std::string dir = FreshDir("reqckpt");
+  Options o;
+  o.protocol = Protocol::kDoppel;
+  o.num_workers = 2;
+  o.phase_us = 1000;
+  o.store_capacity = 1 << 10;
+  o.wal_dir = dir.c_str();
+  o.wal_flush_us = 500;
+  std::uint64_t pre_checkpoint_txns = 0;
+  {
+    Database db(o);
+    PopulateIncr(db.store(), 8);
+    db.Start();
+    for (int i = 0; i < 200; ++i) {
+      db.Execute([&](Txn& txn) { txn.Add(IncrKey(static_cast<std::uint64_t>(i) % 8), 1); });
+    }
+    pre_checkpoint_txns = 200;
+    ASSERT_TRUE(db.RequestCheckpoint());
+    // The coordinator takes it at the next barrier (phase cadence is 1ms).
+    for (int spin = 0; spin < 4000 && db.wal()->checkpoints_taken() == 0; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(db.wal()->checkpoints_taken(), 1u);
+    for (int i = 0; i < 50; ++i) {
+      db.Execute([&](Txn& txn) { txn.Add(IncrKey(static_cast<std::uint64_t>(i) % 8), 1); });
+    }
+    db.Stop();
+  }
+  Database db2(o);
+  PopulateIncr(db2.store(), 8);
+  db2.Start();
+  EXPECT_TRUE(db2.recovery().had_checkpoint);
+  EXPECT_GE(db2.recovery().checkpoint_records, 8u);
+  // The checkpoint subsumed (at least) the pre-request transactions; only the tail
+  // replayed from segments.
+  EXPECT_LT(db2.recovery().replayed_txns, pre_checkpoint_txns + 50);
+  std::int64_t sum = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sum += IntAt(db2.store(), IncrKey(i));
+  }
+  EXPECT_EQ(sum, 250);
+  db2.Stop();
+  RemoveDirRecursive(dir);
+}
+
+TEST(WalRecovery, FsyncModeRoundTrips) {
+  const std::string dir = FreshDir("fsync");
+  Options o;
+  o.protocol = Protocol::kOcc;
+  o.num_workers = 2;
+  o.store_capacity = 1 << 8;
+  o.wal_dir = dir.c_str();
+  o.wal_fsync = true;
+  {
+    Database db(o);
+    PopulateIncr(db.store(), 4);
+    db.Start();
+    for (int i = 0; i < 64; ++i) {
+      db.Execute([&](Txn& txn) { txn.Add(IncrKey(static_cast<std::uint64_t>(i) % 4), 1); });
+    }
+    db.Stop();
+  }
+  Database db2(o);
+  PopulateIncr(db2.store(), 4);
+  db2.Start();
+  EXPECT_EQ(db2.recovery().replayed_txns, 64u);
+  std::int64_t sum = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    sum += IntAt(db2.store(), IncrKey(i));
+  }
+  EXPECT_EQ(sum, 64);
+  db2.Stop();
+  RemoveDirRecursive(dir);
 }
 
 }  // namespace

@@ -1,0 +1,62 @@
+// Shared helpers for persistence tests: temp-directory lifecycle and whole-file IO for
+// tear/corruption injection.
+#ifndef DOPPEL_TESTS_PERSIST_TEST_UTIL_H_
+#define DOPPEL_TESTS_PERSIST_TEST_UTIL_H_
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+namespace testing {
+
+inline void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return;
+  }
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    std::remove((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+// A clean (pre-removed) per-test directory under /tmp, unique per process.
+inline std::string FreshDir(const char* tag) {
+  const std::string dir =
+      "/tmp/doppel_persist_" + std::string(tag) + "_" + std::to_string(::getpid());
+  RemoveDirRecursive(dir);
+  DOPPEL_CHECK(::mkdir(dir.c_str(), 0755) == 0);
+  return dir;
+}
+
+inline std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DOPPEL_CHECK(in.good());
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+inline void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DOPPEL_CHECK(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  DOPPEL_CHECK(out.good());
+}
+
+}  // namespace testing
+}  // namespace doppel
+
+#endif  // DOPPEL_TESTS_PERSIST_TEST_UTIL_H_
