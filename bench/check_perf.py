@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_smoke JSON against the committed baseline.
+
+Usage: check_perf.py BASELINE.json CURRENT.json [--max-regression=0.40]
+
+Exits non-zero only on a catastrophic regression: any (engine, config) point whose
+commits_per_sec dropped by more than the threshold relative to the baseline. CI machines
+are noisy, so this is a tripwire for order-of-magnitude breakage, not a gate on small
+deltas — the tracked trajectory in BENCH_*.json is what PRs reason about.
+"""
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["engine"], r["config"], r["hot_pct"]): r for r in doc["results"]}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    threshold = 0.40
+    for a in argv[3:]:
+        if a.startswith("--max-regression="):
+            threshold = float(a.split("=", 1)[1])
+    baseline = load_points(argv[1])
+    current = load_points(argv[2])
+    failures = []
+    for key, base in baseline.items():
+        cur = current.get(key)
+        if cur is None:
+            print(f"note: point {key} missing from current run (skipped)")
+            continue
+        b, c = base["commits_per_sec"], cur["commits_per_sec"]
+        if b <= 0:
+            continue
+        delta = (c - b) / b
+        marker = "REGRESSION" if delta < -threshold else "ok"
+        print(f"{key}: baseline={b:.0f} current={c:.0f} delta={delta:+.1%} [{marker}]")
+        if delta < -threshold:
+            failures.append(key)
+    if failures:
+        print(f"\ncatastrophic regression (> {threshold:.0%}) on: {failures}")
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,169 @@
+// perf_smoke: the repo's tracked per-transaction constant-factor benchmark.
+//
+// Runs the INCR1 microbenchmark (fig08-style) for Doppel, OCC, and 2PL at a uniform
+// low-contention point — where commit-path and runner-loop constant factors dominate —
+// plus a hot-key sweep, and emits a machine-readable JSON file so every PR leaves a
+// point on the perf trajectory (see README "Performance" for the schema, and
+// bench/run_perf.sh for the tracked invocation that writes BENCH_PR5.json).
+//
+// Extra flags beyond bench_common:
+//   --json=PATH   write the JSON report to PATH (default: no JSON, table only)
+//   --hot=A,B,C   hot-key percentages for the contended sweep (default 10,50,90)
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+struct PointReport {
+  std::string engine;
+  std::string config;
+  std::uint32_t hot_pct = 0;
+  RunStats commits_per_sec;
+  std::uint64_t committed = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t stashes = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+PointReport MeasureIncrPoint(const bench::Flags& flags, Protocol proto,
+                             const std::string& config, std::uint32_t hot_pct,
+                             std::uint64_t keys,
+                             const std::atomic<std::uint64_t>* hot_index) {
+  PointReport r;
+  r.engine = ProtocolName(proto);
+  r.config = config;
+  r.hot_pct = hot_pct;
+  // Counters sum and latency histograms merge across runs, so every field of the
+  // tracked JSON point covers all runs (throughput as mean/min/max, the rest as
+  // totals/merged percentiles) — not just whichever run happened to come last.
+  LatencyHistogram merged;
+  for (int run = 0; run < flags.Runs(); ++run) {
+    auto db =
+        std::make_unique<Database>(bench::BaseOptions(flags, proto, keys * 2));
+    PopulateIncr(db->store(), keys);
+    RunMetrics m = RunWorkload(*db, MakeIncr1Factory(keys, hot_pct, hot_index),
+                               flags.MeasureMs(/*default_seconds=*/0.5));
+    r.commits_per_sec.Add(m.throughput);
+    r.committed += m.stats.committed;
+    r.aborts += m.stats.conflicts;
+    r.stashes += m.stats.stash_events;
+    for (int t = 0; t < kNumTags; ++t) {
+      merged.Merge(m.stats.latency_by_tag[t]);
+    }
+  }
+  r.p50_us = static_cast<double>(merged.Percentile(50.0)) * 1e-3;
+  r.p99_us = static_cast<double>(merged.Percentile(99.0)) * 1e-3;
+  return r;
+}
+
+void WriteJson(const std::string& path, const bench::Flags& flags, std::uint64_t keys,
+               const std::vector<PointReport>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"threads\": %d,\n", flags.ResolvedThreads());
+  std::fprintf(f, "  \"keys\": %llu,\n", static_cast<unsigned long long>(keys));
+  std::fprintf(f, "  \"seconds_per_point\": %.3f,\n",
+               static_cast<double>(flags.MeasureMs(0.5)) * 1e-3);
+  std::fprintf(f, "  \"runs_per_point\": %d,\n", flags.Runs());
+  std::fprintf(f, "  \"phase_ms\": %llu,\n",
+               static_cast<unsigned long long>(flags.phase_ms));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointReport& p = points[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"config\": \"%s\", \"hot_pct\": %u, "
+                 "\"commits_per_sec\": %.1f, \"commits_per_sec_min\": %.1f, "
+                 "\"commits_per_sec_max\": %.1f, \"committed\": %llu, "
+                 "\"aborts\": %llu, \"stashes\": %llu, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f}%s\n",
+                 p.engine.c_str(), p.config.c_str(), p.hot_pct,
+                 p.commits_per_sec.mean(), p.commits_per_sec.min(),
+                 p.commits_per_sec.max(),
+                 static_cast<unsigned long long>(p.committed),
+                 static_cast<unsigned long long>(p.aborts),
+                 static_cast<unsigned long long>(p.stashes), p.p50_us, p.p99_us,
+                 i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  std::string json_path;
+  std::vector<std::uint32_t> hot_pcts{10, 50, 90};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--hot=", 6) == 0) {
+      hot_pcts.clear();
+      for (const char* p = argv[i] + 6; *p != '\0';) {
+        hot_pcts.push_back(static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10)));
+        while (*p != '\0' && *p != ',') {
+          ++p;
+        }
+        if (*p == ',') {
+          ++p;
+        }
+      }
+    }
+  }
+  const std::uint64_t keys = flags.Keys(200000);
+  const Protocol protocols[] = {Protocol::kDoppel, Protocol::kOcc, Protocol::kTwoPL};
+
+  std::printf("perf_smoke: INCR1 constant-factor benchmark\n");
+  std::printf("threads=%d keys=%llu phase=%llums seconds/point=%.2f runs/point=%d\n\n",
+              flags.ResolvedThreads(), static_cast<unsigned long long>(keys),
+              static_cast<unsigned long long>(flags.phase_ms),
+              static_cast<double>(flags.MeasureMs(0.5)) * 1e-3, flags.Runs());
+
+  std::atomic<std::uint64_t> hot{0};
+  std::vector<PointReport> points;
+  Table table({"engine", "config", "hot%", "commits/s", "min", "max", "aborts",
+               "p50us", "p99us"});
+  auto run_point = [&](Protocol proto, const std::string& config,
+                       std::uint32_t hot_pct) {
+    PointReport p = MeasureIncrPoint(flags, proto, config, hot_pct, keys, &hot);
+    table.AddRow({p.engine, p.config, std::to_string(p.hot_pct),
+                  FormatCount(p.commits_per_sec.mean()),
+                  FormatCount(p.commits_per_sec.min()),
+                  FormatCount(p.commits_per_sec.max()), std::to_string(p.aborts),
+                  FormatDouble(p.p50_us, 1), FormatDouble(p.p99_us, 1)});
+    points.push_back(std::move(p));
+  };
+  for (Protocol proto : protocols) {
+    // The uniform low-contention point: constant factors, not conflicts, set the number.
+    run_point(proto, "uniform", 0);
+    // The contended sweep; the highest percentage is the tracked "hot" configuration.
+    for (std::size_t i = 0; i < hot_pcts.size(); ++i) {
+      run_point(proto, i + 1 == hot_pcts.size() ? "hot" : "sweep", hot_pcts[i]);
+    }
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  if (!json_path.empty()) {
+    WriteJson(json_path, flags, keys, points);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

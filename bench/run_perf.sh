@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the Release perf_smoke benchmark and writes the tracked perf-trajectory JSON
+# (BENCH_PR5.json at the repo root by default). See README "Performance" for the schema.
+#
+# Environment overrides:
+#   BUILD_DIR      build directory (default build-perf)
+#   PERF_OUT       output JSON path (default <repo>/BENCH_PR5.json)
+#   PERF_SECONDS   measurement seconds per point (default 1.0)
+#   PERF_RUNS      runs per point, reported as mean [min,max] (default 3)
+#   PERF_THREADS   worker threads (default: all CPUs)
+#   PERF_KEYS      key-space size (default 200000)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-perf}"
+PERF_OUT="${PERF_OUT:-$REPO_ROOT/BENCH_PR5.json}"
+PERF_SECONDS="${PERF_SECONDS:-1.0}"
+PERF_RUNS="${PERF_RUNS:-3}"
+PERF_THREADS="${PERF_THREADS:-0}"
+PERF_KEYS="${PERF_KEYS:-200000}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_smoke
+
+"$BUILD_DIR/perf_smoke" \
+  --seconds="$PERF_SECONDS" \
+  --runs="$PERF_RUNS" \
+  --threads="$PERF_THREADS" \
+  --keys="$PERF_KEYS" \
+  --json="$PERF_OUT"
+
+echo "perf trajectory point written to $PERF_OUT"

@@ -1,0 +1,46 @@
+// A non-owning, non-allocating callable reference (the planned std::function_ref).
+//
+// std::function on a hot path costs a possible heap allocation at construction and an
+// indirect call through type-erased storage; FunctionRef is two words (object pointer +
+// thunk) and can never allocate. It does not extend the referenced callable's lifetime:
+// only pass it down the stack (e.g. the scan callbacks threaded from Txn::Scan through
+// an engine), never store it beyond the call.
+#ifndef DOPPEL_SRC_COMMON_FUNCTION_REF_H_
+#define DOPPEL_SRC_COMMON_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace doppel {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like function_ref.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        thunk_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return thunk_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*thunk_)(void*, Args...);
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_COMMON_FUNCTION_REF_H_

@@ -189,7 +189,9 @@ class Database {
 
  private:
   void WorkerMain(Worker& w, TxnSource* source);
-  bool TryRunSubmitted(Worker& w);
+  // Pops up to Options::worker_batch submissions from the worker's inbox in one cursor
+  // pass and runs them back to back; returns how many ran.
+  std::size_t TryRunSubmitted(Worker& w);
   // Stamps submit_ns, charges the drain counter, and pushes onto the inbox at
   // `start_inbox` (trying the others too when `failover` is set — batch submission
   // disables failover to keep per-inbox FIFO order under backpressure). On
@@ -199,7 +201,11 @@ class Database {
   TxnHandle SubmitPendingBlocking(PendingTxn&& pt, std::uint32_t start_inbox,
                                   bool failover);
 
+  // Hard cap on Options::worker_batch (bounds the TryRunSubmitted stack array).
+  static constexpr int kMaxWorkerBatch = 64;
+
   Options opts_;
+  int worker_batch_ = 16;  // opts_.worker_batch clamped to [1, kMaxWorkerBatch]
   Store store_;
   std::unique_ptr<WriteAheadLog> wal_;
   RecoveryResult recovery_;

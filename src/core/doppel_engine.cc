@@ -68,7 +68,7 @@ void DoppelEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
 
 std::size_t DoppelEngine::Scan(Worker& w, Txn& txn, std::uint64_t table,
                                std::uint64_t lo, std::uint64_t hi, std::size_t limit,
-                               const ScanFn& fn) {
+                               ScanFn fn) {
   return OccScan(txn, table, lo, hi, limit, fn,
                  /*stash_on_split=*/w.LoadPhase() == Phase::kSplit);
 }
@@ -87,7 +87,7 @@ TxnStatus DoppelEngine::Commit(Worker& w, Txn& txn) {
     for (const PendingWrite& sw : txn.split_writes()) {
       const std::int32_t idx = sw.record->slice_index();
       DOPPEL_DCHECK(idx >= 0 && static_cast<std::size_t>(idx) < slices.size());
-      SliceApply(slices[static_cast<std::size_t>(idx)], sw);
+      SliceApply(slices[static_cast<std::size_t>(idx)], sw, txn.arena());
     }
   }
   return TxnStatus::kCommitted;

@@ -54,7 +54,7 @@ class DoppelEngine : public OccEngine {
   // record dooms the transaction for stashing (§7) — the stash feeds the same pressure
   // signal (ShouldHurrySplitEnd) as split-record point reads.
   std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
-                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
+                   std::uint64_t hi, std::size_t limit, ScanFn fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void BetweenTxns(Worker& w) override;
   Phase CurrentPhase(const Worker& w) const override { return w.LoadPhase(); }

@@ -53,22 +53,30 @@ bool SubmitInbox::TryPush(PendingTxn& item) {
   }
 }
 
-bool SubmitInbox::TryPop(PendingTxn* out) {
+bool SubmitInbox::TryPop(PendingTxn* out) { return TryPopBatch(out, 1) == 1; }
+
+std::size_t SubmitInbox::TryPopBatch(PendingTxn* out, std::size_t max) {
   // Single consumer: no CAS needed on dequeue_pos_, a plain advance suffices.
-  const std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
-  Cell& cell = cells_[pos & mask_];
-  const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
-  const std::int64_t dif =
-      static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
-  if (dif < 0) {
-    return false;  // producer has not published this cell yet
+  std::size_t n = 0;
+  std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  while (n < max) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+    if (dif < 0) {
+      break;  // producer has not published this cell yet
+    }
+    DOPPEL_DCHECK(dif == 0);
+    out[n++] = std::move(cell.item);
+    cell.item = PendingTxn{};  // drop the ticket reference eagerly
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    ++pos;
   }
-  DOPPEL_DCHECK(dif == 0);
-  *out = std::move(cell.item);
-  cell.item = PendingTxn{};  // drop the ticket reference eagerly
-  cell.seq.store(pos + capacity_, std::memory_order_release);
-  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
-  return true;
+  if (n != 0) {
+    dequeue_pos_.store(pos, std::memory_order_relaxed);
+  }
+  return n;
 }
 
 std::size_t SubmitInbox::ApproxSize() const {

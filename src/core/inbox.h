@@ -38,6 +38,11 @@ class SubmitInbox {
   // Consumer side (owning worker only). Returns false when empty.
   bool TryPop(PendingTxn* out);
 
+  // Consumer side: pops up to `max` items into `out` in FIFO order and returns the
+  // count. One cursor pass per batch instead of one TryPop round-trip per transaction —
+  // the worker hot loop's dequeue amortization.
+  std::size_t TryPopBatch(PendingTxn* out, std::size_t max);
+
   std::size_t capacity() const { return capacity_; }
 
   // Racy occupancy estimate (diagnostics; placement itself is plain round-robin).

@@ -53,7 +53,9 @@ void ScheduleRetry(Worker& w, const RunnerConfig& cfg, PendingTxn&& pt) {
   // +-25% jitter decorrelates retries of transactions aborted by the same conflict.
   const std::uint64_t jitter = delay / 2;
   delay = delay - delay / 4 + (jitter == 0 ? 0 : w.rng.NextBounded(jitter));
-  w.retry_heap.push_back(RetryItem{NowNanos() + delay, std::move(pt)});
+  const std::uint64_t now = NowNanos();
+  w.clock_ns = now;  // free refresh for the worker loop's batched timestamp
+  w.retry_heap.push_back(RetryItem{now + delay, std::move(pt)});
   std::push_heap(w.retry_heap.begin(), w.retry_heap.end());
 }
 
@@ -72,6 +74,9 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
     engine.OnStash(w, s);
     w.stash_events++;
     w.stash.push_back(std::move(pt));
+    // Rare exit: refresh the clock cache so the next batched source stamp does not
+    // silently include this transaction's execution time.
+    w.clock_ns = NowNanos();
     return RunOutcome::kStashed;
   } catch (const ConflictSignal& c) {
     engine.Abort(w, txn);
@@ -85,6 +90,7 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
     engine.Abort(w, txn);
     w.user_aborts++;
     CompleteSubmission(pt, /*committed=*/false);
+    w.clock_ns = NowNanos();  // rare exit: keep the batched source stamp honest
     return RunOutcome::kUserAborted;
   }
 
@@ -95,6 +101,7 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
     engine.OnStash(w, StashSignal{txn.stash_record(), txn.stash_op()});
     w.stash_events++;
     w.stash.push_back(std::move(pt));
+    w.clock_ns = NowNanos();  // rare exit: keep the batched source stamp honest
     return RunOutcome::kStashed;
   }
 
@@ -108,7 +115,7 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
 
   if (cfg.wal != nullptr) {
     // w.last_tid is the TID this commit generated (Silo TID generation is per-worker).
-    cfg.wal->Append(w.id, w.last_tid, txn.write_set(), txn.split_writes());
+    cfg.wal->Append(w.id, w.last_tid, txn.write_set(), txn.split_writes(), txn.arena());
   }
   w.committed++;
   if (w.LoadPhase() == Phase::kSplit) {
@@ -122,9 +129,14 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
   w.committed_by_tag[tag]++;
   const std::uint64_t submit_ns = pt.req.args.submit_ns;
   if (submit_ns != 0) {
+    // The commit-side clock read doubles as the worker loop's next source-transaction
+    // stamp (w.clock_ns), so a closed-loop worker pays one clock_gettime per
+    // transaction, not two.
+    const std::uint64_t end_ns = NowNanos();
+    w.clock_ns = end_ns;
     // Floor at 1ns: a commit inside one clock tick must still record a nonzero sample
     // (report.cc treats latency 0 as a missing submit_ns stamp).
-    const std::uint64_t latency = NowNanos() - submit_ns;
+    const std::uint64_t latency = end_ns - submit_ns;
     w.latency_by_tag[tag].Record(latency == 0 ? 1 : latency);
   }
   CompleteSubmission(pt, /*committed=*/true);

@@ -35,7 +35,7 @@ void Slice::Reset(OpCode op, std::size_t topk_k) {
   }
 }
 
-void SliceApply(Slice& slice, const PendingWrite& w) {
+void SliceApply(Slice& slice, const PendingWrite& w, const WriteArena& arena) {
   switch (w.op) {
     case OpCode::kAdd:
       slice.acc += w.n;
@@ -52,7 +52,7 @@ void SliceApply(Slice& slice, const PendingWrite& w) {
       slice.acc *= w.n;
       break;
     case OpCode::kOPut: {
-      OrderedTuple next{w.order, w.core, w.payload};
+      OrderedTuple next{w.OrderOf(arena), w.core, std::string(w.PayloadOf(arena))};
       if (!slice.has || OrderedTuple::Wins(next, slice.tuple)) {
         slice.tuple = std::move(next);
       }
@@ -60,7 +60,8 @@ void SliceApply(Slice& slice, const PendingWrite& w) {
       break;
     }
     case OpCode::kTopKInsert:
-      slice.topk.Insert(OrderedTuple{w.order, w.core, w.payload});
+      slice.topk.Insert(
+          OrderedTuple{w.OrderOf(arena), w.core, std::string(w.PayloadOf(arena))});
       break;
     default:
       DOPPEL_CHECK(false);

@@ -30,9 +30,10 @@ struct Slice {
   void Reset(OpCode op, std::size_t topk_k);
 };
 
-// Applies a committed split write to the executing core's slice. No locks, no version
-// checks: slices are invisible to other cores (§5.2).
-void SliceApply(Slice& slice, const PendingWrite& w);
+// Applies a committed split write to the executing core's slice; `arena` is the
+// transaction arena holding `w`'s byte/ordered operands. No locks, no version checks:
+// slices are invisible to other cores (§5.2).
+void SliceApply(Slice& slice, const PendingWrite& w, const WriteArena& arena);
 
 class OrderedIndex;
 

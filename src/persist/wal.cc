@@ -34,16 +34,21 @@ constexpr std::size_t kSegmentHeaderBytes =
 // corruption, not data (the group-commit path writes entries far smaller).
 constexpr std::uint32_t kMaxEntryBytes = 64u << 20;
 
-void PutOp(std::vector<char>& out, const PendingWrite& w) {
+void PutOp(std::vector<char>& out, const PendingWrite& w, const WriteArena& arena) {
   PutRaw(out, static_cast<std::uint8_t>(w.op));
   PutRaw(out, w.record->key().hi);
   PutRaw(out, w.record->key().lo);
   PutRaw(out, w.n);
-  PutRaw(out, w.order.primary);
-  PutRaw(out, w.order.secondary);
-  PutRaw(out, w.core);
+  const OrderKey order = w.OrderOf(arena);
+  PutRaw(out, order.primary);
+  PutRaw(out, order.secondary);
+  PutRaw(out, static_cast<std::uint32_t>(w.core));
   PutRaw(out, static_cast<std::uint32_t>(w.record->topk_k()));
-  PutBytes(out, w.payload);
+  const std::string_view payload = w.PayloadOf(arena);
+  PutRaw(out, static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    PutSpan(out, payload.data(), payload.size());
+  }
 }
 
 struct ReplayOp {
@@ -128,19 +133,21 @@ bool ParseSegment(const std::string& path, std::vector<ReplayTxn>* out) {
 
 // Redo one logical operation against the store, maintaining the ordered index exactly
 // like a live commit does (a record entering logical presence becomes scannable).
-void ApplyReplayOp(Store* store, const ReplayOp& op, std::uint64_t tid) {
+// `arena` is per-caller scratch for the op's operand block (cleared each call).
+void ApplyReplayOp(Store* store, const ReplayOp& op, std::uint64_t tid,
+                   WriteArena* arena) {
   Record* r = store->GetOrCreate(op.key, OpRecordType(op.op),
                                  op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k);
   PendingWrite w;
   w.record = r;
   w.op = op.op;
   w.n = op.n;
-  w.order = op.order;
-  w.core = op.core;
-  w.payload = op.payload;
+  w.core = static_cast<std::uint16_t>(op.core);
+  arena->Clear();
+  StoreOperand(*arena, op.op, op.order, op.payload, &w);
   r->LockOcc();
   const bool was_present = r->PresentLocked();
-  ApplyWriteToRecord(w);
+  ApplyWriteToRecord(w, *arena);
   if (!was_present) {
     store->index().Insert(op.key, r);
   }
@@ -224,9 +231,10 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
   result.replay_threads = threads;
 
   if (threads <= 1) {
+    WriteArena arena;
     for (const ReplayTxn& t : txns) {
       for (const ReplayOp& op : t.ops) {
-        ApplyReplayOp(store, op, t.tid);
+        ApplyReplayOp(store, op, t.tid, &arena);
       }
     }
     return result;
@@ -252,8 +260,9 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
   pool.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     pool.emplace_back([store, &striped, i] {
+      WriteArena arena;
       for (const StripedOp& s : striped[static_cast<std::size_t>(i)]) {
-        ApplyReplayOp(store, *s.op, s.tid);
+        ApplyReplayOp(store, *s.op, s.tid, &arena);
       }
     });
   }
@@ -339,7 +348,8 @@ void WriteAheadLog::StartLogging() {
 
 void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
                            const std::vector<PendingWrite>& writes,
-                           const std::vector<PendingWrite>& split_writes) {
+                           const std::vector<PendingWrite>& split_writes,
+                           const WriteArena& arena) {
   const std::size_t n_ops = writes.size() + split_writes.size();
   if (n_ops == 0) {
     return;  // read-only transactions need no redo entry
@@ -349,18 +359,25 @@ void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
   DOPPEL_CHECK(n_ops <= 0xffff);
   Buffer& buf = buffers_[static_cast<std::size_t>(worker_id) % kBuffers];
   buf.mu.lock();
-  buf.scratch.clear();
-  PutRaw(buf.scratch, commit_tid);
-  PutRaw(buf.scratch, static_cast<std::uint16_t>(n_ops));
+  // Encode straight into the batch buffer: reserve the length/CRC header, lay the entry
+  // body down after it, then backpatch the header from the in-place bytes. One encode,
+  // zero staging copies per logged commit.
+  const std::size_t header_at = buf.bytes.size();
+  PutRaw(buf.bytes, std::uint32_t{0});  // payload_len, backpatched
+  PutRaw(buf.bytes, std::uint32_t{0});  // payload_crc, backpatched
+  const std::size_t body_at = buf.bytes.size();
+  PutRaw(buf.bytes, commit_tid);
+  PutRaw(buf.bytes, static_cast<std::uint16_t>(n_ops));
   for (const PendingWrite& w : writes) {
-    PutOp(buf.scratch, w);
+    PutOp(buf.bytes, w, arena);
   }
   for (const PendingWrite& w : split_writes) {
-    PutOp(buf.scratch, w);
+    PutOp(buf.bytes, w, arena);
   }
-  PutRaw(buf.bytes, static_cast<std::uint32_t>(buf.scratch.size()));
-  PutRaw(buf.bytes, Crc32(buf.scratch.data(), buf.scratch.size()));
-  PutSpan(buf.bytes, buf.scratch.data(), buf.scratch.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(buf.bytes.size() - body_at);
+  const std::uint32_t crc = Crc32(buf.bytes.data() + body_at, len);
+  std::memcpy(buf.bytes.data() + header_at, &len, sizeof(len));
+  std::memcpy(buf.bytes.data() + header_at + sizeof(len), &crc, sizeof(crc));
   buf.mu.unlock();
   appended_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -103,11 +103,12 @@ class WriteAheadLog {
   // any later recovery. Must precede StartLogging.
   void DiscardDurableState();
 
-  // Worker-side: append one committed transaction's buffered writes. `worker_id`
-  // selects the per-worker buffer; safe to call concurrently from distinct workers.
+  // Worker-side: append one committed transaction's buffered writes (`arena` holds
+  // their byte/ordered operands). `worker_id` selects the per-worker buffer; safe to
+  // call concurrently from distinct workers.
   void Append(int worker_id, std::uint64_t commit_tid,
               const std::vector<PendingWrite>& writes,
-              const std::vector<PendingWrite>& split_writes);
+              const std::vector<PendingWrite>& split_writes, const WriteArena& arena);
 
   // Forces all buffered bytes to the active segment (fsyncing when configured). Called
   // by the flusher, on Stop, and by tests/clients that need a durability point.
@@ -142,8 +143,10 @@ class WriteAheadLog {
  private:
   struct Buffer {
     Spinlock mu;
+    // Entries are encoded directly into `bytes` with a backpatched length/CRC header —
+    // no per-entry staging buffer, no second copy (`bytes` is contiguous, so the CRC
+    // runs over the freshly encoded region in place).
     std::vector<char> bytes;
-    std::vector<char> scratch;  // per-entry payload staging (CRC needs it contiguous)
     // Emptied-but-grown vector recycled by the flusher (see FlushLocked): steals and
     // returns are both O(1) swaps, and steady-state appends never re-grow from zero.
     std::vector<char> spare;

@@ -1,12 +1,23 @@
 #include "src/txn/apply.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/dassert.h"
 
 namespace doppel {
+namespace {
 
-void ApplyWriteToRecord(const PendingWrite& w) {
+// Materializes an ordered-op tuple from the arena-addressed operand. The payload copy
+// into a std::string is unavoidable here: the record stores owning strings, and the
+// arena's bytes are recycled at the next Txn::Reset.
+OrderedTuple TupleOf(const PendingWrite& w, const WriteArena& arena) {
+  return OrderedTuple{w.OrderOf(arena), w.core, std::string(w.PayloadOf(arena))};
+}
+
+}  // namespace
+
+void ApplyWriteToRecord(const PendingWrite& w, const WriteArena& arena) {
   Record* r = w.record;
   switch (w.op) {
     case OpCode::kPutInt:
@@ -24,15 +35,18 @@ void ApplyWriteToRecord(const PendingWrite& w) {
     case OpCode::kMult:
       r->SetInt((r->PresentLocked() ? r->IntValueLocked() : 1) * w.n);
       break;
-    case OpCode::kPutBytes:
-      r->MutateComplex(
-          [&](ComplexValue& cv) { std::get<std::string>(cv) = w.payload; });
+    case OpCode::kPutBytes: {
+      const std::string_view payload = w.PayloadOf(arena);
+      r->MutateComplex([&](ComplexValue& cv) {
+        std::get<std::string>(cv).assign(payload.data(), payload.size());
+      });
       break;
+    }
     case OpCode::kOPut: {
       const bool was_present = r->PresentLocked();
       r->MutateComplex([&](ComplexValue& cv) {
         auto& cur = std::get<OrderedTuple>(cv);
-        OrderedTuple next{w.order, w.core, w.payload};
+        OrderedTuple next = TupleOf(w, arena);
         if (!was_present || OrderedTuple::Wins(next, cur)) {
           cur = std::move(next);
         }
@@ -40,9 +54,8 @@ void ApplyWriteToRecord(const PendingWrite& w) {
       break;
     }
     case OpCode::kTopKInsert:
-      r->MutateComplex([&](ComplexValue& cv) {
-        std::get<TopKSet>(cv).Insert(OrderedTuple{w.order, w.core, w.payload});
-      });
+      r->MutateComplex(
+          [&](ComplexValue& cv) { std::get<TopKSet>(cv).Insert(TupleOf(w, arena)); });
       break;
     case OpCode::kGet:
       DOPPEL_CHECK(false);  // reads are never buffered as writes
@@ -51,7 +64,8 @@ void ApplyWriteToRecord(const PendingWrite& w) {
   r->NoteWriteOp(static_cast<std::uint8_t>(w.op));
 }
 
-void ApplyWriteToResult(const PendingWrite& w, ReadResult* res) {
+void ApplyWriteToResult(const PendingWrite& w, const WriteArena& arena,
+                        ReadResult* res) {
   switch (w.op) {
     case OpCode::kPutInt:
       res->i = w.n;
@@ -69,10 +83,10 @@ void ApplyWriteToResult(const PendingWrite& w, ReadResult* res) {
       res->i = (res->present ? res->i : 1) * w.n;
       break;
     case OpCode::kPutBytes:
-      res->complex = w.payload;
+      res->complex = std::string(w.PayloadOf(arena));
       break;
     case OpCode::kOPut: {
-      OrderedTuple next{w.order, w.core, w.payload};
+      OrderedTuple next = TupleOf(w, arena);
       if (!res->present) {
         res->complex = std::move(next);
       } else {
@@ -87,7 +101,7 @@ void ApplyWriteToResult(const PendingWrite& w, ReadResult* res) {
       if (!res->present) {
         res->complex = TopKSet();
       }
-      std::get<TopKSet>(res->complex).Insert(OrderedTuple{w.order, w.core, w.payload});
+      std::get<TopKSet>(res->complex).Insert(TupleOf(w, arena));
       break;
     }
     case OpCode::kGet:

@@ -6,13 +6,14 @@
 
 namespace doppel {
 
-// Applies `w` to the global record. Caller must hold the record's OCC lock bit.
+// Applies `w` to the global record; `arena` is the transaction arena holding `w`'s
+// byte/ordered operands. Caller must hold the record's OCC lock bit.
 // Absent-record semantics: Add treats the record as 0, Mult as 1, Max/Min/OPut install
 // the operand (OPut per the paper: absent records have order -inf).
-void ApplyWriteToRecord(const PendingWrite& w);
+void ApplyWriteToRecord(const PendingWrite& w, const WriteArena& arena);
 
 // Applies `w` onto an in-memory snapshot (read-own-writes overlay).
-void ApplyWriteToResult(const PendingWrite& w, ReadResult* res);
+void ApplyWriteToResult(const PendingWrite& w, const WriteArena& arena, ReadResult* res);
 
 // True for operations that logically read the record's prior value; under OCC these add
 // the record to the read set so commit-time validation detects conflicting writers, which

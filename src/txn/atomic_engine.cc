@@ -26,7 +26,7 @@ void AtomicEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
 
 void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   (void)w;
-  (void)txn;
+  const WriteArena& arena = txn.arena();
   Record* r = pw.record;
   // Racy first-presence detection (no lock discipline in this engine); the index insert
   // below is idempotent, so a double-detect costs nothing.
@@ -47,14 +47,17 @@ void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
     case OpCode::kPutInt:
       r->SetInt(pw.n);
       break;
-    case OpCode::kPutBytes:
-      r->MutateComplex(
-          [&](ComplexValue& cv) { std::get<std::string>(cv) = std::move(pw.payload); });
+    case OpCode::kPutBytes: {
+      const std::string_view payload = pw.PayloadOf(arena);
+      r->MutateComplex([&](ComplexValue& cv) {
+        std::get<std::string>(cv).assign(payload.data(), payload.size());
+      });
       break;
+    }
     case OpCode::kOPut:
       r->MutateComplex([&](ComplexValue& cv) {
         auto& cur = std::get<OrderedTuple>(cv);
-        OrderedTuple next{pw.order, pw.core, std::move(pw.payload)};
+        OrderedTuple next{pw.OrderOf(arena), pw.core, std::string(pw.PayloadOf(arena))};
         // A never-written OrderedTuple holds order -inf, so the first put wins.
         if (OrderedTuple::Wins(next, cur)) {
           cur = std::move(next);
@@ -63,7 +66,8 @@ void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
       break;
     case OpCode::kTopKInsert:
       r->MutateComplex([&](ComplexValue& cv) {
-        std::get<TopKSet>(cv).Insert(OrderedTuple{pw.order, pw.core, std::move(pw.payload)});
+        std::get<TopKSet>(cv).Insert(
+            OrderedTuple{pw.OrderOf(arena), pw.core, std::string(pw.PayloadOf(arena))});
       });
       break;
     case OpCode::kGet:
@@ -75,7 +79,7 @@ void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
 }
 
 std::size_t AtomicEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
-                               std::uint64_t hi, std::size_t limit, const ScanFn& fn) {
+                               std::uint64_t hi, std::size_t limit, ScanFn fn) {
   if (lo > hi) {
     return 0;
   }
@@ -83,7 +87,8 @@ std::size_t AtomicEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::ui
   const std::size_t p_lo = tab.PartitionOf(lo);
   const std::size_t p_hi = tab.PartitionOf(hi);
   std::size_t visited = 0;
-  std::vector<std::pair<std::uint64_t, Record*>> batch;
+  Txn::ScanScratchLease lease(txn.scan_batch());
+  auto& batch = lease.get();
   for (std::size_t p = p_lo; p <= p_hi; ++p) {
     batch.clear();
     OrderedIndex::SnapshotRange(tab.partitions[p], lo, hi,

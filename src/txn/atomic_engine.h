@@ -23,7 +23,7 @@ class AtomicEngine : public Engine {
   // Best-effort ordered traversal with no phantom protection (like Read, it carries the
   // engine's non-serializable semantics).
   std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
-                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
+                   std::uint64_t hi, std::size_t limit, ScanFn fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void Abort(Worker& w, Txn& txn) override;
 

@@ -41,8 +41,9 @@ class Engine {
 
   // Serializable range scan over the ordered index (see Txn::Scan for the contract).
   // May throw ConflictSignal (2PL); Doppel dooms the transaction for stashing instead.
+  // `fn` is a borrowed reference (FunctionRef): call it during the scan only.
   virtual std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
-                           std::uint64_t hi, std::size_t limit, const ScanFn& fn) = 0;
+                           std::uint64_t hi, std::size_t limit, ScanFn fn) = 0;
 
   // Commit protocol; returns kCommitted or kConflict (conflict details left in txn).
   virtual TxnStatus Commit(Worker& w, Txn& txn) = 0;

@@ -18,7 +18,7 @@ class OccEngine : public Engine {
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
   std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
-                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
+                   std::uint64_t hi, std::size_t limit, ScanFn fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void Abort(Worker& w, Txn& txn) override;
 
@@ -32,7 +32,7 @@ class OccEngine : public Engine {
   // meeting a split record in the window dooms the transaction for stashing and the scan
   // stops (§7: split data cannot be read during a split phase).
   std::size_t OccScan(Txn& txn, std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
-                      std::size_t limit, const ScanFn& fn, bool stash_on_split);
+                      std::size_t limit, ScanFn fn, bool stash_on_split);
 
   Store& store_;
 };

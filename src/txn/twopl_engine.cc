@@ -125,11 +125,11 @@ void TwoPLEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
     EnsureIndexExclusive(txn, k.hi, static_cast<std::uint32_t>(p), &tab.partitions[p],
                          pw.op);
   }
-  txn.write_set().push_back(std::move(pw));
+  txn.BufferWrite(std::move(pw));
 }
 
 std::size_t TwoPLEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
-                              std::uint64_t hi, std::size_t limit, const ScanFn& fn) {
+                              std::uint64_t hi, std::size_t limit, ScanFn fn) {
   (void)w;
   if (lo > hi) {
     return 0;
@@ -138,7 +138,8 @@ std::size_t TwoPLEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uin
   const std::size_t p_lo = tab.PartitionOf(lo);
   const std::size_t p_hi = tab.PartitionOf(hi);
   std::size_t visited = 0;
-  std::vector<std::pair<std::uint64_t, Record*>> batch;
+  Txn::ScanScratchLease lease(txn.scan_batch());
+  auto& batch = lease.get();
   for (std::size_t p = p_lo; p <= p_hi; ++p) {
     IndexPartition& part = tab.partitions[p];
     // Held until commit/abort: no insert into this stripe can commit while we run.
@@ -167,9 +168,12 @@ std::size_t TwoPLEngine::Scan(Worker& w, Txn& txn, std::uint64_t table, std::uin
 
 TxnStatus TwoPLEngine::Commit(Worker& w, Txn& txn) {
   auto& ws = txn.write_set();
-  std::stable_sort(ws.begin(), ws.end(), [](const PendingWrite& a, const PendingWrite& b) {
-    return a.record < b.record;
-  });
+  const std::size_t n = ws.size();
+  // Record-address commit order as slot indices (Txn::CommitOrder): groups same-record
+  // writes in issue order without copying the elements; single-write transactions skip
+  // the sort and scratch entirely.
+  std::uint32_t single = 0;
+  const std::uint32_t* order = txn.CommitOrder(&single);
   // We hold every write record exclusively: the short OCC lock below cannot contend with
   // other 2PL transactions; it exists to keep the record's seqlock/TID discipline intact
   // for external snapshot readers.
@@ -178,19 +182,21 @@ TxnStatus TwoPLEngine::Commit(Worker& w, Txn& txn) {
     max_seen = std::max(max_seen, Record::TidOf(pw.record->LoadTidWord()));
   }
   const std::uint64_t commit_tid = w.GenerateTid(max_seen);
-  for (std::size_t i = 0; i < ws.size(); ++i) {
-    if (i == 0 || ws[i].record != ws[i - 1].record) {
-      ws[i].record->LockOcc();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PendingWrite& pw = ws[order[i]];
+    Record* r = pw.record;
+    if (i == 0 || ws[order[i - 1]].record != r) {
+      r->LockOcc();
     }
-    const bool was_present = ws[i].record->PresentLocked();
-    ApplyWriteToRecord(ws[i]);
+    const bool was_present = r->PresentLocked();
+    ApplyWriteToRecord(pw, txn.arena());
     if (!was_present) {
       // The partition's exclusive lock was taken at Write() time, so no scanner holds
       // the stripe; the version bump keeps OCC-side bookkeeping consistent.
-      store_.index().Insert(ws[i].record->key(), ws[i].record);
+      store_.index().Insert(r->key(), r);
     }
-    if (i + 1 == ws.size() || ws[i + 1].record != ws[i].record) {
-      ws[i].record->UnlockOccSetTid(commit_tid);
+    if (i + 1 == n || ws[order[i + 1]].record != r) {
+      r->UnlockOccSetTid(commit_tid);
     }
   }
   ReleaseAll(txn);

@@ -29,7 +29,7 @@ class TwoPLEngine : public Engine {
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
   std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,
-                   std::uint64_t hi, std::size_t limit, const ScanFn& fn) override;
+                   std::uint64_t hi, std::size_t limit, ScanFn fn) override;
   TxnStatus Commit(Worker& w, Txn& txn) override;
   void Abort(Worker& w, Txn& txn) override;
 

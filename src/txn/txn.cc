@@ -39,11 +39,121 @@ int Txn::worker_id() const { return worker_->id; }
 
 Rng& Txn::rng() { return worker_->rng; }
 
-void Txn::OverlayPending(Record* r, ReadResult* res) const {
-  for (const PendingWrite& w : write_set_) {
-    if (w.record == r) {
-      ApplyWriteToResult(w, res);
+// ---- Own-write chains and the lazy write index -----------------------------------------
+
+Txn::WriteSlot* Txn::WindexSlot(const Record* r) {
+  // Fibonacci-mix the pointer (low bits are alignment zeros) and linear-probe.
+  const std::uintptr_t h = reinterpret_cast<std::uintptr_t>(r) >> 4;
+  std::size_t i =
+      static_cast<std::size_t>((h * 0x9e3779b97f4a7c15ULL) >> 32) & windex_mask_;
+  while (windex_[i].record != nullptr && windex_[i].record != r) {
+    i = (i + 1) & windex_mask_;
+  }
+  return &windex_[i];
+}
+
+void Txn::BuildWriteIndex() {
+  std::size_t want = 32;
+  while (want < write_set_.size() * 4) {
+    want <<= 1;
+  }
+  if (windex_.size() < want) {
+    windex_.assign(want, WriteSlot{});
+  } else {
+    std::fill(windex_.begin(), windex_.end(), WriteSlot{});
+  }
+  windex_mask_ = windex_.size() - 1;
+  for (std::uint32_t i = 0; i < write_set_.size(); ++i) {
+    WriteSlot* s = WindexSlot(write_set_[i].record);
+    if (s->record == nullptr) {
+      s->record = write_set_[i].record;
+      s->head = i;
     }
+    s->tail = i;  // next-links are already correct; only the chain ends are indexed
+  }
+  windex_built_ = true;
+}
+
+void Txn::BufferWrite(PendingWrite&& w) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(write_set_.size());
+  w.next = PendingWrite::kNoNext;
+  if (windex_built_) {
+    WriteSlot* s = WindexSlot(w.record);
+    if (s->record == nullptr) {
+      s->record = w.record;
+      s->head = idx;
+    } else {
+      write_set_[s->tail].next = idx;
+    }
+    s->tail = idx;
+    write_set_.push_back(w);
+    // Keep the table under half load: rebuild re-probes chain ends from the (already
+    // correct) next-links, so it must happen after this entry is linked in.
+    if (write_set_.size() * 2 >= windex_.size()) {
+      BuildWriteIndex();
+    }
+    return;
+  }
+  // Below the threshold: link by backward scan (the last entry for the record is the
+  // chain tail), then push. Small sets make this cheaper than maintaining the table.
+  for (std::uint32_t i = idx; i-- > 0;) {
+    if (write_set_[i].record == w.record) {
+      write_set_[i].next = idx;
+      break;
+    }
+  }
+  write_set_.push_back(w);
+  if (write_set_.size() > kWriteIndexThreshold) {
+    BuildWriteIndex();
+  }
+}
+
+std::uint32_t Txn::OwnWriteHead(const Record* r) const {
+  if (windex_built_) {
+    WriteSlot* s = const_cast<Txn*>(this)->WindexSlot(r);
+    return s->record == nullptr ? PendingWrite::kNoNext : s->head;
+  }
+  for (std::uint32_t i = 0; i < write_set_.size(); ++i) {
+    if (write_set_[i].record == r) {
+      return i;
+    }
+  }
+  return PendingWrite::kNoNext;
+}
+
+const PendingWrite* Txn::FindOwnWrite(const Record* r) const {
+  const std::uint32_t head = OwnWriteHead(r);
+  return head == PendingWrite::kNoNext ? nullptr : &write_set_[head];
+}
+
+const std::uint32_t* Txn::CommitOrder(std::uint32_t* single) {
+  const std::size_t n = write_set_.size();
+  if (n <= 1) {
+    *single = 0;
+    return single;
+  }
+  // Sorting 4-byte indices instead of the 32-byte elements keeps the write set in
+  // issue order (the WAL encodes it as issued, and the RYOW chains stay valid) and
+  // touches a quarter of the bytes.
+  commit_order_.resize(n);
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(n); ++i) {
+    commit_order_[i] = i;
+  }
+  const auto& ws = write_set_;
+  std::sort(commit_order_.begin(), commit_order_.end(),
+            [&ws](std::uint32_t a, std::uint32_t b) {
+              if (ws[a].record != ws[b].record) {
+                return ws[a].record < ws[b].record;
+              }
+              return a < b;
+            });
+  return commit_order_.data();
+}
+
+void Txn::OverlayPending(Record* r, ReadResult* res) const {
+  for (std::uint32_t i = OwnWriteHead(r); i != PendingWrite::kNoNext;
+       i = write_set_[i].next) {
+    ApplyWriteToResult(write_set_[i], arena_, res);
   }
 }
 
@@ -107,8 +217,8 @@ std::optional<TopKSet> Txn::GetTopK(const Key& key, std::size_t k) {
   return std::get<TopKSet>(std::move(res.complex));
 }
 
-void Txn::IssueWrite(const Key& key, OpCode op, std::int64_t n, OrderKey order,
-                     std::string payload, std::size_t topk_k) {
+void Txn::IssueWrite(const Key& key, OpCode op, std::int64_t n, const OrderKey& order,
+                     std::string_view payload, std::size_t topk_k) {
   if (stash_doomed_) {
     return;  // the transaction will be stashed; all effects are discarded
   }
@@ -118,9 +228,8 @@ void Txn::IssueWrite(const Key& key, OpCode op, std::int64_t n, OrderKey order,
   w.record = r;
   w.op = op;
   w.n = n;
-  w.order = order;
-  w.core = static_cast<std::uint32_t>(worker_->id);
-  w.payload = std::move(payload);
+  w.core = static_cast<std::uint16_t>(worker_->id);
+  StoreOperand(arena_, op, order, payload, &w);
   engine_->Write(*worker_, *this, std::move(w));
 }
 
@@ -128,8 +237,8 @@ void Txn::PutInt(const Key& key, std::int64_t v) {
   IssueWrite(key, OpCode::kPutInt, v, OrderKey{}, {}, 0);
 }
 
-void Txn::PutBytes(const Key& key, std::string v) {
-  IssueWrite(key, OpCode::kPutBytes, 0, OrderKey{}, std::move(v), 0);
+void Txn::PutBytes(const Key& key, std::string_view v) {
+  IssueWrite(key, OpCode::kPutBytes, 0, OrderKey{}, v, 0);
 }
 
 void Txn::Add(const Key& key, std::int64_t n) {
@@ -148,16 +257,17 @@ void Txn::Mult(const Key& key, std::int64_t n) {
   IssueWrite(key, OpCode::kMult, n, OrderKey{}, {}, 0);
 }
 
-void Txn::OPut(const Key& key, OrderKey order, std::string payload) {
-  IssueWrite(key, OpCode::kOPut, 0, order, std::move(payload), 0);
+void Txn::OPut(const Key& key, OrderKey order, std::string_view payload) {
+  IssueWrite(key, OpCode::kOPut, 0, order, payload, 0);
 }
 
-void Txn::TopKInsert(const Key& key, OrderKey order, std::string payload, std::size_t k) {
-  IssueWrite(key, OpCode::kTopKInsert, 0, order, std::move(payload), k);
+void Txn::TopKInsert(const Key& key, OrderKey order, std::string_view payload,
+                     std::size_t k) {
+  IssueWrite(key, OpCode::kTopKInsert, 0, order, payload, k);
 }
 
 std::size_t Txn::Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
-                      std::size_t limit, const ScanFn& fn) {
+                      std::size_t limit, ScanFn fn) {
   if (stash_doomed_) {
     return 0;  // the transaction will be stashed; execution continues without effects
   }
@@ -166,7 +276,13 @@ std::size_t Txn::Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
   // own pending keys are merged into the result stream here, in key order. Write-set
   // entries for records the engine does visit are dropped on the key match below (the
   // engine already overlays pending writes onto visited snapshots).
-  std::vector<std::pair<std::uint64_t, Record*>> own;
+  // The merge buffer is leased from per-transaction scratch (RAII move-out/move-back):
+  // the common case allocates nothing, a nested scan finds an empty scratch and simply
+  // pays a fresh allocation instead of corrupting this frame's merge state, and an
+  // engine throw (2PL partition-lock timeout) still returns the grown buffer.
+  ScanScratchLease own_lease(scan_own_);
+  auto& own = own_lease.get();
+  own.clear();
   for (const PendingWrite& pw : write_set_) {
     const Key& k = pw.record->key();
     if (k.hi == table && k.lo >= lo && k.lo <= hi) {
@@ -203,23 +319,23 @@ std::size_t Txn::Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
   // return value. Passing it through to the engine as well keeps the engine's own
   // bounding (snapshot caps, 2PL partition-lock early-out); its internal limit check
   // can never fire first because `emitted` >= engine-visited rows at every step.
-  engine_->Scan(*worker_, *this, table, lo, hi, limit,
-                [&](const Key& k, const ReadResult& v) {
-                  while (oi < own.size() && own[oi].first < k.lo) {
-                    if (!emit_own(own[oi++].second)) {
-                      return false;
-                    }
-                  }
-                  if (oi < own.size() && own[oi].first == k.lo) {
-                    ++oi;  // visited by the engine: the overlay already applied our writes
-                  }
-                  ++emitted;
-                  if (!fn(k, v) || (limit != 0 && emitted >= limit)) {
-                    stopped = true;
-                    return false;
-                  }
-                  return true;
-                });
+  auto merged = [&](const Key& k, const ReadResult& v) {
+    while (oi < own.size() && own[oi].first < k.lo) {
+      if (!emit_own(own[oi++].second)) {
+        return false;
+      }
+    }
+    if (oi < own.size() && own[oi].first == k.lo) {
+      ++oi;  // visited by the engine: the overlay already applied our writes
+    }
+    ++emitted;
+    if (!fn(k, v) || (limit != 0 && emitted >= limit)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  };
+  engine_->Scan(*worker_, *this, table, lo, hi, limit, merged);
   if (stash_doomed_) {
     return emitted;  // doomed mid-scan (split window); all effects are discarded anyway
   }

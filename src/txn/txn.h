@@ -4,19 +4,28 @@
 // split data, per-core slices, or phases (§6): the engine behind it routes each access.
 // All writes are buffered (into the write set or, for split data, the split-write set) and
 // applied at commit by the engine's protocol.
+//
+// Hot-path layout notes: PendingWrite is a 32-byte POD whose variable-size operands
+// (payload bytes, ordered-op OrderKeys) live in the transaction's WriteArena, recycled by
+// Reset — commit-time sorting, WAL encoding, and read-your-own-writes overlays never
+// touch a std::string. Writes to the same record are chained through PendingWrite::next
+// in issue order; once the write set outgrows a small threshold an open-addressing index
+// over those chains makes own-write lookup O(1) instead of O(write set).
 #ifndef DOPPEL_SRC_TXN_TXN_H_
 #define DOPPEL_SRC_TXN_TXN_H_
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/function_ref.h"
 #include "src/store/key.h"
 #include "src/store/record.h"
 #include "src/store/value.h"
 #include "src/txn/op.h"
+#include "src/txn/write_arena.h"
 
 namespace doppel {
 
@@ -35,16 +44,63 @@ struct ReadEntry {
   std::int32_t scan_part = -1;  // >= 0: reached via a scan of this partition index
 };
 
-// A buffered write. `n` carries int operands; `order`/`payload`/`core` carry tuple and
-// top-K operands. `core` is the writing worker's id (the paper's core ID component).
+// A buffered write. `n` carries int operands; ordered/byte operands live in the owning
+// transaction's WriteArena at `arg_off` (see OrderOf/PayloadOf). `core` is the writing
+// worker's id (the paper's core ID component). `next` chains this transaction's writes
+// to the same record in issue order (read-your-own-writes overlays walk the chain).
 struct PendingWrite {
+  static constexpr std::uint32_t kNoNext = 0xffffffffu;
+
   Record* record = nullptr;
-  OpCode op = OpCode::kGet;
   std::int64_t n = 0;
-  OrderKey order;
-  std::uint32_t core = 0;
-  std::string payload;
+  std::uint32_t arg_off = 0;      // arena offset of the operand block
+  std::uint32_t payload_len = 0;  // payload byte length (OrderKey header excluded)
+  std::uint32_t next = kNoNext;   // next write to the same record, or kNoNext
+  std::uint16_t core = 0;
+  OpCode op = OpCode::kGet;
+
+  bool has_ordered_operand() const {
+    return op == OpCode::kOPut || op == OpCode::kTopKInsert;
+  }
+  OrderKey OrderOf(const WriteArena& a) const {
+    return has_ordered_operand() ? a.OrderAt(arg_off) : OrderKey{};
+  }
+  std::string_view PayloadOf(const WriteArena& a) const {
+    if (op == OpCode::kPutBytes) {
+      return a.View(arg_off, payload_len);
+    }
+    if (has_ordered_operand()) {
+      return a.View(arg_off + WriteArena::kOrderBytes, payload_len);
+    }
+    return {};
+  }
 };
+// The commit path sorts, dedups, and copies write sets millions of times per second;
+// growing this struct is a measured throughput regression, not a style choice.
+static_assert(sizeof(PendingWrite) <= 32, "PendingWrite must stay a small POD");
+static_assert(std::is_trivially_copyable_v<PendingWrite>);
+
+// Fills `w`'s arena-addressed operand fields for `op` from `order`/`payload`.
+// Int-operand ops store nothing; byte ops store the payload; ordered ops store the
+// OrderKey followed by the payload.
+inline void StoreOperand(WriteArena& a, OpCode op, const OrderKey& order,
+                         std::string_view payload, PendingWrite* w) {
+  switch (op) {
+    case OpCode::kOPut:
+    case OpCode::kTopKInsert:
+      w->arg_off = a.PutOrdered(order, payload);
+      w->payload_len = static_cast<std::uint32_t>(payload.size());
+      break;
+    case OpCode::kPutBytes:
+      w->arg_off = a.Put(payload.data(), payload.size());
+      w->payload_len = static_cast<std::uint32_t>(payload.size());
+      break;
+    default:
+      w->arg_off = 0;
+      w->payload_len = 0;
+      break;
+  }
+}
 
 // A typed snapshot produced by an engine read.
 struct ReadResult {
@@ -90,7 +146,9 @@ struct IndexLockEntry {
 
 // Scan callback: invoked per logically-present record in ascending key order with the
 // record's snapshot (ints in `i`, other types in `complex`). Return false to stop early.
-using ScanFn = std::function<bool(const Key& key, const ReadResult& value)>;
+// A FunctionRef, not std::function: scans run per transaction on the hot path and the
+// callback must never cost an allocation; it is only ever passed down the stack.
+using ScanFn = FunctionRef<bool(const Key& key, const ReadResult& value)>;
 
 class Txn {
  public:
@@ -107,15 +165,15 @@ class Txn {
   std::optional<TopKSet> GetTopK(const Key& key, std::size_t k = TopKSet::kDefaultK);
 
   void PutInt(const Key& key, std::int64_t v);
-  void PutBytes(const Key& key, std::string v);
+  void PutBytes(const Key& key, std::string_view v);
 
   // Splittable operations (§4). They return nothing by design.
   void Add(const Key& key, std::int64_t n);
   void Max(const Key& key, std::int64_t n);
   void Min(const Key& key, std::int64_t n);
   void Mult(const Key& key, std::int64_t n);
-  void OPut(const Key& key, OrderKey order, std::string payload);
-  void TopKInsert(const Key& key, OrderKey order, std::string payload,
+  void OPut(const Key& key, OrderKey order, std::string_view payload);
+  void TopKInsert(const Key& key, OrderKey order, std::string_view payload,
                   std::size_t k = TopKSet::kDefaultK);
 
   // Serializable range scan over the ordered index of `table` (a Key.hi namespace):
@@ -131,7 +189,7 @@ class Txn {
   // contains a split record during a split phase stashes the transaction (§7: split data
   // is unreadable in a split phase).
   std::size_t Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
-                   std::size_t limit, const ScanFn& fn);
+                   std::size_t limit, ScanFn fn);
 
   // Aborts the transaction; it will not be retried.
   [[noreturn]] void UserAbort();
@@ -148,6 +206,8 @@ class Txn {
     read_set_.clear();
     write_set_.clear();
     split_writes_.clear();
+    arena_.Clear();
+    windex_built_ = false;
     locks_.clear();
     scan_set_.clear();
     index_locks_.clear();
@@ -164,12 +224,58 @@ class Txn {
   std::vector<ReadEntry>& read_set() { return read_set_; }
   std::vector<PendingWrite>& write_set() { return write_set_; }
   std::vector<PendingWrite>& split_writes() { return split_writes_; }
+  WriteArena& arena() { return arena_; }
+  const WriteArena& arena() const { return arena_; }
   std::vector<LockEntry>& locks() { return locks_; }
   std::vector<IndexScanEntry>& scan_set() { return scan_set_; }
   std::vector<IndexLockEntry>& index_locks() { return index_locks_; }
+
+  // Appends `w` to the write set, maintaining the same-record issue-order chain and (once
+  // built) the own-write index. Engines must buffer through this, never by mutating
+  // write_set() directly, or read-your-own-writes misses the new entry.
+  void BufferWrite(PendingWrite&& w);
+
+  // First buffered write to `r` (chain head, issue order) or nullptr. O(1) once the
+  // write index is built; linear below the threshold, where linear is faster anyway.
+  const PendingWrite* FindOwnWrite(const Record* r) const;
+
   // Applies this transaction's buffered writes for `r` on top of a fresh snapshot
   // (engines use it so scans observe the transaction's own writes).
   void OverlayPending(Record* r, ReadResult* res) const;
+
+  // Reusable commit-time scratch: the record-address sort order of the write set lives
+  // here as indices, so commit never copies or reorders the 32-byte elements themselves
+  // (and single-write commits never touch this at all).
+  std::vector<std::uint32_t>& commit_order() { return commit_order_; }
+
+  // Commit order for the write set: slot indices sorted by record address, equal
+  // records tie-broken on slot so same-record writes keep issue order (stable). Write
+  // sets of size <= 1 skip the sort and the scratch vector entirely — `single` is the
+  // caller-provided storage the returned pointer aliases in that case. Shared by the
+  // OCC and 2PL commit protocols; valid until the next BufferWrite/Reset.
+  const std::uint32_t* CommitOrder(std::uint32_t* single);
+
+  // Reusable scan scratch (engine range snapshots / RYOW merge). Callers take the
+  // buffer with std::move and return it when done, so a nested scan degrades to a fresh
+  // allocation instead of corrupting the outer scan's state.
+  std::vector<std::pair<std::uint64_t, Record*>>& scan_batch() { return scan_batch_; }
+  std::vector<std::pair<std::uint64_t, Record*>>& scan_own() { return scan_own_; }
+
+  // RAII move-out/move-back lease over a scan scratch buffer (see scan_batch()).
+  class ScanScratchLease {
+   public:
+    explicit ScanScratchLease(std::vector<std::pair<std::uint64_t, Record*>>& home)
+        : home_(&home), buf_(std::move(home)) {}
+    ScanScratchLease(const ScanScratchLease&) = delete;
+    ScanScratchLease& operator=(const ScanScratchLease&) = delete;
+    ~ScanScratchLease() { *home_ = std::move(buf_); }
+    std::vector<std::pair<std::uint64_t, Record*>>& get() { return buf_; }
+
+   private:
+    std::vector<std::pair<std::uint64_t, Record*>>* home_;
+    std::vector<std::pair<std::uint64_t, Record*>> buf_;
+  };
+
   Worker& worker() { return *worker_; }
   Engine& engine() { return *engine_; }
 
@@ -205,17 +311,37 @@ class Txn {
   OpCode stash_op() const { return stash_op_; }
 
  private:
-  void IssueWrite(const Key& key, OpCode op, std::int64_t n, OrderKey order,
-                  std::string payload, std::size_t topk_k);
+  void IssueWrite(const Key& key, OpCode op, std::int64_t n, const OrderKey& order,
+                  std::string_view payload, std::size_t topk_k);
+
+  // Own-write index machinery (see BufferWrite). The open-addressing table maps
+  // Record* -> chain head/tail indices; it is built lazily once the write set passes
+  // kWriteIndexThreshold and abandoned by Reset (flag flip, no clearing cost).
+  struct WriteSlot {
+    Record* record = nullptr;
+    std::uint32_t head = 0;
+    std::uint32_t tail = 0;
+  };
+  static constexpr std::size_t kWriteIndexThreshold = 8;
+  void BuildWriteIndex();
+  WriteSlot* WindexSlot(const Record* r);
+  std::uint32_t OwnWriteHead(const Record* r) const;
 
   Engine* engine_ = nullptr;
   Worker* worker_ = nullptr;
   std::vector<ReadEntry> read_set_;
   std::vector<PendingWrite> write_set_;
   std::vector<PendingWrite> split_writes_;
+  WriteArena arena_;
   std::vector<LockEntry> locks_;
   std::vector<IndexScanEntry> scan_set_;
   std::vector<IndexLockEntry> index_locks_;
+  std::vector<std::uint32_t> commit_order_;
+  std::vector<std::pair<std::uint64_t, Record*>> scan_batch_;
+  std::vector<std::pair<std::uint64_t, Record*>> scan_own_;
+  std::vector<WriteSlot> windex_;
+  std::size_t windex_mask_ = 0;
+  bool windex_built_ = false;
   bool stash_doomed_ = false;
   Record* stash_record_ = nullptr;
   OpCode stash_op_ = OpCode::kGet;

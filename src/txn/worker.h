@@ -89,6 +89,12 @@ class Worker {
     return tid;
   }
 
+  // Cached wall clock (owner thread only). Refreshed wherever the hot path already
+  // pays a clock read — commit-latency measurement, retry scheduling, batch
+  // boundaries in the worker loop — so source-generated transactions can be stamped
+  // without an extra clock_gettime each.
+  std::uint64_t clock_ns = 0;
+
   // ---- Metrics (owner-written; aggregated after a run) ----
   std::uint64_t committed = 0;
   std::uint64_t committed_split_phase = 0;  // committed while in a split phase

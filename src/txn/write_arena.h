@@ -1,0 +1,63 @@
+// Per-transaction operand arena backing PendingWrite.
+//
+// PendingWrite must stay a small POD (the commit path sorts, copies, and scans write
+// sets millions of times per second), so variable-size operands — byte payloads and the
+// OrderKey of ordered/top-K writes — live here as offset-addressed blocks in one
+// contiguous buffer. Txn::Reset recycles the buffer (clear, keep capacity), so steady
+// state transaction execution performs no payload heap allocation at all. Offsets, not
+// pointers: the buffer may reallocate while a transaction keeps buffering writes.
+#ifndef DOPPEL_SRC_TXN_WRITE_ARENA_H_
+#define DOPPEL_SRC_TXN_WRITE_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "src/store/value.h"
+
+namespace doppel {
+
+class WriteArena {
+ public:
+  // Appends `len` raw bytes; returns the block's offset.
+  std::uint32_t Put(const void* data, std::size_t len) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + len);
+    if (len != 0) {
+      std::memcpy(buf_.data() + off, data, len);
+    }
+    return static_cast<std::uint32_t>(off);
+  }
+
+  // Appends an ordered operand block: the OrderKey followed by the payload bytes.
+  // Returns the block's offset (the payload starts kOrderBytes past it).
+  std::uint32_t PutOrdered(const OrderKey& order, std::string_view payload) {
+    const std::uint32_t off = Put(&order, sizeof(OrderKey));
+    Put(payload.data(), payload.size());
+    return off;
+  }
+
+  std::string_view View(std::uint32_t off, std::uint32_t len) const {
+    return std::string_view(buf_.data() + off, len);
+  }
+
+  OrderKey OrderAt(std::uint32_t off) const {
+    OrderKey k;  // memcpy: the char buffer gives no alignment guarantee
+    std::memcpy(&k, buf_.data() + off, sizeof(OrderKey));
+    return k;
+  }
+
+  void Clear() { buf_.clear(); }  // keeps capacity: the whole point of the arena
+  std::size_t size() const { return buf_.size(); }
+
+  static constexpr std::uint32_t kOrderBytes =
+      static_cast<std::uint32_t>(sizeof(OrderKey));
+
+ private:
+  std::vector<char> buf_;
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_TXN_WRITE_ARENA_H_

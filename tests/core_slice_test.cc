@@ -19,6 +19,17 @@ PendingWrite MakeIntWrite(Record* r, OpCode op, std::int64_t n) {
   return w;
 }
 
+// Builds an ordered/top-K write with its operand block stored in `arena`.
+PendingWrite MakeOrderedWrite(WriteArena& arena, Record* r, OpCode op, OrderKey order,
+                              std::uint16_t core, std::string_view payload) {
+  PendingWrite w;
+  w.record = r;
+  w.op = op;
+  w.core = core;
+  StoreOperand(arena, op, order, payload, &w);
+  return w;
+}
+
 TEST(Slice, ResetPerOp) {
   Slice s;
   s.Reset(OpCode::kAdd, 0);
@@ -33,24 +44,26 @@ TEST(Slice, ResetPerOp) {
 }
 
 TEST(Slice, ApplyAddAccumulates) {
+  WriteArena arena;
   Slice s;
   s.Reset(OpCode::kAdd, 0);
   Record r(Key::FromU64(1), RecordType::kInt64, 0);
-  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, 5));
-  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, -2));
+  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, 5), arena);
+  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, -2), arena);
   EXPECT_EQ(s.acc, 3);
   EXPECT_TRUE(s.dirty);
   EXPECT_EQ(s.writes, 2u);
 }
 
 TEST(Slice, ApplyMaxTracksHas) {
+  WriteArena arena;
   Slice s;
   s.Reset(OpCode::kMax, 0);
   Record r(Key::FromU64(1), RecordType::kInt64, 0);
-  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -7));
+  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -7), arena);
   EXPECT_TRUE(s.has);
   EXPECT_EQ(s.acc, -7);  // first operand absorbed even though negative
-  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -9));
+  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -9), arena);
   EXPECT_EQ(s.acc, -7);
 }
 
@@ -67,10 +80,11 @@ TEST(Slice, MergeCleanSliceIsNoop) {
 }
 
 TEST(Slice, MergeBumpsTid) {
+  WriteArena arena;
   Record r(Key::FromU64(1), RecordType::kInt64, 0);
   Slice s;
   s.Reset(OpCode::kAdd, 0);
-  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, 1));
+  SliceApply(s, MakeIntWrite(&r, OpCode::kAdd, 1), arena);
   MergeSliceToGlobal(&r, OpCode::kAdd, s, 42);
   EXPECT_EQ(Record::TidOf(r.LoadTidWord()), 42u);
   EXPECT_EQ(r.ReadInt().value, 1);
@@ -78,16 +92,18 @@ TEST(Slice, MergeBumpsTid) {
 }
 
 TEST(Slice, MergeMaxRespectsAbsent) {
+  WriteArena arena;
   Record r(Key::FromU64(1), RecordType::kInt64, 0);  // absent
   Slice s;
   s.Reset(OpCode::kMax, 0);
-  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -5));
+  SliceApply(s, MakeIntWrite(&r, OpCode::kMax, -5), arena);
   MergeSliceToGlobal(&r, OpCode::kMax, s, 10);
   EXPECT_TRUE(r.ReadInt().present);
   EXPECT_EQ(r.ReadInt().value, -5);  // absent -> operand, not max(0, -5)
 }
 
 TEST(Slice, MergeOPutWinsByOrderCore) {
+  WriteArena arena;
   Record r(Key::FromU64(1), RecordType::kOrdered, 0);
   r.LockOcc();
   r.MutateComplex([](ComplexValue& cv) {
@@ -96,20 +112,19 @@ TEST(Slice, MergeOPutWinsByOrderCore) {
   r.UnlockOccSetTid(4);
   Slice lose;
   lose.Reset(OpCode::kOPut, 0);
-  PendingWrite w;
-  w.record = &r;
-  w.op = OpCode::kOPut;
-  w.order = OrderKey{10, 0};
-  w.core = 1;  // same order, lower core: must lose
-  w.payload = "slice";
-  SliceApply(lose, w);
+  // Same order, lower core: must lose.
+  SliceApply(lose,
+             MakeOrderedWrite(arena, &r, OpCode::kOPut, OrderKey{10, 0}, 1, "slice"),
+             arena);
   MergeSliceToGlobal(&r, OpCode::kOPut, lose, 8);
   EXPECT_EQ(std::get<OrderedTuple>(r.ReadComplex().value).payload, "global");
 
   Slice win;
   win.Reset(OpCode::kOPut, 0);
-  w.core = 3;  // same order, higher core: must win
-  SliceApply(win, w);
+  // Same order, higher core: must win.
+  SliceApply(win,
+             MakeOrderedWrite(arena, &r, OpCode::kOPut, OrderKey{10, 0}, 3, "slice"),
+             arena);
   MergeSliceToGlobal(&r, OpCode::kOPut, win, 10);
   EXPECT_EQ(std::get<OrderedTuple>(r.ReadComplex().value).payload, "slice");
 }
@@ -142,8 +157,12 @@ TEST_P(SliceEquivalenceTest, PartitionedMergeEqualsSerial) {
     s.Reset(op, topk_k);
   }
 
+  WriteArena arena;
   for (int i = 0; i < n; ++i) {
-    const std::uint32_t core = static_cast<std::uint32_t>(rng.NextBounded(cores));
+    const std::uint16_t core = static_cast<std::uint16_t>(rng.NextBounded(cores));
+    const OrderKey order{static_cast<std::int64_t>(rng.NextBounded(50)),
+                         static_cast<std::int64_t>(rng.NextBounded(3))};
+    const std::string payload = "pl" + std::to_string(i);
     PendingWrite w;
     w.op = op;
     w.core = core;
@@ -151,17 +170,15 @@ TEST_P(SliceEquivalenceTest, PartitionedMergeEqualsSerial) {
     w.n = op == OpCode::kMult
               ? static_cast<std::int64_t>(1 + rng.NextBounded(2))
               : static_cast<std::int64_t>(rng.NextBounded(2000)) - 1000;
-    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(50)),
-                       static_cast<std::int64_t>(rng.NextBounded(3))};
-    w.payload = "pl" + std::to_string(i);
+    StoreOperand(arena, op, order, payload, &w);
 
     w.record = &serial;
     serial.LockOcc();
-    ApplyWriteToRecord(w);
+    ApplyWriteToRecord(w, arena);
     serial.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
 
     w.record = &split;
-    SliceApply(slices[core], w);
+    SliceApply(slices[core], w, arena);
   }
   for (const Slice& s : slices) {
     MergeSliceToGlobal(&split, op, s, 1000);
@@ -204,14 +221,13 @@ TEST(Slice, StateSizeIndependentOfOpCount) {
   Slice s;
   s.Reset(OpCode::kTopKInsert, 5);
   Rng rng(11);
+  WriteArena arena;
   for (int i = 0; i < 100000; ++i) {
-    PendingWrite w;
-    w.record = &r;
-    w.op = OpCode::kTopKInsert;
-    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(1000000)), 0};
-    w.core = 0;
-    w.payload = "x";
-    SliceApply(s, w);
+    arena.Clear();  // one operand block per iteration, like a per-txn arena reset
+    PendingWrite w = MakeOrderedWrite(
+        arena, &r, OpCode::kTopKInsert,
+        OrderKey{static_cast<std::int64_t>(rng.NextBounded(1000000)), 0}, 0, "x");
+    SliceApply(s, w, arena);
   }
   EXPECT_LE(s.topk.size(), 5u);
   EXPECT_EQ(s.writes, 100000u);

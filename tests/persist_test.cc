@@ -29,6 +29,13 @@ using testing::WriteFileBytes;
 
 constexpr std::size_t kSegmentHeaderBytes = 16;  // magic + version + segment number
 
+// Operand storage for every PendingWrite these tests build. Tests run single-threaded
+// and Append encodes synchronously, so one shared arena (never cleared) is fine.
+WriteArena& TestArena() {
+  static WriteArena arena;
+  return arena;
+}
+
 PendingWrite IntWrite(Record* r, OpCode op, std::int64_t n) {
   PendingWrite w;
   w.record = r;
@@ -84,10 +91,10 @@ TEST(Wal, AppendFlushRecoverRoundTrip) {
     wal.StartLogging();
     std::vector<PendingWrite> ws;
     ws.push_back(IntWrite(r, OpCode::kAdd, 5));
-    wal.Append(0, 256, ws, {});
+    wal.Append(0, 256, ws, {}, TestArena());
     ws.clear();
     ws.push_back(IntWrite(r, OpCode::kAdd, 7));
-    wal.Append(1, 513, ws, {});
+    wal.Append(1, 513, ws, {}, TestArena());
     EXPECT_EQ(wal.appended_txns(), 2u);
   }  // destructor flushes
 
@@ -107,7 +114,7 @@ TEST(Wal, ReadOnlyTransactionsNotLogged) {
   {
     WriteAheadLog wal(dir);
     wal.StartLogging();
-    wal.Append(0, 256, {}, {});
+    wal.Append(0, 256, {}, {}, TestArena());
     EXPECT_EQ(wal.appended_txns(), 0u);
   }
   Store recovered(64);
@@ -128,10 +135,10 @@ TEST(Wal, RecoverOrdersByCommitTid) {
     // PutInt(9) at tid 1024 must apply after PutInt(4) at tid 512.
     std::vector<PendingWrite> ws;
     ws.push_back(IntWrite(r, OpCode::kPutInt, 9));
-    wal.Append(0, 1024, ws, {});
+    wal.Append(0, 1024, ws, {}, TestArena());
     ws.clear();
     ws.push_back(IntWrite(r, OpCode::kPutInt, 4));
-    wal.Append(1, 512, ws, {});
+    wal.Append(1, 512, ws, {}, TestArena());
   }
   Store recovered(64);
   recovered.LoadInt(Key::FromU64(1), 0);
@@ -154,23 +161,21 @@ TEST(Wal, ComplexOpsRoundTrip) {
     PendingWrite topk;
     topk.record = source.Find(Key::FromU64(2));
     topk.op = OpCode::kTopKInsert;
-    topk.order = OrderKey{10, 1};
     topk.core = 1;
-    topk.payload = "entry";
+    StoreOperand(TestArena(), topk.op, OrderKey{10, 1}, "entry", &topk);
     ws.push_back(topk);
     PendingWrite oput;
     oput.record = source.Find(Key::FromU64(3));
     oput.op = OpCode::kOPut;
-    oput.order = OrderKey{7, 0};
     oput.core = 0;
-    oput.payload = "winner";
+    StoreOperand(TestArena(), oput.op, OrderKey{7, 0}, "winner", &oput);
     ws.push_back(oput);
     PendingWrite bytes;
     bytes.record = source.Find(Key::FromU64(4));
     bytes.op = OpCode::kPutBytes;
-    bytes.payload = "blob-data";
+    StoreOperand(TestArena(), bytes.op, OrderKey{}, "blob-data", &bytes);
     ws.push_back(bytes);
-    wal.Append(0, 256, ws, {});
+    wal.Append(0, 256, ws, {}, TestArena());
   }
   Store recovered(64);
   recovered.LoadTopK(Key::FromU64(2), 3);
@@ -198,7 +203,7 @@ TEST(Wal, TornTailIgnored) {
     wal.StartLogging();
     std::vector<PendingWrite> ws;
     ws.push_back(IntWrite(r, OpCode::kAdd, 5));
-    wal.Append(0, 256, ws, {});
+    wal.Append(0, 256, ws, {}, TestArena());
   }
   // Corrupt: append a truncated entry (length prefix promises more bytes than exist).
   {
@@ -229,7 +234,7 @@ TEST(Wal, StartLoggingSweepsUnreferencedFiles) {
     wal.StartLogging();
     std::vector<PendingWrite> ws;
     ws.push_back(IntWrite(source.Find(Key::FromU64(1)), OpCode::kAdd, 5));
-    wal.Append(0, 256, ws, {});
+    wal.Append(0, 256, ws, {}, TestArena());
   }
   // Garbage a crash mid-transition could leave: an unreferenced sealed segment, an
   // unreferenced checkpoint, a torn tmp. Plus a foreign file the sweep must not touch.
@@ -270,7 +275,7 @@ TEST(Wal, RotationSpreadsEntriesAcrossSegments) {
     for (int i = 0; i < kTxns; ++i) {
       std::vector<PendingWrite> ws;
       ws.push_back(IntWrite(r, OpCode::kAdd, 1));
-      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {});
+      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {}, TestArena());
       wal.Flush();
     }
     EXPECT_GT(wal.segments_created(), 4u);
@@ -310,7 +315,7 @@ TEST(Wal, CorruptSealedSegmentStopsLaterSegments) {
       std::vector<PendingWrite> ws;
       ws.push_back(IntWrite(source.Find(counter), OpCode::kAdd, 1));
       ws.push_back(IntWrite(source.Find(marker), OpCode::kPutInt, i));
-      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {});
+      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {}, TestArena());
       wal.Flush();
     }
   }
@@ -347,7 +352,7 @@ TEST(Wal, CheckpointSubsumesSealedSegments) {
     wal.StartLogging();
     std::vector<PendingWrite> ws;
     ws.push_back(IntWrite(r, OpCode::kAdd, 41));
-    wal.Append(0, 256, ws, {});
+    wal.Append(0, 256, ws, {}, TestArena());
     // Mirror what a live commit does so the store state matches the log.
     r->LockOcc();
     r->SetInt(41);
@@ -361,7 +366,7 @@ TEST(Wal, CheckpointSubsumesSealedSegments) {
     // Post-checkpoint tail, recovered by segment replay on top of the snapshot.
     ws.clear();
     ws.push_back(IntWrite(r, OpCode::kAdd, 1));
-    wal.Append(0, 512, ws, {});
+    wal.Append(0, 512, ws, {}, TestArena());
   }
   Manifest m;
   ASSERT_TRUE(Manifest::Load(dir, &m));
@@ -456,7 +461,7 @@ TEST(Wal, ParallelReplayMatchesSerial) {
       ws.push_back(IntWrite(a, OpCode::kAdd, static_cast<std::int64_t>(rng.NextBounded(9))));
       ws.push_back(IntWrite(b, rng.Chance(50) ? OpCode::kPutInt : OpCode::kMax,
                             static_cast<std::int64_t>(rng.NextBounded(1000))));
-      wal.Append(static_cast<int>(i % 4), tid, ws, {});
+      wal.Append(static_cast<int>(i % 4), tid, ws, {}, TestArena());
     }
   }
 
@@ -511,7 +516,7 @@ class WalTornTailFuzz : public ::testing::Test {
       std::vector<PendingWrite> ws;
       ws.push_back(IntWrite(source.Find(kCounter), OpCode::kAdd, 1));
       ws.push_back(IntWrite(source.Find(kMarker), OpCode::kPutInt, i));
-      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {});
+      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {}, TestArena());
     }
     wal.Flush();
     return dir;  // wal dtor flushes (no-op) and closes

@@ -45,6 +45,7 @@ TEST_P(OverlayEquivalenceTest, IntOpsMatch) {
   ReadResult overlay;  // starts absent, like the record
   overlay.present = false;
 
+  WriteArena arena;
   const OpCode int_ops[] = {OpCode::kPutInt, OpCode::kAdd, OpCode::kMax, OpCode::kMin};
   const int n = 1 + static_cast<int>(rng.NextBounded(50));
   for (int i = 0; i < n; ++i) {
@@ -53,9 +54,9 @@ TEST_P(OverlayEquivalenceTest, IntOpsMatch) {
     w.op = int_ops[rng.NextBounded(4)];
     w.n = static_cast<std::int64_t>(rng.NextBounded(200)) - 100;
     record.LockOcc();
-    ApplyWriteToRecord(w);
+    ApplyWriteToRecord(w, arena);
     record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
-    ApplyWriteToResult(w, &overlay);
+    ApplyWriteToResult(w, arena, &overlay);
 
     const auto snap = record.ReadInt();
     ASSERT_EQ(snap.present, overlay.present);
@@ -71,18 +72,21 @@ TEST_P(OverlayEquivalenceTest, TopKOpsMatch) {
   overlay.present = true;  // engine Read fills `complex` with the record's typed default
   overlay.complex = TopKSet(k);
 
+  WriteArena arena;
   const int n = 1 + static_cast<int>(rng.NextBounded(60));
   for (int i = 0; i < n; ++i) {
+    arena.Clear();
     PendingWrite w;
     w.record = &record;
     w.op = OpCode::kTopKInsert;
-    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(30)), 0};
-    w.core = static_cast<std::uint32_t>(rng.NextBounded(4));
-    w.payload = "p" + std::to_string(i);
+    w.core = static_cast<std::uint16_t>(rng.NextBounded(4));
+    StoreOperand(arena, w.op,
+                 OrderKey{static_cast<std::int64_t>(rng.NextBounded(30)), 0},
+                 "p" + std::to_string(i), &w);
     record.LockOcc();
-    ApplyWriteToRecord(w);
+    ApplyWriteToRecord(w, arena);
     record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
-    ApplyWriteToResult(w, &overlay);
+    ApplyWriteToResult(w, arena, &overlay);
   }
   const auto snap = record.ReadComplex();
   EXPECT_EQ(std::get<TopKSet>(snap.value), std::get<TopKSet>(overlay.complex));
@@ -95,19 +99,22 @@ TEST_P(OverlayEquivalenceTest, OPutMatch) {
   overlay.present = false;
   overlay.complex = OrderedTuple{};
 
+  WriteArena arena;
   const int n = 1 + static_cast<int>(rng.NextBounded(40));
   for (int i = 0; i < n; ++i) {
+    arena.Clear();
     PendingWrite w;
     w.record = &record;
     w.op = OpCode::kOPut;
-    w.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(20)),
-                       static_cast<std::int64_t>(rng.NextBounded(3))};
-    w.core = static_cast<std::uint32_t>(rng.NextBounded(4));
-    w.payload = "v" + std::to_string(i);
+    w.core = static_cast<std::uint16_t>(rng.NextBounded(4));
+    StoreOperand(arena, w.op,
+                 OrderKey{static_cast<std::int64_t>(rng.NextBounded(20)),
+                          static_cast<std::int64_t>(rng.NextBounded(3))},
+                 "v" + std::to_string(i), &w);
     record.LockOcc();
-    ApplyWriteToRecord(w);
+    ApplyWriteToRecord(w, arena);
     record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
-    ApplyWriteToResult(w, &overlay);
+    ApplyWriteToResult(w, arena, &overlay);
   }
   const auto snap = record.ReadComplex();
   EXPECT_EQ(std::get<OrderedTuple>(snap.value), std::get<OrderedTuple>(overlay.complex));
@@ -116,6 +123,7 @@ TEST_P(OverlayEquivalenceTest, OPutMatch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OverlayEquivalenceTest, ::testing::Range(0, 12));
 
 TEST(MultOverflowDiscipline, SmallOperandsStayExact) {
+  WriteArena arena;
   Record record(Key::FromU64(1), RecordType::kInt64, 0);
   PendingWrite w;
   w.record = &record;
@@ -123,7 +131,7 @@ TEST(MultOverflowDiscipline, SmallOperandsStayExact) {
   w.n = 2;
   for (int i = 0; i < 10; ++i) {
     record.LockOcc();
-    ApplyWriteToRecord(w);  // absent treated as multiplicative identity 1
+    ApplyWriteToRecord(w, arena);  // absent treated as multiplicative identity 1
     record.UnlockOccSetTid(static_cast<std::uint64_t>(2 * i + 2));
   }
   EXPECT_EQ(record.ReadInt().value, 1024);
