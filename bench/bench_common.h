@@ -13,17 +13,22 @@
 //                    bench; each point discards the previous point's durable state
 //                    rather than recovering it — this measures logging, not replay)
 //   --wal-fsync      fsync every group-commit flush (with --wal-dir)
+//   --replica        attach a phase-aligned read replica for each point (with
+//                    --wal-dir); the summary line grows replica shipping/apply
+//                    watermarks and the publish-lag p99
 #ifndef DOPPEL_BENCH_BENCH_COMMON_H_
 #define DOPPEL_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/cpu.h"
 #include "src/core/database.h"
+#include "src/replica/replica.h"
 #include "src/workload/driver.h"
 #include "src/workload/report.h"
 
@@ -40,6 +45,7 @@ struct Flags {
   bool csv = false;
   std::string wal_dir;  // empty = logging off
   bool wal_fsync = false;
+  bool replica = false;  // attach a read replica per point (needs --wal-dir)
 
   int ResolvedThreads() const { return threads > 0 ? threads : NumCpus(); }
   std::uint64_t MeasureMs(double default_seconds) const {
@@ -74,6 +80,8 @@ inline Flags ParseFlags(int argc, char** argv) {
       f.wal_dir = v;
     } else if (std::strcmp(a, "--wal-fsync") == 0) {
       f.wal_fsync = true;
+    } else if (std::strcmp(a, "--replica") == 0) {
+      f.replica = true;
     } else if (std::strcmp(a, "--full") == 0) {
       f.full = true;
     } else if (std::strcmp(a, "--csv") == 0) {
@@ -81,7 +89,7 @@ inline Flags ParseFlags(int argc, char** argv) {
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "flags: --threads=N --seconds=F --runs=N --keys=N --phase-ms=N --full --csv "
-          "--wal-dir=PATH --wal-fsync\n");
+          "--wal-dir=PATH --wal-fsync --replica\n");
       std::exit(0);
     }
   }
@@ -118,8 +126,20 @@ PointResult MeasurePoint(const Flags& f, double default_seconds, MakeDb&& make_d
   PointResult r;
   for (int run = 0; run < f.Runs(); ++run) {
     auto db = make_db();
+    std::unique_ptr<Replica> replica;
+    const auto on_started = [&](Database& started) {
+      if (f.replica && !f.wal_dir.empty()) {
+        replica = AttachReplica(started);
+      }
+    };
     RunMetrics m = RunWorkload(*db, make_factory(), f.MeasureMs(default_seconds),
-                               /*warmup_ms=*/f.full ? 500 : 100);
+                               /*warmup_ms=*/f.full ? 500 : 100, on_started);
+    if (replica != nullptr) {
+      replica->WaitCaughtUp(/*timeout_ms=*/5000);
+      FillReplicaMetrics(*replica, &m);
+      replica->Stop();
+      replica.reset();  // before the primary Database is destroyed
+    }
     r.throughput.Add(m.throughput);
     r.last = std::move(m);
   }

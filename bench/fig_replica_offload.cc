@@ -1,0 +1,186 @@
+// Replica offload figure: write throughput when reads run on the primary vs when they
+// are offloaded to a phase-aligned read replica (src/replica/).
+//
+// For each read fraction the bench measures two configurations over the same key space:
+//   primary-only  — every worker runs the read/write mix on the primary, so reads and
+//                   writes compete for the same worker threads;
+//   offload       — primary workers run writes only while dedicated reader threads serve
+//                   the reads from an attached Replica (stale-bounded Get), so the
+//                   primary's full capacity goes to writes.
+// Reported per point: primary write throughput in both configurations, reads served
+// (primary reads vs replica reads), and the replica's publish lag p50/p99 — the
+// staleness price of the offload.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rand.h"
+#include "src/common/timing.h"
+#include "src/replica/replica.h"
+#include "src/workload/incr.h"
+
+namespace doppel {
+namespace {
+
+void ReadProc(Txn& txn, const TxnArgs& args) { (void)txn.GetInt(args.k1); }
+void WriteProc(Txn& txn, const TxnArgs& args) { txn.Add(args.k1, 1); }
+
+// read_pct% of transactions read one uniform key; the rest increment one.
+class MixedSource : public TxnSource {
+ public:
+  MixedSource(std::uint64_t num_keys, std::uint32_t read_pct)
+      : num_keys_(num_keys), read_pct_(read_pct) {}
+
+  TxnRequest Next(Worker& w) override {
+    TxnRequest r;
+    if (w.rng.Chance(read_pct_)) {
+      r.proc = &ReadProc;
+      r.args.tag = kTagRead;
+    } else {
+      r.proc = &WriteProc;
+      r.args.tag = kTagWrite;
+    }
+    r.args.k1 = IncrKey(w.rng.NextBounded(num_keys_));
+    return r;
+  }
+
+ private:
+  const std::uint64_t num_keys_;
+  const std::uint32_t read_pct_;
+};
+
+struct OffloadPoint {
+  double primary_writes_per_sec = 0.0;
+  double primary_reads_per_sec = 0.0;
+  double replica_reads_per_sec = 0.0;
+  std::uint64_t publish_p50_us = 0;
+  std::uint64_t publish_p99_us = 0;
+  RunMetrics metrics;
+};
+
+double TagShare(const RunMetrics& m, std::uint8_t tag) {
+  std::uint64_t total = 0;
+  for (int t = 0; t < kNumTags; ++t) {
+    total += m.stats.committed_by_tag[t];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(m.stats.committed_by_tag[tag]) /
+                          static_cast<double>(total);
+}
+
+// Primary-only: the mixed source on the primary; read/write rates split by tag share.
+OffloadPoint RunPrimaryOnly(const bench::Flags& flags, std::uint64_t num_keys,
+                            std::uint32_t read_pct) {
+  Database db(bench::BaseOptions(flags, Protocol::kDoppel, num_keys * 4));
+  PopulateIncr(db.store(), num_keys);
+  RunMetrics m = RunWorkload(
+      db, [=](int) { return std::make_unique<MixedSource>(num_keys, read_pct); },
+      flags.MeasureMs(0.4), /*warmup_ms=*/flags.full ? 500 : 100);
+  OffloadPoint p;
+  p.primary_writes_per_sec = m.throughput * TagShare(m, kTagWrite);
+  p.primary_reads_per_sec = m.throughput * TagShare(m, kTagRead);
+  p.metrics = std::move(m);
+  return p;
+}
+
+// Offload: write-only source on the primary, `readers` threads issuing stale-bounded
+// Gets against an attached replica at full speed for the duration of the run.
+OffloadPoint RunOffload(const bench::Flags& flags, std::uint64_t num_keys,
+                        int readers) {
+  Database db(bench::BaseOptions(flags, Protocol::kDoppel, num_keys * 4));
+  PopulateIncr(db.store(), num_keys);
+
+  std::unique_ptr<Replica> replica;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> reader_threads;
+  std::uint64_t readers_start_ns = 0;
+
+  const auto on_started = [&](Database& started) {
+    replica = AttachReplica(started);
+    readers_start_ns = NowNanos();
+    for (int i = 0; i < readers; ++i) {
+      reader_threads.emplace_back([&, i] {
+        Rng rng(0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
+        std::uint64_t local = 0;
+        while (!stop_readers.load(std::memory_order_relaxed)) {
+          Value v;
+          (void)replica->Get(IncrKey(rng.NextBounded(num_keys)), &v);
+          local++;
+        }
+        reads.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+  };
+
+  RunMetrics m = RunWorkload(
+      db, [=](int) { return std::make_unique<MixedSource>(num_keys, /*read_pct=*/0); },
+      flags.MeasureMs(0.4), /*warmup_ms=*/flags.full ? 500 : 100, on_started);
+
+  stop_readers.store(true, std::memory_order_relaxed);
+  for (std::thread& t : reader_threads) {
+    t.join();
+  }
+  const double reader_seconds =
+      static_cast<double>(NowNanos() - readers_start_ns) * 1e-9;
+
+  OffloadPoint p;
+  replica->WaitCaughtUp(/*timeout_ms=*/5000);
+  FillReplicaMetrics(*replica, &m);
+  const LatencyHistogram lag = replica->PublishLagHistogram();
+  p.publish_p50_us = lag.Percentile(50) / 1000;
+  p.publish_p99_us = lag.Percentile(99) / 1000;
+  replica->Stop();
+  replica.reset();
+
+  p.primary_writes_per_sec = m.throughput * TagShare(m, kTagWrite);
+  p.replica_reads_per_sec =
+      reader_seconds > 0.0
+          ? static_cast<double>(reads.load(std::memory_order_relaxed)) / reader_seconds
+          : 0.0;
+  p.metrics = std::move(m);
+  return p;
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(argc, argv);
+  if (flags.wal_dir.empty()) {
+    flags.wal_dir = "/tmp/doppel_replica_offload";  // replication requires a WAL
+  }
+  const std::uint64_t num_keys = flags.Keys(100000);
+  const std::vector<int> read_pcts = {50, 90, 99};
+  const int readers = 4;
+
+  std::printf("Replica offload: primary write throughput, reads on primary vs replica\n");
+  std::printf("threads=%d readers=%d keys=%llu wal-dir=%s\n\n", flags.ResolvedThreads(),
+              readers, static_cast<unsigned long long>(num_keys),
+              flags.wal_dir.c_str());
+
+  Table table({"read%", "wr/s primary-only", "rd/s primary-only", "wr/s offload",
+               "rd/s replica", "pub_p50_us", "pub_p99_us"});
+  for (int pct : read_pcts) {
+    OffloadPoint a = RunPrimaryOnly(flags, num_keys,
+                                    static_cast<std::uint32_t>(pct));
+    std::printf("%s\n", WalSummary(a.metrics).c_str());
+    OffloadPoint b = RunOffload(flags, num_keys, readers);
+    std::printf("%s\n", WalSummary(b.metrics).c_str());
+    table.AddRow({std::to_string(pct), FormatCount(a.primary_writes_per_sec),
+                  FormatCount(a.primary_reads_per_sec),
+                  FormatCount(b.primary_writes_per_sec),
+                  FormatCount(b.replica_reads_per_sec),
+                  std::to_string(b.publish_p50_us), std::to_string(b.publish_p99_us)});
+  }
+  std::printf("\n");
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

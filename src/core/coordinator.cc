@@ -63,10 +63,12 @@ void Coordinator::Run() {
       // any slice or stash work.
       if (!drain_.load(std::memory_order_relaxed) &&
           !stop_coord_.load(std::memory_order_relaxed) &&
-          (engine_.IndexTunePending() || engine_.CheckpointDue())) {
+          (engine_.IndexTunePending() || engine_.CheckpointDue() ||
+           engine_.ReplicationCutDue())) {
         ctrl.BeginTransition(Phase::kJoined);
         engine_.WaitForWorkerAcks();
         engine_.BarrierTuneIndexes();
+        engine_.BarrierEmitReplicationCut();
         engine_.BarrierMaybeCheckpoint();
         ctrl.Release();
         tune_barriers_.fetch_add(1, std::memory_order_relaxed);
@@ -96,6 +98,7 @@ void Coordinator::Run() {
     // while draining — Stop is waiting on in-flight submissions and a snapshot would
     // only stretch that wait.
     if (!drain_.load(std::memory_order_relaxed)) {
+      engine_.BarrierEmitReplicationCut();
       engine_.BarrierMaybeCheckpoint();
     }
     ctrl.Release();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/common/cpu.h"
@@ -58,6 +60,17 @@ void TxnHandle::OnComplete(std::function<void(const TxnResult&)> cb) {
 Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
   if (opts_.num_workers <= 0) {
     opts_.num_workers = NumCpus();
+  }
+  // A worker id lives in the TID's low kWorkerTidBits bits (Silo-style decentralized
+  // TID generation). One id past the limit would alias worker 0's TIDs — silently
+  // corrupting commit order, WAL replay, and recovery — so refuse loudly up front.
+  constexpr int kMaxWorkers = 1 << Worker::kWorkerTidBits;
+  if (opts_.num_workers > kMaxWorkers) {
+    std::fprintf(stderr,
+                 "doppel: num_workers=%d exceeds the %d-worker limit (worker ids must "
+                 "fit in the TID's low %d bits)\n",
+                 opts_.num_workers, kMaxWorkers, Worker::kWorkerTidBits);
+    std::abort();
   }
   worker_batch_ = std::min(std::max(opts_.worker_batch, 1), kMaxWorkerBatch);
   runner_cfg_.backoff_min_ns = opts_.backoff_min_us * 1000;
@@ -203,9 +216,18 @@ void Database::Stop() {
     }
   }
   if (wal_ != nullptr) {
-    // Workers are joined: every committed transaction has been appended. Make the tail
-    // durable so a clean Stop never loses acknowledged work to the group-commit window.
-    wal_->Flush();
+    // Workers are joined: every committed transaction has been appended, and the
+    // system is fully quiesced — the strongest consistency point there is. Seal the
+    // log generation with a final replication cut at the max committed TID (all
+    // protocols; AppendCut flushes first), so a tailing replica converges to exactly
+    // the primary's final state instead of stalling just short of it at the last
+    // barrier cut. A clean Stop therefore never loses acknowledged work to the
+    // group-commit window either.
+    std::uint64_t max_tid = 0;
+    for (const auto& w : workers_) {
+      max_tid = std::max(max_tid, w->last_tid);
+    }
+    wal_->AppendCut(max_tid);
   }
 }
 

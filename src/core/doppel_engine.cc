@@ -613,6 +613,25 @@ void DoppelEngine::BarrierMaybeCheckpoint() {
   last_checkpoint_ns_ = NowNanos();
 }
 
+bool DoppelEngine::ReplicationCutDue() const {
+  return wal_ != nullptr && wal_->logging() &&
+         (opts_.replication_cuts || wal_->retention_leases() > 0);
+}
+
+void DoppelEngine::BarrierEmitReplicationCut() {
+  if (!ReplicationCutDue()) {
+    return;
+  }
+  // Workers are parked at the barrier and their acks give happens-before, so plain
+  // reads of each worker's TID clock see its final pre-barrier value; the max is the
+  // newest committed TID the cut covers.
+  std::uint64_t max_tid = 0;
+  for (const Worker* w : workers_) {
+    max_tid = std::max(max_tid, w->last_tid);
+  }
+  wal_->AppendCut(max_tid);
+}
+
 bool DoppelEngine::ShouldHurrySplitEnd() const {
   const std::uint64_t stashes = stash_pressure_.load(std::memory_order_relaxed);
   if (stashes >= opts_.stash_hard_limit) {

@@ -88,6 +88,17 @@ class DoppelEngine : public OccEngine {
   // point phase reconciliation gives us — the store holds exactly the committed
   // prefix, and every commit's redo entry is already in the WAL buffers.
   void BarrierMaybeCheckpoint();
+  // Racy peek between barriers: should joined-phase barriers emit replication cuts?
+  // True while logging and either Options::replication_cuts forces it or a replica
+  // holds a retention lease. Like CheckpointDue, lets the coordinator run a cut-only
+  // quiesce barrier on an uncontended system (which otherwise skips barriers
+  // entirely — and a replica would never see a publishable cut).
+  bool ReplicationCutDue() const;
+  // At a joined-phase quiesce barrier (slices merged, workers acked, not yet
+  // released): append a replication-cut record at the max committed TID. Runs before
+  // BarrierMaybeCheckpoint at the same sites, so a checkpoint's sealed log ends at the
+  // cut and a bootstrapping replica starts cut-aligned.
+  void BarrierEmitReplicationCut();
   // Marks a checkpoint due at the next quiesce barrier (Database::RequestCheckpoint).
   void RequestCheckpoint() {
     checkpoint_requested_.store(true, std::memory_order_relaxed);

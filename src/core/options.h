@@ -123,6 +123,12 @@ struct Options {
   std::uint64_t checkpoint_interval_us = 0;
   // Threads for partitioned segment replay on Start (0 = auto).
   int recovery_threads = 0;
+  // Doppel only: emit a replication-cut WAL record at every joined-phase quiesce
+  // barrier even when no replica is attached. Cuts are emitted automatically while any
+  // retention lease is held (an attached replica), so this is mainly for tests and for
+  // pre-populating a log a replica will bootstrap from later. See
+  // WriteAheadLog::AppendCut and src/replica/replica.h.
+  bool replication_cuts = false;
   // Replay the persistence directory into the store on Start. Disabling it DISCARDS
   // the directory's durable state (manifest is repointed at nothing and old files are
   // swept): the new generation's TID clocks restart, so its log can never legally

@@ -124,14 +124,12 @@ CheckpointStats Checkpoint::Write(const std::string& dir, const std::string& fil
   return stats;
 }
 
-CheckpointStats Checkpoint::Load(const std::string& path, Store* store) {
-  std::ifstream in(path, std::ios::binary);
-  DOPPEL_CHECK(in.good());
-  const std::string data((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
-  // The manifest never references a checkpoint that was not fully written and renamed,
-  // so any parse failure here is real corruption — fail loudly rather than silently
-  // recovering a partial store.
+namespace {
+
+// Parse + restore a fully-read checkpoint image. The manifest never references a
+// checkpoint that was not fully written and renamed, so any parse failure here is real
+// corruption — fail loudly rather than silently recovering a partial store.
+CheckpointStats LoadParsed(const std::string& data, Store* store) {
   DOPPEL_CHECK(data.size() >= sizeof(std::uint32_t) * 3 + sizeof(std::uint64_t));
   ByteCursor c(data.data(), data.size() - sizeof(std::uint32_t));
   std::uint32_t magic = 0;
@@ -213,6 +211,28 @@ CheckpointStats Checkpoint::Load(const std::string& path, Store* store) {
   stats.records = n_records;
   DOPPEL_CHECK(c.AtEnd());
   return stats;
+}
+
+}  // namespace
+
+CheckpointStats Checkpoint::Load(const std::string& path, Store* store) {
+  std::ifstream in(path, std::ios::binary);
+  DOPPEL_CHECK(in.good());
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  return LoadParsed(data, store);
+}
+
+bool Checkpoint::TryLoad(const std::string& path, Store* store,
+                         CheckpointStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return false;
+  }
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  *stats = LoadParsed(data, store);
+  return true;
 }
 
 }  // namespace doppel

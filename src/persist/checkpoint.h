@@ -45,6 +45,13 @@ class Checkpoint {
   // did not exist when it was taken). Ordered-index table layouts are restored first so
   // record insertion re-bins under the checkpointed partition boundaries.
   static CheckpointStats Load(const std::string& path, Store* store);
+
+  // Like Load, but returns false — touching nothing — when the file cannot be opened.
+  // A replica bootstrapping against a live primary can lose the open race: the primary
+  // replaces and unlinks the checkpoint the replica's manifest read named. That is a
+  // retry, not corruption (once an open succeeds, a concurrent unlink cannot hurt the
+  // read). A file that opens but fails to parse is still a checked error.
+  static bool TryLoad(const std::string& path, Store* store, CheckpointStats* stats);
 };
 
 }  // namespace doppel

@@ -1,0 +1,209 @@
+#include "src/persist/log_reader.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/dassert.h"
+#include "src/persist/crc32.h"
+#include "src/persist/encoding.h"
+#include "src/txn/apply.h"
+
+namespace doppel {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 << 10;
+
+bool ParseTxnBody(ByteCursor* entry, WalTxn* txn) {
+  std::uint16_t n_ops = 0;
+  if (!entry->Read(&txn->tid) || !entry->Read(&n_ops)) {
+    return false;
+  }
+  txn->ops.clear();
+  txn->ops.reserve(n_ops);
+  for (std::uint16_t i = 0; i < n_ops; ++i) {
+    WalOp op;
+    std::uint8_t code = 0;
+    const bool ok = entry->Read(&code) && entry->Read(&op.key.hi) &&
+                    entry->Read(&op.key.lo) && entry->Read(&op.n) &&
+                    entry->Read(&op.order.primary) && entry->Read(&op.order.secondary) &&
+                    entry->Read(&op.core) && entry->Read(&op.topk_k) &&
+                    entry->ReadString(&op.payload);
+    if (!ok) {
+      return false;
+    }
+    op.op = static_cast<OpCode>(code);
+    txn->ops.push_back(std::move(op));
+  }
+  // Trailing bytes the op count does not account for mean the entry does not
+  // faithfully describe one committed transaction.
+  return entry->AtEnd();
+}
+
+}  // namespace
+
+SegmentTailer::SegmentTailer(std::string path) : path_(std::move(path)) {}
+
+SegmentTailer::~SegmentTailer() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool SegmentTailer::EnsureOpen() {
+  if (fd_ >= 0) {
+    return true;
+  }
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  return fd_ >= 0;
+}
+
+std::size_t SegmentTailer::FillTo(std::size_t need) {
+  std::size_t avail = buf_.size() - pos_;
+  if (avail >= need) {
+    return avail;
+  }
+  // Compact: drop consumed bytes so the buffer never grows past one entry + slack.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  while (buf_.size() < need) {
+    const std::size_t want = std::max(need - buf_.size(), kReadChunk);
+    const std::size_t old = buf_.size();
+    buf_.resize(old + want);
+    const ssize_t n = ::pread(fd_, buf_.data() + old, want,
+                              static_cast<off_t>(consumed_ + old));
+    if (n <= 0) {
+      buf_.resize(old);
+      break;  // EOF (for now) or error: report what we have
+    }
+    buf_.resize(old + static_cast<std::size_t>(n));
+  }
+  return buf_.size() - pos_;
+}
+
+void SegmentTailer::Consume(std::size_t n) {
+  pos_ += n;
+  consumed_ += n;
+}
+
+void SegmentTailer::ResetTail() {
+  buf_.clear();
+  pos_ = 0;
+}
+
+SegmentTailer::Status SegmentTailer::Next(WalEntry* out) {
+  if (!EnsureOpen()) {
+    return Status::kNeedMore;  // the file may simply not exist yet
+  }
+  if (!header_done_) {
+    if (FillTo(kWalSegmentHeaderBytes) < kWalSegmentHeaderBytes) {
+      return Status::kNeedMore;
+    }
+    ByteCursor c(buf_.data() + pos_, kWalSegmentHeaderBytes);
+    std::uint32_t magic = 0;
+    c.Read(&magic);
+    c.Read(&version_);
+    c.Read(&segment_number_);
+    if (magic != kWalSegmentMagic ||
+        (version_ != 1 && version_ != kWalSegmentVersion)) {
+      return Status::kCorrupt;
+    }
+    Consume(kWalSegmentHeaderBytes);
+    header_done_ = true;
+  }
+  constexpr std::size_t kEntryHeader = sizeof(std::uint32_t) * 2;
+  if (FillTo(kEntryHeader) < kEntryHeader) {
+    return Status::kNeedMore;
+  }
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&len, buf_.data() + pos_, sizeof(len));
+  std::memcpy(&crc, buf_.data() + pos_ + sizeof(len), sizeof(crc));
+  if (len > kWalMaxEntryBytes) {
+    return Status::kCorrupt;  // insane length prefix: tear or corruption
+  }
+  if (FillTo(kEntryHeader + len) < kEntryHeader + len) {
+    return Status::kNeedMore;  // body not fully flushed yet
+  }
+  const char* body = buf_.data() + pos_ + kEntryHeader;
+  if (Crc32(body, len) != crc) {
+    // The body is fully present, and appends only ever extend the file, so more bytes
+    // cannot make this entry valid: it is a torn batch (crash) or corruption.
+    return Status::kCorrupt;
+  }
+  ByteCursor entry(body, len);
+  WalEntryType type = WalEntryType::kTxn;
+  if (version_ >= 2) {
+    std::uint8_t t = 0;
+    if (!entry.Read(&t) || t > static_cast<std::uint8_t>(WalEntryType::kCut)) {
+      return Status::kCorrupt;
+    }
+    type = static_cast<WalEntryType>(t);
+  }
+  out->type = type;
+  if (type == WalEntryType::kTxn) {
+    if (!ParseTxnBody(&entry, &out->txn)) {
+      return Status::kCorrupt;
+    }
+  } else {
+    if (!entry.Read(&out->cut.cut_tid) || !entry.Read(&out->cut.wall_ns) ||
+        !entry.AtEnd()) {
+      return Status::kCorrupt;
+    }
+  }
+  Consume(kEntryHeader + len);
+  ++entries_;
+  return Status::kEntry;
+}
+
+bool ParseWalSegment(const std::string& path, std::vector<WalTxn>* txns,
+                     std::vector<WalCut>* cuts, std::uint64_t* valid_prefix_bytes) {
+  SegmentTailer tailer(path);
+  WalEntry e;
+  SegmentTailer::Status st;
+  while ((st = tailer.Next(&e)) == SegmentTailer::Status::kEntry) {
+    if (e.type == WalEntryType::kTxn) {
+      txns->push_back(std::move(e.txn));
+    } else if (cuts != nullptr) {
+      cuts->push_back(e.cut);
+    }
+  }
+  if (valid_prefix_bytes != nullptr) {
+    *valid_prefix_bytes = tailer.consumed_bytes();
+  }
+  if (!tailer.opened() || st == SegmentTailer::Status::kCorrupt) {
+    return false;
+  }
+  // kNeedMore at a byte-exact end of file is a clean parse; leftover bytes are a torn
+  // tail (the normal state of the segment that was active at a crash).
+  struct stat sb;
+  if (::stat(path.c_str(), &sb) != 0) {
+    return false;
+  }
+  return static_cast<std::uint64_t>(sb.st_size) == tailer.consumed_bytes();
+}
+
+void ApplyWalOp(Store* store, const WalOp& op, std::uint64_t tid, WriteArena* arena) {
+  Record* r = store->GetOrCreate(op.key, OpRecordType(op.op),
+                                 op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k);
+  PendingWrite w;
+  w.record = r;
+  w.op = op.op;
+  w.n = op.n;
+  w.core = static_cast<std::uint16_t>(op.core);
+  arena->Clear();
+  StoreOperand(*arena, op.op, op.order, op.payload, &w);
+  r->LockOcc();
+  const bool was_present = r->PresentLocked();
+  ApplyWriteToRecord(w, *arena);
+  if (!was_present) {
+    store->index().Insert(op.key, r);
+  }
+  r->UnlockOccSetTid(tid);
+}
+
+}  // namespace doppel

@@ -1,0 +1,145 @@
+// Shared WAL segment decoding: the wire-format constants, the decoded entry structs,
+// a whole-file parser (recovery), an incremental tailer (read replicas), and the
+// single redo-apply primitive both consumers share.
+//
+// Segment layout (see wal.cc for the encoder):
+//   u32 magic, u32 version, u64 segment_number
+//   entries: u32 payload_len, u32 payload_crc, payload
+// Entry payload, version 2:
+//   u8 entry_type (kTxn | kCut)
+//   kTxn: u64 commit_tid, u16 op_count, ops...
+//   kCut: u64 cut_tid, u64 wall_ns
+// Version 1 segments have no type byte (every entry is a transaction); both readers
+// here accept either version, so a directory written by an older build still recovers.
+//
+// A replication cut is appended by the primary at joined-phase quiesce barriers
+// (workers parked, per-core slices merged) carrying the maximum committed TID. Because
+// the WAL flushes every buffered entry before writing the cut, the log prefix ending
+// at a cut is exactly the barrier's transaction-consistent state — the property read
+// replicas rely on to publish snapshots that never fall between transactions.
+#ifndef DOPPEL_SRC_PERSIST_LOG_READER_H_
+#define DOPPEL_SRC_PERSIST_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/store/store.h"
+#include "src/txn/op.h"
+#include "src/txn/txn.h"
+
+namespace doppel {
+
+// ---- Wire-format constants (shared by the encoder in wal.cc) ----
+constexpr std::uint32_t kWalSegmentMagic = 0x4c415744;  // "DWAL"
+// v1: bare transaction payloads. v2: every entry payload starts with a type byte so
+// replication-cut records can ride in the same log.
+constexpr std::uint32_t kWalSegmentVersion = 2;
+constexpr std::size_t kWalSegmentHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+// An entry's payload can't plausibly exceed this; a larger length prefix is a tear or
+// corruption, not data (the group-commit path writes entries far smaller).
+constexpr std::uint32_t kWalMaxEntryBytes = 64u << 20;
+
+enum class WalEntryType : std::uint8_t { kTxn = 0, kCut = 1 };
+
+// ---- Decoded entries ----
+
+struct WalOp {
+  OpCode op = OpCode::kGet;
+  Key key;
+  std::int64_t n = 0;
+  OrderKey order;
+  std::uint32_t core = 0;
+  std::uint32_t topk_k = 0;
+  std::string payload;
+};
+
+struct WalTxn {
+  std::uint64_t tid = 0;
+  std::vector<WalOp> ops;
+};
+
+struct WalCut {
+  std::uint64_t cut_tid = 0;   // max committed TID at the barrier
+  std::uint64_t wall_ns = 0;   // primary's steady clock at emission (lag accounting)
+};
+
+struct WalEntry {
+  WalEntryType type = WalEntryType::kTxn;
+  WalTxn txn;
+  WalCut cut;
+};
+
+// ---- Incremental segment tailer ----
+//
+// Reads one segment file from the front, returning complete entries one at a time and
+// never consuming past a partially-flushed tail: a short read or half-written entry
+// reports kNeedMore, and the next call re-reads the tail — the live-replication case,
+// where the primary is still appending. kCorrupt means more bytes cannot fix what is
+// there (bad magic/version, an insane length prefix, a CRC failure over a fully
+// present body, or a malformed CRC-valid entry); for the segment that was active at a
+// crash, everything before that point is a committed prefix.
+class SegmentTailer {
+ public:
+  explicit SegmentTailer(std::string path);
+  ~SegmentTailer();
+  SegmentTailer(const SegmentTailer&) = delete;
+  SegmentTailer& operator=(const SegmentTailer&) = delete;
+
+  enum class Status { kEntry, kNeedMore, kCorrupt };
+  Status Next(WalEntry* out);
+
+  // File offset one past the last fully-consumed entry (includes the segment header
+  // once parsed). Never moves past a partial or damaged entry.
+  std::uint64_t consumed_bytes() const { return consumed_; }
+  // Entry bytes consumed (consumed_bytes minus the 16-byte segment header).
+  std::uint64_t payload_consumed() const {
+    return header_done_ ? consumed_ - kWalSegmentHeaderBytes : 0;
+  }
+  std::uint64_t entries() const { return entries_; }
+  std::uint64_t segment_number() const { return segment_number_; }
+  bool opened() const { return fd_ >= 0; }
+
+  // Drops buffered-but-unconsumed tail bytes and re-reads from consumed_bytes() on the
+  // next call. Used after the file may have been truncated behind us: a restarted
+  // primary trims a torn tail back to exactly the valid prefix (which is where a
+  // stopped tailer already stands) before opening its next segment.
+  void ResetTail();
+
+ private:
+  bool EnsureOpen();
+  // Ensures >= `need` unconsumed bytes are buffered (reading more from the file as
+  // available); returns the number actually buffered.
+  std::size_t FillTo(std::size_t need);
+  void Consume(std::size_t n);
+
+  const std::string path_;
+  int fd_ = -1;
+  std::uint64_t consumed_ = 0;  // absolute file offset of buf_[pos_]
+  std::vector<char> buf_;       // window starting at consumed_ - (nothing before pos_)
+  std::size_t pos_ = 0;         // parse cursor into buf_
+  bool header_done_ = false;
+  std::uint32_t version_ = 0;
+  std::uint64_t segment_number_ = 0;
+  std::uint64_t entries_ = 0;
+};
+
+// Parses a whole segment file. Returns true only when the file parsed cleanly to its
+// end; false with everything parsed so far appended (the committed prefix) on a torn
+// tail, corruption, or a missing/unrecognizable file. `cuts` may be null (recovery
+// skips cut records); `valid_prefix_bytes`, if non-null, receives the byte offset of
+// the end of the last complete entry (0 for a missing file or damaged header).
+bool ParseWalSegment(const std::string& path, std::vector<WalTxn>* txns,
+                     std::vector<WalCut>* cuts, std::uint64_t* valid_prefix_bytes);
+
+// Redo one logical operation against the store, maintaining the ordered index exactly
+// like a live commit does (a record entering logical presence becomes scannable).
+// `arena` is per-caller scratch for the op's operand block (cleared each call). Used by
+// recovery replay and by replica window application; per-record correctness needs only
+// that each record's ops are applied in commit-TID order.
+void ApplyWalOp(Store* store, const WalOp& op, std::uint64_t tid, WriteArena* arena);
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_PERSIST_LOG_READER_H_

@@ -11,7 +11,10 @@ namespace doppel {
 namespace {
 
 constexpr const char* kManifestName = "MANIFEST";
-constexpr const char* kHeader = "doppel-wal-manifest v1";
+// v2 adds "retained" lines (segments kept for replica shipping, not replayed by
+// recovery). Loaders accept v1 manifests unchanged — they simply have none.
+constexpr const char* kHeader = "doppel-wal-manifest v2";
+constexpr const char* kHeaderV1 = "doppel-wal-manifest v1";
 
 }  // namespace
 
@@ -36,7 +39,7 @@ bool Manifest::Load(const std::string& dir, Manifest* out) {
     return false;
   }
   std::string line;
-  DOPPEL_CHECK(std::getline(in, line) && line == kHeader);
+  DOPPEL_CHECK(std::getline(in, line) && (line == kHeader || line == kHeaderV1));
   bool saw_next = false;
   while (std::getline(in, line)) {
     if (line.empty()) {
@@ -54,6 +57,12 @@ bool Manifest::Load(const std::string& dir, Manifest* out) {
       DOPPEL_CHECK(!fields.fail());
       DOPPEL_CHECK(out->live_segments.empty() || out->live_segments.back() < n);
       out->live_segments.push_back(n);
+    } else if (kind == "retained") {
+      std::uint64_t n = 0;
+      fields >> n;
+      DOPPEL_CHECK(!fields.fail());
+      DOPPEL_CHECK(out->retained_segments.empty() || out->retained_segments.back() < n);
+      out->retained_segments.push_back(n);
     } else if (kind == "next") {
       fields >> out->next_segment;
       DOPPEL_CHECK(!fields.fail());
@@ -78,6 +87,9 @@ void Manifest::Save(const std::string& dir, const Manifest& m) {
     }
     for (std::uint64_t n : m.live_segments) {
       out << "segment " << n << "\n";
+    }
+    for (std::uint64_t n : m.retained_segments) {
+      out << "retained " << n << "\n";
     }
     out << "next " << m.next_segment << "\n";
     out.flush();

@@ -25,6 +25,11 @@ struct Manifest {
   // Segment numbers to replay, ascending. The last one is the active (appendable)
   // segment; earlier ones are sealed.
   std::vector<std::uint64_t> live_segments;
+  // Sealed segments subsumed by the checkpoint but kept on disk, ascending, because a
+  // registered replica's shipping position has not passed them yet (retention leases).
+  // Recovery never replays these — their effects are inside the checkpoint — and the
+  // sweep does not delete them; they are unlinked once every lease moves past.
+  std::vector<std::uint64_t> retained_segments;
   // Next segment number to allocate (strictly above every number ever used, so a stale
   // sealed segment can never be confused with a fresh one).
   std::uint64_t next_segment = 1;

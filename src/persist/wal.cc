@@ -11,28 +11,17 @@
 #include <fstream>
 
 #include "src/common/dassert.h"
+#include "src/common/timing.h"
 #include "src/persist/crc32.h"
 #include "src/persist/encoding.h"
+#include "src/persist/log_reader.h"
 #include "src/txn/apply.h"
 
 namespace doppel {
 namespace {
 
-// Segment layout:
-//   u32 magic, u32 version, u64 segment_number
-//   entries: u32 payload_len, u32 payload_crc, payload
-// Entry payload:
-//   u64 commit_tid
-//   u16 op_count
-//   per op: u8 opcode, u64 key.hi, u64 key.lo, i64 n, i64 order.primary,
-//           i64 order.secondary, u32 core, u32 topk_k, u32 payload_len, bytes payload
-constexpr std::uint32_t kSegmentMagic = 0x4c415744;  // "DWAL"
-constexpr std::uint32_t kSegmentVersion = 1;
-constexpr std::size_t kSegmentHeaderBytes =
-    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
-// An entry's payload can't plausibly exceed this; a larger length prefix is a tear or
-// corruption, not data (the group-commit path writes entries far smaller).
-constexpr std::uint32_t kMaxEntryBytes = 64u << 20;
+// Segment and entry wire format: see log_reader.h (constants and both decoders live
+// there, shared with the replica tailer; this file owns only the encoders).
 
 void PutOp(std::vector<char>& out, const PendingWrite& w, const WriteArena& arena) {
   PutRaw(out, static_cast<std::uint8_t>(w.op));
@@ -49,109 +38,6 @@ void PutOp(std::vector<char>& out, const PendingWrite& w, const WriteArena& aren
   if (!payload.empty()) {
     PutSpan(out, payload.data(), payload.size());
   }
-}
-
-struct ReplayOp {
-  OpCode op;
-  Key key;
-  std::int64_t n;
-  OrderKey order;
-  std::uint32_t core;
-  std::uint32_t topk_k;
-  std::string payload;
-};
-
-struct ReplayTxn {
-  std::uint64_t tid;
-  std::vector<ReplayOp> ops;
-};
-
-// Parses one segment file into `out`. Stops (returning false, with everything parsed
-// so far appended) at the first torn or CRC-failing entry; returns true only when the
-// file parsed cleanly to its end. A tear in the segment that was active at the crash
-// is the normal case — everything before it is a committed prefix. A parse failure in
-// any *earlier* segment is corruption, and the caller must not replay the segments
-// after it (that would recover a state matching no committed prefix). Missing or
-// unrecognizable files parse as empty and not-clean — recovery must degrade, never
-// crash, on a damaged directory.
-bool ParseSegment(const std::string& path, std::vector<ReplayTxn>* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) {
-    return false;
-  }
-  const std::string data((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
-  ByteCursor outer(data.data(), data.size());
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint64_t segment_number = 0;
-  if (!outer.Read(&magic) || magic != kSegmentMagic || !outer.Read(&version) ||
-      version != kSegmentVersion || !outer.Read(&segment_number)) {
-    return false;
-  }
-  while (!outer.AtEnd()) {
-    std::uint32_t len = 0;
-    std::uint32_t crc = 0;
-    if (!outer.Read(&len) || !outer.Read(&crc) || len > kMaxEntryBytes) {
-      return false;  // torn length/crc prefix
-    }
-    std::string body;
-    if (!outer.ReadBytes(&body, len)) {
-      return false;  // torn final batch: length promises more bytes than exist
-    }
-    if (Crc32(body.data(), body.size()) != crc) {
-      return false;  // partially-overwritten or corrupted entry body
-    }
-    ByteCursor entry(body.data(), body.size());
-    ReplayTxn txn;
-    std::uint16_t n_ops = 0;
-    if (!entry.Read(&txn.tid) || !entry.Read(&n_ops)) {
-      return false;
-    }
-    bool ok = true;
-    for (std::uint16_t i = 0; i < n_ops && ok; ++i) {
-      ReplayOp op;
-      std::uint8_t code = 0;
-      ok = entry.Read(&code) && entry.Read(&op.key.hi) && entry.Read(&op.key.lo) &&
-           entry.Read(&op.n) && entry.Read(&op.order.primary) &&
-           entry.Read(&op.order.secondary) && entry.Read(&op.core) &&
-           entry.Read(&op.topk_k) && entry.ReadString(&op.payload);
-      op.op = static_cast<OpCode>(code);
-      if (ok) {
-        txn.ops.push_back(std::move(op));
-      }
-    }
-    if (!ok || !entry.AtEnd()) {
-      // Short ops, or trailing bytes the op count does not account for: either way the
-      // entry does not faithfully describe one committed transaction — stop here.
-      return false;
-    }
-    out->push_back(std::move(txn));
-  }
-  return true;
-}
-
-// Redo one logical operation against the store, maintaining the ordered index exactly
-// like a live commit does (a record entering logical presence becomes scannable).
-// `arena` is per-caller scratch for the op's operand block (cleared each call).
-void ApplyReplayOp(Store* store, const ReplayOp& op, std::uint64_t tid,
-                   WriteArena* arena) {
-  Record* r = store->GetOrCreate(op.key, OpRecordType(op.op),
-                                 op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k);
-  PendingWrite w;
-  w.record = r;
-  w.op = op.op;
-  w.n = op.n;
-  w.core = static_cast<std::uint16_t>(op.core);
-  arena->Clear();
-  StoreOperand(*arena, op.op, op.order, op.payload, &w);
-  r->LockOcc();
-  const bool was_present = r->PresentLocked();
-  ApplyWriteToRecord(w, *arena);
-  if (!was_present) {
-    store->index().Insert(op.key, r);
-  }
-  r->UnlockOccSetTid(tid);
 }
 
 void WriteFully(int fd, const char* data, std::size_t size) {
@@ -197,10 +83,13 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
     result.max_tid = ck.max_tid;
   }
 
-  std::vector<ReplayTxn> txns;
+  std::vector<WalTxn> txns;
+  std::vector<WalCut> cuts;
   for (std::uint64_t seg : manifest_.live_segments) {
     const std::size_t before = txns.size();
-    const bool clean = ParseSegment(dir_ + "/" + Manifest::SegmentFileName(seg), &txns);
+    std::uint64_t valid_prefix = 0;
+    const bool clean = ParseWalSegment(dir_ + "/" + Manifest::SegmentFileName(seg),
+                                       &txns, &cuts, &valid_prefix);
     if (txns.size() != before) {
       result.replayed_segments++;
     }
@@ -208,16 +97,28 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
       // A tear here ends the recoverable history: entries in later segments were
       // logged *after* the ones this segment lost, and replaying them over the gap
       // would produce a state matching no committed prefix. (For the last — active —
-      // segment this is the ordinary crash tail and the break is a no-op.)
+      // segment this is the ordinary crash tail.) Remember the tear so StartLogging
+      // can truncate the file back to its valid prefix: leaving damaged bytes in a
+      // still-live segment would make the *next* crash's recovery stop there and
+      // silently drop every generation logged after it.
+      if (seg == manifest_.live_segments.back() &&
+          valid_prefix >= kWalSegmentHeaderBytes) {
+        torn_segment_ = seg;
+        torn_valid_bytes_ = valid_prefix;
+        has_torn_tail_ = true;
+      }
       break;
     }
   }
   // Redo in commit-TID order (TIDs are unique: worker id lives in the low bits).
   std::sort(txns.begin(), txns.end(),
-            [](const ReplayTxn& a, const ReplayTxn& b) { return a.tid < b.tid; });
+            [](const WalTxn& a, const WalTxn& b) { return a.tid < b.tid; });
   result.replayed_txns = txns.size();
-  for (const ReplayTxn& t : txns) {
+  for (const WalTxn& t : txns) {
     result.max_tid = std::max(result.max_tid, t.tid);
+  }
+  for (const WalCut& c : cuts) {
+    result.max_tid = std::max(result.max_tid, c.cut_tid);
   }
 
   int threads = replay_threads;
@@ -232,9 +133,9 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
 
   if (threads <= 1) {
     WriteArena arena;
-    for (const ReplayTxn& t : txns) {
-      for (const ReplayOp& op : t.ops) {
-        ApplyReplayOp(store, op, t.tid, &arena);
+    for (const WalTxn& t : txns) {
+      for (const WalOp& op : t.ops) {
+        ApplyWalOp(store, op, t.tid, &arena);
       }
     }
     return result;
@@ -246,11 +147,11 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
   // replay; cross-record interleaving is unobservable in the recovered snapshot.
   struct StripedOp {
     std::uint64_t tid;
-    const ReplayOp* op;
+    const WalOp* op;
   };
   std::vector<std::vector<StripedOp>> striped(static_cast<std::size_t>(threads));
-  for (const ReplayTxn& t : txns) {
-    for (const ReplayOp& op : t.ops) {
+  for (const WalTxn& t : txns) {
+    for (const WalOp& op : t.ops) {
       const std::size_t stripe =
           static_cast<std::size_t>(op.key.Hash()) % static_cast<std::size_t>(threads);
       striped[stripe].push_back(StripedOp{t.tid, &op});
@@ -262,7 +163,7 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
     pool.emplace_back([store, &striped, i] {
       WriteArena arena;
       for (const StripedOp& s : striped[static_cast<std::size_t>(i)]) {
-        ApplyReplayOp(store, *s.op, s.tid, &arena);
+        ApplyWalOp(store, *s.op, s.tid, &arena);
       }
     });
   }
@@ -277,15 +178,15 @@ void WriteAheadLog::OpenSegmentLocked(std::uint64_t number) {
   fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   DOPPEL_CHECK(fd_ >= 0);
   std::vector<char> header;
-  PutRaw(header, kSegmentMagic);
-  PutRaw(header, kSegmentVersion);
+  PutRaw(header, kWalSegmentMagic);
+  PutRaw(header, kWalSegmentVersion);
   PutRaw(header, number);
   WriteFully(fd_, header.data(), header.size());
   // Make the (possibly empty) segment durable before the manifest references it, so a
   // crash between the two never leaves the manifest naming a missing file.
   DOPPEL_CHECK(::fsync(fd_) == 0);
   active_segment_ = number;
-  active_bytes_ = kSegmentHeaderBytes;
+  active_bytes_ = kWalSegmentHeaderBytes;
   segments_created_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -313,6 +214,9 @@ void WriteAheadLog::SweepUnreferencedLocked() {
     for (std::uint64_t seg : manifest_.live_segments) {
       referenced = referenced || name == Manifest::SegmentFileName(seg);
     }
+    for (std::uint64_t seg : manifest_.retained_segments) {
+      referenced = referenced || name == Manifest::SegmentFileName(seg);
+    }
     if (!referenced) {
       doomed.push_back(name);
     }
@@ -328,6 +232,8 @@ void WriteAheadLog::DiscardDurableState() {
   file_mu_.lock();
   manifest_.checkpoint.clear();
   manifest_.live_segments.clear();
+  manifest_.retained_segments.clear();
+  has_torn_tail_ = false;
   Manifest::Save(dir_, manifest_);
   file_mu_.unlock();
 }
@@ -335,6 +241,16 @@ void WriteAheadLog::DiscardDurableState() {
 void WriteAheadLog::StartLogging() {
   DOPPEL_CHECK(!logging_);
   file_mu_.lock();
+  if (has_torn_tail_) {
+    // Trim the crash tear found by Recover back to its valid prefix. The file keeps
+    // its durable header (manifest-listed segments are fsynced before being named), so
+    // the segment now parses clean end-to-end and a future recovery — or a replica
+    // tailer — reads straight through it into the segments this generation appends.
+    DOPPEL_CHECK(::truncate(
+                     (dir_ + "/" + Manifest::SegmentFileName(torn_segment_)).c_str(),
+                     static_cast<off_t>(torn_valid_bytes_)) == 0);
+    has_torn_tail_ = false;
+  }
   SweepUnreferencedLocked();
   const std::uint64_t seg = manifest_.next_segment;
   OpenSegmentLocked(seg);
@@ -366,6 +282,7 @@ void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
   PutRaw(buf.bytes, std::uint32_t{0});  // payload_len, backpatched
   PutRaw(buf.bytes, std::uint32_t{0});  // payload_crc, backpatched
   const std::size_t body_at = buf.bytes.size();
+  PutRaw(buf.bytes, static_cast<std::uint8_t>(WalEntryType::kTxn));
   PutRaw(buf.bytes, commit_tid);
   PutRaw(buf.bytes, static_cast<std::uint16_t>(n_ops));
   for (const PendingWrite& w : writes) {
@@ -448,6 +365,103 @@ void WriteAheadLog::Flush() {
   file_mu_.unlock();
 }
 
+void WriteAheadLog::AppendCut(std::uint64_t cut_tid) {
+  file_mu_.lock();
+  if (fd_ < 0) {
+    file_mu_.unlock();
+    return;
+  }
+  // Workers are quiesced (caller's precondition), so every pre-barrier commit is fully
+  // encoded in the buffers; flushing first makes the cut physically follow all of them
+  // in the segment. A concurrent tailer then sees a log prefix ending at this cut that
+  // is exactly the barrier's transaction-consistent state.
+  FlushLocked();
+  std::vector<char> entry;
+  PutRaw(entry, std::uint32_t{0});  // payload_len, backpatched
+  PutRaw(entry, std::uint32_t{0});  // payload_crc, backpatched
+  const std::size_t body_at = entry.size();
+  PutRaw(entry, static_cast<std::uint8_t>(WalEntryType::kCut));
+  PutRaw(entry, cut_tid);
+  PutRaw(entry, NowNanos());
+  const std::uint32_t len = static_cast<std::uint32_t>(entry.size() - body_at);
+  const std::uint32_t crc = Crc32(entry.data() + body_at, len);
+  std::memcpy(entry.data(), &len, sizeof(len));
+  std::memcpy(entry.data() + sizeof(len), &crc, sizeof(crc));
+  WriteFully(fd_, entry.data(), entry.size());
+  if (opts_.fsync) {
+    DOPPEL_CHECK(::fsync(fd_) == 0);
+  }
+  active_bytes_ += entry.size();
+  flushed_bytes_.fetch_add(entry.size(), std::memory_order_relaxed);
+  cuts_.fetch_add(1, std::memory_order_relaxed);
+  file_mu_.unlock();
+}
+
+int WriteAheadLog::AcquireRetentionLease() {
+  file_mu_.lock();
+  const int id = next_lease_id_++;
+  // A fresh lease needs the oldest live segment: the current checkpoint's redo tail
+  // starts there, and a bootstrapping replica ships forward from that point.
+  const std::uint64_t first =
+      manifest_.live_segments.empty() ? manifest_.next_segment
+                                      : manifest_.live_segments.front();
+  leases_.push_back(Lease{id, first});
+  lease_count_.store(static_cast<int>(leases_.size()), std::memory_order_release);
+  file_mu_.unlock();
+  return id;
+}
+
+void WriteAheadLog::AdvanceRetentionLease(int lease_id,
+                                          std::uint64_t next_needed_segment) {
+  file_mu_.lock();
+  for (Lease& l : leases_) {
+    if (l.id == lease_id) {
+      l.next_needed_segment = std::max(l.next_needed_segment, next_needed_segment);
+    }
+  }
+  PruneRetainedLocked();
+  file_mu_.unlock();
+}
+
+void WriteAheadLog::ReleaseRetentionLease(int lease_id) {
+  file_mu_.lock();
+  for (std::size_t i = 0; i < leases_.size(); ++i) {
+    if (leases_[i].id == lease_id) {
+      leases_.erase(leases_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  lease_count_.store(static_cast<int>(leases_.size()), std::memory_order_release);
+  PruneRetainedLocked();
+  file_mu_.unlock();
+}
+
+void WriteAheadLog::PruneRetainedLocked() {
+  if (manifest_.retained_segments.empty()) {
+    return;
+  }
+  std::uint64_t min_needed = ~std::uint64_t{0};
+  for (const Lease& l : leases_) {
+    min_needed = std::min(min_needed, l.next_needed_segment);
+  }
+  std::vector<std::uint64_t> keep;
+  std::vector<std::uint64_t> doomed;
+  for (std::uint64_t seg : manifest_.retained_segments) {
+    (seg >= min_needed ? keep : doomed).push_back(seg);
+  }
+  if (doomed.empty()) {
+    return;
+  }
+  manifest_.retained_segments = std::move(keep);
+  // Repoint the manifest before unlinking, same ordering as every other transition:
+  // a crash in between leaves unreferenced files for the sweep, never a manifest
+  // naming missing ones.
+  Manifest::Save(dir_, manifest_);
+  for (std::uint64_t seg : doomed) {
+    ::unlink((dir_ + "/" + Manifest::SegmentFileName(seg)).c_str());
+  }
+}
+
 CheckpointStats WriteAheadLog::WriteCheckpoint(const Store& store) {
   DOPPEL_CHECK(logging_);
   file_mu_.lock();
@@ -461,14 +475,31 @@ CheckpointStats WriteAheadLog::WriteCheckpoint(const Store& store) {
   const std::string ckpt_name = Manifest::CheckpointFileName(active_segment_);
   const CheckpointStats stats = Checkpoint::Write(dir_, ckpt_name, store);
 
+  // Sealed segments a retention lease still needs move to the retained set (kept on
+  // disk for replica shipping, never replayed — the checkpoint subsumes them); the
+  // rest are deleted below. Retained numbers stay ascending: sealed segments are
+  // always newer than anything already retained.
+  std::uint64_t min_needed = ~std::uint64_t{0};
+  for (const Lease& l : leases_) {
+    min_needed = std::min(min_needed, l.next_needed_segment);
+  }
+  std::vector<std::uint64_t> doomed;
+  for (std::uint64_t seg : sealed) {
+    if (!leases_.empty() && seg >= min_needed) {
+      manifest_.retained_segments.push_back(seg);
+    } else {
+      doomed.push_back(seg);
+    }
+  }
+
   const std::string old_ckpt = manifest_.checkpoint;
   manifest_.checkpoint = ckpt_name;
   manifest_.live_segments = {active_segment_};
   Manifest::Save(dir_, manifest_);
 
-  // Only now are the sealed segments (and the previous checkpoint) unreferenced by any
-  // manifest a crash could resurrect.
-  for (std::uint64_t seg : sealed) {
+  // Only now are the dropped segments (and the previous checkpoint) unreferenced by
+  // any manifest a crash could resurrect.
+  for (std::uint64_t seg : doomed) {
     ::unlink((dir_ + "/" + Manifest::SegmentFileName(seg)).c_str());
   }
   if (!old_ckpt.empty()) {

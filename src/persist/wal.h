@@ -39,6 +39,7 @@
 
 #include "src/common/spinlock.h"
 #include "src/persist/checkpoint.h"
+#include "src/persist/log_reader.h"
 #include "src/persist/manifest.h"
 #include "src/store/store.h"
 #include "src/txn/txn.h"
@@ -114,6 +115,27 @@ class WriteAheadLog {
   // by the flusher, on Stop, and by tests/clients that need a durability point.
   void Flush();
 
+  // Appends a replication-cut record carrying `cut_tid` (the maximum committed TID at
+  // the quiesce point). Flushes every buffered entry first, so the physical log prefix
+  // ending at the cut contains exactly the transactions the cut covers. PRECONDITION:
+  // workers quiesced (coordinator barrier, or post-join in Database::Stop) — otherwise
+  // the prefix would not be transaction-consistent. No-op before StartLogging.
+  void AppendCut(std::uint64_t cut_tid);
+
+  // ---- Retention leases (replica log shipping) ----
+  //
+  // A lease pins sealed segments on disk from the holder's position onward: while any
+  // lease's next-needed segment is <= S, a checkpoint moves S (and every later sealed
+  // segment) to the manifest's retained set instead of unlinking it. The holder
+  // advances its lease as it finishes shipping each segment; segments every lease has
+  // passed are pruned. Acquire returns a lease id; the lease initially needs the
+  // oldest live segment (a new replica bootstraps from the current checkpoint, whose
+  // redo tail starts there).
+  int AcquireRetentionLease();
+  void AdvanceRetentionLease(int lease_id, std::uint64_t next_needed_segment);
+  void ReleaseRetentionLease(int lease_id);
+  int retention_leases() const { return lease_count_.load(std::memory_order_acquire); }
+
   // Takes a consistent checkpoint of `store`: flush + seal the active segment, snapshot
   // store + index layouts to a new checkpoint file, repoint the MANIFEST, delete the
   // sealed segments and the previous checkpoint. PRECONDITION: no worker may be
@@ -137,6 +159,7 @@ class WriteAheadLog {
   std::uint64_t checkpoints_taken() const {
     return checkpoints_.load(std::memory_order_relaxed);
   }
+  std::uint64_t cuts_emitted() const { return cuts_.load(std::memory_order_relaxed); }
 
   const std::string& dir() const { return dir_; }
 
@@ -152,6 +175,11 @@ class WriteAheadLog {
     std::vector<char> spare;
   };
 
+  struct Lease {
+    int id;
+    std::uint64_t next_needed_segment;
+  };
+
   void FlusherMain();
   void FlushLocked();                    // gathers buffers and writes them
   void OpenSegmentLocked(std::uint64_t number);  // create file + header (+fsync)
@@ -159,6 +187,9 @@ class WriteAheadLog {
   // Deletes wal/ckpt/tmp files the manifest does not reference (garbage left by a
   // crash between a manifest repoint and the unlink of what it replaced).
   void SweepUnreferencedLocked();
+  // Unlinks retained segments every lease has advanced past (manifest resaved when
+  // anything was pruned).
+  void PruneRetainedLocked();
 
   const std::string dir_;
   const WalOptions opts_;
@@ -167,6 +198,12 @@ class WriteAheadLog {
   std::uint64_t active_segment_ = 0;
   std::uint64_t active_bytes_ = 0;
   bool logging_ = false;
+  // Torn tail of the last live segment found by Recover: StartLogging truncates the
+  // file to the valid prefix so the next generation's recovery (and a tailing replica)
+  // never sees damaged bytes between two good generations.
+  std::uint64_t torn_segment_ = 0;
+  std::uint64_t torn_valid_bytes_ = 0;
+  bool has_torn_tail_ = false;
 
   static constexpr int kBuffers = 64;  // worker_id % kBuffers
   std::vector<Buffer> buffers_{kBuffers};
@@ -177,6 +214,10 @@ class WriteAheadLog {
   std::atomic<std::uint64_t> flushed_bytes_{0};
   std::atomic<std::uint64_t> segments_created_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> cuts_{0};
+  std::vector<Lease> leases_;  // guarded by file_mu_
+  int next_lease_id_ = 1;      // guarded by file_mu_
+  std::atomic<int> lease_count_{0};
   std::thread flusher_;
 };
 

@@ -1,0 +1,207 @@
+// Phase-aligned read replicas: WAL shipping, continuous replay, stale-bounded reads.
+//
+// A Replica owns its own Store + OrderedIndex and follows a primary's persistence
+// directory:
+//
+//   primary Database                    shared persistence dir         Replica
+//   ┌─────────────────────┐             ┌──────────────────┐          ┌──────────────┐
+//   │ workers ──► WAL ────┼── flush ──► │ wal-N.log ...    │ ◄─ tail ─┤ SegmentTailer│
+//   │ coordinator ─ cuts ─┼───────────► │ MANIFEST         │ ◄─ poll ─┤ bootstrap    │
+//   │ checkpoints ────────┼───────────► │ ckpt-N.ckpt      │ ◄─ load ─┤   │          │
+//   └─────────────────────┘             └──────────────────┘          │ publish ──►  │
+//                                                                     │ Get / Scan   │
+//                                                                     └──────────────┘
+//
+// Bootstrap loads the latest checkpoint named by the MANIFEST, then the tailer walks
+// live (and retained) segments in order, incrementally reading the active segment's
+// flushed prefix and stopping cleanly at the tail via the per-entry CRC. Applied
+// transactions are *buffered*; the replica only publishes a new read snapshot when it
+// crosses a replication-cut record — which the primary's coordinator appends at
+// joined-phase quiesce barriers, the same transaction-consistent points checkpoints
+// use. Get/Scan therefore always observe exactly some joined-phase cut of the primary,
+// never a state between transactions, and the staleness bound is explicit:
+// `applied_cut_tid` plus lag in bytes / entries / microseconds (ReplicaProgress).
+//
+// Within a cut window, buffered transactions are applied sorted by commit TID. TIDs
+// across the whole log are not globally monotone (workers mint them independently),
+// but per *record* the TID order matches the serial order — a conflicting later writer
+// absorbs the earlier TID via GenerateTid — and commutative split-phase operations are
+// order-insensitive, so per-window TID-sorted replay reaches the same state as the
+// primary at the barrier (the same argument as crash-recovery replay in wal.cc).
+//
+// An attached replica (AttachPrimary / AttachReplica) holds a retention lease on the
+// primary's WAL, so checkpoints move still-needed sealed segments to the manifest's
+// retained set instead of deleting them; the lease advances as shipping passes each
+// segment. A replica can also tail a directory with no live primary (crash inspection:
+// it converges to the last durable cut-consistent prefix and reports halted/lag).
+#ifndef DOPPEL_SRC_REPLICA_REPLICA_H_
+#define DOPPEL_SRC_REPLICA_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/function_ref.h"
+#include "src/common/histogram.h"
+#include "src/common/spinlock.h"
+#include "src/persist/log_reader.h"
+#include "src/store/store.h"
+
+namespace doppel {
+
+class Database;
+class WriteAheadLog;
+
+struct ReplicaOptions {
+  // Tailer poll interval while waiting for new bytes / segments / cuts.
+  std::uint64_t poll_us = 200;
+  // Capacity hint for the replica's own store.
+  std::size_t store_capacity = std::size_t{1} << 20;
+  // Test hook: runs after every published cut, outside the publish lock (so it may
+  // open Views — and may block, which deterministically pauses the tailer).
+  std::function<void()> on_publish;
+};
+
+// Racy point-in-time snapshot of the replica's shipping/apply state.
+struct ReplicaProgress {
+  bool attached = false;  // holds a retention lease on a live primary's WAL
+  bool tailing = false;   // bootstrap finished; the tailer is shipping segments
+  bool halted = false;    // unrecoverable log damage; snapshot frozen at last cut
+  std::uint64_t applied_cut_tid = 0;   // TID of the latest published cut
+  std::uint64_t published_cuts = 0;
+  std::uint64_t applied_txns = 0;      // transactions inside published cuts
+  std::uint64_t pending_txns = 0;      // shipped but awaiting their cut
+  std::uint64_t shipped_entries = 0;   // WAL entries consumed (txns + cuts)
+  std::uint64_t shipped_bytes = 0;     // entry bytes consumed (excl. segment headers)
+  std::uint64_t bootstrap_records = 0; // records loaded from the checkpoint
+  std::uint64_t last_cut_wall_ns = 0;  // primary's clock at the latest published cut
+  // Staleness bounds (0 until tailing / nothing published yet):
+  // On-disk log bytes from the tailer's position to the end of the newest live
+  // segment (retention-leased files, so every byte is stat-able). Measures flushed-
+  // but-unshipped data; exact even when bootstrap skipped checkpoint-subsumed
+  // segments the primary flushed earlier.
+  std::uint64_t lag_bytes = 0;
+  // Upper bound: primary appended txns minus applied + pending. Over-counts for a
+  // checkpoint-bootstrapped replica (subsumed segments are never shipped).
+  std::uint64_t lag_entries = 0;
+  std::uint64_t lag_us = 0;  // age of the latest published cut
+};
+
+class Replica {
+ public:
+  explicit Replica(std::string dir, ReplicaOptions opts = ReplicaOptions{});
+  ~Replica();
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // Registers with a live primary's WAL: acquires a retention lease so checkpoints
+  // retain sealed segments this replica still needs. Call before Start; the primary
+  // must outlive Stop (the lease is released there). Optional — an unattached replica
+  // tails the directory without retention protection (e.g. post-crash inspection).
+  void AttachPrimary(WriteAheadLog* wal);
+
+  // Spawns the tailer thread: bootstrap from the latest checkpoint, then ship and
+  // apply continuously, publishing at each cut.
+  void Start();
+  // Joins the tailer and releases the retention lease. Idempotent.
+  void Stop();
+
+  // A consistent read view: shared-locks the publish snapshot so Get/Scan through one
+  // View all observe the same published cut. Cheap; hold briefly (a pending publish
+  // waits for open Views).
+  class View {
+   public:
+    explicit View(const Replica& r) : r_(r), lock_(r.publish_mu_) {}
+    View(const View&) = delete;
+    View& operator=(const View&) = delete;
+
+    // The cut this view observes.
+    std::uint64_t cut_tid() const {
+      return r_.applied_cut_tid_.load(std::memory_order_acquire);
+    }
+    std::uint64_t cuts() const {
+      return r_.published_cuts_.load(std::memory_order_acquire);
+    }
+
+    bool Get(const Key& key, Value* out) const;
+    // Ascending scan of [lo, hi] in `table`, up to `limit` items (0 = unbounded);
+    // `fn` returning false stops early. Returns items visited.
+    std::size_t Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
+                     std::size_t limit,
+                     FunctionRef<bool(const Key&, const Value&)> fn) const;
+
+   private:
+    const Replica& r_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  // One-shot conveniences (each takes its own View).
+  bool Get(const Key& key, Value* out) const;
+  std::size_t Scan(std::uint64_t table, std::uint64_t lo, std::uint64_t hi,
+                   std::size_t limit,
+                   FunctionRef<bool(const Key&, const Value&)> fn) const;
+
+  ReplicaProgress progress() const;
+  // Publish lag distribution: primary cut-emission time to replica publish time.
+  LatencyHistogram PublishLagHistogram() const;
+
+  // Blocks until a cut with TID >= `tid` has been published (or timeout/halt).
+  bool WaitForCutTid(std::uint64_t tid, std::uint64_t timeout_ms) const;
+  // Attached only: blocks until every byte the primary has flushed is shipped and
+  // every shipped transaction published (requires a trailing cut — Database::Stop
+  // appends one). False on timeout or halt.
+  bool WaitCaughtUp(std::uint64_t timeout_ms) const;
+
+  Store& store() { return store_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void TailerMain();
+  // Applies the buffered cut window (sorted by TID) and publishes `cut`.
+  void PublishWindow(std::vector<WalTxn>* window, const WalCut& cut);
+
+  const std::string dir_;
+  const ReplicaOptions opts_;
+  Store store_;
+  WriteAheadLog* primary_ = nullptr;
+  int lease_id_ = -1;
+  std::thread tailer_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  // Exclusive while a cut window is applied; shared for every read. Everything a
+  // reader can observe through the store mutates only under the exclusive side.
+  mutable std::shared_mutex publish_mu_;
+
+  std::atomic<std::uint64_t> applied_cut_tid_{0};
+  std::atomic<std::uint64_t> published_cuts_{0};
+  std::atomic<std::uint64_t> applied_txns_{0};
+  std::atomic<std::uint64_t> pending_txns_{0};
+  std::atomic<std::uint64_t> shipped_entries_{0};
+  std::atomic<std::uint64_t> shipped_bytes_{0};
+  std::atomic<std::uint64_t> bootstrap_records_{0};
+  std::atomic<std::uint64_t> last_cut_wall_ns_{0};
+  // Tailer position for lag accounting: current segment number (0 = still
+  // bootstrapping; real segment numbers start at 1) and consumed offset within it.
+  std::atomic<std::uint64_t> tail_segment_{0};
+  std::atomic<std::uint64_t> tail_consumed_{0};
+  std::atomic<bool> halted_{false};
+
+  mutable Spinlock hist_mu_;
+  LatencyHistogram publish_lag_;  // guarded by hist_mu_
+};
+
+// Convenience: builds a Replica on `db`'s persistence directory, attaches it to the
+// primary's WAL (retention lease), and starts tailing. `db` must have been Started
+// (with a wal_dir) and must outlive the replica's Stop.
+std::unique_ptr<Replica> AttachReplica(Database& db,
+                                       ReplicaOptions opts = ReplicaOptions{});
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_REPLICA_REPLICA_H_

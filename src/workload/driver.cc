@@ -6,6 +6,7 @@
 
 #include "src/common/cacheline.h"
 #include "src/common/timing.h"
+#include "src/replica/replica.h"
 
 namespace doppel {
 namespace {
@@ -21,13 +22,30 @@ void FillWalMetrics(const Database& db, RunMetrics* m) {
   m->wal_flushed_bytes = wal->flushed_bytes();
   m->wal_segments = wal->segments_created();
   m->wal_checkpoints = wal->checkpoints_taken();
+  m->wal_cuts = wal->cuts_emitted();
 }
 
 }  // namespace
 
+void FillReplicaMetrics(const Replica& replica, RunMetrics* m) {
+  const ReplicaProgress p = replica.progress();
+  m->replica_enabled = true;
+  m->replica_cut_tid = p.applied_cut_tid;
+  m->replica_cuts = p.published_cuts;
+  m->replica_applied_txns = p.applied_txns;
+  m->replica_shipped_bytes = p.shipped_bytes;
+  m->replica_lag_bytes = p.lag_bytes;
+  m->replica_lag_entries = p.lag_entries;
+  m->replica_publish_lag_p99_us = replica.PublishLagHistogram().Percentile(99) / 1000;
+}
+
 RunMetrics RunWorkload(Database& db, SourceFactory factory, std::uint64_t measure_ms,
-                       std::uint64_t warmup_ms) {
+                       std::uint64_t warmup_ms,
+                       const std::function<void(Database&)>& on_started) {
   db.Start(std::move(factory));
+  if (on_started) {
+    on_started(db);
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(warmup_ms));
 
   const std::uint64_t commits_before = db.SampleTotalCommits();

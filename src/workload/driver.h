@@ -36,12 +36,32 @@ struct RunMetrics {
   std::uint64_t wal_flushed_bytes = 0;
   std::uint64_t wal_segments = 0;
   std::uint64_t wal_checkpoints = 0;
+  std::uint64_t wal_cuts = 0;  // replication-cut records emitted at phase barriers
+
+  // Replication-side accounting (FillReplicaMetrics; zero when no replica attached):
+  // flushed/shipped/applied watermarks and the staleness bound a replica read carries.
+  bool replica_enabled = false;
+  std::uint64_t replica_cut_tid = 0;
+  std::uint64_t replica_cuts = 0;
+  std::uint64_t replica_applied_txns = 0;
+  std::uint64_t replica_shipped_bytes = 0;
+  std::uint64_t replica_lag_bytes = 0;
+  std::uint64_t replica_lag_entries = 0;
+  std::uint64_t replica_publish_lag_p99_us = 0;
 };
 
+class Replica;
+// Copies a replica's shipping/apply watermarks and publish-lag p99 into `m` (sets
+// replica_enabled). Call after the replica has caught up for end-of-run numbers.
+void FillReplicaMetrics(const Replica& replica, RunMetrics* m);
+
 // Starts `db` with `factory`, warms up, measures for `measure_ms`, stops, aggregates.
-// The database must be freshly constructed (Start/Stop are one-shot).
+// The database must be freshly constructed (Start/Stop are one-shot). `on_started`,
+// when set, runs right after Start — before warmup — so callers can attach run-scoped
+// observers (e.g. a read replica: AttachReplica requires a started database).
 RunMetrics RunWorkload(Database& db, SourceFactory factory, std::uint64_t measure_ms,
-                       std::uint64_t warmup_ms = 100);
+                       std::uint64_t warmup_ms = 100,
+                       const std::function<void(Database&)>& on_started = nullptr);
 
 // Like RunWorkload but samples cumulative commits every `sample_ms` (Fig. 10). The
 // returned series holds throughput (txns/sec) per sample interval.

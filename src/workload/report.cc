@@ -99,14 +99,30 @@ std::string WalSummary(const RunMetrics& m) {
   if (!m.wal_enabled) {
     return "";
   }
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "wal: %s txns logged, %llu flushes, %s, %llu segments, %llu checkpoints",
-                FormatCount(static_cast<double>(m.wal_appended_txns)).c_str(),
-                static_cast<unsigned long long>(m.wal_flushed_batches),
-                FormatBytes(static_cast<double>(m.wal_flushed_bytes)).c_str(),
-                static_cast<unsigned long long>(m.wal_segments),
-                static_cast<unsigned long long>(m.wal_checkpoints));
+  char buf[512];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "wal: %s txns logged, %llu flushes, %s, %llu segments, %llu checkpoints, "
+      "%llu cuts",
+      FormatCount(static_cast<double>(m.wal_appended_txns)).c_str(),
+      static_cast<unsigned long long>(m.wal_flushed_batches),
+      FormatBytes(static_cast<double>(m.wal_flushed_bytes)).c_str(),
+      static_cast<unsigned long long>(m.wal_segments),
+      static_cast<unsigned long long>(m.wal_checkpoints),
+      static_cast<unsigned long long>(m.wal_cuts));
+  if (m.replica_enabled && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    std::snprintf(
+        buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+        "\nreplica: cut tid %llu, %llu cuts published, %s txns applied, %s shipped, "
+        "lag %s/%llu entries, publish p99 %lluus",
+        static_cast<unsigned long long>(m.replica_cut_tid),
+        static_cast<unsigned long long>(m.replica_cuts),
+        FormatCount(static_cast<double>(m.replica_applied_txns)).c_str(),
+        FormatBytes(static_cast<double>(m.replica_shipped_bytes)).c_str(),
+        FormatBytes(static_cast<double>(m.replica_lag_bytes)).c_str(),
+        static_cast<unsigned long long>(m.replica_lag_entries),
+        static_cast<unsigned long long>(m.replica_publish_lag_p99_us));
+  }
   return buf;
 }
 

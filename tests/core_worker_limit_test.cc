@@ -1,0 +1,48 @@
+// Worker-id capacity limit: a commit TID carries its worker id in the low
+// Worker::kWorkerTidBits bits, so at most (1 << kWorkerTidBits) workers can mint
+// non-aliasing TIDs. One worker past the limit would silently reuse worker 0's TID
+// space — corrupting commit ordering, WAL replay, and recovery — so Database must
+// refuse loudly at construction, before any transaction runs.
+#include <gtest/gtest.h>
+
+#include "src/core/database.h"
+#include "src/txn/worker.h"
+
+namespace doppel {
+namespace {
+
+constexpr int kMaxWorkers = 1 << Worker::kWorkerTidBits;
+
+using WorkerLimitDeathTest = ::testing::Test;
+
+TEST(WorkerLimitDeathTest, OnePastTheTidLimitAbortsWithClearMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Options o;
+  o.num_workers = kMaxWorkers + 1;
+  o.store_capacity = 64;
+  EXPECT_DEATH({ Database db(o); }, "exceeds the 256-worker limit");
+}
+
+TEST(WorkerLimitDeathTest, ExactlyAtTheLimitConstructs) {
+  // 256 workers is the last representable configuration: construction must succeed
+  // (no threads spawn until Start, so this is cheap).
+  Options o;
+  o.num_workers = kMaxWorkers;
+  o.store_capacity = 64;
+  Database db(o);
+  EXPECT_EQ(db.options().num_workers, kMaxWorkers);
+}
+
+TEST(WorkerLimitDeathTest, TidNamespacesStayDisjointAtTheLimit) {
+  // The invariant the limit protects: the highest legal worker id still owns a TID
+  // namespace disjoint from worker 0's, while id kMaxWorkers would alias it.
+  Worker w0(0, 1);
+  Worker wmax(kMaxWorkers - 1, 2);
+  const std::uint64_t t0 = w0.GenerateTid(0);
+  const std::uint64_t tmax = wmax.GenerateTid(0);
+  EXPECT_NE(t0 & (kMaxWorkers - 1), tmax & (kMaxWorkers - 1));
+  EXPECT_EQ(static_cast<int>(tmax & (kMaxWorkers - 1)), kMaxWorkers - 1);
+}
+
+}  // namespace
+}  // namespace doppel
