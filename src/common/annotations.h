@@ -1,0 +1,84 @@
+// Clang thread-safety-analysis annotations (compile-time concurrency contracts).
+//
+// Under clang, building with -Wthread-safety (CI: -Werror=thread-safety) machine-checks
+// the locking discipline these macros declare: which lock guards which member
+// (GUARDED_BY), which functions must be entered with a lock held (REQUIRES), and which
+// acquire/release one (ACQUIRE/RELEASE, SCOPED_CAPABILITY guards). Under GCC — the
+// default local toolchain — every macro expands to nothing and the code is unchanged.
+//
+// Conventions (see README "Correctness tooling"):
+//  * Lock-like types are declared CAPABILITY ("mutex" for exclusive, "shared_mutex"
+//    when a shared mode exists). The annotated primitives live in
+//    src/common/spinlock.h (Spinlock, RWSpinlock) and src/common/mutex.h (Mutex,
+//    SharedMutex + scoped guards). Naked std::mutex / std::shared_mutex outside
+//    src/common/mutex.h is rejected by tools/lint_concurrency.py.
+//  * Data written only under a lock is GUARDED_BY(that lock); helpers called with the
+//    lock already held are REQUIRES(lock) and named *Locked by house style.
+//  * What the analysis cannot model — lock sets held across function boundaries (2PL),
+//    acquiring a variable set of locks in a loop (NarrowTable), seqlock/TID-word
+//    protocols — gets NO_THREAD_SAFETY_ANALYSIS with a one-line invariant rationale
+//    directly above it. The lint rejects rationale-free escapes.
+#ifndef DOPPEL_SRC_COMMON_ANNOTATIONS_H_
+#define DOPPEL_SRC_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DOPPEL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DOPPEL_THREAD_ANNOTATION_(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+// A type that acts as a lock. `x` names the capability kind ("mutex", "shared_mutex").
+#define CAPABILITY(x) DOPPEL_THREAD_ANNOTATION_(capability(x))
+
+// An RAII type whose constructor acquires a capability and destructor releases it.
+#define SCOPED_CAPABILITY DOPPEL_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) DOPPEL_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by `x` (the pointer itself is not).
+#define PT_GUARDED_BY(x) DOPPEL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock avoidance).
+#define ACQUIRED_BEFORE(...) DOPPEL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DOPPEL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// The function must be called with the capability held (exclusive / shared).
+#define REQUIRES(...) DOPPEL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DOPPEL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and returns holding it (and dually, releases).
+#define ACQUIRE(...) DOPPEL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DOPPEL_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DOPPEL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DOPPEL_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+// Releases a capability held in either mode (scoped guards over RW locks).
+#define RELEASE_GENERIC(...) \
+  DOPPEL_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// The function tries to acquire and reports success as `b` (true/false).
+#define TRY_ACQUIRE(...) DOPPEL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  DOPPEL_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// The function must NOT be called with the capability held (it acquires it itself;
+// calling with it held would self-deadlock).
+#define EXCLUDES(...) DOPPEL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the calling thread holds the capability (informs the analysis
+// without acquiring).
+#define ASSERT_CAPABILITY(x) DOPPEL_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DOPPEL_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+// The function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) DOPPEL_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: skip analysis for one function. House rule (lint-enforced): every use
+// carries a one-line invariant rationale comment directly above it.
+#define NO_THREAD_SAFETY_ANALYSIS DOPPEL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DOPPEL_SRC_COMMON_ANNOTATIONS_H_

@@ -4,45 +4,70 @@
 // test-and-set spinning with a pause hint beats OS mutexes. The 2PL engine additionally
 // needs a reader/writer lock with try semantics so it can implement bounded-wait deadlock
 // recovery.
+//
+// Both locks are Clang thread-safety CAPABILITY types (src/common/annotations.h): members
+// they protect are declared GUARDED_BY, and -Werror=thread-safety checks the discipline
+// at compile time under clang. The memory_order_relaxed uses inside the lock
+// implementations are part of the locks' own acquire/release contracts (CAS failure
+// orders, TTAS peek loops, intent-bit announcements) and are documented inline.
 #ifndef DOPPEL_SRC_COMMON_SPINLOCK_H_
 #define DOPPEL_SRC_COMMON_SPINLOCK_H_
 
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/annotations.h"
 #include "src/common/cacheline.h"
 
 namespace doppel {
 
-// Simple exclusive spinlock. Satisfies Lockable (usable with std::lock_guard).
-class Spinlock {
+// Simple exclusive spinlock. Satisfies Lockable (usable with std::lock_guard, though
+// SpinlockGuard below is preferred: it is annotation-aware).
+class CAPABILITY("mutex") Spinlock {
  public:
   Spinlock() = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     while (true) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
         return;
       }
+      // Relaxed TTAS peek: the winning exchange above is the acquire; this loop only
+      // waits for the word to look free before retrying it.
       while (locked_.load(std::memory_order_relaxed)) {
         CpuRelax();
       }
     }
   }
 
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
+    // Relaxed peek first: failing fast on a held lock needs no ordering; the exchange
+    // that actually takes the lock is the acquire.
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() RELEASE() { locked_.store(false, std::memory_order_release); }
 
+  // Diagnostic peek (relaxed: a racy answer is the best any caller can use).
   bool is_locked() const { return locked_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<bool> locked_{false};
+};
+
+// Scoped guard for Spinlock (annotation-aware lock_guard).
+class SCOPED_CAPABILITY SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~SpinlockGuard() RELEASE() { mu_.unlock(); }
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock& mu_;
 };
 
 // Reader/writer spinlock with writer preference and try_* variants.
@@ -50,20 +75,24 @@ class Spinlock {
 // State word: bit 31 = writer held, bit 30 = writer waiting, low 30 bits = reader count.
 // Writer preference keeps a stream of readers from starving the single writer that 2PL
 // update transactions need on a hot record.
-class RWSpinlock {
+class CAPABILITY("shared_mutex") RWSpinlock {
  public:
   RWSpinlock() = default;
   RWSpinlock(const RWSpinlock&) = delete;
   RWSpinlock& operator=(const RWSpinlock&) = delete;
 
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     std::uint32_t expected = 0;
+    // CAS failure order is relaxed: a failed attempt publishes nothing and reads only
+    // the refreshed expected value for the caller's retry policy.
     return state_.compare_exchange_strong(expected, kWriter, std::memory_order_acquire,
                                           std::memory_order_relaxed);
   }
 
-  void lock() {
+  void lock() ACQUIRE() {
     // Announce intent so new readers back off, then wait for the lock word to drain.
+    // All failure/peek orders are relaxed — only the winning CAS (acquire) orders the
+    // critical section.
     while (true) {
       std::uint32_t s = state_.load(std::memory_order_relaxed);
       if (s == 0 || s == kWriterWaiting) {
@@ -74,6 +103,7 @@ class RWSpinlock {
         continue;
       }
       if ((s & kWriterWaiting) == 0) {
+        // Intent bit is back-off policy, not publication: relaxed both ways.
         state_.compare_exchange_weak(s, s | kWriterWaiting, std::memory_order_relaxed,
                                      std::memory_order_relaxed);
       }
@@ -81,12 +111,14 @@ class RWSpinlock {
     }
   }
 
-  void unlock() {
+  void unlock() RELEASE() {
     // Preserve a concurrent waiter's announcement: only clear the held bit.
     state_.fetch_and(~kWriter, std::memory_order_release);
   }
 
-  bool try_lock_shared() {
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    // Relaxed initial peek; the reader-count increment CAS below carries acquire, and
+    // its failure order is relaxed (nothing was published on failure).
     std::uint32_t s = state_.load(std::memory_order_relaxed);
     while ((s & (kWriter | kWriterWaiting)) == 0) {
       if (state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
@@ -97,17 +129,23 @@ class RWSpinlock {
     return false;
   }
 
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
     while (!try_lock_shared()) {
       CpuRelax();
     }
   }
 
-  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+  void unlock_shared() RELEASE_SHARED() {
+    state_.fetch_sub(1, std::memory_order_release);
+  }
 
   // Atomically turn a held shared lock into the exclusive lock if this reader is alone.
+  // Not annotated: thread-safety analysis cannot express "shared released and exclusive
+  // acquired only on success"; callers (2PL upgrade path) are NO_THREAD_SAFETY_ANALYSIS
+  // with the transaction-duration lock-set rationale.
   bool try_upgrade() {
     std::uint32_t expected = 1;
+    // CAS failure orders relaxed throughout: a failed upgrade changes no lock state.
     if (state_.compare_exchange_strong(expected, kWriter, std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
       return true;
@@ -120,8 +158,9 @@ class RWSpinlock {
 
   // Bounded-spin acquisition, used by 2PL for deadlock recovery: give up after `iters`
   // pause iterations instead of blocking forever. Announce/clear writer intent so a
-  // stream of readers cannot starve a bounded writer.
-  bool try_lock_for(std::uint32_t iters) {
+  // stream of readers cannot starve a bounded writer. Peek/announce/clear orders are
+  // relaxed (intent bits are policy, not publication); the winning CAS is the acquire.
+  bool try_lock_for(std::uint32_t iters) TRY_ACQUIRE(true) {
     for (std::uint32_t i = 0; i < iters; ++i) {
       std::uint32_t s = state_.load(std::memory_order_relaxed);
       if (s == 0 || s == kWriterWaiting) {
@@ -132,16 +171,18 @@ class RWSpinlock {
         continue;
       }
       if ((s & kWriterWaiting) == 0) {
+        // Intent bit is back-off policy, not publication: relaxed both ways.
         state_.compare_exchange_weak(s, s | kWriterWaiting, std::memory_order_relaxed,
                                      std::memory_order_relaxed);
       }
       CpuRelax();
     }
+    // Giving up: clear our stale intent announcement (policy bit, relaxed).
     state_.fetch_and(~kWriterWaiting, std::memory_order_relaxed);
     return false;
   }
 
-  bool try_lock_shared_for(std::uint32_t iters) {
+  bool try_lock_shared_for(std::uint32_t iters) TRY_ACQUIRE_SHARED(true) {
     for (std::uint32_t i = 0; i < iters; ++i) {
       if (try_lock_shared()) {
         return true;
@@ -152,11 +193,13 @@ class RWSpinlock {
   }
 
   // Bounded upgrade of a held shared lock. On failure the shared lock is still held.
+  // Unannotated for the same reason as try_upgrade (conditional mode change).
   bool try_upgrade_for(std::uint32_t iters) {
     for (std::uint32_t i = 0; i < iters; ++i) {
       if (try_upgrade()) {
         return true;
       }
+      // Intent-bit announcement; relaxed — see try_lock_for.
       std::uint32_t s = state_.load(std::memory_order_relaxed);
       if ((s & kWriterWaiting) == 0) {
         state_.compare_exchange_weak(s, s | kWriterWaiting, std::memory_order_relaxed,
@@ -168,6 +211,7 @@ class RWSpinlock {
     return false;
   }
 
+  // Diagnostic peeks (relaxed: answers are racy by nature).
   bool has_writer() const {
     return (state_.load(std::memory_order_relaxed) & kWriter) != 0;
   }
@@ -181,6 +225,32 @@ class RWSpinlock {
   static constexpr std::uint32_t kReaderMask = kWriterWaiting - 1;
 
   std::atomic<std::uint32_t> state_{0};
+};
+
+// Scoped exclusive guard for RWSpinlock.
+class SCOPED_CAPABILITY RWSpinlockWriterGuard {
+ public:
+  explicit RWSpinlockWriterGuard(RWSpinlock& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~RWSpinlockWriterGuard() RELEASE() { mu_.unlock(); }
+  RWSpinlockWriterGuard(const RWSpinlockWriterGuard&) = delete;
+  RWSpinlockWriterGuard& operator=(const RWSpinlockWriterGuard&) = delete;
+
+ private:
+  RWSpinlock& mu_;
+};
+
+// Scoped shared guard for RWSpinlock.
+class SCOPED_CAPABILITY RWSpinlockReaderGuard {
+ public:
+  explicit RWSpinlockReaderGuard(RWSpinlock& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~RWSpinlockReaderGuard() RELEASE_GENERIC() { mu_.unlock_shared(); }
+  RWSpinlockReaderGuard(const RWSpinlockReaderGuard&) = delete;
+  RWSpinlockReaderGuard& operator=(const RWSpinlockReaderGuard&) = delete;
+
+ private:
+  RWSpinlock& mu_;
 };
 
 }  // namespace doppel

@@ -28,6 +28,8 @@ void Coordinator::SleepJoined(std::uint64_t ns) const {
 
 void Coordinator::SleepSplit(std::uint64_t ns) const {
   const std::uint64_t deadline = NowNanos() + ns;
+  // Relaxed flag polls: reacting a chunk late is fine, and the barrier protocol (not
+  // these loads) provides all ordering for the transition that follows.
   while (!stop_coord_.load(std::memory_order_relaxed) &&
          !drain_.load(std::memory_order_relaxed)) {
     const std::uint64_t now = NowNanos();
@@ -43,6 +45,9 @@ void Coordinator::Run() {
   PhaseController& ctrl = engine_.controller();
   const std::uint64_t phase_ns = opts_.phase_us * 1000;
 
+  // Relaxed stop/drain polls throughout this loop: a transition observed one
+  // iteration late is harmless, and the phase barriers order everything that matters.
+  // Stage-time counters are stats (racy readers by contract).
   while (!stop_coord_.load(std::memory_order_relaxed)) {
     std::uint64_t t0 = NowNanos();
     SleepJoined(phase_ns);
@@ -71,6 +76,7 @@ void Coordinator::Run() {
         engine_.BarrierEmitReplicationCut();
         engine_.BarrierMaybeCheckpoint();
         ctrl.Release();
+        // Stats counter; racy readers by contract.
         tune_barriers_.fetch_add(1, std::memory_order_relaxed);
       }
       continue;
@@ -82,10 +88,12 @@ void Coordinator::Run() {
     engine_.BarrierBuildPlan();
     ctrl.Release();
     std::uint64_t t2 = NowNanos();
+    // Stage-time stats counter; racy readers by contract.
     to_split_barrier_ns_.fetch_add(t2 - t1, std::memory_order_relaxed);
 
     SleepSplit(phase_ns);
     std::uint64_t t3 = NowNanos();
+    // Stage-time stats counter; racy readers by contract.
     split_ns_.fetch_add(t3 - t2, std::memory_order_relaxed);
 
     // SPLIT -> JOINED. Runs even when stopping: every slice must reconcile before
@@ -102,6 +110,7 @@ void Coordinator::Run() {
       engine_.BarrierMaybeCheckpoint();
     }
     ctrl.Release();
+    // Stage-time / cycle stats counters; racy readers by contract.
     to_joined_barrier_ns_.fetch_add(NowNanos() - t3, std::memory_order_relaxed);
     cycles_.fetch_add(1, std::memory_order_relaxed);
   }

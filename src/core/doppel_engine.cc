@@ -120,6 +120,7 @@ void DoppelEngine::OnStash(Worker& w, const StashSignal& s) {
   if (idx >= 0 && static_cast<std::size_t>(idx) < slices.size()) {
     slices[static_cast<std::size_t>(idx)].stashes++;
   }
+  // Pressure gauge feeding the coordinator's hurry heuristic; racy reads fine.
   stash_pressure_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -160,6 +161,8 @@ void DoppelEngine::MaybeTransition(Worker& w) {
   if (target == Phase::kSplit) {
     PrepareSlices(w);
   }
+  // Worker-local phase mirror: only this worker reads it for decisions; cross-thread
+  // observers (stats) tolerate staleness. The barrier ack provides real ordering.
   w.phase.store(target, std::memory_order_relaxed);
   w.seen_word = pend;
 }
@@ -175,6 +178,8 @@ void DoppelEngine::MergeWorkerSlices(Worker& w) {
     SplitEntry& e = plan->entries[i];
     Slice& s = slices[i];
     if (s.writes != 0) {
+      // Classifier tallies, read only at the next barrier (workers quiesced):
+      // the barrier handshake orders them, relaxed suffices here.
       e.writes.fetch_add(s.writes, std::memory_order_relaxed);
     }
     if (s.stashes != 0) {
@@ -195,6 +200,7 @@ void DoppelEngine::MergeWorkerSlices(Worker& w) {
 }
 
 void DoppelEngine::DrainStash(Worker& w) {
+  // Relaxed stop poll: reacting an iteration late is harmless.
   while (!w.stash.empty() && !stop_.load(std::memory_order_relaxed)) {
     PendingTxn pt = std::move(w.stash.front());
     w.stash.pop_front();
@@ -244,6 +250,7 @@ void DoppelEngine::WaitForWorkerAcks() const {
   for (const Worker* w : workers_) {
     std::uint32_t spins = 0;
     while (w->acked_word.load(std::memory_order_acquire) != pend) {
+      // Relaxed stop poll: shutdown needs no ordering beyond the acks themselves.
       if (stop_.load(std::memory_order_relaxed)) {
         return;
       }
@@ -464,6 +471,7 @@ void DoppelEngine::BarrierBuildPlan() {
     add(cand.record, cand.op);
   }
   retained_.clear();
+  // Stats gauge; racy readers by contract.
   last_plan_size_.store(plan->size(), std::memory_order_relaxed);
   {
     plan_snapshot_mu_.lock();
@@ -475,6 +483,7 @@ void DoppelEngine::BarrierBuildPlan() {
   }
   plan_ = std::move(plan);
 
+  // Gauge reset at the barrier (workers quiesced; no ordering needed).
   stash_pressure_.store(0, std::memory_order_relaxed);
   split_start_commits_ = SampleCommits();
 
@@ -488,6 +497,8 @@ void DoppelEngine::BarrierBuildPlan() {
 DoppelEngine::TuneDeltas DoppelEngine::ComputeTuneDeltas(
     const OrderedIndex::TableIndex& t) {
   TuneDeltas d;
+  // Barrier-time telemetry reads (workers quiesced, every counter author parked):
+  // the barrier handshake orders them, relaxed suffices.
   for (std::size_t i = 0; i < t.partitions.size(); ++i) {
     const std::uint64_t ins = t.partitions[i].inserts.load(std::memory_order_relaxed);
     const std::uint64_t delta = ins - t.tune_insert_marks[i];
@@ -525,6 +536,7 @@ bool DoppelEngine::WouldNarrow(const OrderedIndex::TableIndex& t,
   if (!insert_skew && !phantom_pressure) {
     return false;
   }
+  // Barrier-time read (coordinator is the only shift writer); relaxed suffices.
   return NarrowTargetShift(t) < t.shift.load(std::memory_order_relaxed);
 }
 
@@ -560,6 +572,7 @@ void DoppelEngine::TuneAdaptiveTables() {
       store_.index().NarrowTable(t, NarrowTargetShift(t));
     }
     for (std::size_t i = 0; i < t.partitions.size(); ++i) {
+      // Barrier-time telemetry mark (workers quiesced); relaxed suffices.
       t.tune_insert_marks[i] = t.partitions[i].inserts.load(std::memory_order_relaxed);
     }
     t.tune_conflict_mark = d.conflict_total;
@@ -573,6 +586,8 @@ void DoppelEngine::BarrierAfterReconcile() {
   }
   const ClassifierOptions& c = opts_.classifier;
   for (SplitEntry& e : plan_->entries) {
+    // Barrier-time classifier reads (workers quiesced past their merges): the
+    // barrier handshake orders them, relaxed suffices.
     const std::uint64_t writes = e.writes.load(std::memory_order_relaxed);
     const std::uint64_t stashes = e.stashes.load(std::memory_order_relaxed);
     const bool stash_heavy =
@@ -592,6 +607,7 @@ bool DoppelEngine::CheckpointDue() const {
   if (wal_ == nullptr) {
     return false;
   }
+  // Sticky request flag; polled at barriers, no payload rides on it.
   if (checkpoint_requested_.load(std::memory_order_relaxed)) {
     return true;
   }
@@ -608,6 +624,7 @@ void DoppelEngine::BarrierMaybeCheckpoint() {
   if (!CheckpointDue()) {
     return;
   }
+  // Flag consume at the barrier; no payload rides on it.
   checkpoint_requested_.store(false, std::memory_order_relaxed);
   wal_->WriteCheckpoint(store_);
   last_checkpoint_ns_ = NowNanos();
@@ -633,6 +650,7 @@ void DoppelEngine::BarrierEmitReplicationCut() {
 }
 
 bool DoppelEngine::ShouldHurrySplitEnd() const {
+  // Pressure-gauge peek; a slightly stale value just shifts the heuristic a tick.
   const std::uint64_t stashes = stash_pressure_.load(std::memory_order_relaxed);
   if (stashes >= opts_.stash_hard_limit) {
     return true;

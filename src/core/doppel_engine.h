@@ -163,7 +163,7 @@ class DoppelEngine : public OccEngine {
   std::unique_ptr<SplitPlan> plan_;
   std::atomic<std::size_t> last_plan_size_{0};
   mutable Spinlock plan_snapshot_mu_;
-  std::vector<std::pair<Key, OpCode>> plan_snapshot_;
+  std::vector<std::pair<Key, OpCode>> plan_snapshot_ GUARDED_BY(plan_snapshot_mu_);
 
   // Classifier cross-cycle state (coordinator thread only).
   struct Labeled {

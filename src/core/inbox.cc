@@ -22,11 +22,14 @@ SubmitInbox::SubmitInbox(std::size_t capacity)
       mask_(capacity_ - 1),
       cells_(new Cell[capacity_]) {
   for (std::size_t i = 0; i < capacity_; ++i) {
+    // Pre-publication init (constructor): no concurrent observer yet.
     cells_[i].seq.store(i, std::memory_order_relaxed);
   }
 }
 
 bool SubmitInbox::TryPush(PendingTxn& item) {
+  // Relaxed cursor peek (Vyukov MPSC): the cell's seq acquire/release handshake is
+  // what orders payload access; the cursor CAS below just claims a slot index.
   std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
   while (true) {
     Cell& cell = cells_[pos & mask_];
@@ -80,6 +83,7 @@ std::size_t SubmitInbox::TryPopBatch(PendingTxn* out, std::size_t max) {
 }
 
 std::size_t SubmitInbox::ApproxSize() const {
+  // Racy size estimate by contract; the two relaxed cursor reads need no ordering.
   const std::uint64_t enq = enqueue_pos_.load(std::memory_order_relaxed);
   const std::uint64_t deq = dequeue_pos_.load(std::memory_order_relaxed);
   return enq > deq ? static_cast<std::size_t>(enq - deq) : 0;

@@ -21,6 +21,7 @@ void CompleteSubmission(PendingTxn& pt, bool committed) {
     return;
   }
   SubmitTicket& t = *pt.ticket;
+  // attempts rides on the state release-store below: waiters acquire state first.
   t.attempts.store(result.attempts, std::memory_order_relaxed);
   t.state.store(committed ? 1 : 2, std::memory_order_release);
   t.state.notify_all();

@@ -23,6 +23,7 @@ void ConflictSampler::RecordConflict(const Key& key, OpCode op) {
     if (e.used && e.key == key) {
       e.count++;
       e.op_counts[static_cast<int>(op)]++;
+      // Sampled-tally stats counter; racy readers by contract.
       total_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -47,6 +48,7 @@ void ConflictSampler::RecordConflict(const Key& key, OpCode op) {
   victim->key = key;
   victim->count = inherited + 1;
   victim->op_counts[static_cast<int>(op)] = 1;
+  // Sampled-tally stats counter; racy readers by contract.
   total_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -88,6 +90,7 @@ void ConflictSampler::RecordScanConflict(std::uint64_t table, std::uint32_t part
   ScanEntry& e = ScanSlot(table, partition);
   e.count++;
   e.phantoms++;
+  // Sampled-tally stats counter; racy readers by contract.
   total_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -110,6 +113,7 @@ void ConflictSampler::RecordScanConflict(std::uint64_t table, std::uint32_t part
     e.hot_key = key;
     e.hot_votes = 1;
   }
+  // Sampled-tally stats counter; racy readers by contract.
   total_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -120,6 +124,7 @@ void ConflictSampler::Clear() {
   for (ScanEntry& e : scan_table_) {
     e = ScanEntry{};
   }
+  // Barrier-time reset (workers quiesced); no concurrent reader needs ordering.
   total_.store(0, std::memory_order_relaxed);
   tick_ = 0;
 }

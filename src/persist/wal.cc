@@ -73,6 +73,10 @@ WriteAheadLog::~WriteAheadLog() {
 
 RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
   DOPPEL_CHECK(!logging_);
+  // Recovery runs before the flusher or any appender exists, but it reads the
+  // manifest and records the torn tail — file_mu_-guarded state — so it takes the
+  // (uncontended) lock to keep the guarded contract total rather than escape it.
+  SpinlockGuard file_lock(file_mu_);
   RecoveryResult result;
   if (!manifest_.checkpoint.empty()) {
     const CheckpointStats ck =
@@ -187,6 +191,7 @@ void WriteAheadLog::OpenSegmentLocked(std::uint64_t number) {
   DOPPEL_CHECK(::fsync(fd_) == 0);
   active_segment_ = number;
   active_bytes_ = kWalSegmentHeaderBytes;
+  // Monotonic stats counter; readers are racy by contract.
   segments_created_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -296,6 +301,7 @@ void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
   std::memcpy(buf.bytes.data() + header_at, &len, sizeof(len));
   std::memcpy(buf.bytes.data() + header_at + sizeof(len), &crc, sizeof(crc));
   buf.mu.unlock();
+  // Monotonic stats counter; readers are racy by contract.
   appended_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -336,6 +342,7 @@ void WriteAheadLog::FlushLocked() {
     DOPPEL_CHECK(::fsync(fd_) == 0);
   }
   active_bytes_ += total;
+  // Monotonic stats counters; readers are racy by contract.
   flushes_.fetch_add(1, std::memory_order_relaxed);
   flushed_bytes_.fetch_add(total, std::memory_order_relaxed);
   if (active_bytes_ >= opts_.segment_bytes) {
@@ -392,6 +399,7 @@ void WriteAheadLog::AppendCut(std::uint64_t cut_tid) {
     DOPPEL_CHECK(::fsync(fd_) == 0);
   }
   active_bytes_ += entry.size();
+  // Monotonic stats counters; readers are racy by contract.
   flushed_bytes_.fetch_add(entry.size(), std::memory_order_relaxed);
   cuts_.fetch_add(1, std::memory_order_relaxed);
   file_mu_.unlock();
@@ -505,6 +513,7 @@ CheckpointStats WriteAheadLog::WriteCheckpoint(const Store& store) {
   if (!old_ckpt.empty()) {
     ::unlink((dir_ + "/" + old_ckpt).c_str());
   }
+  // Monotonic stats counter; readers are racy by contract.
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   file_mu_.unlock();
   return stats;

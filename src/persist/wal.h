@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/spinlock.h"
 #include "src/persist/checkpoint.h"
 #include "src/persist/log_reader.h"
@@ -88,11 +89,11 @@ class WriteAheadLog {
   // StartLogging. Tolerates torn tails and CRC-failing entries: replay stops at the
   // first damaged entry and ignores all later segments too, so what is applied is
   // exactly a prefix of the logged history — never a state with a gap in the middle.
-  RecoveryResult Recover(Store* store, int replay_threads = 0);
+  RecoveryResult Recover(Store* store, int replay_threads = 0) EXCLUDES(file_mu_);
 
   // Opens a fresh active segment, registers it in the MANIFEST, and starts the
   // background flusher. Called once (Database::Start does this after recovery).
-  void StartLogging();
+  void StartLogging() EXCLUDES(file_mu_);
   bool logging() const { return logging_; }
 
   // Declares the directory's durable state abandoned: drops the checkpoint and every
@@ -102,7 +103,7 @@ class WriteAheadLog {
   // appending a new generation with reset TID clocks into a manifest that still lists
   // the old generation's segments would interleave the generations' TIDs and corrupt
   // any later recovery. Must precede StartLogging.
-  void DiscardDurableState();
+  void DiscardDurableState() EXCLUDES(file_mu_);
 
   // Worker-side: append one committed transaction's buffered writes (`arena` holds
   // their byte/ordered operands). `worker_id` selects the per-worker buffer; safe to
@@ -113,14 +114,14 @@ class WriteAheadLog {
 
   // Forces all buffered bytes to the active segment (fsyncing when configured). Called
   // by the flusher, on Stop, and by tests/clients that need a durability point.
-  void Flush();
+  void Flush() EXCLUDES(file_mu_);
 
   // Appends a replication-cut record carrying `cut_tid` (the maximum committed TID at
   // the quiesce point). Flushes every buffered entry first, so the physical log prefix
   // ending at the cut contains exactly the transactions the cut covers. PRECONDITION:
   // workers quiesced (coordinator barrier, or post-join in Database::Stop) — otherwise
   // the prefix would not be transaction-consistent. No-op before StartLogging.
-  void AppendCut(std::uint64_t cut_tid);
+  void AppendCut(std::uint64_t cut_tid) EXCLUDES(file_mu_);
 
   // ---- Retention leases (replica log shipping) ----
   //
@@ -131,9 +132,10 @@ class WriteAheadLog {
   // passed are pruned. Acquire returns a lease id; the lease initially needs the
   // oldest live segment (a new replica bootstraps from the current checkpoint, whose
   // redo tail starts there).
-  int AcquireRetentionLease();
-  void AdvanceRetentionLease(int lease_id, std::uint64_t next_needed_segment);
-  void ReleaseRetentionLease(int lease_id);
+  int AcquireRetentionLease() EXCLUDES(file_mu_);
+  void AdvanceRetentionLease(int lease_id, std::uint64_t next_needed_segment)
+      EXCLUDES(file_mu_);
+  void ReleaseRetentionLease(int lease_id) EXCLUDES(file_mu_);
   int retention_leases() const { return lease_count_.load(std::memory_order_acquire); }
 
   // Takes a consistent checkpoint of `store`: flush + seal the active segment, snapshot
@@ -141,9 +143,9 @@ class WriteAheadLog {
   // sealed segments and the previous checkpoint. PRECONDITION: no worker may be
   // mutating records or appending — the Doppel coordinator calls this at quiesce
   // barriers; tests call it with workers stopped.
-  CheckpointStats WriteCheckpoint(const Store& store);
+  CheckpointStats WriteCheckpoint(const Store& store) EXCLUDES(file_mu_);
 
-  // ---- Stats ----
+  // ---- Stats (relaxed monotonic counters; racy reads are the contract) ----
   std::uint64_t appended_txns() const {
     return appended_.load(std::memory_order_relaxed);
   }
@@ -169,10 +171,10 @@ class WriteAheadLog {
     // Entries are encoded directly into `bytes` with a backpatched length/CRC header —
     // no per-entry staging buffer, no second copy (`bytes` is contiguous, so the CRC
     // runs over the freshly encoded region in place).
-    std::vector<char> bytes;
+    std::vector<char> bytes GUARDED_BY(mu);
     // Emptied-but-grown vector recycled by the flusher (see FlushLocked): steals and
     // returns are both O(1) swaps, and steady-state appends never re-grow from zero.
-    std::vector<char> spare;
+    std::vector<char> spare GUARDED_BY(mu);
   };
 
   struct Lease {
@@ -180,34 +182,43 @@ class WriteAheadLog {
     std::uint64_t next_needed_segment;
   };
 
-  void FlusherMain();
-  void FlushLocked();                    // gathers buffers and writes them
-  void OpenSegmentLocked(std::uint64_t number);  // create file + header (+fsync)
-  void RotateLocked();                   // seal active, open next, save manifest
+  void FlusherMain() EXCLUDES(file_mu_);
+  void FlushLocked() REQUIRES(file_mu_);  // gathers buffers and writes them
+  // create file + header (+fsync)
+  void OpenSegmentLocked(std::uint64_t number) REQUIRES(file_mu_);
+  // seal active, open next, save manifest
+  void RotateLocked() REQUIRES(file_mu_);
   // Deletes wal/ckpt/tmp files the manifest does not reference (garbage left by a
   // crash between a manifest repoint and the unlink of what it replaced).
-  void SweepUnreferencedLocked();
+  void SweepUnreferencedLocked() REQUIRES(file_mu_);
   // Unlinks retained segments every lease has advanced past (manifest resaved when
   // anything was pruned).
-  void PruneRetainedLocked();
+  void PruneRetainedLocked() REQUIRES(file_mu_);
 
   const std::string dir_;
   const WalOptions opts_;
-  Manifest manifest_;
-  int fd_ = -1;
-  std::uint64_t active_segment_ = 0;
-  std::uint64_t active_bytes_ = 0;
+
+  // file_mu_ serializes every durable-state transition: the active segment's fd and
+  // byte count, the manifest (and its on-disk replacement), the torn-tail fixup, and
+  // the retention-lease table. Ordering: buffer spinlocks (Buffer::mu) nest inside
+  // file_mu_ (FlushLocked takes them); never the reverse.
+  Spinlock file_mu_;
+  Manifest manifest_ GUARDED_BY(file_mu_);
+  int fd_ GUARDED_BY(file_mu_) = -1;
+  std::uint64_t active_segment_ GUARDED_BY(file_mu_) = 0;
+  std::uint64_t active_bytes_ GUARDED_BY(file_mu_) = 0;
+  // Lifecycle flag, not shared state: written on the open/recover/start path before
+  // any concurrent appender or the flusher exists, then read-only.
   bool logging_ = false;
   // Torn tail of the last live segment found by Recover: StartLogging truncates the
   // file to the valid prefix so the next generation's recovery (and a tailing replica)
   // never sees damaged bytes between two good generations.
-  std::uint64_t torn_segment_ = 0;
-  std::uint64_t torn_valid_bytes_ = 0;
-  bool has_torn_tail_ = false;
+  std::uint64_t torn_segment_ GUARDED_BY(file_mu_) = 0;
+  std::uint64_t torn_valid_bytes_ GUARDED_BY(file_mu_) = 0;
+  bool has_torn_tail_ GUARDED_BY(file_mu_) = false;
 
   static constexpr int kBuffers = 64;  // worker_id % kBuffers
   std::vector<Buffer> buffers_{kBuffers};
-  Spinlock file_mu_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> appended_{0};
   std::atomic<std::uint64_t> flushes_{0};
@@ -215,8 +226,8 @@ class WriteAheadLog {
   std::atomic<std::uint64_t> segments_created_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
   std::atomic<std::uint64_t> cuts_{0};
-  std::vector<Lease> leases_;  // guarded by file_mu_
-  int next_lease_id_ = 1;      // guarded by file_mu_
+  std::vector<Lease> leases_ GUARDED_BY(file_mu_);
+  int next_lease_id_ GUARDED_BY(file_mu_) = 1;
   std::atomic<int> lease_count_{0};
   std::thread flusher_;
 };

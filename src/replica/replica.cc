@@ -4,7 +4,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "src/common/dassert.h"
 #include "src/common/timing.h"
@@ -70,13 +69,15 @@ void Replica::PublishWindow(std::vector<WalTxn>* window, const WalCut& cut) {
   std::sort(window->begin(), window->end(),
             [](const WalTxn& a, const WalTxn& b) { return a.tid < b.tid; });
   {
-    std::unique_lock<std::shared_mutex> lock(publish_mu_);
+    WriterMutexLock lock(publish_mu_);
     WriteArena arena;
     for (const WalTxn& t : *window) {
       for (const WalOp& op : t.ops) {
         ApplyWalOp(&store_, op, t.tid, &arena);
       }
     }
+    // Progress counters are stats: only applied_cut_tid_ / published_cuts_ carry
+    // release ordering (View readers acquire them); the rest are racy-read gauges.
     DOPPEL_CHECK(cut.cut_tid >= applied_cut_tid_.load(std::memory_order_relaxed));
     applied_cut_tid_.store(cut.cut_tid, std::memory_order_release);
     applied_txns_.fetch_add(window->size(), std::memory_order_relaxed);
@@ -86,9 +87,8 @@ void Replica::PublishWindow(std::vector<WalTxn>* window, const WalCut& cut) {
   }
   const std::uint64_t now = NowNanos();
   if (now > cut.wall_ns && cut.wall_ns != 0) {
-    hist_mu_.lock();
+    SpinlockGuard lock(hist_mu_);
     publish_lag_.Record(now - cut.wall_ns);
-    hist_mu_.unlock();
   }
   window->clear();
   if (opts_.on_publish) {
@@ -109,12 +109,13 @@ void Replica::TailerMain() {
       CheckpointStats ck;
       bool loaded = false;
       {
-        std::unique_lock<std::shared_mutex> lock(publish_mu_);
+        WriterMutexLock lock(publish_mu_);
         loaded = Checkpoint::TryLoad(dir_ + "/" + m.checkpoint, &store_, &ck);
       }
       if (loaded) {
         // The checkpoint was taken right after a cut at the same barrier, so its
-        // max_tid IS a cut TID: the replica starts cut-aligned.
+        // max_tid IS a cut TID: the replica starts cut-aligned. The record count is
+        // a stats gauge (relaxed); the cut TID store is the release publication.
         applied_cut_tid_.store(ck.max_tid, std::memory_order_release);
         bootstrap_records_.store(ck.records, std::memory_order_relaxed);
         break;
@@ -145,6 +146,8 @@ void Replica::TailerMain() {
     WalEntry e;
     const SegmentTailer::Status st = tailer->Next(&e);
     if (st == SegmentTailer::Status::kEntry) {
+      // Shipping gauges for progress(): single-writer (tailer thread), racy readers
+      // tolerate any interleaving, nothing is published through them — relaxed.
       shipped_entries_.fetch_add(1, std::memory_order_relaxed);
       shipped_bytes_.store(shipped_base + tailer->payload_consumed(),
                            std::memory_order_relaxed);
@@ -175,6 +178,7 @@ void Replica::TailerMain() {
         ++cur;
         tailer = std::make_unique<SegmentTailer>(seg_path(cur));
         tail_segment_.store(cur, std::memory_order_release);
+        // Gauge reset; readers pair it with the release store of tail_segment_.
         tail_consumed_.store(0, std::memory_order_relaxed);
         if (primary_ != nullptr) {
           primary_->AdvanceRetentionLease(lease_id_, cur);
@@ -264,6 +268,8 @@ ReplicaProgress Replica::progress() const {
   p.halted = halted_.load(std::memory_order_acquire);
   p.applied_cut_tid = applied_cut_tid_.load(std::memory_order_acquire);
   p.published_cuts = published_cuts_.load(std::memory_order_acquire);
+  // The remaining fields are racy gauges (progress() is documented point-in-time
+  // racy); only the cut TID / cut count above pair with the publisher's releases.
   p.applied_txns = applied_txns_.load(std::memory_order_relaxed);
   p.pending_txns = pending_txns_.load(std::memory_order_relaxed);
   p.shipped_entries = shipped_entries_.load(std::memory_order_relaxed);
@@ -306,10 +312,8 @@ ReplicaProgress Replica::progress() const {
 }
 
 LatencyHistogram Replica::PublishLagHistogram() const {
-  hist_mu_.lock();
-  LatencyHistogram h = publish_lag_;
-  hist_mu_.unlock();
-  return h;
+  SpinlockGuard lock(hist_mu_);
+  return publish_lag_;
 }
 
 bool Replica::WaitForCutTid(std::uint64_t tid, std::uint64_t timeout_ms) const {

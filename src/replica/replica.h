@@ -48,6 +48,7 @@
 
 #include "src/common/function_ref.h"
 #include "src/common/histogram.h"
+#include "src/common/mutex.h"
 #include "src/common/spinlock.h"
 #include "src/persist/log_reader.h"
 #include "src/store/store.h"
@@ -137,7 +138,11 @@ class Replica {
 
    private:
     const Replica& r_;
-    std::shared_lock<std::shared_mutex> lock_;
+    // std::shared_lock over the annotated wrapper, not ReaderMutexLock: the analysis
+    // cannot model a scoped capability held as a class member (the View outlives the
+    // constructor that acquired it). The exclusive side is fully checked in
+    // PublishWindow; readers get the runtime lock with no analysis claims.
+    std::shared_lock<SharedMutex> lock_;
   };
 
   // One-shot conveniences (each takes its own View).
@@ -163,7 +168,8 @@ class Replica {
  private:
   void TailerMain();
   // Applies the buffered cut window (sorted by TID) and publishes `cut`.
-  void PublishWindow(std::vector<WalTxn>* window, const WalCut& cut);
+  void PublishWindow(std::vector<WalTxn>* window, const WalCut& cut)
+      EXCLUDES(publish_mu_);
 
   const std::string dir_;
   const ReplicaOptions opts_;
@@ -176,7 +182,7 @@ class Replica {
 
   // Exclusive while a cut window is applied; shared for every read. Everything a
   // reader can observe through the store mutates only under the exclusive side.
-  mutable std::shared_mutex publish_mu_;
+  mutable SharedMutex publish_mu_;
 
   std::atomic<std::uint64_t> applied_cut_tid_{0};
   std::atomic<std::uint64_t> published_cuts_{0};
@@ -193,7 +199,7 @@ class Replica {
   std::atomic<bool> halted_{false};
 
   mutable Spinlock hist_mu_;
-  LatencyHistogram publish_lag_;  // guarded by hist_mu_
+  LatencyHistogram publish_lag_ GUARDED_BY(hist_mu_);
 };
 
 // Convenience: builds a Replica on `db`'s persistence directory, attaches it to the

@@ -12,6 +12,7 @@ OrderedIndex::OrderedIndex() : slots_(kMaxTables) {}
 
 OrderedIndex::~OrderedIndex() {
   for (Slot& s : slots_) {
+    // Destructor: no concurrent access remains, any order suffices.
     delete s.index.load(std::memory_order_relaxed);
   }
 }
@@ -39,6 +40,9 @@ OrderedIndex::TableIndex& OrderedIndex::CreateTable(std::uint64_t table,
   const std::uint64_t tag = table + 1;
   std::size_t i = static_cast<std::size_t>(Mix64(table)) % kMaxTables;
   for (std::size_t probes = 0; probes < kMaxTables; ++probes) {
+    // Creation is serialized by create_mu_ (callers hold it), so the probe reads are
+    // relaxed; the tag release-store below is what publishes the slot to lock-free
+    // readers, ordering the index store before it.
     if (slots_[i].tag.load(std::memory_order_relaxed) == 0) {
       auto* idx = new TableIndex(table, cfg);
       slots_[i].index.store(idx, std::memory_order_relaxed);
@@ -102,15 +106,18 @@ void OrderedIndex::Insert(const Key& key, Record* r) {
     const unsigned s = t.shift.load(std::memory_order_acquire);
     IndexPartition& part = t.partitions[t.PartitionWithShift(key.lo, s)];
     part.mu.lock();
+    // Relaxed shift re-check: NarrowTable publishes the new shift while holding every
+    // partition lock, so holding ours orders the read — a stale value is impossible,
+    // only a changed one (lost the race: re-bin under the new boundaries).
     if (t.shift.load(std::memory_order_relaxed) != s) {
-      // Lost a race with NarrowTable (which holds every partition lock while it moves
-      // entries and publishes the new shift): re-bin under the new boundaries.
       part.mu.unlock();
       continue;
     }
     const bool inserted = part.entries.emplace(key.lo, r).second;
     if (inserted) {
       part.version.fetch_add(1, std::memory_order_release);
+      // Telemetry (cumulative counter) and the max-key high-water mark are read only
+      // by the coordinator at barriers or by stats snapshots: racy reads fine.
       part.inserts.fetch_add(1, std::memory_order_relaxed);
       std::uint64_t cur = t.max_key.load(std::memory_order_relaxed);
       while (key.lo > cur &&
@@ -122,7 +129,9 @@ void OrderedIndex::Insert(const Key& key, Record* r) {
   }
 }
 
-bool OrderedIndex::NarrowTable(TableIndex& t, unsigned new_shift) {
+// Loop-acquired full partition lock set — outside the function-local analysis.
+bool OrderedIndex::NarrowTable(TableIndex& t, unsigned new_shift)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (t.partitions.size() < 2 || new_shift >= t.shift.load(std::memory_order_acquire)) {
     return false;
   }
@@ -171,12 +180,14 @@ OrderedIndex::TableStats OrderedIndex::StatsFor(std::uint64_t table) const {
   st.shift = t->shift.load(std::memory_order_acquire);
   st.partitions = t->partitions.size();
   st.adaptive = t->adaptive;
+  // Stats snapshot: cumulative telemetry counters, racy reads by contract.
   st.rebins = t->rebins.load(std::memory_order_relaxed);
   st.max_key = t->max_key.load(std::memory_order_relaxed);
   for (const IndexPartition& p : t->partitions) {
     p.mu.lock();
     st.entries += p.entries.size();
     p.mu.unlock();
+    // Same: cumulative telemetry, racy reads by contract.
     st.inserts += p.inserts.load(std::memory_order_relaxed);
     st.scan_conflicts += p.scan_conflicts.load(std::memory_order_relaxed);
   }
@@ -187,6 +198,8 @@ std::uint64_t OrderedIndex::SnapshotRange(
     IndexPartition& part, std::uint64_t lo, std::uint64_t hi, std::size_t max_items,
     std::vector<std::pair<std::uint64_t, Record*>>* out) {
   part.mu.lock();
+  // Relaxed under part.mu: every version bump happens while holding the same lock,
+  // so this read is ordered with all of them by the lock itself.
   const std::uint64_t version = part.version.load(std::memory_order_relaxed);
   for (auto it = part.entries.lower_bound(lo); it != part.entries.end() && it->first <= hi;
        ++it) {

@@ -64,7 +64,7 @@ struct IndexPartition {
   // Bumped under `mu` by every structural insert; read without `mu` by OCC validation.
   std::atomic<std::uint64_t> version{0};
   // Ordered by key lo. Values are stable Record pointers (records never move or die).
-  std::map<std::uint64_t, Record*> entries;
+  std::map<std::uint64_t, Record*> entries GUARDED_BY(mu);
   // Transaction-duration phantom lock for the 2PL engine (unused by OCC/Doppel).
   RWSpinlock rw;
   // ---- Telemetry (cumulative, relaxed) ----
@@ -178,7 +178,9 @@ class OrderedIndex {
   // — the Doppel coordinator guarantees this by narrowing only at phase barriers with
   // every worker quiesced; concurrent *inserts* are safe (Insert re-checks the shift
   // under the partition lock and re-bins itself).
-  bool NarrowTable(TableIndex& t, unsigned new_shift);
+  // Unanalyzable lock set: acquires every partition spinlock of `t` in a loop, which
+  // the function-local thread-safety analysis cannot express.
+  bool NarrowTable(TableIndex& t, unsigned new_shift) NO_THREAD_SAFETY_ANALYSIS;
 
   // Calls fn(TableIndex&) for every registered table. Iteration is lock-free and safe
   // against concurrent table creation (newly created tables may or may not be seen).
@@ -195,6 +197,7 @@ class OrderedIndex {
   void ForEachTable(Fn&& fn) const {
     for (const Slot& s : slots_) {
       if (s.tag.load(std::memory_order_acquire) != 0) {
+        // tag is published after index (release), so the acquire above orders this.
         fn(const_cast<const TableIndex&>(*s.index.load(std::memory_order_relaxed)));
       }
     }

@@ -28,6 +28,9 @@ Record::IntSnapshot Record::ReadInt() const {
       CpuRelax();
       continue;
     }
+    // Seqlock read: the data loads are relaxed — the acquire load of w1 above orders
+    // them after the writer's release of a stable word, and the acquire fence + w2
+    // re-check below detects any writer that intervened (retry on mismatch).
     const std::int64_t v = ival_.load(std::memory_order_relaxed);
     const bool present = present_.load(std::memory_order_relaxed) != 0;
     std::atomic_thread_fence(std::memory_order_acquire);
@@ -48,6 +51,8 @@ Record::ComplexSnapshot Record::ReadComplex() const {
     }
     val_lock_.lock();
     ComplexValue copy = complex_;
+    // Same seqlock discipline as ReadInt: relaxed data loads bracketed by the w1
+    // acquire above and the fence + w2 re-check below (retry on mismatch).
     const bool present = present_.load(std::memory_order_relaxed) != 0;
     val_lock_.unlock();
     std::atomic_thread_fence(std::memory_order_acquire);

@@ -135,6 +135,8 @@ class Record {
     val_lock_.lock();
     fn(complex_);
     val_lock_.unlock();
+    // Relaxed: the caller holds the OCC lock bit; readers observe presence only
+    // through a seqlock-validated snapshot ordered by the TID-word release.
     present_.store(1, std::memory_order_relaxed);
   }
 
@@ -192,7 +194,9 @@ class Record {
   std::atomic<std::uint8_t> split_op_{kNotSplit};
   std::atomic<std::int32_t> slice_index_{-1};
   std::uint32_t topk_k_ = 0;
-  ComplexValue complex_;
+  // Physical copy/mutate protection only; *logical* visibility of a complex write
+  // still rides on the TID-word seqlock (see ReadComplex).
+  ComplexValue complex_ GUARDED_BY(val_lock_);
 };
 
 }  // namespace doppel

@@ -13,6 +13,7 @@ RecordMap::RecordMap(std::size_t capacity_hint)
 
 RecordMap::~RecordMap() {
   for (Bucket& b : buckets_) {
+    // Destructor: no concurrent access remains, any order suffices.
     Record* r = b.head.load(std::memory_order_relaxed);
     while (r != nullptr) {
       Record* next = r->hash_next.load(std::memory_order_relaxed);
@@ -57,9 +58,13 @@ Record* RecordMap::GetOrCreate(const Key& key, RecordType type, std::size_t topk
     }
   }
   auto* rec = new Record(key, type, topk_k);
+  // Chain writes stay relaxed: only the head release-store below publishes the new
+  // record (readers reach hash_next through it with acquire loads). The stripe lock
+  // already orders us against other inserters.
   rec->hash_next.store(b.head.load(std::memory_order_relaxed), std::memory_order_relaxed);
   b.head.store(rec, std::memory_order_release);
   stripe.unlock();
+  // Size gauge; racy reads by contract (size() documents call-time semantics).
   size_.fetch_add(1, std::memory_order_relaxed);
   if (created != nullptr) {
     *created = true;

@@ -37,6 +37,7 @@ class RecordMap {
   Record* GetOrCreate(const Key& key, RecordType type, std::size_t topk_k = TopKSet::kDefaultK,
                       bool* created = nullptr);
 
+  // Racy gauge (relaxed): exact only when no insert is in flight.
   std::size_t size() const { return size_.load(std::memory_order_relaxed); }
   std::size_t bucket_count() const { return buckets_.size(); }
 

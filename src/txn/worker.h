@@ -37,8 +37,9 @@ struct SubmitTicket {
   // TxnHandle::OnComplete hook. cb_mu orders callback registration against completion:
   // whichever side arrives second delivers the callback exactly once.
   Spinlock cb_mu;
-  bool finished = false;  // guarded by cb_mu
-  std::function<void(const TxnResult&)> callback;  // guarded by cb_mu until finished
+  bool finished GUARDED_BY(cb_mu) = false;
+  // Held under cb_mu until `finished`; the completing side moves it out.
+  std::function<void(const TxnResult&)> callback GUARDED_BY(cb_mu);
 
   TxnResult result() const {
     return TxnResult{state.load(std::memory_order_acquire) == 1,

@@ -17,6 +17,7 @@ TxnRequest Incr1Source::Next(Worker& w) {
   TxnRequest r;
   r.proc = &IncrProc;
   r.args.tag = kTagWrite;
+  // Benchmark knob: which key is hot may lag a rotation by a request; no ordering.
   const std::uint64_t hot = hot_index_->load(std::memory_order_relaxed);
   if (w.rng.Chance(hot_pct_)) {
     r.args.k1 = IncrKey(hot);

@@ -1,0 +1,33 @@
+// Positive control for guarded_by_violation.cc: identical shape, but every
+// access to the GUARDED_BY member holds the mutex. This translation unit MUST
+// compile cleanly under clang -Werror=thread-safety. It guards the negative
+// check against false confidence: if this file failed too (broken include path,
+// bad flag), the violation fixture's failure would prove nothing.
+#include "src/common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    doppel::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int GuardedRead() const {
+    doppel::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable doppel::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.GuardedRead();
+}

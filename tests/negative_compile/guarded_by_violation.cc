@@ -1,0 +1,32 @@
+// Negative-compile fixture: accessing a GUARDED_BY member without holding its
+// mutex. Under clang with -Werror=thread-safety this translation unit MUST fail
+// to compile; CMake's configure-time try_compile asserts exactly that (see the
+// thread-safety teeth check in CMakeLists.txt). If it ever starts compiling, the
+// annotation macros have silently become no-ops under clang and every contract
+// in src/ is unenforced. Compare guarded_by_ok.cc, the positive control.
+#include "src/common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    doppel::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BAD: reads value_ with mu_ not held — the line this fixture exists for.
+  int UnguardedRead() const { return value_; }
+
+ private:
+  mutable doppel::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.UnguardedRead();
+}
