@@ -1,0 +1,132 @@
+// Insert/delete churn: does the store's memory stay bounded when keys come and go?
+//
+// Every transaction PutInts a never-reused key and deletes the previous one, so the
+// live set is one row per worker while the key space churns without end. Before this
+// repo grew transactional deletes + epoch reclamation, each churned key left one
+// permanently-allocated record behind — Store::size() and RSS grew linearly with
+// committed transactions. With reclamation on, the epoch sweeper frees records two
+// epochs after their delete commits, and both gauges flatline.
+//
+// Rows: reclaim-on per protocol, then reclaim-off last (its leaked records return to
+// the allocator only at teardown; running it first would hand later rows a warm free
+// pool and mask their RSS growth). The no-reclaim row also demonstrates the record-map
+// load-factor warning once leaked chains pass 4 records/bucket.
+#include <memory>
+
+#include "bench/bench_common.h"
+
+namespace doppel {
+namespace {
+
+constexpr std::uint64_t kChurnTable = 5;  // clear of INCR (0) and RUBiS (16+) tables
+// Per-worker disjoint key ranges; ids only ever move forward, so no key is reused.
+constexpr std::uint64_t kWorkerStride = 1ULL << 40;
+
+void ChurnProc(Txn& t, const TxnArgs& a) {
+  t.PutInt(a.k1, 1);
+  if (a.n != 0) {
+    t.Delete(a.k2);
+  }
+}
+
+class ChurnSource : public TxnSource {
+ public:
+  TxnRequest Next(Worker& w) override {
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(w.id) * kWorkerStride + next_++;
+    TxnRequest r;
+    r.proc = &ChurnProc;
+    r.args.tag = kTagWrite;
+    r.args.k1 = Key::Table(kChurnTable, id);
+    r.args.k2 = Key::Table(kChurnTable, id - 1);
+    r.args.n = next_ > 1 ? 1 : 0;  // the first transaction has no predecessor
+    return r;
+  }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+// Current resident set, bytes, from /proc/self/status (0 if unreadable). Sampled
+// before/after each row so growth is attributed per configuration.
+std::size_t ReadRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %zu kB", &kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  struct Config {
+    const char* name;
+    Protocol proto;
+    bool reclaim;
+  };
+  const Config configs[] = {
+      {"occ+reclaim", Protocol::kOcc, true},
+      {"2pl+reclaim", Protocol::kTwoPL, true},
+      {"doppel+reclaim", Protocol::kDoppel, true},
+      {"occ-noreclaim", Protocol::kOcc, false},
+  };
+
+  std::printf("Insert/delete churn: 1 fresh insert + 1 delete per txn, keys never "
+              "reused\n");
+  std::printf("threads=%d phase=%llums (reclaim-off last: leaked records are only "
+              "returned at teardown)\n\n",
+              flags.ResolvedThreads(),
+              static_cast<unsigned long long>(flags.phase_ms));
+
+  Table table({"config", "txns/s", "records", "load", "reclaimed", "epochs",
+               "rss_growth"});
+  for (const Config& cfg : configs) {
+    RunStats tput;
+    RunMetrics last;
+    std::uint64_t epochs = 0;
+    std::size_t rss_growth = 0;
+    for (int run = 0; run < flags.Runs(); ++run) {
+      Options opts =
+          bench::BaseOptions(flags, cfg.proto, std::size_t{1} << 16);
+      opts.reclaim.enabled = cfg.reclaim;
+      opts.reclaim.tick_period = 16;          // sweep often: the point is reclamation
+      opts.reclaim.chunk_buckets = 1 << 14;   // cover the whole map every few steps
+      auto db = std::make_unique<Database>(opts);
+      const std::size_t rss_before = ReadRssBytes();
+      const RunMetrics m = RunWorkload(
+          *db, [](int) { return std::make_unique<ChurnSource>(); },
+          flags.MeasureMs(/*default_seconds=*/0.4),
+          /*warmup_ms=*/flags.full ? 500 : 100);
+      const std::size_t rss_after = ReadRssBytes();
+      tput.Add(m.throughput);
+      last = m;
+      epochs = db->reclaimer() != nullptr ? db->reclaimer()->epochs().global() : 0;
+      rss_growth = rss_after > rss_before ? rss_after - rss_before : 0;
+    }
+    table.AddRow({cfg.name, FormatCount(tput.mean()),
+                  FormatCount(static_cast<double>(last.store_records)),
+                  FormatDouble(last.store_load_factor, 2),
+                  FormatCount(static_cast<double>(last.reclaimed_records)),
+                  std::to_string(epochs),
+                  FormatBytes(static_cast<double>(rss_growth))});
+  }
+  table.Print();
+  if (flags.csv) {
+    table.PrintCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -28,7 +28,7 @@ TxnResult TxnHandle::Wait() const {
     ticket_->state.wait(0, std::memory_order_acquire);
     state = ticket_->state.load(std::memory_order_acquire);
   }
-  return TxnResult{state == 1, ticket_->attempts.load(std::memory_order_relaxed)};
+  return ticket_->result();
 }
 
 bool TxnHandle::TryGet(TxnResult* out) const {
@@ -37,7 +37,7 @@ bool TxnHandle::TryGet(TxnResult* out) const {
   if (state == 0) {
     return false;
   }
-  *out = TxnResult{state == 1, ticket_->attempts.load(std::memory_order_relaxed)};
+  *out = ticket_->result();
   return true;
 }
 
@@ -110,6 +110,13 @@ Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
     case Protocol::kAtomic:
       engine_ = std::make_unique<AtomicEngine>(store_);
       break;
+  }
+  // Epoch reclamation rides the worker loop of every locking protocol. The Atomic
+  // engine is excluded: its writers flip presence without any lock, so the sweeper's
+  // try-lock proof of quiescence does not hold there.
+  if (opts_.reclaim.enabled && opts_.protocol != Protocol::kAtomic) {
+    reclaimer_ = std::make_unique<EpochReclaimer>(
+        store_, static_cast<std::size_t>(opts_.num_workers), opts_.reclaim);
   }
 }
 
@@ -215,6 +222,13 @@ void Database::Stop() {
       AbandonPendingTxn(std::move(pt));
     }
   }
+  if (reclaimer_ != nullptr) {
+    // Workers are joined: free the pending limbo generation and run one final full-map
+    // sweep so post-Stop observers (tests, reports) see the exact reclaimed state.
+    Worker& w0 = *workers_.front();
+    reclaimer_->DrainAtShutdown(
+        [&w0](std::uint64_t max_seen) { return w0.GenerateTid(max_seen); });
+  }
   if (wal_ != nullptr) {
     // Workers are joined: every committed transaction has been appended, and the
     // system is fully quiesced — the strongest consistency point there is. Seal the
@@ -261,6 +275,12 @@ void Database::WorkerMain(Worker& w, TxnSource* source) {
   const int batch = worker_batch_;
   while (!stop_workers_.load(std::memory_order_relaxed)) {
     engine_->BetweenTxns(w);
+    if (reclaimer_ != nullptr) {
+      // Transaction boundary: this worker holds no record pointers, the moment the
+      // epoch protocol counts. Worker 0's tick additionally drives sweep/free steps.
+      reclaimer_->Tick(static_cast<std::size_t>(w.id),
+                       [&w](std::uint64_t max_seen) { return w.GenerateTid(max_seen); });
+    }
 
     const std::uint64_t now = NowNanos();
     w.clock_ns = now;
@@ -424,6 +444,7 @@ Database::Stats Database::CollectStats() const {
     s.conflicts += w->conflicts;
     s.stash_events += w->stash_events;
     s.user_aborts += w->user_aborts;
+    s.type_mismatch_aborts += w->type_mismatch_aborts;
     for (int t = 0; t < kNumTags; ++t) {
       s.committed_by_tag[t] += w->committed_by_tag[t];
       s.latency_by_tag[t].Merge(w->latency_by_tag[t]);

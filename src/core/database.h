@@ -48,6 +48,7 @@
 #include "src/core/options.h"
 #include "src/core/runner.h"
 #include "src/persist/wal.h"
+#include "src/store/epoch.h"
 #include "src/store/store.h"
 #include "src/txn/engine.h"
 
@@ -165,6 +166,7 @@ class Database {
     std::uint64_t conflicts = 0;
     std::uint64_t stash_events = 0;
     std::uint64_t user_aborts = 0;
+    std::uint64_t type_mismatch_aborts = 0;
     std::uint64_t committed_by_tag[kNumTags] = {};
     LatencyHistogram latency_by_tag[kNumTags];
   };
@@ -173,6 +175,10 @@ class Database {
 
   // Doppel introspection: split records in the most recent plan (0 otherwise).
   std::size_t LastPlanSize() const { return doppel_ ? doppel_->LastPlanSize() : 0; }
+
+  // Epoch reclaimer introspection; nullptr when reclamation is off (Options::reclaim
+  // disabled, or the Atomic protocol).
+  const EpochReclaimer* reclaimer() const { return reclaimer_.get(); }
 
   // Non-null when Options::wal_dir is set.
   WriteAheadLog* wal() { return wal_.get(); }
@@ -207,6 +213,7 @@ class Database {
   Options opts_;
   int worker_batch_ = 16;  // opts_.worker_batch clamped to [1, kMaxWorkerBatch]
   Store store_;
+  std::unique_ptr<EpochReclaimer> reclaimer_;  // null: reclamation off (Atomic, opt-out)
   std::unique_ptr<WriteAheadLog> wal_;
   RecoveryResult recovery_;
   std::atomic<bool> stop_coord_{false};

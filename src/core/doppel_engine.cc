@@ -226,6 +226,10 @@ void DoppelEngine::PrepareSlices(Worker& w) {
 void DoppelEngine::MarkSplitManually(const Key& key, OpCode op, std::size_t topk_k) {
   DOPPEL_CHECK(IsSplittable(op));
   Record* r = store_.GetOrCreate(key, OpRecordType(op), topk_k);
+  // Manual labels hold this pointer for the engine's lifetime: pin it (never unpinned)
+  // so a delete of the key can empty the record but never reclaim it out from under
+  // the plan builder.
+  r->Pin();
   manual_.push_back(Labeled{r, op});
 }
 
@@ -466,6 +470,11 @@ void DoppelEngine::BarrierBuildPlan() {
   }
   for (const Labeled& rt : retained_) {
     add(rt.record, rt.op);
+    // The cross-phase pin taken at BarrierAfterReconcile has done its job: the record
+    // is now either split-marked (sweeper-exempt) or dropped from the plan (no pointer
+    // outlives this loop). Workers — including the sweeping one — are parked at this
+    // barrier, so the pin transition cannot race a sweep.
+    rt.record->Unpin();
   }
   for (const Candidate& cand : cands) {
     add(cand.record, cand.op);
@@ -580,6 +589,11 @@ void DoppelEngine::TuneAdaptiveTables() {
 }
 
 void DoppelEngine::BarrierAfterReconcile() {
+  // Normally empty here (BarrierBuildPlan consumed-and-unpinned it); on a shutdown path
+  // that skipped plan building, drop the stale pins so the balance stays exact.
+  for (const Labeled& rt : retained_) {
+    rt.record->Unpin();
+  }
   retained_.clear();
   if (plan_ == nullptr) {
     return;
@@ -593,6 +607,12 @@ void DoppelEngine::BarrierAfterReconcile() {
     const bool stash_heavy =
         static_cast<double>(stashes) > c.unsplit_stash_ratio * static_cast<double>(writes);
     if (writes >= c.min_split_writes && !stash_heavy) {
+      // retained_ carries this pointer across the coming joined phase, during which the
+      // record is no longer split-marked (ClearSplit below) and so would be fair game
+      // for the epoch sweeper if its key were deleted. Pin before clearing the split
+      // mark; BarrierBuildPlan unpins once the next plan is built. Workers are parked
+      // at this barrier, so pin-before-clear cannot race a sweep.
+      e.record->Pin();
       retained_.push_back(Labeled{e.record, e.op});
     } else if (stash_heavy && stashes > 0) {
       // Reads dominate: move the record back to reconciled and damp oscillation.

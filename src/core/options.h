@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/store/epoch.h"
+
 namespace doppel {
 
 enum class Protocol : std::uint8_t {
@@ -83,6 +85,10 @@ struct Options {
 
   ClassifierOptions classifier;
   IndexTuneOptions index_tune;
+  // Epoch-based reclamation of deleted records (src/store/epoch.h). Ignored — treated
+  // as disabled — under Protocol::kAtomic, whose lock-free writers defeat the sweep
+  // protocol's try-lock proof.
+  ReclaimOptions reclaim;
   // Disable automatic detection; only manually labeled records split (ablation §5.5).
   bool manual_split_only = false;
 

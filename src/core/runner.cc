@@ -11,9 +11,10 @@ namespace {
 
 // Delivers the terminal outcome of a submitted transaction: the POD completion slot
 // first, then the ticket (handle waiters, OnComplete callback, drain counter). Runs on
-// the worker thread that finished the transaction.
-void CompleteSubmission(PendingTxn& pt, bool committed) {
-  const TxnResult result{committed, pt.attempts + 1};
+// the worker thread that finished the transaction. `abort` == kNone means committed.
+void CompleteSubmission(PendingTxn& pt, TxnAbort abort) {
+  const bool committed = abort == TxnAbort::kNone;
+  const TxnResult result{committed, pt.attempts + 1, abort};
   if (pt.req.on_complete != nullptr) {
     pt.req.on_complete(result, pt.req.on_complete_ctx);
   }
@@ -23,7 +24,8 @@ void CompleteSubmission(PendingTxn& pt, bool committed) {
   SubmitTicket& t = *pt.ticket;
   // attempts rides on the state release-store below: waiters acquire state first.
   t.attempts.store(result.attempts, std::memory_order_relaxed);
-  t.state.store(committed ? 1 : 2, std::memory_order_release);
+  t.state.store(committed ? 1 : (abort == TxnAbort::kTypeMismatch ? 3 : 2),
+                std::memory_order_release);
   t.state.notify_all();
   std::function<void(const TxnResult&)> cb;
   {
@@ -44,7 +46,7 @@ void CompleteSubmission(PendingTxn& pt, bool committed) {
 
 }  // namespace
 
-void AbandonPendingTxn(PendingTxn&& pt) { CompleteSubmission(pt, /*committed=*/false); }
+void AbandonPendingTxn(PendingTxn&& pt) { CompleteSubmission(pt, TxnAbort::kUser); }
 
 void ScheduleRetry(Worker& w, const RunnerConfig& cfg, PendingTxn&& pt) {
   pt.attempts++;
@@ -90,9 +92,18 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
   } catch (const UserAbortSignal&) {
     engine.Abort(w, txn);
     w.user_aborts++;
-    CompleteSubmission(pt, /*committed=*/false);
+    CompleteSubmission(pt, TxnAbort::kUser);
     w.clock_ns = NowNanos();  // rare exit: keep the batched source stamp honest
     return RunOutcome::kUserAborted;
+  } catch (const TypeMismatchSignal&) {
+    // The key exists with a different record type. Deterministic: a retry would hit the
+    // same record again, so this is terminal like a user abort, with its own result
+    // code so callers can tell a schema bug from an intentional rollback.
+    engine.Abort(w, txn);
+    w.type_mismatch_aborts++;
+    CompleteSubmission(pt, TxnAbort::kTypeMismatch);
+    w.clock_ns = NowNanos();  // rare exit: keep the batched source stamp honest
+    return RunOutcome::kTypeMismatchAborted;
   }
 
   if (txn.stash_doomed()) {
@@ -140,7 +151,7 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
     const std::uint64_t latency = end_ns - submit_ns;
     w.latency_by_tag[tag].Record(latency == 0 ? 1 : latency);
   }
-  CompleteSubmission(pt, /*committed=*/true);
+  CompleteSubmission(pt, TxnAbort::kNone);
   return RunOutcome::kCommitted;
 }
 

@@ -28,6 +28,7 @@ enum class RunOutcome {
   kRetryScheduled,
   kStashed,
   kUserAborted,
+  kTypeMismatchAborted,  // terminal: the key exists with a different record type
 };
 
 // Pushes `pt` onto the worker's retry heap with exponential backoff + jitter.

@@ -34,6 +34,9 @@ bool ParseTxnBody(ByteCursor* entry, WalTxn* txn) {
     if (!ok) {
       return false;
     }
+    if (code >= kNumOps) {
+      return false;  // op code from a future format (or corruption the CRC missed)
+    }
     op.op = static_cast<OpCode>(code);
     txn->ops.push_back(std::move(op));
   }
@@ -109,7 +112,7 @@ SegmentTailer::Status SegmentTailer::Next(WalEntry* out) {
     c.Read(&version_);
     c.Read(&segment_number_);
     if (magic != kWalSegmentMagic ||
-        (version_ != 1 && version_ != kWalSegmentVersion)) {
+        (version_ != 1 && version_ != 2 && version_ != kWalSegmentVersion)) {
       return Status::kCorrupt;
     }
     Consume(kWalSegmentHeaderBytes);
@@ -188,8 +191,19 @@ bool ParseWalSegment(const std::string& path, std::vector<WalTxn>* txns,
 }
 
 void ApplyWalOp(Store* store, const WalOp& op, std::uint64_t tid, WriteArena* arena) {
-  Record* r = store->GetOrCreate(op.key, OpRecordType(op.op),
-                                 op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k);
+  const std::size_t topk_k = op.topk_k == 0 ? TopKSet::kDefaultK : op.topk_k;
+  // kDelete adapts to whatever type the key has (its OpRecordType is just the
+  // placeholder fallback); other ops must match.
+  Record* r = store->GetOrCreateUnchecked(op.key, OpRecordType(op.op), topk_k);
+  if (op.op != OpCode::kDelete && r->type() != OpRecordType(op.op)) {
+    // Deleted, reclaimed, then reinserted under a different type: live execution
+    // routed to a fresh record after the physical reclaim. Replay has no sweeper, so
+    // it mirrors the reclaim by replacing the record in place. A well-formed log only
+    // flips a key's type across a delete, so the old record must be absent — anything
+    // else means the log does not describe a legal history.
+    DOPPEL_CHECK(!r->PresentLocked());
+    r = store->ReplaceAbsent(op.key, OpRecordType(op.op), topk_k);
+  }
   PendingWrite w;
   w.record = r;
   w.op = op.op;
@@ -200,7 +214,13 @@ void ApplyWalOp(Store* store, const WalOp& op, std::uint64_t tid, WriteArena* ar
   r->LockOcc();
   const bool was_present = r->PresentLocked();
   ApplyWriteToRecord(w, *arena);
-  if (!was_present) {
+  if (op.op == OpCode::kDelete) {
+    // Symmetric index maintenance: a replayed delete takes the key out of the ordered
+    // index exactly like a live commit does.
+    if (was_present) {
+      store->index().Remove(op.key);
+    }
+  } else if (!was_present) {
     store->index().Insert(op.key, r);
   }
   r->UnlockOccSetTid(tid);

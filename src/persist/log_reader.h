@@ -33,8 +33,11 @@ namespace doppel {
 // ---- Wire-format constants (shared by the encoder in wal.cc) ----
 constexpr std::uint32_t kWalSegmentMagic = 0x4c415744;  // "DWAL"
 // v1: bare transaction payloads. v2: every entry payload starts with a type byte so
-// replication-cut records can ride in the same log.
-constexpr std::uint32_t kWalSegmentVersion = 2;
+// replication-cut records can ride in the same log. v3: op payloads may carry
+// OpCode::kDelete (the encoding is unchanged — the bump exists so pre-delete readers
+// reject segments whose op codes they would misinterpret). Readers here accept all
+// three; op codes are validated against kNumOps either way.
+constexpr std::uint32_t kWalSegmentVersion = 3;
 constexpr std::size_t kWalSegmentHeaderBytes =
     sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
 // An entry's payload can't plausibly exceed this; a larger length prefix is a tear or

@@ -15,6 +15,7 @@
 #include "src/persist/crc32.h"
 #include "src/persist/encoding.h"
 #include "src/persist/log_reader.h"
+#include "src/store/epoch.h"
 #include "src/txn/apply.h"
 
 namespace doppel {
@@ -142,38 +143,43 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
         ApplyWalOp(store, op, t.tid, &arena);
       }
     }
-    return result;
-  }
-
-  // Parallel replay: partition ops by key stripe so each record's redo sequence is
-  // applied by exactly one thread, in TID order (the txn list is already sorted). Final
-  // state per record depends only on that per-record sequence, so this matches serial
-  // replay; cross-record interleaving is unobservable in the recovered snapshot.
-  struct StripedOp {
-    std::uint64_t tid;
-    const WalOp* op;
-  };
-  std::vector<std::vector<StripedOp>> striped(static_cast<std::size_t>(threads));
-  for (const WalTxn& t : txns) {
-    for (const WalOp& op : t.ops) {
-      const std::size_t stripe =
-          static_cast<std::size_t>(op.key.Hash()) % static_cast<std::size_t>(threads);
-      striped[stripe].push_back(StripedOp{t.tid, &op});
+  } else {
+    // Parallel replay: partition ops by key stripe so each record's redo sequence is
+    // applied by exactly one thread, in TID order (the txn list is already sorted).
+    // Final state per record depends only on that per-record sequence, so this matches
+    // serial replay; cross-record interleaving is unobservable in the recovered
+    // snapshot.
+    struct StripedOp {
+      std::uint64_t tid;
+      const WalOp* op;
+    };
+    std::vector<std::vector<StripedOp>> striped(static_cast<std::size_t>(threads));
+    for (const WalTxn& t : txns) {
+      for (const WalOp& op : t.ops) {
+        const std::size_t stripe =
+            static_cast<std::size_t>(op.key.Hash()) % static_cast<std::size_t>(threads);
+        striped[stripe].push_back(StripedOp{t.tid, &op});
+      }
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      pool.emplace_back([store, &striped, i] {
+        WriteArena arena;
+        for (const StripedOp& s : striped[static_cast<std::size_t>(i)]) {
+          ApplyWalOp(store, *s.op, s.tid, &arena);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
     }
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) {
-    pool.emplace_back([store, &striped, i] {
-      WriteArena arena;
-      for (const StripedOp& s : striped[static_cast<std::size_t>(i)]) {
-        ApplyWalOp(store, *s.op, s.tid, &arena);
-      }
-    });
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
+  // Keys whose replayed history ends in a delete are logically absent but still
+  // allocated and linked. Nothing runs against the store until Start spawns workers,
+  // so free them now instead of waiting for the epoch machinery (a recovered log of
+  // churn would otherwise resurrect the leak it was fixed to avoid).
+  result.reclaimed_records = EpochReclaimer::SweepQuiescent(*store);
   return result;
 }
 

@@ -67,6 +67,9 @@ struct RecoveryResult {
   // Highest TID restored from checkpoint or segment replay; Database seeds every
   // worker's TID clock past this.
   std::uint64_t max_tid = 0;
+  // Records whose replayed history ends in a delete, freed by the end-of-recovery
+  // sweep (nothing else runs against the store yet, so no grace period is needed).
+  std::uint64_t reclaimed_records = 0;
   int replay_threads = 0;
 };
 

@@ -11,6 +11,7 @@
 #include "src/persist/checkpoint.h"
 #include "src/persist/manifest.h"
 #include "src/persist/wal.h"
+#include "src/store/epoch.h"
 
 namespace doppel {
 namespace {
@@ -74,7 +75,18 @@ void Replica::PublishWindow(std::vector<WalTxn>* window, const WalCut& cut) {
     for (const WalTxn& t : *window) {
       for (const WalOp& op : t.ops) {
         ApplyWalOp(&store_, op, t.tid, &arena);
+        if (op.op == OpCode::kDelete) {
+          ++deletes_since_sweep_;
+        }
       }
+    }
+    if (deletes_since_sweep_ >= kSweepAfterDeletes) {
+      // The exclusive publish lock excludes every View reader, so the store is
+      // quiescent here: deleted records are unlinked and freed immediately. Stats
+      // gauge below is racy-read by contract (progress()) — relaxed.
+      reclaimed_records_.fetch_add(EpochReclaimer::SweepQuiescent(store_),
+                                   std::memory_order_relaxed);
+      deletes_since_sweep_ = 0;
     }
     // Progress counters are stats: only applied_cut_tid_ / published_cuts_ carry
     // release ordering (View readers acquire them); the rest are racy-read gauges.
@@ -275,6 +287,7 @@ ReplicaProgress Replica::progress() const {
   p.shipped_entries = shipped_entries_.load(std::memory_order_relaxed);
   p.shipped_bytes = shipped_bytes_.load(std::memory_order_relaxed);
   p.bootstrap_records = bootstrap_records_.load(std::memory_order_relaxed);
+  p.reclaimed_records = reclaimed_records_.load(std::memory_order_relaxed);
   p.last_cut_wall_ns = last_cut_wall_ns_.load(std::memory_order_relaxed);
   const std::uint64_t tail_seg = tail_segment_.load(std::memory_order_acquire);
   p.tailing = tail_seg != 0;

@@ -80,6 +80,7 @@ struct ReplicaProgress {
   std::uint64_t shipped_entries = 0;   // WAL entries consumed (txns + cuts)
   std::uint64_t shipped_bytes = 0;     // entry bytes consumed (excl. segment headers)
   std::uint64_t bootstrap_records = 0; // records loaded from the checkpoint
+  std::uint64_t reclaimed_records = 0; // deleted records freed by publish-time sweeps
   std::uint64_t last_cut_wall_ns = 0;  // primary's clock at the latest published cut
   // Staleness bounds (0 until tailing / nothing published yet):
   // On-disk log bytes from the tailer's position to the end of the newest live
@@ -191,7 +192,13 @@ class Replica {
   std::atomic<std::uint64_t> shipped_entries_{0};
   std::atomic<std::uint64_t> shipped_bytes_{0};
   std::atomic<std::uint64_t> bootstrap_records_{0};
+  std::atomic<std::uint64_t> reclaimed_records_{0};
   std::atomic<std::uint64_t> last_cut_wall_ns_{0};
+  // Replayed deletes since the last publish-time sweep. Tailer-thread-only state
+  // (PublishWindow runs on the tailer); a sweep triggers once it crosses the
+  // threshold, so the replica's store stays bounded under delete churn.
+  std::uint64_t deletes_since_sweep_ = 0;
+  static constexpr std::uint64_t kSweepAfterDeletes = 256;
   // Tailer position for lag accounting: current segment number (0 = still
   // bootstrapping; real segment numbers start at 1) and consumed offset within it.
   std::atomic<std::uint64_t> tail_segment_{0};

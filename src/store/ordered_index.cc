@@ -129,6 +129,34 @@ void OrderedIndex::Insert(const Key& key, Record* r) {
   }
 }
 
+void OrderedIndex::Remove(const Key& key) {
+  TableIndex* t = FindTable(key.hi);
+  if (t == nullptr) {
+    return;  // the key was never indexed (deleted while still absent)
+  }
+  while (true) {
+    const unsigned s = t->shift.load(std::memory_order_acquire);
+    IndexPartition& part = t->partitions[t->PartitionWithShift(key.lo, s)];
+    part.mu.lock();
+    // Relaxed shift re-check: same argument as Insert — NarrowTable publishes the new
+    // shift while holding every partition lock, so holding ours orders the read.
+    if (t->shift.load(std::memory_order_relaxed) != s) {
+      part.mu.unlock();
+      continue;
+    }
+    if (part.entries.erase(key.lo) != 0) {
+      // The phantom-delete guard: a scan that traversed this range (and so may have
+      // seen the key) revalidates against the bumped version and aborts.
+      part.version.fetch_add(1, std::memory_order_release);
+      // Telemetry (cumulative counters): racy stats reads by contract.
+      part.removes.fetch_add(1, std::memory_order_relaxed);
+      total_removes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    part.mu.unlock();
+    return;
+  }
+}
+
 // Loop-acquired full partition lock set — outside the function-local analysis.
 bool OrderedIndex::NarrowTable(TableIndex& t, unsigned new_shift)
     NO_THREAD_SAFETY_ANALYSIS {
@@ -189,6 +217,7 @@ OrderedIndex::TableStats OrderedIndex::StatsFor(std::uint64_t table) const {
     p.mu.unlock();
     // Same: cumulative telemetry, racy reads by contract.
     st.inserts += p.inserts.load(std::memory_order_relaxed);
+    st.removes += p.removes.load(std::memory_order_relaxed);
     st.scan_conflicts += p.scan_conflicts.load(std::memory_order_relaxed);
   }
   return st;

@@ -4,8 +4,11 @@
 // The store's RecordMap is an unordered hash table; this index layers an ordered view on
 // top of it. Records enter the index when they first become logically present (the
 // absent -> present transition happens under the record's OCC lock bit, so the engine
-// applying the write inserts race-free), and never leave: presence is monotonic in this
-// system, matching the insert-only RecordMap.
+// applying the write inserts race-free), and leave it when a committed delete makes them
+// absent again (the present -> absent transition holds the same lock, and Remove bumps
+// the partition version exactly like a structural insert does — a scan that traversed
+// the range revalidates and aborts, so deletions can no more slip under a scan than
+// phantom inserts can).
 //
 // Each table's key space ([lo] within the Key.hi namespace) is striped into contiguous
 // ranges. A partition is the phantom-protection unit: it carries a version counter bumped
@@ -63,13 +66,17 @@ struct IndexPartition {
   mutable Spinlock mu;
   // Bumped under `mu` by every structural insert; read without `mu` by OCC validation.
   std::atomic<std::uint64_t> version{0};
-  // Ordered by key lo. Values are stable Record pointers (records never move or die).
+  // Ordered by key lo. Values are stable Record pointers: an indexed record is
+  // logically present, and the epoch sweeper only reclaims absent (hence unindexed)
+  // records, so an entry can never dangle.
   std::map<std::uint64_t, Record*> entries GUARDED_BY(mu);
   // Transaction-duration phantom lock for the 2PL engine (unused by OCC/Doppel).
   RWSpinlock rw;
   // ---- Telemetry (cumulative, relaxed) ----
   // Structural inserts that landed in this stripe.
   std::atomic<std::uint64_t> inserts{0};
+  // Structural removals (committed deletes) from this stripe.
+  std::atomic<std::uint64_t> removes{0};
   // Scan conflicts charged to this stripe: OCC scan-set validation failures, OCC
   // read-set failures on records reached through a scan, 2PL partition-lock timeouts.
   std::atomic<std::uint64_t> scan_conflicts{0};
@@ -125,6 +132,7 @@ class OrderedIndex {
     bool adaptive = false;
     std::uint64_t entries = 0;
     std::uint64_t inserts = 0;
+    std::uint64_t removes = 0;
     std::uint64_t scan_conflicts = 0;
     std::uint64_t rebins = 0;
     std::uint64_t max_key = 0;
@@ -156,6 +164,13 @@ class OrderedIndex {
   // makes a committed insert visible to any scan that validates after the writer's
   // commit point.
   void Insert(const Key& key, Record* r);
+
+  // Removes `key` from its partition (a committed delete). Idempotent (removing an
+  // unindexed key is a no-op). Same locking contract as Insert: the caller holds the
+  // lock that made the record's present -> absent transition exclusive. A successful
+  // removal bumps the partition version — the delete-side twin of the phantom-insert
+  // guard, so a scan that saw the key aborts at validation.
+  void Remove(const Key& key);
 
   // The table's index, created on demand with the default PartitionConfig. Scans call
   // this (not FindTable) so that even a never-written table gets version-stamped
@@ -214,6 +229,11 @@ class OrderedIndex {
 
   std::size_t size(std::uint64_t table) const;  // entries across partitions (tests)
 
+  // Monotonic count of committed deletes across every table (per-partition `removes`
+  // telemetry summed would cost a directory walk; this single counter feeds the epoch
+  // sweeper's has-anything-changed hint instead).
+  std::uint64_t removes() const { return total_removes_.load(std::memory_order_relaxed); }
+
  private:
   struct Slot {
     // 0 = empty; otherwise table id + 1 (so table id 0 is representable).
@@ -226,6 +246,8 @@ class OrderedIndex {
 
   std::vector<Slot> slots_;
   Spinlock create_mu_;  // serializes table creation (rare: once per table)
+  // Cumulative gauge (see removes()); racy stats reads by contract — relaxed.
+  std::atomic<std::uint64_t> total_removes_{0};
 };
 
 }  // namespace doppel

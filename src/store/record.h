@@ -176,6 +176,33 @@ class Record {
     slice_index_.store(-1, std::memory_order_relaxed);
   }
 
+  // ---- Reclamation lifecycle (epoch sweeper, src/store/epoch.h) ----
+  // A record the sweeper has decided to unlink is marked dead first, under both its OCC
+  // lock bit and its 2PL rw lock, with a bumped TID. Dead is terminal: engines that find
+  // it after acquiring either lock treat the access as a conflict and re-route, readers
+  // whose seqlock snapshot carries the bumped TID abort via the dead check on the read
+  // path, and readers with an older TID fail commit validation. The physical free
+  // happens two epochs after the unlink.
+  bool IsDead() const { return dead_.load(std::memory_order_acquire) != 0; }
+  // Caller holds the OCC lock bit and the rw write lock (the sweeper).
+  void MarkDead() { dead_.store(1, std::memory_order_release); }
+
+  // Pin count: the Doppel classifier holds cross-phase Record* (manual labels,
+  // retained split candidates); a pinned record is never reclaimed. Coordinator-thread
+  // writes only, at phase barriers; the sweeper reads it racily, which is safe because
+  // pins only change while workers (including the sweeping worker) are parked at a
+  // barrier.
+  bool IsPinned() const { return pin_count_.load(std::memory_order_relaxed) != 0; }
+  void Pin() {
+    // Relaxed: coordinator-thread-only counter; visibility to the sweeping worker is
+    // provided by the phase barrier's release/acquire pair, not by this store.
+    pin_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Unpin() {
+    // Relaxed: same barrier-provided ordering as Pin().
+    pin_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   // Intrusive hash chain (owned by RecordMap).
   std::atomic<Record*> hash_next{nullptr};
 
@@ -192,6 +219,8 @@ class Record {
   RecordType type_;
   std::atomic<std::uint8_t> last_op_{0};  // OpCode::kGet until first applied write
   std::atomic<std::uint8_t> split_op_{kNotSplit};
+  std::atomic<std::uint8_t> dead_{0};
+  std::atomic<std::uint8_t> pin_count_{0};
   std::atomic<std::int32_t> slice_index_{-1};
   std::uint32_t topk_k_ = 0;
   // Physical copy/mutate protection only; *logical* visibility of a complex write

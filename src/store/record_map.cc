@@ -1,5 +1,6 @@
 #include "src/store/record_map.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/common/dassert.h"
@@ -64,11 +65,74 @@ Record* RecordMap::GetOrCreate(const Key& key, RecordType type, std::size_t topk
   rec->hash_next.store(b.head.load(std::memory_order_relaxed), std::memory_order_relaxed);
   b.head.store(rec, std::memory_order_release);
   stripe.unlock();
-  // Size gauge; racy reads by contract (size() documents call-time semantics).
+  // Size gauge + monotonic insert count; racy reads by contract (size()/created()
+  // document call-time semantics).
   size_.fetch_add(1, std::memory_order_relaxed);
+  created_.fetch_add(1, std::memory_order_relaxed);
   if (created != nullptr) {
     *created = true;
   }
+  return rec;
+}
+
+std::size_t RecordMap::SweepRange(std::size_t begin, std::size_t end,
+                                  FunctionRef<bool(Record&)> should_reclaim,
+                                  std::vector<Record*>* retired) {
+  end = std::min(end, buckets_.size());
+  std::size_t unlinked = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    Spinlock& stripe = insert_locks_[i & (kInsertStripes - 1)];
+    stripe.lock();
+    Bucket& b = buckets_[i];
+    std::atomic<Record*>* link = &b.head;
+    // Chain reads stay relaxed: the stripe lock excludes every chain *writer* (inserts
+    // and other sweeps), so each link holds the last value published under this lock.
+    Record* r = link->load(std::memory_order_relaxed);
+    while (r != nullptr) {
+      Record* next = r->hash_next.load(std::memory_order_relaxed);
+      if (should_reclaim(*r)) {
+        // Splice r out. Release so a concurrent lock-free reader that loads this link
+        // sees a fully-published successor. r's own hash_next is left intact: a reader
+        // already standing on r can still finish the chain until r is freed.
+        link->store(next, std::memory_order_release);
+        retired->push_back(r);
+        ++unlinked;
+      } else {
+        link = &r->hash_next;
+      }
+      r = next;
+    }
+    stripe.unlock();
+  }
+  if (unlinked != 0) {
+    // Size gauge; racy reads by contract (size() documents call-time semantics).
+    size_.fetch_sub(unlinked, std::memory_order_relaxed);
+  }
+  return unlinked;
+}
+
+Record* RecordMap::ReplaceWithType(const Key& key, RecordType type, std::size_t topk_k,
+                                   std::vector<Record*>* retired) {
+  const std::size_t index = BucketIndex(key);
+  Spinlock& stripe = insert_locks_[index & (kInsertStripes - 1)];
+  stripe.lock();
+  Bucket& b = buckets_[index];
+  std::atomic<Record*>* link = &b.head;
+  // Relaxed chain reads: the stripe lock excludes all chain writers (see SweepRange).
+  Record* old = link->load(std::memory_order_relaxed);
+  while (old != nullptr && !(old->key() == key)) {
+    link = &old->hash_next;
+    old = link->load(std::memory_order_relaxed);
+  }
+  DOPPEL_CHECK(old != nullptr);  // caller contract: the key exists
+  auto* rec = new Record(key, type, topk_k);
+  // The fresh record takes the old one's chain position; release publishes it (and its
+  // relaxed-initialized hash_next) to lock-free readers in one step.
+  rec->hash_next.store(old->hash_next.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  link->store(rec, std::memory_order_release);
+  stripe.unlock();
+  retired->push_back(old);
   return rec;
 }
 

@@ -1,10 +1,14 @@
-// Insert-only concurrent hash map: Key -> Record.
+// Concurrent hash map: Key -> Record.
 //
 // The paper's store is "a set of key/value maps ... implemented as hash tables" with
-// per-key locks. Lookups here are lock-free (chained buckets with atomic next pointers;
-// records are never removed or relocated while the map lives), inserts serialize on a
-// striped lock. The bucket array is sized once at construction; the paper pre-allocates
-// all records, and our workloads keep load factor near 1 (inserted RUBiS rows included).
+// per-key locks. Lookups here are lock-free (chained buckets with atomic next pointers);
+// inserts serialize on a striped lock. Records are never *relocated*, but since PR 8 they
+// can be *removed*: SweepRange physically unlinks records the epoch sweeper
+// (src/store/epoch.h) has proven reclaimable, leaving the unlinked record's own chain
+// pointer intact so concurrent lock-free readers mid-traversal still reach the rest of
+// the chain. Unlinked records stay allocated until their epoch-limbo grace period ends.
+// The bucket array is still sized once at construction; with delete/insert churn the load
+// factor can drift, so load_factor() is exported as a run gauge (warned on at >4).
 #ifndef DOPPEL_SRC_STORE_RECORD_MAP_H_
 #define DOPPEL_SRC_STORE_RECORD_MAP_H_
 
@@ -13,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/function_ref.h"
 #include "src/common/spinlock.h"
 #include "src/store/key.h"
 #include "src/store/record.h"
@@ -33,13 +38,23 @@ class RecordMap {
   // Find or insert. When inserting, the record is created with `type` (and `topk_k` for
   // top-K records) and is logically absent until first written. `created` (optional)
   // reports whether an insert happened. If the key exists with a different type, the
-  // existing record is returned unchanged (callers CHECK the type).
+  // existing record is returned unchanged (callers decide: engines abort the
+  // transaction, trusted loaders CHECK).
   Record* GetOrCreate(const Key& key, RecordType type, std::size_t topk_k = TopKSet::kDefaultK,
                       bool* created = nullptr);
 
-  // Racy gauge (relaxed): exact only when no insert is in flight.
+  // Racy gauge (relaxed): exact only when no insert/sweep is in flight.
   std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  // Monotonic insert count (never decremented by sweeps). Every created record starts
+  // absent — i.e. is a reclamation candidate until first written — so this feeds the
+  // epoch sweeper's has-anything-changed hint.
+  std::uint64_t created() const { return created_.load(std::memory_order_relaxed); }
   std::size_t bucket_count() const { return buckets_.size(); }
+  // Records per bucket; >4 means the construction-time capacity_hint was badly low for
+  // this workload and every lookup pays a long chain walk.
+  double load_factor() const {
+    return static_cast<double>(size()) / static_cast<double>(bucket_count());
+  }
 
   // Visits every record present at call time (concurrent inserts may or may not be seen).
   template <typename Fn>
@@ -51,6 +66,31 @@ class RecordMap {
       }
     }
   }
+
+  // ---- Physical removal (epoch sweeper / recovery) ----
+
+  // Walks buckets [begin, end) (clamped to bucket_count()) under their insert stripes,
+  // calling `should_reclaim` on every record; records it approves are unlinked from
+  // their chain and appended to `retired`. The predicate runs with the bucket's stripe
+  // lock held (it may take per-record try-locks; nothing in the system acquires a
+  // stripe lock while holding a record lock, so the order is acyclic). The unlinked
+  // record is NOT freed and its hash_next is left intact: concurrent lock-free readers
+  // that already hold a pointer to it can still finish traversing; the caller frees it
+  // only once no reader can hold such a pointer (epoch grace, or a quiesced store).
+  // Returns the number of records unlinked.
+  std::size_t SweepRange(std::size_t begin, std::size_t end,
+                         FunctionRef<bool(Record&)> should_reclaim,
+                         std::vector<Record*>* retired);
+
+  // Replaces the record for `key` (which must exist, be logically absent, and be
+  // unreachable by concurrent same-key writers — recovery replay and replica apply are
+  // the only callers) with a fresh absent record of `type`. The old record is unlinked
+  // and appended to `retired` under the same free-deferral contract as SweepRange.
+  // Returns the fresh record. Used when a log replays a delete followed by a reinsert
+  // under a different type: live execution created a new record after the reclaim; the
+  // replayer mirrors that by replacing in place.
+  Record* ReplaceWithType(const Key& key, RecordType type, std::size_t topk_k,
+                          std::vector<Record*>* retired);
 
  private:
   struct Bucket {
@@ -64,6 +104,7 @@ class RecordMap {
   static constexpr std::size_t kInsertStripes = 1024;
   std::unique_ptr<Spinlock[]> insert_locks_;
   std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> created_{0};
 };
 
 }  // namespace doppel

@@ -5,7 +5,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "src/common/spinlock.h"
 #include "src/store/ordered_index.h"
 #include "src/store/record_map.h"
 
@@ -33,13 +35,56 @@ class Store {
   Record* Find(const Key& key) const { return map_.Find(key); }
   std::size_t size() const { return map_.size(); }
 
-  // Typed upsert used by engines when a transaction touches a key for the first time.
+  // Typed upsert for trusted internal paths (loaders, checkpoint restore, manual split
+  // labels) whose types are self-consistent by construction.
   Record* GetOrCreate(const Key& key, RecordType type,
                       std::size_t topk_k = TopKSet::kDefaultK) {
     Record* r = map_.GetOrCreate(key, type, topk_k);
     DOPPEL_CHECK(r->type() == type);
     return r;
   }
+
+  // Untrusted-path variant (engines routing client ops): returns the existing record
+  // even on a type mismatch so the caller can turn it into a per-transaction abort
+  // instead of killing the process.
+  Record* GetOrCreateUnchecked(const Key& key, RecordType type, std::size_t topk_k) {
+    return map_.GetOrCreate(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+  }
+
+  // ---- Physical record replacement + deferred frees (recovery / replica apply) ----
+  // Replaces `key`'s logically-absent record with a fresh absent one of `type` (see
+  // RecordMap::ReplaceWithType); the old record joins the store's retired list.
+  Record* ReplaceAbsent(const Key& key, RecordType type, std::size_t topk_k) {
+    Record* fresh;
+    {
+      SpinlockGuard lock(retired_mu_);
+      fresh = map_.ReplaceWithType(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k,
+                                   &retired_);
+    }
+    return fresh;
+  }
+  // Appends sweep output to the retired list (replica apply under its publish lock).
+  void RetireRecords(std::vector<Record*>* records) {
+    SpinlockGuard lock(retired_mu_);
+    retired_.insert(retired_.end(), records->begin(), records->end());
+    records->clear();
+  }
+  // Frees everything retired so far. Caller guarantees no concurrent reader can still
+  // hold a pointer to a retired record (end of recovery, replica under exclusive
+  // publish lock, store teardown). Returns how many were freed.
+  std::size_t FreeRetired() {
+    std::vector<Record*> victims;
+    {
+      SpinlockGuard lock(retired_mu_);
+      victims.swap(retired_);
+    }
+    for (Record* r : victims) {
+      delete r;
+    }
+    return victims.size();
+  }
+
+  ~Store() { FreeRetired(); }
 
   // ---- Non-transactional loading (single writer or quiesced store) ----
   void LoadInt(const Key& key, std::int64_t v);
@@ -58,6 +103,10 @@ class Store {
 
   RecordMap map_;
   OrderedIndex index_;
+  // Unlinked-but-not-freed records (ReplaceAbsent / RetireRecords): physically out of
+  // the map, awaiting a moment with no concurrent readers.
+  mutable Spinlock retired_mu_;
+  std::vector<Record*> retired_ GUARDED_BY(retired_mu_);
 };
 
 }  // namespace doppel

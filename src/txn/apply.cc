@@ -57,6 +57,9 @@ void ApplyWriteToRecord(const PendingWrite& w, const WriteArena& arena) {
       r->MutateComplex(
           [&](ComplexValue& cv) { std::get<TopKSet>(cv).Insert(TupleOf(w, arena)); });
       break;
+    case OpCode::kDelete:
+      r->SetAbsent();
+      break;
     case OpCode::kGet:
       DOPPEL_CHECK(false);  // reads are never buffered as writes
       break;
@@ -104,6 +107,12 @@ void ApplyWriteToResult(const PendingWrite& w, const WriteArena& arena,
       std::get<TopKSet>(res->complex).Insert(TupleOf(w, arena));
       break;
     }
+    case OpCode::kDelete:
+      // Installs absence; later buffered ops (a reinsert in the same transaction)
+      // rebuild from the absent state exactly like commit-time application does.
+      res->present = false;
+      res->i = 0;
+      return;
     case OpCode::kGet:
       DOPPEL_CHECK(false);
       break;

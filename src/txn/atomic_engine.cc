@@ -7,7 +7,12 @@ namespace doppel {
 Record* AtomicEngine::Route(Worker& w, const Key& key, RecordType type,
                             std::size_t topk_k) {
   (void)w;
-  return store_.GetOrCreate(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+  return RouteInStore(store_, key, type, topk_k);
+}
+
+Record* AtomicEngine::RouteDelete(Worker& w, const Key& key) {
+  (void)w;
+  return RouteAnyType(store_, key, RecordType::kInt64, 0);
 }
 
 void AtomicEngine::Read(Worker& w, Txn& txn, Record* r, ReadResult* out) {
@@ -31,6 +36,23 @@ void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   // Racy first-presence detection (no lock discipline in this engine); the index insert
   // below is idempotent, so a double-detect costs nothing.
   const bool was_present = pw.op != OpCode::kGet && r->PresentLocked();
+  if (pw.op == OpCode::kDelete) {
+    // The one op this engine runs under the record's OCC lock: the present -> absent
+    // transition must be exclusive with the index maintenance (the Insert/Remove
+    // callers' contract), and unlike the atomics above it cannot be expressed as a
+    // single hardware instruction. Records deleted under this engine stay absent but
+    // are never physically reclaimed — the epoch sweeper's dead-flag protocol assumes
+    // writers lock, which this engine's other ops do not.
+    r->LockOcc();
+    const bool present = r->PresentLocked();
+    r->SetAbsent();
+    r->NoteWriteOp(static_cast<std::uint8_t>(OpCode::kDelete));
+    if (present) {
+      store_.index().Remove(r->key());
+    }
+    r->UnlockOcc();
+    return;
+  }
   switch (pw.op) {
     case OpCode::kAdd:
       r->AtomicAdd(pw.n);
@@ -70,6 +92,7 @@ void AtomicEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
             OrderedTuple{pw.OrderOf(arena), pw.core, std::string(pw.PayloadOf(arena))});
       });
       break;
+    case OpCode::kDelete:  // handled above the switch
     case OpCode::kGet:
       break;
   }

@@ -17,6 +17,7 @@ class AtomicEngine : public Engine {
   const char* name() const override { return "atomic"; }
 
   Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) override;
+  Record* RouteDelete(Worker& w, const Key& key) override;
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   // Applies the operation immediately; nothing is buffered.
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;

@@ -9,8 +9,10 @@
 
 #include <cstddef>
 
+#include "src/common/spinlock.h"
 #include "src/store/key.h"
 #include "src/store/record.h"
+#include "src/store/store.h"
 #include "src/txn/phase.h"
 #include "src/txn/signals.h"
 #include "src/txn/txn.h"
@@ -31,7 +33,14 @@ class Engine {
   virtual const char* name() const = 0;
 
   // Key -> record, creating a logically-absent record of `type` on first access.
+  // Throws TypeMismatchSignal when the key already exists with a different type (the
+  // record's type is fixed at creation; only a physical reclaim can retire it).
   virtual Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) = 0;
+
+  // Key -> record for Txn::Delete: adapts to whatever type the key currently has
+  // (creating an absent int placeholder for a never-stored key), so deletes never
+  // type-mismatch.
+  virtual Record* RouteDelete(Worker& w, const Key& key) = 0;
 
   // Protocol read into `out`. May throw StashSignal (Doppel) or ConflictSignal (2PL).
   virtual void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) = 0;
@@ -67,6 +76,34 @@ class Engine {
   virtual void OnStash(Worker& w, const StashSignal& s) {
     (void)w;
     (void)s;
+  }
+
+ protected:
+  // Shared Route body: resolve the key, skipping past records the epoch sweeper has
+  // marked dead (a dead record is instants from being unlinked — spin until the fresh
+  // lookup stops returning it), then enforce the type contract.
+  static Record* RouteInStore(Store& s, const Key& key, RecordType type,
+                              std::size_t topk_k) {
+    Record* r = RouteAnyType(s, key, type, topk_k);
+    if (r->type() != type) {
+      throw TypeMismatchSignal{key, type, r->type()};
+    }
+    return r;
+  }
+
+  // Type-agnostic variant for deletes: returns whatever record the key has (possibly a
+  // fresh absent placeholder of `fallback` type).
+  static Record* RouteAnyType(Store& s, const Key& key, RecordType fallback,
+                              std::size_t topk_k) {
+    Record* r = s.GetOrCreateUnchecked(key, fallback, topk_k);
+    while (r->IsDead()) {
+      // The sweeper marks a record dead under its bucket's stripe lock and unlinks it
+      // before releasing that lock, so a fresh lookup stops observing it as soon as the
+      // sweeping thread finishes this bucket.
+      CpuRelax();
+      r = s.GetOrCreateUnchecked(key, fallback, topk_k);
+    }
+    return r;
   }
 };
 

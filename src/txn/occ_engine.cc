@@ -8,18 +8,44 @@ namespace doppel {
 
 Record* OccEngine::Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) {
   (void)w;
-  return store_.GetOrCreate(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+  return RouteInStore(store_, key, type, topk_k);
 }
+
+Record* OccEngine::RouteDelete(Worker& w, const Key& key) {
+  (void)w;
+  return RouteAnyType(store_, key, RecordType::kInt64, 0);
+}
+
+namespace {
+
+// A snapshot of a sweeper-killed record must not enter the read set: the record's TID
+// is frozen from here on (new writes to the key go to a fresh record), so a stale
+// "absent" read would validate forever. The sweeper bumps the TID when it marks the
+// record dead — a snapshot taken *before* the mark carries the old TID and fails
+// commit validation; a snapshot taken *after* carries the bumped TID, whose release
+// store also published the dead flag, so this check (acquire in IsDead) sees it and
+// aborts to a retry that re-routes to a fresh record.
+inline void ThrowIfDead(Txn& txn, Record* r) {
+  if (r->IsDead()) {
+    txn.conflict_record = r;
+    txn.conflict_op = OpCode::kGet;
+    throw ConflictSignal{r, OpCode::kGet};
+  }
+}
+
+}  // namespace
 
 void OccEngine::OccRead(Txn& txn, Record* r, ReadResult* out) {
   if (r->type() == RecordType::kInt64) {
     const Record::IntSnapshot s = r->ReadInt();
+    ThrowIfDead(txn, r);
     out->present = s.present;
     out->i = s.value;
     txn.read_set().push_back(ReadEntry{r, s.tid});
     return;
   }
   Record::ComplexSnapshot s = r->ReadComplex();
+  ThrowIfDead(txn, r);
   out->present = s.present;
   out->complex = std::move(s.value);
   txn.read_set().push_back(ReadEntry{r, s.tid});
@@ -140,6 +166,24 @@ TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
       }
       return TxnStatus::kConflict;
     }
+    if (pw.record->IsDead()) {
+      // The epoch sweeper unlinked this record between Route and commit; a committed
+      // write here would be lost (new lookups reach a fresh record). Treat as a
+      // conflict: the retry re-routes.
+      pw.record->UnlockOcc();
+      txn.conflict_record = pw.record;
+      txn.conflict_op = pw.op;
+      txn.conflicts.emplace_back(pw.record, pw.op);
+      Record* p = nullptr;
+      for (std::size_t j = 0; j < locked_end; ++j) {
+        Record* r = ws[order[j]].record;
+        if (r != p) {
+          r->UnlockOcc();
+          p = r;
+        }
+      }
+      return TxnStatus::kConflict;
+    }
     prev = pw.record;
     locked_end = i + 1;
     max_seen = std::max(max_seen, Record::TidOf(pw.record->LoadTidWord()));
@@ -217,7 +261,14 @@ TxnStatus OccEngine::OccCommit(Worker& w, Txn& txn) {
     Record* r = pw.record;
     const bool was_present = r->PresentLocked();
     ApplyWriteToRecord(pw, txn.arena());
-    if (!was_present) {
+    if (pw.op == OpCode::kDelete) {
+      // Present -> absent: leave the index before the unlock, mirroring the insert
+      // ordering — a scan validating after this commit point fails on the bumped
+      // partition version instead of resolving a vanished key.
+      if (was_present) {
+        store_.index().Remove(r->key());
+      }
+    } else if (!was_present) {
       store_.index().Insert(r->key(), r);
     }
     if (i + 1 == n || ws[order[i + 1]].record != r) {

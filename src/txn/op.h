@@ -20,9 +20,15 @@ enum class OpCode : std::uint8_t {
   kMult = 6,
   kOPut = 7,
   kTopKInsert = 8,
+  // Removes the key: commits as a write that installs absence, then drops the key from
+  // its OrderedIndex partition (with the phantom-guard version bump) so scans stop
+  // seeing it. Not splittable — under Doppel a delete on a split record stashes, which
+  // pressures the split phase to end. The record itself is reclaimed later by the
+  // epoch sweeper (src/store/epoch.h).
+  kDelete = 9,
 };
 
-inline constexpr int kNumOps = 9;
+inline constexpr int kNumOps = 10;
 
 constexpr bool IsSplittable(OpCode op) {
   switch (op) {
@@ -38,8 +44,8 @@ constexpr bool IsSplittable(OpCode op) {
   }
 }
 
-// The record type an operation requires. kGet adapts to the record's actual type and is
-// handled separately.
+// The record type an operation requires. kGet and kDelete adapt to the record's actual
+// type and are handled separately.
 constexpr RecordType OpRecordType(OpCode op) {
   switch (op) {
     case OpCode::kPutBytes:

@@ -29,10 +29,21 @@ struct TxnArgs {
 
 using TxnProc = void (*)(Txn&, const TxnArgs&);
 
+// Why a transaction ended without committing (kNone when it committed).
+enum class TxnAbort : std::uint8_t {
+  kNone = 0,
+  // Txn::Abort() from the body, or the database stopped before the transaction ran.
+  kUser = 1,
+  // An op's required record type conflicted with the key's existing record type
+  // (see TypeMismatchSignal); terminal, never retried.
+  kTypeMismatch = 2,
+};
+
 // Final outcome of a submitted transaction.
 struct TxnResult {
   bool committed = false;
   std::uint32_t attempts = 0;
+  TxnAbort abort = TxnAbort::kNone;
 };
 
 // Completion slot: invoked exactly once on the committing worker's thread when the

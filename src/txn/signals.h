@@ -7,6 +7,7 @@
 #ifndef DOPPEL_SRC_TXN_SIGNALS_H_
 #define DOPPEL_SRC_TXN_SIGNALS_H_
 
+#include "src/store/key.h"
 #include "src/txn/op.h"
 
 namespace doppel {
@@ -29,6 +30,16 @@ struct ConflictSignal {
 
 // The transaction body requested an abort; it will not be retried.
 struct UserAbortSignal {};
+
+// An operation required a record type that conflicts with the key's existing record
+// (e.g. PutBytes on a key created as an int64 counter). The record's type is fixed at
+// creation and only a physical reclaim (epoch sweep of an absent record) can retire it,
+// so this is a terminal per-transaction abort, not a retryable conflict.
+struct TypeMismatchSignal {
+  Key key;
+  RecordType required;
+  RecordType actual;
+};
 
 }  // namespace doppel
 

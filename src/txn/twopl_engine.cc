@@ -11,7 +11,12 @@ TwoPLEngine::TwoPLEngine(Store& store) : TwoPLEngine(store, Limits{}) {}
 Record* TwoPLEngine::Route(Worker& w, const Key& key, RecordType type,
                            std::size_t topk_k) {
   (void)w;
-  return store_.GetOrCreate(key, type, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
+  return RouteInStore(store_, key, type, topk_k);
+}
+
+Record* TwoPLEngine::RouteDelete(Worker& w, const Key& key) {
+  (void)w;
+  return RouteAnyType(store_, key, RecordType::kInt64, 0);
 }
 
 void TwoPLEngine::EnsureShared(Txn& txn, Record* r) {
@@ -24,6 +29,12 @@ void TwoPLEngine::EnsureShared(Txn& txn, Record* r) {
     throw ConflictSignal{r, OpCode::kGet};
   }
   txn.locks().push_back(LockEntry{r, false});
+  // The sweeper marks a record dead only while holding rw exclusively, so under our
+  // shared lock deadness is stable: dead here means it was unlinked before we locked,
+  // and the retry re-routes to a fresh record. ReleaseAll drops the lock on unwind.
+  if (r->IsDead()) {
+    throw ConflictSignal{r, OpCode::kGet};
+  }
 }
 
 void TwoPLEngine::EnsureExclusive(Txn& txn, Record* r, OpCode op) {
@@ -43,6 +54,11 @@ void TwoPLEngine::EnsureExclusive(Txn& txn, Record* r, OpCode op) {
     throw ConflictSignal{r, op};
   }
   txn.locks().push_back(LockEntry{r, true});
+  // Same argument as EnsureShared: a record already in txn.locks() was vetted when
+  // first acquired and cannot die while we hold its rw lock.
+  if (r->IsDead()) {
+    throw ConflictSignal{r, op};
+  }
 }
 
 namespace {
@@ -116,9 +132,11 @@ void TwoPLEngine::Write(Worker& w, Txn& txn, PendingWrite&& pw) {
   EnsureExclusive(txn, pw.record, pw.op);
   // A write to a logically-absent record is an insert-to-be: commit will add it to the
   // ordered index, so the growing phase must also take the index partition's exclusive
-  // lock (2PL phantom protection against concurrent scanners). Presence is stable here
-  // because it only changes under the record's exclusive lock, which we now hold.
-  if (!pw.record->PresentLocked()) {
+  // lock (2PL phantom protection against concurrent scanners). A delete is the mirror
+  // image — commit may remove the key from the index — and needs the same stripe
+  // exclusivity. Presence is stable here because it only changes under the record's
+  // exclusive lock, which we now hold.
+  if (!pw.record->PresentLocked() || pw.op == OpCode::kDelete) {
     const Key& k = pw.record->key();
     OrderedIndex::TableIndex& tab = store_.index().GetOrCreateTable(k.hi);
     const std::size_t p = tab.PartitionOf(k.lo);
@@ -190,7 +208,13 @@ TxnStatus TwoPLEngine::Commit(Worker& w, Txn& txn) {
     }
     const bool was_present = r->PresentLocked();
     ApplyWriteToRecord(pw, txn.arena());
-    if (!was_present) {
+    if (pw.op == OpCode::kDelete) {
+      // Mirror of the insert path: the partition's exclusive lock was taken at Write()
+      // time, so no scanner holds the stripe while the key vanishes.
+      if (was_present) {
+        store_.index().Remove(r->key());
+      }
+    } else if (!was_present) {
       // The partition's exclusive lock was taken at Write() time, so no scanner holds
       // the stripe; the version bump keeps OCC-side bookkeeping consistent.
       store_.index().Insert(r->key(), r);

@@ -27,6 +27,7 @@ class TwoPLEngine : public Engine {
   const char* name() const override { return "2pl"; }
 
   Record* Route(Worker& w, const Key& key, RecordType type, std::size_t topk_k) override;
+  Record* RouteDelete(Worker& w, const Key& key) override;
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
   std::size_t Scan(Worker& w, Txn& txn, std::uint64_t table, std::uint64_t lo,

@@ -31,6 +31,8 @@ const char* OpName(OpCode op) {
       return "OPut";
     case OpCode::kTopKInsert:
       return "TopKInsert";
+    case OpCode::kDelete:
+      return "Delete";
   }
   return "?";
 }
@@ -162,7 +164,6 @@ std::optional<std::int64_t> Txn::GetInt(const Key& key) {
     return std::nullopt;
   }
   Record* r = engine_->Route(*worker_, key, RecordType::kInt64, 0);
-  DOPPEL_CHECK(r->type() == RecordType::kInt64);
   ReadResult res;
   engine_->Read(*worker_, *this, r, &res);
   OverlayPending(r, &res);
@@ -177,7 +178,6 @@ std::optional<std::string> Txn::GetBytes(const Key& key) {
     return std::nullopt;
   }
   Record* r = engine_->Route(*worker_, key, RecordType::kBytes, 0);
-  DOPPEL_CHECK(r->type() == RecordType::kBytes);
   ReadResult res;
   engine_->Read(*worker_, *this, r, &res);
   OverlayPending(r, &res);
@@ -192,7 +192,6 @@ std::optional<OrderedTuple> Txn::GetOrdered(const Key& key) {
     return std::nullopt;
   }
   Record* r = engine_->Route(*worker_, key, RecordType::kOrdered, 0);
-  DOPPEL_CHECK(r->type() == RecordType::kOrdered);
   ReadResult res;
   engine_->Read(*worker_, *this, r, &res);
   OverlayPending(r, &res);
@@ -207,7 +206,6 @@ std::optional<TopKSet> Txn::GetTopK(const Key& key, std::size_t k) {
     return std::nullopt;
   }
   Record* r = engine_->Route(*worker_, key, RecordType::kTopK, k);
-  DOPPEL_CHECK(r->type() == RecordType::kTopK);
   ReadResult res;
   engine_->Read(*worker_, *this, r, &res);
   OverlayPending(r, &res);
@@ -223,13 +221,29 @@ void Txn::IssueWrite(const Key& key, OpCode op, std::int64_t n, const OrderKey& 
     return;  // the transaction will be stashed; all effects are discarded
   }
   Record* r = engine_->Route(*worker_, key, OpRecordType(op), topk_k);
-  DOPPEL_CHECK(r->type() == OpRecordType(op));
   PendingWrite w;
   w.record = r;
   w.op = op;
   w.n = n;
   w.core = static_cast<std::uint16_t>(worker_->id);
   StoreOperand(arena_, op, order, payload, &w);
+  engine_->Write(*worker_, *this, std::move(w));
+}
+
+void Txn::Delete(const Key& key) {
+  if (stash_doomed_) {
+    return;  // the transaction will be stashed; all effects are discarded
+  }
+  // Deletes adapt to the existing record's type (like kGet), so they route through the
+  // type-agnostic path instead of IssueWrite's typed Route. Deleting a never-stored key
+  // still buffers a write against the (absent) placeholder: the commit protocol locks
+  // and validates it, which is what makes a delete/insert race serializable.
+  Record* r = engine_->RouteDelete(*worker_, key);
+  PendingWrite w;
+  w.record = r;
+  w.op = OpCode::kDelete;
+  w.core = static_cast<std::uint16_t>(worker_->id);
+  StoreOperand(arena_, OpCode::kDelete, OrderKey{}, {}, &w);
   engine_->Write(*worker_, *this, std::move(w));
 }
 

@@ -167,6 +167,12 @@ class Txn {
   void PutInt(const Key& key, std::int64_t v);
   void PutBytes(const Key& key, std::string_view v);
 
+  // Deletes the key (any record type): a committed delete makes the key absent to
+  // subsequent reads and scans and removes it from the ordered index; the physical
+  // record is reclaimed later by the epoch sweeper. Deleting an absent key is a
+  // serializable no-op. This transaction's own reads/scans observe the delete.
+  void Delete(const Key& key);
+
   // Splittable operations (§4). They return nothing by design.
   void Add(const Key& key, std::int64_t n);
   void Max(const Key& key, std::int64_t n);

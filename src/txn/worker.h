@@ -28,7 +28,9 @@ struct SubmitTicket {
   // Set iff the submission used the std::function convenience path; POD submissions
   // carry their proc in PendingTxn::req instead.
   std::function<void(Txn&)> fn;
-  std::atomic<int> state{0};  // 0 = pending, 1 = committed, 2 = user-aborted
+  // 0 = pending, 1 = committed, 2 = user-aborted, 3 = type-mismatch abort (terminal,
+  // never retried: the key exists with a different record type).
+  std::atomic<int> state{0};
   std::atomic<std::uint32_t> attempts{0};
   // Database's drain counter: decremented (release) once the ticket is fully finished,
   // so Stop() can wait for in-flight handles.
@@ -42,8 +44,14 @@ struct SubmitTicket {
   std::function<void(const TxnResult&)> callback GUARDED_BY(cb_mu);
 
   TxnResult result() const {
-    return TxnResult{state.load(std::memory_order_acquire) == 1,
-                     attempts.load(std::memory_order_relaxed)};
+    const int s = state.load(std::memory_order_acquire);
+    TxnResult r{s == 1, attempts.load(std::memory_order_relaxed)};
+    if (s == 2) {
+      r.abort = TxnAbort::kUser;
+    } else if (s == 3) {
+      r.abort = TxnAbort::kTypeMismatch;
+    }
+    return r;
   }
 };
 
@@ -102,6 +110,7 @@ class Worker {
   std::uint64_t conflicts = 0;
   std::uint64_t stash_events = 0;
   std::uint64_t user_aborts = 0;
+  std::uint64_t type_mismatch_aborts = 0;
   std::uint64_t committed_by_tag[kNumTags] = {};
   LatencyHistogram latency_by_tag[kNumTags];
   // Readable while running (throughput-over-time series, Fig. 10).

@@ -1,6 +1,7 @@
 #include "src/workload/driver.h"
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <thread>
 
@@ -23,6 +24,24 @@ void FillWalMetrics(const Database& db, RunMetrics* m) {
   m->wal_segments = wal->segments_created();
   m->wal_checkpoints = wal->checkpoints_taken();
   m->wal_cuts = wal->cuts_emitted();
+}
+
+// Post-Stop store occupancy gauges. Warns when chains have grown long enough to tax
+// every lookup: the map is fixed-size, so the only fix is a larger store_capacity.
+void FillStoreMetrics(const Database& db, RunMetrics* m) {
+  const Store& s = db.store();
+  m->store_records = s.size();
+  m->store_buckets = s.map().bucket_count();
+  m->store_load_factor = s.map().load_factor();
+  if (db.reclaimer() != nullptr) {
+    m->reclaimed_records = db.reclaimer()->reclaimed();
+  }
+  if (m->store_load_factor > 4.0) {
+    std::fprintf(stderr,
+                 "WARNING: record map load factor %.2f (%zu records / %zu buckets) "
+                 "exceeds 4 - raise store_capacity\n",
+                 m->store_load_factor, m->store_records, m->store_buckets);
+  }
 }
 
 }  // namespace
@@ -63,6 +82,7 @@ RunMetrics RunWorkload(Database& db, SourceFactory factory, std::uint64_t measur
   m.stats = db.CollectStats();
   m.split_records = db.LastPlanSize();
   FillWalMetrics(db, &m);
+  FillStoreMetrics(db, &m);
   return m;
 }
 
@@ -98,6 +118,7 @@ RunMetrics RunWorkloadTimeSeries(Database& db, SourceFactory factory,
   m.stats = db.CollectStats();
   m.split_records = db.LastPlanSize();
   FillWalMetrics(db, &m);
+  FillStoreMetrics(db, &m);
   return m;
 }
 

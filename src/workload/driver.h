@@ -28,6 +28,15 @@ struct RunMetrics {
   std::size_t split_records = 0;
   std::uint64_t phase_cycles = 0;
 
+  // Store occupancy at end of run. The record map never resizes, so a load factor
+  // drifting past ~4 means chains are long and store_capacity should grow — the driver
+  // warns on stderr when it does. reclaimed_records counts records the epoch sweeper
+  // physically freed (0 when reclamation is disabled or the protocol is kAtomic).
+  std::size_t store_records = 0;
+  std::size_t store_buckets = 0;
+  double store_load_factor = 0.0;
+  std::uint64_t reclaimed_records = 0;
+
   // Durability-side accounting (zero when the run had no wal_dir), so logging overhead
   // is visible next to every throughput number. See report.h WalSummary.
   bool wal_enabled = false;

@@ -31,6 +31,7 @@ using testing::WriteFileBytes;
 
 constexpr std::uint64_t kCounters = 8;    // INCR-style counters, table 0
 constexpr std::uint64_t kRowTable = 9;    // ordered rows, scanned after recovery
+constexpr std::uint64_t kChurnTable = 10; // insert+delete churn: one live row at a time
 constexpr int kFlushRounds = 10;
 constexpr int kTxnsPerRound = 40;
 constexpr int kUnflushedTail = 37;  // committed after the last confirmed flush
@@ -58,6 +59,7 @@ Options MakeOptions(const std::string& dir, Protocol proto) {
 void Populate(Database& db) {
   PopulateIncr(db.store(), kCounters);
   db.store().ConfigureTable(kRowTable, RowTableConfig());
+  db.store().ConfigureTable(kChurnTable, RowTableConfig());
 }
 
 // Child body. Uses DOPPEL_CHECK (abort -> parent sees a signal) instead of gtest
@@ -76,6 +78,12 @@ void CrashingChild(const std::string& dir, const std::string& progress_path,
       const TxnResult res = db.Execute([id](Txn& txn) {
         txn.Add(IncrKey(id % kCounters), 1);
         txn.PutInt(Key::Table(kRowTable, id), static_cast<std::int64_t>(id));
+        // Delete churn: each transaction inserts its own churn row and deletes its
+        // predecessor's, so at every commit boundary exactly one churn row is live.
+        txn.PutInt(Key::Table(kChurnTable, id), static_cast<std::int64_t>(id));
+        if (id > 0) {
+          txn.Delete(Key::Table(kChurnTable, id - 1));
+        }
       });
       DOPPEL_CHECK(res.committed);
     }
@@ -170,6 +178,30 @@ TEST_P(KillProcessDurability, RecoversEveryConfirmedFlush) {
   EXPECT_GE(scanned.size(), static_cast<std::size_t>(confirmed));
   EXPECT_TRUE(ordered);
   EXPECT_TRUE(values_match);
+
+  // Delete churn: every confirmed transaction deleted its predecessor's churn row
+  // (and the unflushed tail wrote none), so of the confirmed prefix only the newest
+  // row survives recovery. Deleted keys must be invisible to point reads and to the
+  // rebuilt ordered index alike.
+  EXPECT_EQ(IntAt(db.store(), Key::Table(kChurnTable, confirmed - 1)),
+            static_cast<std::int64_t>(confirmed - 1));
+  for (std::uint64_t id = 0; id + 1 < confirmed; ++id) {
+    const Record* r = db.store().Find(Key::Table(kChurnTable, id));
+    EXPECT_TRUE(r == nullptr || !r->ReadValue().present)
+        << "deleted churn row " << id << " resurrected by recovery";
+  }
+  std::size_t churn_rows = 0;
+  EXPECT_TRUE(db.Execute([&](Txn& txn) {
+                  churn_rows =
+                      txn.Scan(kChurnTable, 0, ~std::uint64_t{0} >> 1, 0,
+                               [](const Key&, const ReadResult&) { return true; });
+                }).committed);
+  EXPECT_EQ(churn_rows, 1u);
+  if (!db.recovery().had_checkpoint) {
+    // Full log replay recreated every churn row before deleting it again; the
+    // end-of-recovery sweep must have freed the deleted ones instead of leaking them.
+    EXPECT_GE(db.recovery().reclaimed_records, confirmed - 1);
+  }
 
   // The reopened generation stays writable and its TIDs sort after recovery.
   const std::uint64_t max_recovered = db.recovery().max_tid;

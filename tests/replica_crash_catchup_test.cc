@@ -40,6 +40,10 @@ using testing::WriteFileBytes;
 
 const Key kCounterKey = IncrKey(0);
 const Key kMarkerKey = IncrKey(1);
+// Insert+delete churn rides along: txn i inserts ChurnKey(i) and deletes
+// ChurnKey(i-1), so a cut-consistent state always has exactly the marker's churn row
+// live and its predecessor absent — deletes must replicate, not resurrect.
+Key ChurnKey(std::uint64_t i) { return Key::Table(7, i); }
 constexpr int kChildTxns = 4000;
 constexpr int kProgressEvery = 250;
 constexpr int kKillAfter = 1000;  // parent kills once the child reports this many
@@ -67,6 +71,10 @@ void CrashingChild(const std::string& dir, const std::string& progress_path) {
     const TxnResult res = db.Execute([i](Txn& txn) {
       txn.Add(kCounterKey, 1);
       txn.PutInt(kMarkerKey, i);
+      txn.PutInt(ChurnKey(static_cast<std::uint64_t>(i)), i);
+      if (i > 0) {
+        txn.Delete(ChurnKey(static_cast<std::uint64_t>(i) - 1));
+      }
     });
     DOPPEL_CHECK(res.committed);
     if ((i + 1) % kProgressEvery == 0) {
@@ -173,6 +181,18 @@ TEST(ReplicaCrashCatchup, ServesExactlyTheDurableCutPrefixAfterPrimaryKill) {
     if (c != mk + 1) {
       violations.fetch_add(1);
     }
+    // Churn invariant at every published cut: the marker's own churn row is live with
+    // its value, the one the marker's transaction deleted is absent.
+    if (mk >= 0) {
+      Value cv;
+      if (!v.Get(ChurnKey(static_cast<std::uint64_t>(mk)), &cv) ||
+          std::get<std::int64_t>(cv) != mk) {
+        violations.fetch_add(1);
+      }
+      if (mk >= 1 && v.Get(ChurnKey(static_cast<std::uint64_t>(mk) - 1), &cv)) {
+        violations.fetch_add(1);  // deleted churn row visible in a published cut
+      }
+    }
   };
   auto replica = std::make_unique<Replica>(dir, ropts);
   rp = replica.get();
@@ -187,6 +207,17 @@ TEST(ReplicaCrashCatchup, ServesExactlyTheDurableCutPrefixAfterPrimaryKill) {
   EXPECT_EQ(p.published_cuts, expect_cuts);
   EXPECT_EQ(IntAt(replica->store(), kCounterKey), expect_counter);
   EXPECT_EQ(IntAt(replica->store(), kMarkerKey), expect_marker);
+  EXPECT_EQ(IntAt(replica->store(), ChurnKey(static_cast<std::uint64_t>(expect_marker))),
+            expect_marker);
+  {
+    const Record* dead =
+        replica->store().Find(ChurnKey(static_cast<std::uint64_t>(expect_marker) - 1));
+    EXPECT_TRUE(dead == nullptr || !dead->ReadValue().present)
+        << "replica resurrected a replicated delete";
+  }
+  // ~1000 durable deletes crossed the publish-time sweep threshold: the replica
+  // physically reclaimed churned records rather than accumulating them forever.
+  EXPECT_GT(replica->progress().reclaimed_records, 0u);
 
   // ---- Phase 2: the primary restarts on the directory. Recovery truncates the torn
   // tail back to the prefix the replica already stands on and opens the next segment;
@@ -203,6 +234,11 @@ TEST(ReplicaCrashCatchup, ServesExactlyTheDurableCutPrefixAfterPrimaryKill) {
     ASSERT_TRUE(db2.Execute([&](Txn& txn) {
                      txn.Add(kCounterKey, 1);
                      txn.PutInt(kMarkerKey, recovered + i);
+                     // Continue the churn chain where the recovered marker left it, so
+                     // the publish-hook invariant holds across the generation change.
+                     txn.PutInt(ChurnKey(static_cast<std::uint64_t>(recovered + i)),
+                                recovered + i);
+                     txn.Delete(ChurnKey(static_cast<std::uint64_t>(recovered + i) - 1));
                    }).committed);
   }
   db2.Stop();  // appends a final cut covering everything
@@ -215,6 +251,13 @@ TEST(ReplicaCrashCatchup, ServesExactlyTheDurableCutPrefixAfterPrimaryKill) {
   EXPECT_EQ(violations.load(), 0);
   EXPECT_EQ(IntAt(replica->store(), kCounterKey), final_counter);
   EXPECT_EQ(IntAt(replica->store(), kMarkerKey), final_marker);
+  EXPECT_EQ(IntAt(replica->store(), ChurnKey(static_cast<std::uint64_t>(final_marker))),
+            final_marker);
+  {
+    const Record* dead =
+        replica->store().Find(ChurnKey(static_cast<std::uint64_t>(final_marker) - 1));
+    EXPECT_TRUE(dead == nullptr || !dead->ReadValue().present);
+  }
   EXPECT_FALSE(replica->progress().halted);
 
   replica->Stop();

@@ -1,0 +1,127 @@
+// Epoch-based record reclamation (PR 8): unit tests for the epoch advancement rule,
+// the quiescent full-map sweep, and an end-to-end insert/delete churn workload proving
+// the store no longer leaks one record per deleted key — Store::size() stays bounded
+// across many reclamation epochs and everything absent is freed at shutdown.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "src/core/database.h"
+#include "src/store/epoch.h"
+#include "src/store/store.h"
+
+namespace doppel {
+namespace {
+
+constexpr std::uint64_t kChurnTable = 3;
+
+TEST(EpochManager, AdvancesOnlyAfterEveryWorkerObserves) {
+  EpochManager em(2);
+  EXPECT_EQ(em.global(), 1u);
+  EXPECT_FALSE(em.TryAdvance()) << "advanced before anyone observed";
+  em.Observe(0);
+  EXPECT_FALSE(em.TryAdvance()) << "advanced with one worker unobserved";
+  em.Observe(1);
+  EXPECT_TRUE(em.TryAdvance());
+  EXPECT_EQ(em.global(), 2u);
+  // The advance invalidates every slot: nothing moves until all re-observe.
+  EXPECT_FALSE(em.TryAdvance());
+  em.Observe(0);
+  em.Observe(1);
+  EXPECT_TRUE(em.TryAdvance());
+  EXPECT_EQ(em.global(), 3u);
+}
+
+TEST(EpochReclaimer, QuiescentSweepFreesAbsentRecordsOnly) {
+  Store store(1 << 8);
+  store.LoadInt(Key::FromU64(1), 10);  // present: must survive
+  for (std::uint64_t i = 100; i < 110; ++i) {
+    // Allocated but never written: logically absent, eligible for reclamation.
+    store.GetOrCreate(Key::FromU64(i), RecordType::kInt64, 0);
+  }
+  EXPECT_EQ(store.size(), 11u);
+  EXPECT_EQ(EpochReclaimer::SweepQuiescent(store), 10u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.Find(Key::FromU64(1)), nullptr);
+  EXPECT_EQ(store.Find(Key::FromU64(105)), nullptr);
+  // Idempotent: nothing left to free.
+  EXPECT_EQ(EpochReclaimer::SweepQuiescent(store), 0u);
+}
+
+TEST(EpochReclaimer, DisabledUnderAtomicProtocolAndByOption) {
+  {
+    Options opts;
+    opts.protocol = Protocol::kAtomic;
+    Database db(opts);
+    EXPECT_EQ(db.reclaimer(), nullptr)
+        << "atomic writers mutate presence without locks; sweeping is unsound there";
+  }
+  {
+    Options opts;
+    opts.protocol = Protocol::kOcc;
+    opts.reclaim.enabled = false;
+    Database db(opts);
+    EXPECT_EQ(db.reclaimer(), nullptr);
+  }
+}
+
+class ChurnBoundedTest : public ::testing::TestWithParam<Protocol> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ChurnBoundedTest,
+                         ::testing::Values(Protocol::kOcc, Protocol::kTwoPL,
+                                           Protocol::kDoppel),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           return ProtocolName(info.param);
+                         });
+
+TEST_P(ChurnBoundedTest, InsertDeleteChurnDoesNotLeakRecords) {
+  Options opts;
+  opts.protocol = GetParam();
+  opts.num_workers = 2;
+  opts.phase_us = 1000;
+  opts.store_capacity = 1 << 10;
+  opts.reclaim.tick_period = 4;          // drive aggressively: the test wants epochs
+  opts.reclaim.chunk_buckets = 1 << 20;  // whole map per sweep step
+  Database db(opts);
+  db.Start();
+  ASSERT_NE(db.reclaimer(), nullptr);
+
+  // Every pair touches a NEVER-reused key: pre-fix, the store grew by one record per
+  // pair forever (the insert-only leak this PR closes).
+  constexpr std::uint64_t kPairs = 20000;
+  std::size_t peak = 0;
+  for (std::uint64_t i = 0; i < kPairs; ++i) {
+    const Key k = Key::Table(kChurnTable, i);
+    ASSERT_TRUE(db.Execute([&](Txn& txn) {
+                    txn.PutInt(k, static_cast<std::int64_t>(i));
+                  }).committed);
+    ASSERT_TRUE(db.Execute([&](Txn& txn) { txn.Delete(k); }).committed);
+    peak = std::max(peak, db.store().size());
+  }
+
+  // The run crossed well past ten reclamation epochs and physically freed most of the
+  // churned records; the live set is bounded far below the keys touched.
+  EXPECT_GE(db.reclaimer()->epochs().global(), 10u);
+  EXPECT_GT(db.reclaimer()->reclaimed(), kPairs / 2);
+  EXPECT_LT(db.store().size(), kPairs / 2);
+  EXPECT_LT(peak, kPairs / 2)
+      << "store grew one record per churned key: the leak is back";
+
+  // Deleted keys stay invisible even while their records await reclamation.
+  std::optional<std::int64_t> got = 0;
+  EXPECT_TRUE(db.Execute([&](Txn& txn) {
+                  got = txn.GetInt(Key::Table(kChurnTable, kPairs - 1));
+                }).committed);
+  EXPECT_FALSE(got.has_value());
+
+  // Shutdown drains the limbo list and sweeps once more with no readers left: every
+  // absent record is gone (the Get above added one read placeholder, also swept).
+  // Doppel's classifier may legitimately hold a handful of pinned records across the
+  // final barrier; everything else must be freed.
+  db.Stop();
+  EXPECT_LE(db.store().size(), GetParam() == Protocol::kDoppel ? 4u : 0u);
+}
+
+}  // namespace
+}  // namespace doppel

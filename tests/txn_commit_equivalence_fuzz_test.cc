@@ -66,6 +66,11 @@ std::vector<ScriptTxn> GenerateScript(std::uint64_t seed, int txns) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   std::vector<ScriptTxn> script;
   script.reserve(static_cast<std::size_t>(txns));
+  // Deleting a key that never existed creates an absent placeholder of the delete's
+  // fallback type (int64), which pins the key's type until physical reclamation. Only
+  // delete bytes keys the script has already created, so no wrong-typed placeholder
+  // ever makes a later PutBytes abort.
+  std::vector<bool> bytes_created(kBytesKeys, false);
   for (int t = 0; t < txns; ++t) {
     ScriptTxn txn;
     // Mostly small transactions; every 8th is large enough to build the write index,
@@ -74,7 +79,7 @@ std::vector<ScriptTxn> GenerateScript(std::uint64_t seed, int txns) {
                                  : 1 + static_cast<int>(rng.NextBounded(5));
     for (int i = 0; i < n_ops; ++i) {
       ScriptOp op;
-      switch (rng.NextBounded(10)) {
+      switch (rng.NextBounded(12)) {
         case 0:
         case 1:
         case 2: {  // int RMW ops
@@ -103,6 +108,7 @@ std::vector<ScriptTxn> GenerateScript(std::uint64_t seed, int txns) {
           op.lo = rng.NextBounded(kBytesKeys);
           op.payload = "bytes-" + std::to_string(t) + "-" + std::to_string(i) +
                        std::string(rng.NextBounded(120), 'b');
+          bytes_created[op.lo] = true;
           break;
         }
         case 7:
@@ -115,12 +121,26 @@ std::vector<ScriptTxn> GenerateScript(std::uint64_t seed, int txns) {
           op.payload = "op-" + std::to_string(t) + "-" + std::to_string(i);
           break;
         }
-        default: {
+        case 9: {
           op.op = OpCode::kTopKInsert;
           op.table = kTopKTable;
           op.lo = rng.NextBounded(kTopKKeys);
           op.order = OrderKey{static_cast<std::int64_t>(rng.NextBounded(1000)), 0};
           op.payload = "tk-" + std::to_string(t) + "-" + std::to_string(i);
+          break;
+        }
+        default: {  // transactional delete; later writes to the same key reinsert it,
+                    // exercising the delete -> absent -> fresh-insert lifecycle
+          op.op = OpCode::kDelete;
+          op.table = kIntTable;
+          op.lo = rng.NextBounded(kIntKeys);
+          if (!rng.Chance(50)) {
+            const std::uint64_t cand = rng.NextBounded(kBytesKeys);
+            if (bytes_created[cand]) {
+              op.table = kBytesTable;
+              op.lo = cand;
+            }
+          }
           break;
         }
       }
@@ -161,6 +181,9 @@ void IssueOp(Txn& txn, const ScriptOp& op) {
       break;
     case OpCode::kTopKInsert:
       txn.TopKInsert(key, op.order, op.payload, 4);
+      break;
+    case OpCode::kDelete:
+      txn.Delete(key);
       break;
     case OpCode::kGet:
       break;
@@ -205,6 +228,9 @@ ExecutionTrace RunScript(Protocol proto, const std::vector<ScriptTxn>& script) {
   opts.protocol = proto;
   opts.num_workers = 1;
   opts.store_capacity = 1 << 12;
+  // Reclamation timing would make the trace nondeterministic (a swept placeholder
+  // flips "absent" to "never-created" in the final dump); keep records in place.
+  opts.reclaim.enabled = false;
   Database db(opts);
   db.Start();
 
