@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
-"""Compare a fresh perf_smoke JSON against the committed baseline.
+"""Compare a fresh perf_smoke JSON against one or more committed baselines.
 
-Usage: check_perf.py BASELINE.json CURRENT.json [--max-regression=0.40]
+Usage: check_perf.py BASELINE.json [BASELINE2.json ...] CURRENT.json \
+           [--max-regression=0.40]
+
+The last positional argument is the current run; every earlier one is a baseline
+(e.g. both BENCH_PR5.json and BENCH_PR8.json), each compared independently.
 
 Exits non-zero only on a catastrophic regression: any (engine, config) point whose
-commits_per_sec dropped by more than the threshold relative to the baseline. CI machines
-are noisy, so this is a tripwire for order-of-magnitude breakage, not a gate on small
-deltas — the tracked trajectory in BENCH_*.json is what PRs reason about.
+commits_per_sec dropped by more than the threshold relative to EVERY baseline that has
+the point. Requiring all baselines to agree keeps one outlier machine-class baseline
+from tripping CI; CI machines are noisy, so this is a tripwire for order-of-magnitude
+breakage, not a gate on small deltas — the tracked trajectory in BENCH_*.json is what
+PRs reason about.
 """
 import json
 import sys
@@ -19,31 +25,43 @@ def load_points(path):
 
 
 def main(argv):
-    if len(argv) < 3:
-        print(__doc__)
-        return 2
     threshold = 0.40
-    for a in argv[3:]:
+    paths = []
+    for a in argv[1:]:
         if a.startswith("--max-regression="):
             threshold = float(a.split("=", 1)[1])
-    baseline = load_points(argv[1])
-    current = load_points(argv[2])
-    failures = []
-    for key, base in baseline.items():
-        cur = current.get(key)
-        if cur is None:
-            print(f"note: point {key} missing from current run (skipped)")
-            continue
-        b, c = base["commits_per_sec"], cur["commits_per_sec"]
-        if b <= 0:
-            continue
-        delta = (c - b) / b
-        marker = "REGRESSION" if delta < -threshold else "ok"
-        print(f"{key}: baseline={b:.0f} current={c:.0f} delta={delta:+.1%} [{marker}]")
-        if delta < -threshold:
-            failures.append(key)
+        else:
+            paths.append(a)
+    if len(paths) < 2:
+        print(__doc__)
+        return 2
+    baselines = {p: load_points(p) for p in paths[:-1]}
+    current = load_points(paths[-1])
+
+    # key -> set of baseline paths it regressed against; a failure needs all of them.
+    regressed = {}
+    covered = {}
+    for bpath, baseline in baselines.items():
+        print(f"--- vs {bpath} ---")
+        for key, base in baseline.items():
+            cur = current.get(key)
+            if cur is None:
+                print(f"note: point {key} missing from current run (skipped)")
+                continue
+            b, c = base["commits_per_sec"], cur["commits_per_sec"]
+            if b <= 0:
+                continue
+            covered.setdefault(key, set()).add(bpath)
+            delta = (c - b) / b
+            marker = "REGRESSION" if delta < -threshold else "ok"
+            print(f"{key}: baseline={b:.0f} current={c:.0f} delta={delta:+.1%} [{marker}]")
+            if delta < -threshold:
+                regressed.setdefault(key, set()).add(bpath)
+
+    failures = [k for k, v in regressed.items() if v == covered.get(k)]
     if failures:
-        print(f"\ncatastrophic regression (> {threshold:.0%}) on: {failures}")
+        print(f"\ncatastrophic regression (> {threshold:.0%}) vs every baseline on: "
+              f"{failures}")
         return 1
     print("\nperf check passed")
     return 0

@@ -1,0 +1,143 @@
+// point_read: ns/lookup microbench for the three record-routing paths (PR 9).
+//
+//   hash   — RecordMap-only routing (the pre-PR9 path: hash mix, bucket probe, chain)
+//   flat   — Store::Route through a kFlat direct-indexed table (bounds check + load)
+//   cache  — Txn route-cache hit (the abort-retry fast path: one probe, no store trip)
+//
+// Single-threaded by design: this isolates the constant factor per lookup that
+// perf_smoke measures end to end. Wired into bench/run_perf.sh so every tracked perf
+// run logs the split alongside BENCH_PR9.json.
+//
+// Flags: --keys=N (dense key-space size, default 65536)
+//        --lookups=N (measured lookups per path, default 2^23)
+//        --json=PATH (optional machine-readable report)
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/timing.h"
+#include "src/store/store.h"
+#include "src/txn/txn.h"
+
+namespace doppel {
+namespace {
+
+// Deterministic key sequence; cheap enough to not drown the measured lookup.
+inline std::uint64_t Lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s >> 33;
+}
+
+constexpr std::uint64_t kTable = 0;
+
+template <typename LookupFn>
+double MeasureNsPerOp(std::uint64_t lookups, std::uint64_t keys, LookupFn&& lookup) {
+  std::uint64_t seed = 42;
+  std::uintptr_t sink = 0;  // data-dependent accumulator: defeats dead-code elimination
+  const std::uint64_t t0 = NowNanos();
+  for (std::uint64_t i = 0; i < lookups; ++i) {
+    const std::uint64_t lo = Lcg(seed) % keys;
+    sink += reinterpret_cast<std::uintptr_t>(lookup(lo));
+  }
+  const std::uint64_t t1 = NowNanos();
+  if (sink == 0) {
+    std::fprintf(stderr, "point_read: lookup path returned only nulls?\n");
+    std::exit(1);
+  }
+  return static_cast<double>(t1 - t0) / static_cast<double>(lookups);
+}
+
+int Main(int argc, char** argv) {
+  std::uint64_t keys = 1 << 16;
+  std::uint64_t lookups = 1 << 23;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      keys = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--lookups=", 10) == 0) {
+      lookups = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "point_read: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  // Hash-routed store: no flat registration, every lookup walks the RecordMap.
+  Store hash_store(keys * 2);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    hash_store.GetOrCreate(Key::Table(kTable, i), RecordType::kInt64, 0);
+  }
+  const double hash_ns = MeasureNsPerOp(lookups, keys, [&](std::uint64_t lo) {
+    return hash_store.GetOrCreateUnchecked(Key::Table(kTable, lo),
+                                           RecordType::kInt64, 0);
+  });
+
+  // Flat-routed store: same keys behind a pre-sized direct-indexed table.
+  Store flat_store(keys * 2);
+  TableOptions opts;
+  opts.layout = TableLayout::kFlat;
+  opts.flat_base = 0;
+  opts.flat_span = keys;
+  opts.flat_initial_slots = static_cast<std::size_t>(keys);
+  flat_store.ConfigureTable(kTable, opts);
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    flat_store.GetOrCreate(Key::Table(kTable, i), RecordType::kInt64, 0);
+  }
+  const double flat_ns = MeasureNsPerOp(lookups, keys, [&](std::uint64_t lo) {
+    return flat_store.GetOrCreateUnchecked(Key::Table(kTable, lo),
+                                           RecordType::kInt64, 0);
+  });
+
+  // Txn route-cache hit: pick keys that map to distinct cache slots, pre-cache them,
+  // and measure pure hits — the cost an abort-retry pays to re-reach its records.
+  Txn txn;
+  std::vector<std::uint64_t> cached;
+  std::vector<bool> slot_taken(64, false);
+  for (std::uint64_t lo = 0; lo < keys && cached.size() < 64; ++lo) {
+    const Key k = Key::Table(kTable, lo);
+    const std::size_t slot = k.Hash() & 63;
+    if (slot_taken[slot]) {
+      continue;
+    }
+    slot_taken[slot] = true;
+    txn.CacheRoute(k, flat_store.Find(k));
+    cached.push_back(lo);
+  }
+  const std::uint64_t n_cached = cached.size();
+  const double cache_ns = MeasureNsPerOp(lookups, n_cached, [&](std::uint64_t i) {
+    return txn.CachedRoute(Key::Table(kTable, cached[i]));
+  });
+
+  std::printf("point_read: keys=%" PRIu64 " lookups=%" PRIu64 "\n", keys, lookups);
+  std::printf("  %-22s %8.2f ns/lookup\n", "hash (RecordMap)", hash_ns);
+  std::printf("  %-22s %8.2f ns/lookup\n", "flat (Store::Route)", flat_ns);
+  std::printf("  %-22s %8.2f ns/lookup\n", "txn-cache hit", cache_ns);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "point_read: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"point_read\",\n  \"schema_version\": 1,\n"
+                 "  \"keys\": %" PRIu64 ",\n  \"lookups\": %" PRIu64 ",\n"
+                 "  \"hash_ns_per_lookup\": %.3f,\n"
+                 "  \"flat_ns_per_lookup\": %.3f,\n"
+                 "  \"txn_cache_ns_per_lookup\": %.3f\n}\n",
+                 keys, lookups, hash_ns, flat_ns, cache_ns);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace doppel
+
+int main(int argc, char** argv) { return doppel::Main(argc, argv); }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Builds the Release perf_smoke benchmark and writes the tracked perf-trajectory JSON
-# (BENCH_PR5.json at the repo root by default). See README "Performance" for the schema.
+# Builds the Release perf benchmarks and writes the tracked perf-trajectory JSON
+# (BENCH_PR9.json at the repo root by default), plus the point_read routing-path
+# microbench log. See README "Performance" for the schema.
 #
 # Environment overrides:
 #   BUILD_DIR      build directory (default build-perf)
-#   PERF_OUT       output JSON path (default <repo>/BENCH_PR5.json)
+#   PERF_OUT       output JSON path (default <repo>/BENCH_PR9.json)
 #   PERF_SECONDS   measurement seconds per point (default 1.0)
 #   PERF_RUNS      runs per point, reported as mean [min,max] (default 3)
 #   PERF_THREADS   worker threads (default: all CPUs)
@@ -13,14 +14,14 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-perf}"
-PERF_OUT="${PERF_OUT:-$REPO_ROOT/BENCH_PR5.json}"
+PERF_OUT="${PERF_OUT:-$REPO_ROOT/BENCH_PR9.json}"
 PERF_SECONDS="${PERF_SECONDS:-1.0}"
 PERF_RUNS="${PERF_RUNS:-3}"
 PERF_THREADS="${PERF_THREADS:-0}"
 PERF_KEYS="${PERF_KEYS:-200000}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_smoke
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_smoke --target point_read
 
 "$BUILD_DIR/perf_smoke" \
   --seconds="$PERF_SECONDS" \
@@ -30,3 +31,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_smoke
   --json="$PERF_OUT"
 
 echo "perf trajectory point written to $PERF_OUT"
+
+# Routing-path split (hash vs flat vs txn-cache): logged, not gated — the end-to-end
+# commits/s above is the tracked number; this explains where it comes from.
+"$BUILD_DIR/point_read"

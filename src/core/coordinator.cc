@@ -10,6 +10,13 @@ namespace {
 
 constexpr std::uint64_t kPollChunkNs = 200 * 1000;  // 200us stop/feedback polling
 
+// Joined-phase sleeps poll more coarsely: the only signal they react to is stop,
+// so the 200us cadence buys nothing — and on machines with as many workers as
+// cores every coordinator wakeup preempts a worker mid-transaction (measurable
+// on the 1-vCPU perf class). Split phases keep the fine cadence because drain
+// and the stash-pressure hurry signal live there.
+constexpr std::uint64_t kJoinedPollChunkNs = 1000 * 1000;  // 1ms stop polling
+
 }  // namespace
 
 void Coordinator::SleepJoined(std::uint64_t ns) const {
@@ -21,7 +28,7 @@ void Coordinator::SleepJoined(std::uint64_t ns) const {
     if (now >= deadline) {
       return;
     }
-    const std::uint64_t chunk = std::min(deadline - now, kPollChunkNs);
+    const std::uint64_t chunk = std::min(deadline - now, kJoinedPollChunkNs);
     std::this_thread::sleep_for(std::chrono::nanoseconds(chunk));
   }
 }

@@ -278,8 +278,17 @@ void Database::WorkerMain(Worker& w, TxnSource* source) {
     if (reclaimer_ != nullptr) {
       // Transaction boundary: this worker holds no record pointers, the moment the
       // epoch protocol counts. Worker 0's tick additionally drives sweep/free steps.
-      reclaimer_->Tick(static_cast<std::size_t>(w.id),
-                       [&w](std::uint64_t max_seen) { return w.GenerateTid(max_seen); });
+      const std::uint64_t seen = reclaimer_->Tick(
+          static_cast<std::size_t>(w.id),
+          [&w](std::uint64_t max_seen) { return w.GenerateTid(max_seen); });
+      if (seen != w.epoch_seen) {
+        // The observed epoch moved: generations cached under the old epoch may cover
+        // records the sweeper has since unlinked. Invalidating here — before the free
+        // gate (two advances, each requiring every worker to pass this line) can open —
+        // is what makes Txn's cross-transaction route cache safe.
+        w.epoch_seen = seen;
+        w.txn.InvalidateRouteCache();
+      }
     }
 
     const std::uint64_t now = NowNanos();

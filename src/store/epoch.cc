@@ -15,6 +15,9 @@ EpochReclaimer::~EpochReclaimer() {
   for (Record* r : limbo_) {
     delete r;
   }
+  for (FlatSlotArray* a : limbo_arrays_) {
+    delete a;
+  }
 }
 
 bool EpochReclaimer::TryKill(Record& r,
@@ -50,43 +53,53 @@ bool EpochReclaimer::TryKill(Record& r,
   return true;
 }
 
-void EpochReclaimer::Tick(std::size_t worker_id,
-                          FunctionRef<std::uint64_t(std::uint64_t)> gen_tid) {
+std::uint64_t EpochReclaimer::Tick(std::size_t worker_id,
+                                   FunctionRef<std::uint64_t(std::uint64_t)> gen_tid) {
   if (!opts_.enabled) {
-    return;
+    return 0;  // constant: nothing is ever freed, caches never need invalidation
   }
-  epochs_.Observe(worker_id);
+  const std::uint64_t observed = epochs_.Observe(worker_id);
   if (worker_id != 0) {
-    return;
+    return observed;
   }
   if (ticks_until_drive_ != 0) {
     ticks_until_drive_--;
-    return;
+    return observed;
   }
   ticks_until_drive_ = opts_.tick_period;
   epochs_.TryAdvance();
   const std::uint64_t now = epochs_.global();
-  if (!limbo_.empty()) {
+  if (!limbo_.empty() || !limbo_arrays_.empty()) {
     // Single-generation limbo: wait out the grace period before sweeping more. Two
     // advances past the sweep stamp mean every worker passed a transaction boundary
     // after the unlink, so no one still holds a pointer into this generation.
     if (now < limbo_epoch_ + 2) {
-      return;
+      return observed;
     }
     // Cumulative telemetry gauge; racy stats reads by contract.
     reclaimed_.fetch_add(limbo_.size(), std::memory_order_relaxed);
     for (Record* r : limbo_) {
+      // Free point: re-open the key's flat slot (if any) only now, never earlier —
+      // the tombstone planted at the kill point kept it closed through the grace
+      // period, so no republished slot can alias the dead pointer.
+      store_.FlatClearTombstone(r->key());
       delete r;
     }
     limbo_.clear();
+    for (FlatSlotArray* a : limbo_arrays_) {
+      delete a;
+    }
+    limbo_arrays_.clear();
   }
   // Idle gate: after a whole pass over the map unlinked nothing, don't walk it again
   // until the store has plausibly grown a reclamation candidate. Absent records only
   // appear via record creation (created absent) or a committed delete (which always
   // removes an index key), so the two monotonic counters together form the hint.
+  // (Flat slot arrays retired by growth wait in their FlatTable until the next active
+  // sweep drains them — they are safe to hold indefinitely.)
   const std::uint64_t hint = store_.map().created() + store_.index().removes();
   if (idle_ && hint == idle_hint_) {
-    return;
+    return observed;
   }
   idle_ = false;
   if (cursor_ == 0) {
@@ -99,18 +112,32 @@ void EpochReclaimer::Tick(std::size_t worker_id,
   const std::size_t begin = cursor_;
   const std::size_t end = std::min(begin + opts_.chunk_buckets, n_buckets);
   const std::size_t unlinked = store_.map().SweepRange(
-      begin, end, [&](Record& r) { return TryKill(r, gen_tid); }, &limbo_);
+      begin, end,
+      [&](Record& r) {
+        if (!TryKill(r, gen_tid)) {
+          return false;
+        }
+        // Kill point, still under the victim's bucket stripe lock: poison the key's
+        // flat slot before the unlink, so no router can (re)install the dying pointer
+        // and no fresh record for the key can take the slot before the free point.
+        store_.FlatTombstone(r.key());
+        return true;
+      },
+      &limbo_);
   cursor_ = end >= n_buckets ? 0 : end;
   pass_found_ = pass_found_ || unlinked != 0;
+  // Slot arrays retired by flat growth join this generation's grace period.
+  store_.DrainFlatRetired(&limbo_arrays_);
   if (cursor_ == 0 && !pass_found_) {
     idle_ = true;
     idle_hint_ = pass_hint_;
   }
-  if (!limbo_.empty()) {
+  if (!limbo_.empty() || !limbo_arrays_.empty()) {
     // Cumulative telemetry gauge; racy stats reads by contract.
     swept_.fetch_add(limbo_.size(), std::memory_order_relaxed);
     limbo_epoch_ = now;
   }
+  return observed;
 }
 
 std::size_t EpochReclaimer::SweepQuiescent(Store& store) {
@@ -125,7 +152,15 @@ std::size_t EpochReclaimer::SweepQuiescent(Store& store) {
       &victims);
   const std::size_t n = victims.size();
   for (Record* r : victims) {
+    // Quiescent: no concurrent reader exists, so the slot can be cleared outright.
+    store.FlatClearSlot(r->key());
     delete r;
+  }
+  // Retired slot arrays are likewise free to go immediately.
+  std::vector<FlatSlotArray*> arrays;
+  store.DrainFlatRetired(&arrays);
+  for (FlatSlotArray* a : arrays) {
+    delete a;
   }
   return n;
 }
@@ -141,6 +176,8 @@ void EpochReclaimer::DrainAtShutdown(
   // Store::size() after Stop want the final state exact.
   reclaimed_.fetch_add(limbo_.size(), std::memory_order_relaxed);  // teardown telemetry
   for (Record* r : limbo_) {
+    // Workers are joined: quiescent, clear the slot (tombstoned at the kill) outright.
+    store_.FlatClearSlot(r->key());
     delete r;
   }
   limbo_.clear();
@@ -152,8 +189,14 @@ void EpochReclaimer::DrainAtShutdown(
   swept_.fetch_add(victims.size(), std::memory_order_relaxed);
   reclaimed_.fetch_add(victims.size(), std::memory_order_relaxed);
   for (Record* r : victims) {
+    store_.FlatClearSlot(r->key());  // quiescent, as above
     delete r;
   }
+  store_.DrainFlatRetired(&limbo_arrays_);
+  for (FlatSlotArray* a : limbo_arrays_) {
+    delete a;
+  }
+  limbo_arrays_.clear();
 }
 
 }  // namespace doppel

@@ -20,7 +20,11 @@
 //      Absent records that were never written (read placeholders) are swept the same
 //      way. The record is unlinked from its bucket chain (its own next pointer stays
 //      intact, so a concurrent reader mid-chain still reaches the rest) and parked on a
-//      limbo list stamped with the sweep epoch.
+//      limbo list stamped with the sweep epoch. If the key routes through a flat table
+//      (src/store/flat_table.h), its slot is poisoned with a tombstone at the kill
+//      point (same stripe-lock critical section) and re-opened only when the record is
+//      freed — a flat slot is never republished before two epoch advances. Slot arrays
+//      retired by flat growth ride the same limbo generation as records.
 //   3. The limbo list is freed once the global epoch has advanced by two past the sweep
 //      stamp: any transaction that could have routed to the record before it was
 //      unlinked has ended (its worker ticked), and no later transaction can reach it
@@ -46,6 +50,7 @@ namespace doppel {
 
 class Record;
 class Store;
+struct FlatSlotArray;
 
 // Reclamation knobs (Options::reclaim).
 struct ReclaimOptions {
@@ -69,9 +74,12 @@ class EpochManager {
 
   // Called by worker `worker_id` on its own thread at a transaction boundary: it holds
   // no record pointers at this instant, which is exactly what the grace period counts.
-  void Observe(std::size_t worker_id) {
+  // Returns the epoch the worker just published to its slot — the value a worker-local
+  // cache of record pointers (Txn's route cache) must key its validity on.
+  std::uint64_t Observe(std::size_t worker_id) {
     const std::uint64_t g = global_.load(std::memory_order_acquire);
     slots_[worker_id].seen.store(g, std::memory_order_release);
+    return g;
   }
 
   // Driver only. Advances the global epoch iff every worker has observed the current
@@ -112,8 +120,12 @@ class EpochReclaimer {
   // Called on every worker's BetweenTxns tick. Non-driver workers only publish their
   // epoch slot; worker 0 additionally drives advancement, sweeping, and freeing.
   // `gen_tid` mints a TID strictly above its argument (Worker::GenerateTid) — used to
-  // bump a killed record's TID so stale readers fail validation.
-  void Tick(std::size_t worker_id, FunctionRef<std::uint64_t(std::uint64_t)> gen_tid);
+  // bump a killed record's TID so stale readers fail validation. Returns the epoch the
+  // worker observed (0 when disabled): a worker must invalidate any cross-transaction
+  // record-pointer cache (Txn::InvalidateRouteCache) whenever this value changes,
+  // because a free only happens two observed-epoch changes after the unlink.
+  std::uint64_t Tick(std::size_t worker_id,
+                     FunctionRef<std::uint64_t(std::uint64_t)> gen_tid);
 
   // After workers are joined (no concurrent readers remain): free the limbo list
   // unconditionally and run one full-map sweep, freeing its yield immediately.
@@ -144,6 +156,9 @@ class EpochReclaimer {
   std::uint32_t ticks_until_drive_ = 0;
   std::size_t cursor_ = 0;  // next bucket to sweep (wraps)
   std::vector<Record*> limbo_;
+  // Flat slot arrays retired by growth, freed with the same generation's records: a
+  // lock-free FlatTable::Find may hold the old array pointer until its transaction ends.
+  std::vector<FlatSlotArray*> limbo_arrays_;
   std::uint64_t limbo_epoch_ = 0;  // global epoch when limbo_ was unlinked
   // Idle gate: a full map pass that unlinks nothing parks the sweeper until the
   // store's change hint (records created + index keys removed — every absent record

@@ -1,0 +1,157 @@
+#include "src/store/flat_table.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/dassert.h"
+
+namespace doppel {
+
+namespace {
+constexpr std::size_t kDefaultInitialSlots = 4096;
+}  // namespace
+
+Record* FlatTable::Tombstone() {
+  // Any stable non-record address works; a function-local static avoids inventing an
+  // integer-derived pointer value.
+  static int tag;
+  return reinterpret_cast<Record*>(&tag);
+}
+
+FlatTable::FlatTable(std::uint64_t table, std::uint64_t base, std::uint64_t span,
+                     std::size_t initial_slots)
+    : table_(table), base_(base), span_(span) {
+  DOPPEL_CHECK(span_ > 0);
+  std::size_t n = initial_slots == 0 ? kDefaultInitialSlots : initial_slots;
+  n = static_cast<std::size_t>(std::min<std::uint64_t>(std::bit_ceil(n), span_));
+  // Construction precedes any concurrent access; relaxed publication suffices here,
+  // later readers are ordered by whatever published the FlatTable itself.
+  arr_.store(new FlatSlotArray(n), std::memory_order_relaxed);
+}
+
+FlatTable::~FlatTable() {
+  // Destructor: no concurrent access remains.
+  delete arr_.load(std::memory_order_relaxed);
+  SpinlockGuard lock(grow_mu_);
+  for (FlatSlotArray* a : retired_) {
+    delete a;
+  }
+  retired_.clear();
+}
+
+FlatSlotArray* FlatTable::GrowToCover(std::uint64_t off) {
+  // grow_mu_ held: arr_ has a single writer, so the relaxed load reads our own last
+  // published value.
+  FlatSlotArray* old = arr_.load(std::memory_order_relaxed);
+  if (off < old->size) {
+    return old;
+  }
+  const std::uint64_t want =
+      std::min<std::uint64_t>(std::max<std::uint64_t>(std::bit_ceil(off + 1),
+                                                      old->size * 2),
+                              span_);
+  auto* fresh = new FlatSlotArray(static_cast<std::size_t>(want));
+  for (std::size_t i = 0; i < old->size; ++i) {
+    // Copy under grow_mu_: tombstone writes and publishes are excluded (they take the
+    // lock), so no sentinel or quiescent publish can be dropped. Concurrent CAS
+    // installs into `old` may be lost — a future flat miss, nothing more.
+    fresh->slots[i].store(old->slots[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  arr_.store(fresh, std::memory_order_release);
+  // `old` may still be held by lock-free readers for the rest of their transaction:
+  // park it for the epoch reclaimer (DrainRetired) instead of freeing it.
+  retired_.push_back(old);
+  return fresh;
+}
+
+void FlatTable::TryInstall(std::uint64_t lo, Record* r) {
+  const std::uint64_t off = lo - base_;
+  if (off >= span_) {
+    return;
+  }
+  FlatSlotArray* a = arr_.load(std::memory_order_acquire);
+  if (off >= a->size) {
+    SpinlockGuard lock(grow_mu_);
+    a = GrowToCover(off);
+  }
+  Record* expected = nullptr;
+  // CAS from nullptr only: a live pointer for this key is the same pointer (the map
+  // resolves one record per key), and a tombstone must win against the install of a
+  // record the sweeper is killing.
+  a->slots[off].compare_exchange_strong(expected, r, std::memory_order_release,
+                                        std::memory_order_relaxed);
+}
+
+void FlatTable::WriteTombstone(std::uint64_t lo) {
+  const std::uint64_t off = lo - base_;
+  if (off >= span_) {
+    return;
+  }
+  SpinlockGuard lock(grow_mu_);
+  FlatSlotArray* a = GrowToCover(off);
+  // Unconditional: erases the victim's pointer and any racing install of it (see the
+  // slot lifecycle in the header). Release so a reader that sees the sentinel is also
+  // ordered after the kill it represents.
+  a->slots[off].store(Tombstone(), std::memory_order_release);
+}
+
+void FlatTable::ClearTombstone(std::uint64_t lo) {
+  const std::uint64_t off = lo - base_;
+  if (off >= span_) {
+    return;
+  }
+  SpinlockGuard lock(grow_mu_);
+  // grow_mu_ held: single arr_ writer, relaxed reads our own last published value.
+  FlatSlotArray* a = arr_.load(std::memory_order_relaxed);
+  if (off >= a->size) {
+    return;
+  }
+  Record* expected = Tombstone();
+  // CAS, not a store: only the sentinel this reclaim planted may be removed. (Between
+  // tombstone and clear nothing else can write the slot, so failure means the slot was
+  // never grown to hold the sentinel in the first place.)
+  a->slots[off].compare_exchange_strong(expected, nullptr, std::memory_order_release,
+                                        std::memory_order_relaxed);
+}
+
+void FlatTable::Publish(std::uint64_t lo, Record* r) {
+  const std::uint64_t off = lo - base_;
+  if (off >= span_) {
+    return;
+  }
+  SpinlockGuard lock(grow_mu_);
+  // grow_mu_ held: single arr_ writer, relaxed reads our own last published value.
+  FlatSlotArray* a = arr_.load(std::memory_order_relaxed);
+  if (off >= a->size) {
+    if (r == nullptr) {
+      return;  // clearing a slot that never existed is a no-op
+    }
+    a = GrowToCover(off);
+  }
+  a->slots[off].store(r, std::memory_order_release);
+}
+
+FlatTable::SlotState FlatTable::Probe(std::uint64_t lo) const {
+  const std::uint64_t off = lo - base_;
+  if (off >= span_) {
+    return SlotState::kMiss;
+  }
+  const FlatSlotArray* a = arr_.load(std::memory_order_acquire);
+  if (off >= a->size) {
+    return SlotState::kMiss;
+  }
+  Record* r = a->slots[off].load(std::memory_order_acquire);
+  if (r == nullptr) {
+    return SlotState::kEmpty;
+  }
+  return r == Tombstone() ? SlotState::kTombstone : SlotState::kLive;
+}
+
+void FlatTable::DrainRetired(std::vector<FlatSlotArray*>* out) {
+  SpinlockGuard lock(grow_mu_);
+  out->insert(out->end(), retired_.begin(), retired_.end());
+  retired_.clear();
+}
+
+}  // namespace doppel

@@ -1,0 +1,143 @@
+// Direct-indexed record-pointer array for dense tables (the kFlat store layout).
+//
+// Tables whose keys are dense integers — the INCR benches' table 0, DBx1000-style
+// fixed-size relations — pay the RecordMap's hash mix, bucket probe, and chain walk on
+// every access even though `key.lo` is already a perfect index. A FlatTable is a cache
+// in front of the RecordMap for one registered key range [base, base + span): lookup is
+// one bounds check plus one atomic pointer load, `slots[lo - base]`. The RecordMap stays
+// the authoritative owner of every record (ForEach, checkpoints, sweeps, and recovery
+// are unchanged); a flat slot only ever holds a pointer the map published, so a flat
+// miss — empty slot, out-of-range key, tombstoned slot — simply falls back to the map.
+//
+// Concurrency contract (the slot lifecycle):
+//
+//   empty -> live        Store::Route installs a map-resolved record with a CAS from
+//                        nullptr. Installs never overwrite: only the sweeper and
+//                        quiescent publishers may replace a non-null slot.
+//   live/empty -> tomb   The epoch sweeper, at the instant it kills the key's record
+//                        (under the record's bucket stripe lock, before the unlink),
+//                        stores the tombstone sentinel unconditionally. The store is
+//                        unconditional so it also erases a racing install of the dying
+//                        record; the CAS-from-nullptr install rule means nothing can
+//                        overwrite the sentinel afterwards.
+//   tomb -> empty        The epoch reclaimer clears the sentinel only when it frees the
+//                        record — two epoch advances after the kill — so a slot is never
+//                        republished while any thread could still hold the dead pointer.
+//
+// Growth doubles the slot array under `grow_mu_`. Tombstone writes and quiescent
+// publishes also take `grow_mu_`, so a grow-copy can neither resurrect a pointer the
+// sweeper is erasing nor drop a publish; racing CAS installs may be lost to a copy,
+// which costs one future flat miss and nothing else. Retired arrays are freed through
+// the same epoch grace period as retired records (Store::DrainFlatRetired), because
+// lock-free readers may still hold the old array pointer for the rest of their
+// transaction. Lock order: RecordMap insert stripe -> grow_mu_; grow_mu_ never acquires
+// any other lock.
+#ifndef DOPPEL_SRC_STORE_FLAT_TABLE_H_
+#define DOPPEL_SRC_STORE_FLAT_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/annotations.h"
+#include "src/common/spinlock.h"
+
+namespace doppel {
+
+class Record;
+
+// One generation of a FlatTable's slot storage. Old generations retired by growth stay
+// allocated until no reader can hold them (epoch grace, or table destruction).
+struct FlatSlotArray {
+  explicit FlatSlotArray(std::size_t n)
+      : size(n), slots(std::make_unique<std::atomic<Record*>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Pre-publication init: the array becomes visible only via a later release store.
+      slots[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  const std::size_t size;
+  std::unique_ptr<std::atomic<Record*>[]> slots;
+};
+
+class FlatTable {
+ public:
+  // Observable slot state (tests, stats). kMiss covers out-of-range keys and offsets
+  // beyond the current array.
+  enum class SlotState { kMiss, kEmpty, kLive, kTombstone };
+
+  // `span` keys starting at `base` are eligible for flat routing; everything else in
+  // the table falls back to the RecordMap. `initial_slots` bounds the first array
+  // (clamped to span; 0 picks a small default, growth covers the rest on demand).
+  FlatTable(std::uint64_t table, std::uint64_t base, std::uint64_t span,
+            std::size_t initial_slots);
+  ~FlatTable();
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+
+  std::uint64_t table() const { return table_; }
+  bool InRange(std::uint64_t lo) const { return lo - base_ < span_; }
+
+  // The tombstone sentinel: a non-null non-record pointer, so installs (CAS from
+  // nullptr) can never overwrite it.
+  static Record* Tombstone();
+
+  // Lock-free lookup; nullptr on any miss (out of range, empty, tombstoned).
+  Record* Find(std::uint64_t lo) const {
+    const std::uint64_t off = lo - base_;
+    if (off >= span_) {
+      return nullptr;
+    }
+    const FlatSlotArray* a = arr_.load(std::memory_order_acquire);
+    if (off >= a->size) {
+      return nullptr;
+    }
+    Record* r = a->slots[off].load(std::memory_order_acquire);
+    return r == Tombstone() ? nullptr : r;
+  }
+
+  // Publishes a map-resolved record into its slot if the slot is empty, growing the
+  // array to cover `lo` first. Refuses non-empty slots (live pointer or tombstone).
+  void TryInstall(std::uint64_t lo, Record* r);
+
+  // Sweeper only: unconditionally poison the slot at the kill point. The caller holds
+  // the bucket stripe lock of `lo`'s record, so no fresh record for the key can be
+  // created (and thus installed) until after the victim is unlinked — by which time the
+  // sentinel is already in place. Grows the array if needed so the sentinel always
+  // lands: a late install of the dying record must have something to collide with.
+  void WriteTombstone(std::uint64_t lo);
+
+  // Reclaimer only, at the victim's free point (two epoch advances after the kill):
+  // re-open the slot for fresh installs.
+  void ClearTombstone(std::uint64_t lo);
+
+  // Quiescent / publish-locked overwrite (recovery replay's ReplaceAbsent, replica
+  // apply, quiescent sweeps). `r` may be nullptr to clear the slot outright.
+  void Publish(std::uint64_t lo, Record* r);
+
+  SlotState Probe(std::uint64_t lo) const;
+
+  // Moves slot arrays retired by growth to `out` (the epoch reclaimer's array limbo).
+  void DrainRetired(std::vector<FlatSlotArray*>* out);
+
+ private:
+  // Grows the current array to cover `off` (< span_). Caller holds grow_mu_.
+  FlatSlotArray* GrowToCover(std::uint64_t off) REQUIRES(grow_mu_);
+
+  const std::uint64_t table_;
+  const std::uint64_t base_;
+  const std::uint64_t span_;
+
+  // Current slot array; written only under grow_mu_, read lock-free.
+  std::atomic<FlatSlotArray*> arr_;
+  // Serializes growth, tombstone writes, and quiescent publishes (see header comment).
+  Spinlock grow_mu_;
+  // Arrays replaced by growth, awaiting an epoch grace period (or destruction).
+  std::vector<FlatSlotArray*> retired_ GUARDED_BY(grow_mu_);
+};
+
+}  // namespace doppel
+
+#endif  // DOPPEL_SRC_STORE_FLAT_TABLE_H_

@@ -136,4 +136,30 @@ Record* RecordMap::ReplaceWithType(const Key& key, RecordType type, std::size_t 
   return rec;
 }
 
+void RecordMap::RehashQuiescent(std::size_t capacity_hint) {
+  const std::size_t want =
+      std::bit_ceil(capacity_hint < 16 ? std::size_t{16} : capacity_hint);
+  if (want <= buckets_.size()) {
+    return;  // never shrink: shorter chains were already paid for
+  }
+  std::vector<Bucket> fresh(want);
+  const std::uint64_t fresh_mask = want - 1;
+  for (Bucket& b : buckets_) {
+    // Quiescent by caller contract: no concurrent access of any kind, relaxed
+    // throughout; the next reader is ordered by whatever starts it.
+    Record* r = b.head.load(std::memory_order_relaxed);
+    while (r != nullptr) {
+      Record* next = r->hash_next.load(std::memory_order_relaxed);
+      Bucket& nb = fresh[r->key().Hash() & fresh_mask];
+      // Quiescent relink (same invariant as above: no concurrent access).
+      r->hash_next.store(nb.head.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      nb.head.store(r, std::memory_order_relaxed);
+      r = next;
+    }
+  }
+  buckets_ = std::move(fresh);
+  mask_ = fresh_mask;
+}
+
 }  // namespace doppel

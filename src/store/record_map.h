@@ -7,8 +7,14 @@
 // (src/store/epoch.h) has proven reclaimable, leaving the unlinked record's own chain
 // pointer intact so concurrent lock-free readers mid-traversal still reach the rest of
 // the chain. Unlinked records stay allocated until their epoch-limbo grace period ends.
-// The bucket array is still sized once at construction; with delete/insert churn the load
-// factor can drift, so load_factor() is exported as a run gauge (warned on at >4).
+//
+// The bucket array is sized at construction and can be rebuilt while quiesced
+// (RehashQuiescent): workloads that know a table's cardinality pass a per-table
+// capacity_hint through Store::ConfigureTable before population instead of relying on
+// the single construction-time global hint. load_factor() stays exported as a run gauge
+// (warned on at >4) for churn that outgrows the hints. Dense-keyed tables can skip this
+// map on the hot path entirely via the kFlat layout (src/store/flat_table.h); the map
+// remains the authoritative record owner either way.
 #ifndef DOPPEL_SRC_STORE_RECORD_MAP_H_
 #define DOPPEL_SRC_STORE_RECORD_MAP_H_
 
@@ -91,6 +97,12 @@ class RecordMap {
   // replayer mirrors that by replacing in place.
   Record* ReplaceWithType(const Key& key, RecordType type, std::size_t topk_k,
                           std::vector<Record*>* retired);
+
+  // Rebuilds the bucket array for ~`capacity_hint` records, relinking every existing
+  // record into its new chain. Caller guarantees quiescence (no concurrent access of
+  // any kind) — Store::ConfigureTable's pre-population registration window. Never
+  // shrinks below the current bucket count.
+  void RehashQuiescent(std::size_t capacity_hint);
 
  private:
   struct Bucket {

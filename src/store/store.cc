@@ -1,8 +1,53 @@
 #include "src/store/store.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/common/dassert.h"
+
 namespace doppel {
+
+Store::~Store() {
+  FreeRetired();
+  for (FlatDirSlot& s : flats_) {
+    // Teardown: no concurrent access remains.
+    delete s.table.load(std::memory_order_relaxed);
+  }
+}
+
+void Store::ConfigureTable(std::uint64_t table, const TableOptions& opts) {
+  if (opts.index.has_value()) {
+    index_.ConfigureTable(table, *opts.index);
+  }
+  if (opts.capacity_hint != 0) {
+    // Quiescent by the registration contract (pre-Start, before first insert of this
+    // table): safe to rebuild the map's bucket array for the cumulative expectation.
+    capacity_request_ += opts.capacity_hint;
+    map_.RehashQuiescent(capacity_request_);
+  }
+  if (opts.layout != TableLayout::kFlat) {
+    return;
+  }
+  DOPPEL_CHECK(opts.flat_span > 0);  // a flat table needs a key-range bound
+  SpinlockGuard lock(flat_mu_);
+  std::size_t free_slot = kMaxFlatTables;
+  for (std::size_t i = 0; i < kMaxFlatTables; ++i) {
+    const std::uint64_t tag = flats_[i].tag.load(std::memory_order_acquire);
+    if (tag == 0) {
+      free_slot = std::min(free_slot, i);
+      continue;
+    }
+    DOPPEL_CHECK(tag != table + 1);  // re-registering a flat table is an error
+  }
+  DOPPEL_CHECK(free_slot < kMaxFlatTables);  // directory full: raise kMaxFlatTables
+  auto* flat = new FlatTable(table, opts.flat_base, opts.flat_span,
+                             opts.flat_initial_slots);
+  // Pointer first (relaxed is fine pre-publication), then the tag with release: a
+  // reader that observes the tag observes the table pointer.
+  flats_[free_slot].table.store(flat, std::memory_order_relaxed);
+  flats_[free_slot].tag.store(table + 1, std::memory_order_release);
+  flat_count_.fetch_add(1, std::memory_order_release);
+}
 
 void Store::LoadInt(const Key& key, std::int64_t v) {
   Record* r = GetOrCreate(key, RecordType::kInt64);

@@ -79,12 +79,13 @@ class Engine {
   }
 
  protected:
-  // Shared Route body: resolve the key, skipping past records the epoch sweeper has
-  // marked dead (a dead record is instants from being unlinked — spin until the fresh
-  // lookup stops returning it), then enforce the type contract.
-  static Record* RouteInStore(Store& s, const Key& key, RecordType type,
+  // Shared Route body: resolve the key — worker-local route cache first, then the
+  // store's front door — skipping past records the epoch sweeper has marked dead (a
+  // dead record is instants from being unlinked — spin until the fresh lookup stops
+  // returning it), then enforce the type contract.
+  static Record* RouteInStore(Worker& w, Store& s, const Key& key, RecordType type,
                               std::size_t topk_k) {
-    Record* r = RouteAnyType(s, key, type, topk_k);
+    Record* r = RouteAnyType(w, s, key, type, topk_k);
     if (r->type() != type) {
       throw TypeMismatchSignal{key, type, r->type()};
     }
@@ -93,16 +94,27 @@ class Engine {
 
   // Type-agnostic variant for deletes: returns whatever record the key has (possibly a
   // fresh absent placeholder of `fallback` type).
-  static Record* RouteAnyType(Store& s, const Key& key, RecordType fallback,
+  static Record* RouteAnyType(Worker& w, Store& s, const Key& key, RecordType fallback,
                               std::size_t topk_k) {
-    Record* r = s.GetOrCreateUnchecked(key, fallback, topk_k);
+    // Cache hit: a pointer this worker resolved earlier in the current epoch window
+    // (abort-retry being the payoff case). The IsDead re-check here mirrors the one
+    // every freshly-routed pointer gets from the engines after each snapshot; a hit
+    // can never alias freed memory because the run loop invalidates the cache on
+    // every observed epoch change, ahead of the two-advance free gate.
+    if (Record* r = w.txn.CachedRoute(key)) {
+      if (!r->IsDead()) {
+        return r;
+      }
+    }
+    Record* r = s.Route(key, fallback, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
     while (r->IsDead()) {
       // The sweeper marks a record dead under its bucket's stripe lock and unlinks it
       // before releasing that lock, so a fresh lookup stops observing it as soon as the
       // sweeping thread finishes this bucket.
       CpuRelax();
-      r = s.GetOrCreateUnchecked(key, fallback, topk_k);
+      r = s.Route(key, fallback, topk_k == 0 ? TopKSet::kDefaultK : topk_k);
     }
+    w.txn.CacheRoute(key, r);
     return r;
   }
 };

@@ -10,13 +10,11 @@ TwoPLEngine::TwoPLEngine(Store& store) : TwoPLEngine(store, Limits{}) {}
 
 Record* TwoPLEngine::Route(Worker& w, const Key& key, RecordType type,
                            std::size_t topk_k) {
-  (void)w;
-  return RouteInStore(store_, key, type, topk_k);
+  return RouteInStore(w, store_, key, type, topk_k);
 }
 
 Record* TwoPLEngine::RouteDelete(Worker& w, const Key& key) {
-  (void)w;
-  return RouteAnyType(store_, key, RecordType::kInt64, 0);
+  return RouteAnyType(w, store_, key, RecordType::kInt64, 0);
 }
 
 void TwoPLEngine::EnsureShared(Txn& txn, Record* r) {

@@ -285,6 +285,36 @@ class Txn {
   Worker& worker() { return *worker_; }
   Engine& engine() { return *engine_; }
 
+  // ---- Cross-transaction route cache ----
+  // Key -> Record* memo that deliberately survives Reset: an aborted transaction's
+  // retry — the workload Doppel exists for — touches the same records and should not
+  // pay the store's hash walk again (ROADMAP item 1 / PR 9). Safety has two layers:
+  //  * Liveness: a hit is re-validated by the engine's post-snapshot IsDead check (the
+  //    same check every routed pointer gets), so a record the sweeper killed is
+  //    detected and re-routed.
+  //  * Reclamation: a cached pointer must never outlive the record's free. Frees happen
+  //    only after every worker observes two epoch advances past the unlink; the worker
+  //    bumps `route_cache_gen_` (InvalidateRouteCache, called by the run loop) whenever
+  //    the epoch it *observes* changes, so any entry cached before the unlink's epoch
+  //    is stamped with an older generation — and ignored — before the free can occur.
+  // Direct-mapped: one probe, no tombstone churn; collisions just evict.
+  Record* CachedRoute(const Key& key) const {
+    const RouteCacheEntry& e = route_cache_[RouteSlot(key)];
+    if (e.gen != route_cache_gen_ || e.record == nullptr || !(e.key == key)) {
+      return nullptr;
+    }
+    return e.record;
+  }
+  void CacheRoute(const Key& key, Record* r) {
+    RouteCacheEntry& e = route_cache_[RouteSlot(key)];
+    e.key = key;
+    e.record = r;
+    e.gen = route_cache_gen_;
+  }
+  // Generation bump: every existing entry becomes stale in O(1). Run loop calls this
+  // when the worker's observed epoch moves (see EpochReclaimer::Tick).
+  void InvalidateRouteCache() { ++route_cache_gen_; }
+
   // Set by commit protocols when the transaction loses a conflict; fed to the classifier.
   // `conflicts` lists every record whose validation failed (a transaction touching
   // several co-hot records — e.g. RUBiS's maxBid/numBids/bidsPerItem — must charge all of
@@ -329,6 +359,17 @@ class Txn {
     std::uint32_t tail = 0;
   };
   static constexpr std::size_t kWriteIndexThreshold = 8;
+  // Route cache geometry: 64 direct-mapped slots covers the handful of records a
+  // transaction (and its retries) touches; 3 KiB per worker, reset-free invalidation.
+  static constexpr std::size_t kRouteCacheSlots = 64;
+  struct RouteCacheEntry {
+    Key key{};
+    Record* record = nullptr;
+    std::uint64_t gen = 0;
+  };
+  std::size_t RouteSlot(const Key& key) const {
+    return key.Hash() & (kRouteCacheSlots - 1);
+  }
   void BuildWriteIndex();
   WriteSlot* WindexSlot(const Record* r);
   std::uint32_t OwnWriteHead(const Record* r) const;
@@ -348,6 +389,9 @@ class Txn {
   std::vector<WriteSlot> windex_;
   std::size_t windex_mask_ = 0;
   bool windex_built_ = false;
+  // Survives Reset by design (see CachedRoute); generation bump is the only eviction.
+  RouteCacheEntry route_cache_[kRouteCacheSlots];
+  std::uint64_t route_cache_gen_ = 1;
   bool stash_doomed_ = false;
   Record* stash_record_ = nullptr;
   OpCode stash_op_ = OpCode::kGet;

@@ -98,6 +98,11 @@ class Worker {
     return tid;
   }
 
+  // Last epoch this worker observed (EpochReclaimer::Tick's return; owner thread
+  // only). The run loop invalidates txn's route cache when it moves — the lever that
+  // keeps cached Record*s inside the reclamation grace period.
+  std::uint64_t epoch_seen = 0;
+
   // Cached wall clock (owner thread only). Refreshed wherever the hot path already
   // pays a clock read — commit-latency measurement, retry scheduling, batch
   // boundaries in the worker loop — so source-generated transactions can be stamped

@@ -8,6 +8,17 @@ void IncrProc(Txn& txn, const TxnArgs& args) { txn.Add(args.k1, 1); }
 }  // namespace
 
 void PopulateIncr(Store& store, std::uint64_t num_keys) {
+  if (!store.HasFlatTable(0)) {
+    // The INCR key space is exactly a dense range — the textbook kFlat table. Pre-size
+    // both layers so population (and the run) never grows anything.
+    TableOptions opts;
+    opts.layout = TableLayout::kFlat;
+    opts.flat_base = 0;
+    opts.flat_span = num_keys;
+    opts.flat_initial_slots = static_cast<std::size_t>(num_keys);
+    opts.capacity_hint = static_cast<std::size_t>(num_keys);
+    store.ConfigureTable(0, opts);
+  }
   for (std::uint64_t i = 0; i < num_keys; ++i) {
     store.LoadInt(IncrKey(i), 0);
   }

@@ -1,0 +1,334 @@
+// Flat store routing (PR 9): unit tests for the FlatTable slot lifecycle, the Store
+// Route front door and per-table registration, the two-epoch republication gate
+// (acceptance: a reclaimed flat slot is never reopened before two epoch advances), and
+// a multi-worker torture run racing routes, deletes, sweeps, and slot republication
+// under every lock-based protocol (the CI TSan/ASan teeth for the flat path).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/store/epoch.h"
+#include "src/store/flat_table.h"
+#include "src/store/store.h"
+
+namespace doppel {
+namespace {
+
+using SlotState = FlatTable::SlotState;
+
+TEST(FlatTable, InstallFindGrowAndRange) {
+  FlatTable f(/*table=*/7, /*base=*/100, /*span=*/1000, /*initial_slots=*/4);
+  EXPECT_TRUE(f.InRange(100));
+  EXPECT_TRUE(f.InRange(1099));
+  EXPECT_FALSE(f.InRange(99));
+  EXPECT_FALSE(f.InRange(1100));
+  EXPECT_EQ(f.Find(99), nullptr);
+  EXPECT_EQ(f.Find(1100), nullptr);
+  EXPECT_EQ(f.Probe(99), SlotState::kMiss);
+  EXPECT_EQ(f.Probe(100), SlotState::kEmpty);
+
+  Record r1(Key::Table(7, 100), RecordType::kInt64, 1);
+  Record r2(Key::Table(7, 100), RecordType::kInt64, 1);
+  f.TryInstall(100, &r1);
+  EXPECT_EQ(f.Find(100), &r1);
+  EXPECT_EQ(f.Probe(100), SlotState::kLive);
+  // Installs never overwrite: the slot keeps its first pointer.
+  f.TryInstall(100, &r2);
+  EXPECT_EQ(f.Find(100), &r1);
+
+  // Offset beyond the 4-slot initial array: growth covers it and keeps r1.
+  Record r3(Key::Table(7, 900), RecordType::kInt64, 1);
+  EXPECT_EQ(f.Probe(900), SlotState::kMiss) << "offset not yet covered by the array";
+  f.TryInstall(900, &r3);
+  EXPECT_EQ(f.Find(900), &r3);
+  EXPECT_EQ(f.Find(100), &r1);
+  // The pre-growth array was retired, not freed (readers may still hold it).
+  std::vector<FlatSlotArray*> retired;
+  f.DrainRetired(&retired);
+  ASSERT_FALSE(retired.empty());
+  for (FlatSlotArray* a : retired) {
+    delete a;
+  }
+}
+
+TEST(FlatTable, TombstoneBlocksInstallUntilCleared) {
+  FlatTable f(/*table=*/7, /*base=*/0, /*span=*/64, /*initial_slots=*/64);
+  Record r(Key::Table(7, 5), RecordType::kInt64, 1);
+  f.TryInstall(5, &r);
+  EXPECT_EQ(f.Probe(5), SlotState::kLive);
+
+  f.WriteTombstone(5);
+  EXPECT_EQ(f.Probe(5), SlotState::kTombstone);
+  EXPECT_EQ(f.Find(5), nullptr) << "a tombstoned slot must read as a miss";
+  // Install against the sentinel is refused — the grace period owns the slot.
+  f.TryInstall(5, &r);
+  EXPECT_EQ(f.Probe(5), SlotState::kTombstone);
+
+  f.ClearTombstone(5);
+  EXPECT_EQ(f.Probe(5), SlotState::kEmpty);
+  f.TryInstall(5, &r);
+  EXPECT_EQ(f.Find(5), &r);
+
+  // Quiescent publish: overwrites anything, nullptr clears.
+  f.WriteTombstone(5);
+  f.Publish(5, &r);
+  EXPECT_EQ(f.Find(5), &r);
+  f.Publish(5, nullptr);
+  EXPECT_EQ(f.Probe(5), SlotState::kEmpty);
+
+  // The sentinel lands even beyond the current array (the array grows to hold it):
+  // a racing install of a dying record must always have something to collide with.
+  FlatTable g(/*table=*/7, /*base=*/0, /*span=*/4096, /*initial_slots=*/4);
+  g.WriteTombstone(1000);
+  EXPECT_EQ(g.Probe(1000), SlotState::kTombstone);
+  std::vector<FlatSlotArray*> retired;
+  g.DrainRetired(&retired);
+  for (FlatSlotArray* a : retired) {
+    delete a;
+  }
+}
+
+TEST(StoreRouting, FlatRegistrationRoutesAndFallsBack) {
+  Store store(1 << 8);
+  // Records of other tables may pre-exist; the registration rehash must keep them.
+  store.LoadInt(Key::Table(9, 1), 42);
+
+  TableOptions opts;
+  opts.layout = TableLayout::kFlat;
+  opts.flat_base = 0;
+  opts.flat_span = 64;
+  opts.capacity_hint = 1 << 9;
+  store.ConfigureTable(5, opts);
+  EXPECT_TRUE(store.HasFlatTable(5));
+  EXPECT_FALSE(store.HasFlatTable(4));
+  // capacity_hint: construction hint (2^8) + 2^9 -> next power of two.
+  EXPECT_EQ(store.map().bucket_count(), std::size_t{1} << 10);
+  EXPECT_EQ(std::get<std::int64_t>(store.ReadSnapshot(Key::Table(9, 1)).value), 42);
+
+  const Key in = Key::Table(5, 7);
+  Record* r = store.GetOrCreateUnchecked(in, RecordType::kInt64, 0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(store.FlatProbe(in), SlotState::kLive) << "route must back-fill the slot";
+  EXPECT_EQ(store.GetOrCreateUnchecked(in, RecordType::kInt64, 0), r);
+  EXPECT_EQ(store.Find(in), r) << "the map stays the authoritative owner";
+
+  // Out-of-range key of a flat table: plain hash routing.
+  const Key out = Key::Table(5, 1000);
+  Record* ro = store.GetOrCreateUnchecked(out, RecordType::kInt64, 0);
+  ASSERT_NE(ro, nullptr);
+  EXPECT_EQ(store.FlatProbe(out), SlotState::kMiss);
+  EXPECT_EQ(store.Find(out), ro);
+
+  // Non-flat tables are untouched by the directory.
+  EXPECT_EQ(store.FlatProbe(Key::Table(9, 1)), SlotState::kMiss);
+}
+
+// The acceptance-criteria assertion: a flat slot whose record the sweeper reclaimed is
+// never republished before two epoch advances, and reopens exactly at the free point.
+TEST(EpochReclaimerFlat, SlotRepublicationGatedOnTwoAdvances) {
+  Store store(1 << 8);
+  TableOptions opts;
+  opts.layout = TableLayout::kFlat;
+  opts.flat_base = 0;
+  opts.flat_span = 64;
+  store.ConfigureTable(11, opts);
+
+  const Key k = Key::Table(11, 7);
+  // Created absent and never written: a reclamation candidate from birth.
+  Record* victim = store.GetOrCreateUnchecked(k, RecordType::kInt64, 0);
+  ASSERT_EQ(store.FlatProbe(k), SlotState::kLive);
+
+  ReclaimOptions ro;
+  ro.tick_period = 0;           // drive an advance + sweep step on every tick
+  ro.chunk_buckets = 1 << 20;   // whole map per step
+  EpochReclaimer rec(store, /*num_workers=*/1, ro);
+  auto gen_tid = [](std::uint64_t t) { return t + (std::uint64_t{1} << 8); };
+
+  // Tick 1 (epoch 1 -> 2): the sweep kills + unlinks the victim and poisons its slot.
+  rec.Tick(0, gen_tid);
+  EXPECT_EQ(store.Find(k), nullptr) << "victim should be unlinked";
+  ASSERT_EQ(store.FlatProbe(k), SlotState::kTombstone);
+
+  // Routing during the grace period resolves to a FRESH record via the hash fallback
+  // and must not take the slot.
+  Record* fresh = store.GetOrCreateUnchecked(k, RecordType::kInt64, 0);
+  ASSERT_NE(fresh, victim);
+  EXPECT_EQ(store.FlatProbe(k), SlotState::kTombstone)
+      << "slot republished during the grace period";
+  // Make the fresh record present so later sweeps leave it (and this test) alone.
+  store.LoadInt(k, 99);
+
+  // Tick 2 (epoch 2 -> 3): one advance past the sweep stamp — still gated.
+  rec.Tick(0, gen_tid);
+  EXPECT_EQ(store.FlatProbe(k), SlotState::kTombstone)
+      << "slot republished after only one epoch advance";
+
+  // Tick 3 (epoch 3 -> 4): two advances past the stamp — free point, slot reopens.
+  rec.Tick(0, gen_tid);
+  EXPECT_EQ(store.FlatProbe(k), SlotState::kEmpty);
+
+  // The next route reinstalls the (present) fresh record.
+  EXPECT_EQ(store.GetOrCreateUnchecked(k, RecordType::kInt64, 0), fresh);
+  EXPECT_EQ(store.FlatProbe(k), SlotState::kLive);
+  EXPECT_EQ(std::get<std::int64_t>(store.ReadSnapshot(k).value), 99);
+}
+
+// ---- Torture: routes vs deletes vs sweeps vs republication, all protocols ----
+
+constexpr std::uint64_t kTortureTable = 6;
+constexpr std::uint64_t kKeysPerWorker = 64;
+constexpr std::uint64_t kTortureSpan = 1024;
+// One key every worker hammers: OCC conflicts here drive abort-retry through the
+// per-transaction route cache, and periodic deletes force its liveness re-validation.
+constexpr std::uint64_t kHotLo = kTortureSpan - 1;
+
+std::atomic<std::uint64_t> g_value_errors{0};
+
+void TorturePut(Txn& txn, const TxnArgs& args) { txn.PutInt(args.k1, args.n); }
+void TortureDelete(Txn& txn, const TxnArgs& args) { txn.Delete(args.k1); }
+void TortureGetExpect(Txn& txn, const TxnArgs& args) {
+  const std::optional<std::int64_t> got = txn.GetInt(args.k1);
+  if (args.aux != 0) {  // expect present with value args.n
+    if (!got.has_value() || *got != args.n) {
+      g_value_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {  // expect absent
+    if (got.has_value()) {
+      g_value_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+void TortureGetAny(Txn& txn, const TxnArgs& args) { (void)txn.GetInt(args.k1); }
+
+// Closed-loop per-worker state machine over worker-private keys:
+//   Put(k, v) -> Get(k) == v -> Delete(k) -> Get(k) absent -> read a random foreign key
+//   -> hammer the shared hot key (worker 0 periodically deletes it).
+// Private keys make the value assertions exact — but only if the steps commit in issue
+// order, and a conflicted transaction is retried *later* while the worker moves on. So
+// each state-machine step gates on the previous one's on_complete; while one is in
+// flight (retry backoff, Doppel stash) the source emits ungated foreign reads, which
+// double as the cross-worker races (installs vs tombstones, cached pointers vs
+// reclaim) that TSan/ASan are here to chew on.
+class TortureSource : public TxnSource {
+ public:
+  explicit TortureSource(int worker_id) : worker_id_(worker_id) {}
+
+  static void OnDone(const TxnResult& result, void* ctx) {
+    (void)result;  // state txns always commit eventually (no user aborts/mismatches)
+    // Release pairs with the acquire in Next: the next step observes the finished
+    // transaction's outcome before issuing its successor.
+    static_cast<TortureSource*>(ctx)->ready_.store(true, std::memory_order_release);
+  }
+
+  TxnRequest Next(Worker& w) override {
+    TxnRequest r;
+    r.args.tag = kTagWrite;
+    if (!ready_.load(std::memory_order_acquire)) {
+      // Previous state-machine step still in flight: stay busy with race-fodder.
+      r.proc = &TortureGetAny;
+      r.args.k1 = Key::Table(kTortureTable, w.rng.NextBounded(kTortureSpan));
+      return r;
+    }
+    // Single owner between here and OnDone (the worker issues, the worker completes);
+    // relaxed store is only ordered against this thread's own issue below.
+    ready_.store(false, std::memory_order_relaxed);
+    const std::uint64_t cycle = step_ / 6;
+    const Key own =
+        Key::Table(kTortureTable, static_cast<std::uint64_t>(worker_id_) *
+                                          kKeysPerWorker +
+                                      (cycle % kKeysPerWorker));
+    const auto v = static_cast<std::int64_t>(cycle + 1);
+    switch (step_ % 6) {
+      case 0:
+        r.proc = &TorturePut;
+        r.args.k1 = own;
+        r.args.n = v;
+        break;
+      case 1:
+        r.proc = &TortureGetExpect;
+        r.args.k1 = own;
+        r.args.n = v;
+        r.args.aux = 1;  // expect present
+        break;
+      case 2:
+        r.proc = &TortureDelete;
+        r.args.k1 = own;
+        break;
+      case 3:
+        r.proc = &TortureGetExpect;
+        r.args.k1 = own;
+        r.args.aux = 0;  // expect absent
+        break;
+      case 4:
+        r.proc = &TortureGetAny;  // foreign key: no expectation, just the race
+        r.args.k1 = Key::Table(kTortureTable, w.rng.NextBounded(kTortureSpan));
+        break;
+      default:
+        if (worker_id_ == 0 && cycle % 16 == 15) {
+          r.proc = &TortureDelete;  // periodically kill the hot key
+        } else {
+          r.proc = &TorturePut;
+          r.args.n = v;
+        }
+        r.args.k1 = Key::Table(kTortureTable, kHotLo);
+        break;
+    }
+    r.on_complete = &OnDone;
+    r.on_complete_ctx = this;
+    step_++;
+    return r;
+  }
+
+ private:
+  const int worker_id_;
+  std::uint64_t step_ = 0;
+  std::atomic<bool> ready_{true};
+};
+
+class FlatTortureTest : public ::testing::TestWithParam<Protocol> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, FlatTortureTest,
+                         ::testing::Values(Protocol::kOcc, Protocol::kTwoPL,
+                                           Protocol::kDoppel),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           return ProtocolName(info.param);
+                         });
+
+TEST_P(FlatTortureTest, RoutesNeverObserveStaleRecordsUnderChurn) {
+  g_value_errors.store(0);
+  Options opts;
+  opts.protocol = GetParam();
+  opts.num_workers = 3;
+  opts.phase_us = 1000;
+  opts.store_capacity = 1 << 10;
+  opts.reclaim.tick_period = 4;          // drive aggressively: maximal republication churn
+  opts.reclaim.chunk_buckets = 1 << 20;  // whole map per sweep step
+  Database db(opts);
+
+  TableOptions topts;
+  topts.layout = TableLayout::kFlat;
+  topts.flat_base = 0;
+  topts.flat_span = kTortureSpan;
+  topts.flat_initial_slots = 8;  // force growth (and retired-array limbo) mid-run
+  db.store().ConfigureTable(kTortureTable, topts);
+
+  db.Start([](int worker_id) { return std::make_unique<TortureSource>(worker_id); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  db.Stop();
+
+  EXPECT_EQ(g_value_errors.load(), 0u)
+      << "a transaction observed a stale or lost value through the flat path";
+  ASSERT_NE(db.reclaimer(), nullptr);
+  EXPECT_GT(db.reclaimer()->reclaimed(), 0u) << "torture never exercised reclamation";
+  EXPECT_GE(db.reclaimer()->epochs().global(), 10u);
+}
+
+}  // namespace
+}  // namespace doppel

@@ -223,7 +223,34 @@ std::string FormatValue(const Record::ValueSnapshot& snap) {
   return out + "]";
 }
 
-ExecutionTrace RunScript(Protocol proto, const std::vector<ScriptTxn>& script) {
+// The cross-layout dimension: the same scripts must trace identically whether the
+// tables route through the RecordMap (kHash) or a direct-indexed FlatTable (kFlat).
+enum class Layout { kHash, kFlat };
+
+void RegisterFlatTables(Store& store) {
+  // Every script table, registered flat over its exact key range — plus slack on the
+  // int table so out-of-range fallback routing is NOT exercised there (the point is
+  // to run the whole script through the flat path). Tiny initial arrays force growth
+  // (and retired-array handling) mid-script.
+  const struct {
+    std::uint64_t table;
+    std::uint64_t span;
+  } kTables[] = {{kIntTable, kIntKeys},
+                 {kBytesTable, kBytesKeys},
+                 {kOrderedTable, kOrderedKeys},
+                 {kTopKTable, kTopKKeys}};
+  for (const auto& t : kTables) {
+    TableOptions topts;
+    topts.layout = TableLayout::kFlat;
+    topts.flat_base = 0;
+    topts.flat_span = t.span;
+    topts.flat_initial_slots = 2;
+    store.ConfigureTable(t.table, topts);
+  }
+}
+
+ExecutionTrace RunScript(Protocol proto, const std::vector<ScriptTxn>& script,
+                         Layout layout = Layout::kHash) {
   Options opts;
   opts.protocol = proto;
   opts.num_workers = 1;
@@ -232,6 +259,9 @@ ExecutionTrace RunScript(Protocol proto, const std::vector<ScriptTxn>& script) {
   // flips "absent" to "never-created" in the final dump); keep records in place.
   opts.reclaim.enabled = false;
   Database db(opts);
+  if (layout == Layout::kFlat) {
+    RegisterFlatTables(db.store());
+  }
   db.Start();
 
   ExecutionTrace trace;
@@ -288,11 +318,25 @@ TEST(CommitEquivalenceFuzz, SerialScriptsAgreeAcrossEngines) {
     ExecutionTrace occ = RunScript(Protocol::kOcc, script);
     ExecutionTrace twopl = RunScript(Protocol::kTwoPL, script);
     ExecutionTrace doppel = RunScript(Protocol::kDoppel, script);
+    // Cross-layout: same engines, tables registered flat. One trace per engine — six
+    // executions total must agree entry for entry.
+    ExecutionTrace occ_flat = RunScript(Protocol::kOcc, script, Layout::kFlat);
+    ExecutionTrace twopl_flat = RunScript(Protocol::kTwoPL, script, Layout::kFlat);
+    ExecutionTrace doppel_flat = RunScript(Protocol::kDoppel, script, Layout::kFlat);
     ASSERT_EQ(occ.log.size(), twopl.log.size()) << "seed " << seed;
     ASSERT_EQ(occ.log.size(), doppel.log.size()) << "seed " << seed;
+    ASSERT_EQ(occ.log.size(), occ_flat.log.size()) << "seed " << seed;
+    ASSERT_EQ(occ.log.size(), twopl_flat.log.size()) << "seed " << seed;
+    ASSERT_EQ(occ.log.size(), doppel_flat.log.size()) << "seed " << seed;
     for (std::size_t i = 0; i < occ.log.size(); ++i) {
       ASSERT_EQ(occ.log[i], twopl.log[i]) << "seed " << seed << " entry " << i;
       ASSERT_EQ(occ.log[i], doppel.log[i]) << "seed " << seed << " entry " << i;
+      ASSERT_EQ(occ.log[i], occ_flat.log[i])
+          << "flat layout diverged, seed " << seed << " entry " << i;
+      ASSERT_EQ(occ.log[i], twopl_flat.log[i])
+          << "flat layout diverged, seed " << seed << " entry " << i;
+      ASSERT_EQ(occ.log[i], doppel_flat.log[i])
+          << "flat layout diverged, seed " << seed << " entry " << i;
     }
   }
 }
