@@ -80,8 +80,15 @@ Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
     wo.flush_interval_us = opts_.wal_flush_us;
     wo.fsync = opts_.wal_fsync;
     wo.segment_bytes = opts_.wal_segment_bytes;
+    wo.env = opts_.io_env;
     wal_ = std::make_unique<WriteAheadLog>(opts_.wal_dir, wo);
     runner_cfg_.wal = wal_.get();
+    runner_cfg_.degraded = &degraded_;
+    // Fires on the thread that hit the permanent failure (flusher, a committing worker,
+    // or — if the WAL constructor already failed on mkdir — inline right here). The
+    // errno/op details live in the WAL's own latch; this flag just routes the hot paths.
+    wal_->SetDurabilityLostCallback(
+        [this](int, IoOp) { degraded_.store(true, std::memory_order_release); });
   }
 
   for (int i = 0; i < opts_.num_workers; ++i) {
@@ -96,6 +103,7 @@ Database::Database(Options opts) : opts_(opts), store_(opts.store_capacity) {
       doppel_ = engine.get();
       doppel_->RegisterWorkers(workers_);
       doppel_->SetWal(wal_.get());
+      doppel_->SetDegradedFlag(&degraded_);
       engine_ = std::move(engine);
       coordinator_ = std::make_unique<Coordinator>(*doppel_, opts_, stop_coord_,
                                                    stop_workers_, draining_);
@@ -351,6 +359,13 @@ SubmitStatus Database::TrySubmitPending(PendingTxn&& pt, std::uint32_t start_inb
     inflight_.fetch_sub(1);
     return SubmitStatus::kStopped;
   }
+  if (!pt.req.read_only && degraded_.load(std::memory_order_acquire)) {
+    // Read-only degraded mode: bounce writes at the door instead of queueing work that
+    // the runner's commit-time gate would only terminate with kDurabilityLost anyway.
+    // Submissions declared read_only pass; a lying body is still caught at commit.
+    inflight_.fetch_sub(1);
+    return SubmitStatus::kReadOnly;
+  }
   // Stamp at acceptance, not first execution: reported latency must include queueing.
   pt.req.args.submit_ns = NowNanos();
   std::shared_ptr<SubmitTicket> ticket = pt.ticket;
@@ -378,6 +393,13 @@ TxnHandle Database::SubmitPendingBlocking(PendingTxn&& pt, std::uint32_t start_i
       // Stop() began while we were blocked on backpressure (or the caller raced Stop):
       // reject gracefully with a handle that reports the abort, never a crash.
       pt.ticket->state.store(2, std::memory_order_release);
+      pt.ticket->state.notify_all();
+      return TxnHandle(std::move(pt.ticket));
+    }
+    if (s == SubmitStatus::kReadOnly) {
+      // Degraded mode is one-way: blocking would never unblock. Terminal ticket with
+      // the durability-lost abort (state 4) so Wait() reports why.
+      pt.ticket->state.store(4, std::memory_order_release);
       pt.ticket->state.notify_all();
       return TxnHandle(std::move(pt.ticket));
     }
@@ -445,6 +467,19 @@ std::uint64_t Database::SampleTotalCommits() const {
   return sum;
 }
 
+DurabilityHealth Database::durability_health() const {
+  DurabilityHealth h;
+  if (wal_ == nullptr) {
+    return h;
+  }
+  h.degraded = wal_->failed();
+  if (h.degraded) {
+    h.error = wal_->failed_errno();
+    h.op = IoOpName(wal_->failed_op());
+  }
+  return h;
+}
+
 Database::Stats Database::CollectStats() const {
   Stats s;
   for (const auto& w : workers_) {
@@ -454,6 +489,7 @@ Database::Stats Database::CollectStats() const {
     s.stash_events += w->stash_events;
     s.user_aborts += w->user_aborts;
     s.type_mismatch_aborts += w->type_mismatch_aborts;
+    s.durability_aborts += w->durability_aborts;
     for (int t = 0; t < kNumTags; ++t) {
       s.committed_by_tag[t] += w->committed_by_tag[t];
       s.latency_by_tag[t].Merge(w->latency_by_tag[t]);

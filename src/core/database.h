@@ -93,6 +93,15 @@ enum class SubmitStatus {
   kOk = 0,
   kQueueFull,  // every worker inbox is at capacity; retry later (backpressure)
   kStopped,    // Stop() has begun; no new submissions are accepted
+  kReadOnly,   // permanent WAL failure: only read_only submissions are accepted
+};
+
+// Snapshot of the durability state (see Database::durability_health). `op` names the
+// syscall whose permanent failure tripped the latch (static string, never null).
+struct DurabilityHealth {
+  bool degraded = false;
+  int error = 0;  // errno of the first permanent failure (0 while healthy)
+  const char* op = "";
 };
 
 class Database {
@@ -167,6 +176,7 @@ class Database {
     std::uint64_t stash_events = 0;
     std::uint64_t user_aborts = 0;
     std::uint64_t type_mismatch_aborts = 0;
+    std::uint64_t durability_aborts = 0;  // terminated by the degraded-mode gate
     std::uint64_t committed_by_tag[kNumTags] = {};
     LatencyHistogram latency_by_tag[kNumTags];
   };
@@ -183,6 +193,14 @@ class Database {
   // Non-null when Options::wal_dir is set.
   WriteAheadLog* wal() { return wal_.get(); }
   const WriteAheadLog* wal() const { return wal_.get(); }
+
+  // True after a permanent WAL failure: the database is in read-only degraded mode.
+  // One-way for the process lifetime. Reads keep committing and replicas keep tailing
+  // whatever the log holds; writes bounce at submission (SubmitStatus::kReadOnly) and
+  // in-flight writers terminate with TxnAbort::kDurabilityLost.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  // Degraded flag plus the first permanent failure's errno and operation name.
+  DurabilityHealth durability_health() const;
 
   // What Start()'s recovery pass restored (all-zero when no wal_dir / recovery ran).
   const RecoveryResult& recovery() const { return recovery_; }
@@ -234,6 +252,10 @@ class Database {
   std::atomic<std::uint32_t> next_inbox_{0};           // round-robin placement cursor
   std::atomic<std::uint64_t> inflight_{0};             // accepted, not yet terminal
   std::atomic<bool> accepting_{false};                 // false before Start / after Stop
+  // One-way read-only latch, set by the WAL's durability-lost callback (permanent I/O
+  // failure). Release store so the WAL failure details (failed_errno/failed_op) are
+  // visible to anyone who acquires the flag.
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace doppel

@@ -624,7 +624,15 @@ void DoppelEngine::BarrierAfterReconcile() {
 }
 
 bool DoppelEngine::CheckpointDue() const {
-  if (wal_ == nullptr) {
+  if (wal_ == nullptr || wal_->failed()) {
+    // Degraded (permanent WAL failure): a checkpoint could not update the manifest, so
+    // stop asking for barriers on its behalf.
+    return false;
+  }
+  // A failed checkpoint backs off before the next attempt (see BarrierMaybeCheckpoint);
+  // until then, don't request barriers that would just retry into the same full disk.
+  // Coordinator thread only — the plain reads are safe.
+  if (NowNanos() < checkpoint_backoff_until_ns_) {
     return false;
   }
   // Sticky request flag; polled at barriers, no payload rides on it.
@@ -635,7 +643,7 @@ bool DoppelEngine::CheckpointDue() const {
     return false;
   }
   // First barrier after Start checkpoints immediately (last_checkpoint_ns_ == 0), then
-  // the cadence applies. Coordinator thread only — the plain reads are safe.
+  // the cadence applies.
   return last_checkpoint_ns_ == 0 ||
          NowNanos() - last_checkpoint_ns_ >= opts_.checkpoint_interval_us * 1000;
 }
@@ -646,7 +654,24 @@ void DoppelEngine::BarrierMaybeCheckpoint() {
   }
   // Flag consume at the barrier; no payload rides on it.
   checkpoint_requested_.store(false, std::memory_order_relaxed);
-  wal_->WriteCheckpoint(store_);
+  const CheckpointStats st = wal_->WriteCheckpoint(store_);
+  if (!st.ok()) {
+    // The checkpoint rolled back (tmp removed, manifest untouched, old checkpoint
+    // live): retry at a later barrier with exponential backoff so a full disk isn't
+    // hammered every interval. Re-arm the sticky request so the retry happens even
+    // when the cadence alone wouldn't ask again.
+    checkpoint_consecutive_failures_ =
+        std::min<std::uint32_t>(checkpoint_consecutive_failures_ + 1, 6);
+    const std::uint64_t base_ns =
+        std::max<std::uint64_t>(opts_.checkpoint_interval_us * 1000, 100'000'000ull);
+    checkpoint_backoff_until_ns_ =
+        NowNanos() + (base_ns << (checkpoint_consecutive_failures_ - 1));
+    // Sticky re-arm read only by this coordinator thread at the next barrier.
+    checkpoint_requested_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  checkpoint_consecutive_failures_ = 0;
+  checkpoint_backoff_until_ns_ = 0;
   last_checkpoint_ns_ = NowNanos();
 }
 

@@ -47,6 +47,12 @@ class DoppelEngine : public OccEngine {
     wal_ = wal;
   }
 
+  // Database's degraded latch, so drained stashes honor read-only mode like every
+  // other RunPendingTxn site (must match Database's runner config).
+  void SetDegradedFlag(const std::atomic<bool>* degraded) {
+    runner_cfg_.degraded = degraded;
+  }
+
   // ---- Engine interface ----
   void Read(Worker& w, Txn& txn, Record* r, ReadResult* out) override;
   void Write(Worker& w, Txn& txn, PendingWrite&& pw) override;
@@ -154,6 +160,11 @@ class DoppelEngine : public OccEngine {
   WriteAheadLog* wal_ = nullptr;
   std::atomic<bool> checkpoint_requested_{false};
   std::uint64_t last_checkpoint_ns_ = 0;  // coordinator thread only (barriers)
+  // Checkpoint-failure retry state (coordinator thread only, like last_checkpoint_ns_):
+  // after a rolled-back checkpoint, no retry before backoff_until, doubling per
+  // consecutive failure up to 2^5 x the base interval.
+  std::uint64_t checkpoint_backoff_until_ns_ = 0;
+  std::uint32_t checkpoint_consecutive_failures_ = 0;
   const std::atomic<bool>& stop_;
   PhaseController ctrl_;
   std::vector<Worker*> workers_;

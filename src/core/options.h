@@ -9,6 +9,8 @@
 
 namespace doppel {
 
+class IoEnv;  // src/persist/io_env.h
+
 enum class Protocol : std::uint8_t {
   kDoppel = 0,  // phase reconciliation (the paper's contribution)
   kOcc = 1,     // Silo-style OCC baseline
@@ -135,6 +137,10 @@ struct Options {
   // pre-populating a log a replica will bootstrap from later. See
   // WriteAheadLog::AppendCut and src/replica/replica.h.
   bool replication_cuts = false;
+  // I/O environment for every persistence-layer syscall (nullptr = the passthrough
+  // default). Test hook: fault-injection tests install a FaultInjectingIoEnv here to
+  // exercise the error taxonomy and degraded mode deterministically.
+  IoEnv* io_env = nullptr;
   // Replay the persistence directory into the store on Start. Disabling it DISCARDS
   // the directory's durable state (manifest is repointed at nothing and old files are
   // swept): the new generation's TID clocks restart, so its log can never legally

@@ -24,8 +24,15 @@ void CompleteSubmission(PendingTxn& pt, TxnAbort abort) {
   SubmitTicket& t = *pt.ticket;
   // attempts rides on the state release-store below: waiters acquire state first.
   t.attempts.store(result.attempts, std::memory_order_relaxed);
-  t.state.store(committed ? 1 : (abort == TxnAbort::kTypeMismatch ? 3 : 2),
-                std::memory_order_release);
+  int state = 2;  // kUser (also the stopped-before-running terminal)
+  if (committed) {
+    state = 1;
+  } else if (abort == TxnAbort::kTypeMismatch) {
+    state = 3;
+  } else if (abort == TxnAbort::kDurabilityLost) {
+    state = 4;
+  }
+  t.state.store(state, std::memory_order_release);
   t.state.notify_all();
   std::function<void(const TxnResult&)> cb;
   {
@@ -115,6 +122,21 @@ RunOutcome RunPendingTxn(Engine& engine, const RunnerConfig& cfg, Worker& w,
     w.stash.push_back(std::move(pt));
     w.clock_ns = NowNanos();  // rare exit: keep the batched source stamp honest
     return RunOutcome::kStashed;
+  }
+
+  if (cfg.degraded != nullptr && cfg.degraded->load(std::memory_order_acquire) &&
+      (!txn.write_set().empty() || !txn.split_writes().empty())) {
+    // Read-only degraded mode (permanent WAL failure): committing these writes would
+    // drop their redo entries on the floor, so the transaction terminates with the
+    // durability-lost abort instead. Reads (empty write sets) fall through and keep
+    // committing. For the Atomic baseline engine — which applies writes at Write()
+    // time, not commit — the gate is advisory: the abort still truthfully reports that
+    // durability was lost, and new submissions bounce at the door (kReadOnly).
+    engine.Abort(w, txn);
+    w.durability_aborts++;
+    CompleteSubmission(pt, TxnAbort::kDurabilityLost);
+    w.clock_ns = NowNanos();  // rare exit: keep the batched source stamp honest
+    return RunOutcome::kDurabilityAborted;
   }
 
   const TxnStatus status = engine.Commit(w, txn);

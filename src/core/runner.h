@@ -21,6 +21,11 @@ struct RunnerConfig {
   std::uint64_t backoff_min_ns = 2000;
   std::uint64_t backoff_max_ns = 1000000;
   WriteAheadLog* wal = nullptr;  // optional redo logging for committed transactions
+  // Database's degraded latch: when set (permanent WAL failure), transactions with
+  // writes are terminated with TxnAbort::kDurabilityLost before commit instead of
+  // committing writes whose redo entries would be silently dropped. Read-only
+  // transactions keep committing.
+  const std::atomic<bool>* degraded = nullptr;
 };
 
 enum class RunOutcome {
@@ -29,6 +34,7 @@ enum class RunOutcome {
   kStashed,
   kUserAborted,
   kTypeMismatchAborted,  // terminal: the key exists with a different record type
+  kDurabilityAborted,    // terminal: degraded read-only mode refused the writes
 };
 
 // Pushes `pt` onto the worker's retry heap with exponential backoff + jitter.

@@ -1,5 +1,7 @@
 #include "src/persist/checkpoint.h"
 
+#include <fcntl.h>
+
 #include <cstdio>
 #include <fstream>
 #include <vector>
@@ -60,7 +62,12 @@ bool DecodeTuple(ByteCursor& c, OrderedTuple* t) {
 }  // namespace
 
 CheckpointStats Checkpoint::Write(const std::string& dir, const std::string& file_name,
-                                  const Store& store) {
+                                  const Store& store, IoEnv* env,
+                                  std::atomic<std::uint64_t>* retries) {
+  if (env == nullptr) {
+    env = IoEnv::Default();
+  }
+  const IoRetryPolicy policy;
   CheckpointStats stats;
   std::vector<char> body;
 
@@ -101,26 +108,48 @@ CheckpointStats Checkpoint::Write(const std::string& dir, const std::string& fil
 
   const std::string tmp = dir + "/" + file_name + ".tmp";
   const std::string final_path = dir + "/" + file_name;
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    DOPPEL_CHECK(out.good());
-    std::vector<char> header;
-    PutRaw(header, kMagic);
-    PutRaw(header, kVersion);
-    PutRaw(header, stats.max_tid);
-    const std::uint32_t crc =
-        Crc32(body.data(), body.size(),
-              Crc32(header.data() + 8, header.size() - 8));  // max_tid onward
-    out.write(header.data(), static_cast<std::streamsize>(header.size()));
-    out.write(body.data(), static_cast<std::streamsize>(body.size()));
-    std::vector<char> trailer;
-    PutRaw(trailer, crc);
-    out.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
-    out.flush();
-    DOPPEL_CHECK(out.good());
+  std::vector<char> header;
+  PutRaw(header, kMagic);
+  PutRaw(header, kVersion);
+  PutRaw(header, stats.max_tid);
+  const std::uint32_t crc =
+      Crc32(body.data(), body.size(),
+            Crc32(header.data() + 8, header.size() - 8));  // max_tid onward
+  std::vector<char> trailer;
+  PutRaw(trailer, crc);
+
+  // All failures below roll the attempt back: remove the tmp file and leave the final
+  // path (and thus the MANIFEST's view of the world) untouched.
+  const auto fail = [&](int fd, int negative_errno, IoOp op) {
+    if (fd >= 0) {
+      env->Close(fd);
+    }
+    env->Unlink(tmp.c_str());
+    stats.failure = IoFailure{-negative_errno, op};
+    return stats;
+  };
+  const int fd = OpenRetry(env, tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644,
+                           policy, retries);
+  if (fd < 0) {
+    return fail(-1, fd, IoOp::kOpen);
   }
-  FsyncPath(tmp);
-  DOPPEL_CHECK(std::rename(tmp.c_str(), final_path.c_str()) == 0);
+  for (const std::vector<char>* part : {&header, &body, &trailer}) {
+    const int rc = WriteFullyRetry(env, fd, part->data(), part->size(), policy, retries);
+    if (rc != 0) {
+      return fail(fd, rc, IoOp::kWrite);
+    }
+  }
+  // A failed fsync is permanent by policy (io_env.h): the tmp file's page-cache state
+  // is unknowable, so it must never be renamed into place.
+  int rc = env->Fsync(fd);
+  env->Close(fd);
+  if (rc != 0) {
+    return fail(-1, rc, IoOp::kFsync);
+  }
+  rc = RenameRetry(env, tmp.c_str(), final_path.c_str(), policy, retries);
+  if (rc != 0) {
+    return fail(-1, rc, IoOp::kRename);
+  }
   return stats;
 }
 

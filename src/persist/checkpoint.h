@@ -17,9 +17,11 @@
 #ifndef DOPPEL_SRC_PERSIST_CHECKPOINT_H_
 #define DOPPEL_SRC_PERSIST_CHECKPOINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "src/persist/io_env.h"
 #include "src/store/store.h"
 
 namespace doppel {
@@ -30,6 +32,11 @@ struct CheckpointStats {
   // Highest committed TID captured (Write) or restored (Load); recovery seeds worker
   // TID clocks past it so post-recovery commits sort after everything checkpointed.
   std::uint64_t max_tid = 0;
+  // Write only: clear on success. On failure the tmp file has been removed and the
+  // final path untouched — the previous checkpoint (if any) stays live; the caller
+  // retries at a later consistency point.
+  IoFailure failure;
+  bool ok() const { return failure.err == 0; }
 };
 
 class Checkpoint {
@@ -37,8 +44,12 @@ class Checkpoint {
   // Snapshots `store` into `dir`/`file_name` (via tmp + fsync + rename). PRECONDITION:
   // no writer may be mutating records — the caller quiesces workers (coordinator
   // barrier) or has exclusive ownership (tests, post-Stop shutdown checkpoints).
+  // I/O goes through `env` (nullptr = passthrough default); transient errors retry
+  // bounded (counted into *retries), permanent ones surface in stats.failure with the
+  // tmp file unlinked and MANIFEST-visible state untouched.
   static CheckpointStats Write(const std::string& dir, const std::string& file_name,
-                               const Store& store);
+                               const Store& store, IoEnv* env = nullptr,
+                               std::atomic<std::uint64_t>* retries = nullptr);
 
   // Restores `path` into `store`, overwriting any record it names (pre-loaded initial
   // data keeps its value only for keys the checkpoint never captured — i.e. keys that

@@ -1,6 +1,11 @@
 // Shared filesystem durability helpers for the persistence directory. The
 // crash-safety-critical fsync sequence (make the new bytes durable, then make the
 // rename durable) lives here once, used by both the manifest and the checkpointer.
+//
+// The Env variants are the fault-tolerant form: they route through an IoEnv, report
+// failures instead of aborting, and close the fd on every path (the old aborting
+// FsyncPath leaked its fd when the fsync CHECK fired). Per the io_env.h taxonomy a
+// failed fsync is never retried.
 #ifndef DOPPEL_SRC_PERSIST_FSUTIL_H_
 #define DOPPEL_SRC_PERSIST_FSUTIL_H_
 
@@ -10,14 +15,33 @@
 #include <string>
 
 #include "src/common/dassert.h"
+#include "src/persist/io_env.h"
 
 namespace doppel {
 
+inline IoFailure FsyncPathEnv(IoEnv* env, const std::string& path,
+                              int open_flags = O_RDONLY) {
+  const int fd = env->Open(path.c_str(), open_flags, 0);
+  if (fd < 0) {
+    return IoFailure{-fd, IoOp::kOpen};
+  }
+  const int rc = env->Fsync(fd);
+  env->Close(fd);
+  if (rc != 0) {
+    return IoFailure{-rc, IoOp::kFsync};
+  }
+  return IoFailure{};
+}
+
+inline IoFailure FsyncDirEnv(IoEnv* env, const std::string& dir) {
+  return FsyncPathEnv(env, dir, O_RDONLY | O_DIRECTORY);
+}
+
+// Abort-on-failure conveniences for callers outside the fault-tolerant paths.
 inline void FsyncPath(const std::string& path, int open_flags = O_RDONLY) {
-  const int fd = ::open(path.c_str(), open_flags);
-  DOPPEL_CHECK(fd >= 0);
-  DOPPEL_CHECK(::fsync(fd) == 0);
-  ::close(fd);
+  const IoFailure f = FsyncPathEnv(IoEnv::Default(), path, open_flags);
+  errno = f.err;
+  DOPPEL_PCHECK(f.err == 0);
 }
 
 inline void FsyncDir(const std::string& dir) {

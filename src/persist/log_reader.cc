@@ -47,11 +47,12 @@ bool ParseTxnBody(ByteCursor* entry, WalTxn* txn) {
 
 }  // namespace
 
-SegmentTailer::SegmentTailer(std::string path) : path_(std::move(path)) {}
+SegmentTailer::SegmentTailer(std::string path, IoEnv* env)
+    : path_(std::move(path)), env_(env != nullptr ? env : IoEnv::Default()) {}
 
 SegmentTailer::~SegmentTailer() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    env_->Close(fd_);
   }
 }
 
@@ -59,8 +60,12 @@ bool SegmentTailer::EnsureOpen() {
   if (fd_ >= 0) {
     return true;
   }
-  fd_ = ::open(path_.c_str(), O_RDONLY);
-  return fd_ >= 0;
+  const int fd = env_->Open(path_.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    return false;
+  }
+  fd_ = fd;
+  return true;
 }
 
 std::size_t SegmentTailer::FillTo(std::size_t need) {
@@ -77,11 +82,24 @@ std::size_t SegmentTailer::FillTo(std::size_t need) {
     const std::size_t want = std::max(need - buf_.size(), kReadChunk);
     const std::size_t old = buf_.size();
     buf_.resize(old + want);
-    const ssize_t n = ::pread(fd_, buf_.data() + old, want,
-                              static_cast<off_t>(consumed_ + old));
-    if (n <= 0) {
+    const long n =
+        env_->Pread(fd_, buf_.data() + old, want, consumed_ + old);
+    if (n == -EINTR) {
       buf_.resize(old);
-      break;  // EOF (for now) or error: report what we have
+      ++read_retries_;  // interrupted: reissue immediately, no state changed
+      continue;
+    }
+    if (n < 0) {
+      buf_.resize(old);
+      // Real read error (EIO, ...): surface what is buffered and let the caller see
+      // the errno — kNeedMore alone is indistinguishable from "no new bytes yet",
+      // which would make a sick disk look like an idle primary.
+      last_read_errno_ = static_cast<int>(-n);
+      break;
+    }
+    if (n == 0) {
+      buf_.resize(old);
+      break;  // EOF (for now): report what we have
     }
     buf_.resize(old + static_cast<std::size_t>(n));
   }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/persist/io_env.h"
 #include "src/store/store.h"
 #include "src/txn/op.h"
 #include "src/txn/txn.h"
@@ -85,13 +86,30 @@ struct WalEntry {
 // crash, everything before that point is a committed prefix.
 class SegmentTailer {
  public:
-  explicit SegmentTailer(std::string path);
+  // `env` routes the reads (nullptr = passthrough default); the replica injects
+  // faults here to test tailer backoff.
+  explicit SegmentTailer(std::string path, IoEnv* env = nullptr);
   ~SegmentTailer();
   SegmentTailer(const SegmentTailer&) = delete;
   SegmentTailer& operator=(const SegmentTailer&) = delete;
 
   enum class Status { kEntry, kNeedMore, kCorrupt };
   Status Next(WalEntry* out);
+
+  // ---- Read-error visibility (single-threaded, like the tailer itself) ----
+  //
+  // EINTR is retried inline (counted in read_retries). Any other read error stops the
+  // current fill — Next then reports kNeedMore over what is already buffered — and is
+  // recorded here so the caller can distinguish "no new bytes yet" from "the read
+  // failed" and back off instead of hot-polling a sick disk. Consumed offsets never
+  // advance past a failed read, so cut alignment is unaffected.
+  std::uint64_t read_retries() const { return read_retries_; }
+  // Returns-and-clears the errno of the last failed read (0 = none since last taken).
+  int TakeLastReadError() {
+    const int e = last_read_errno_;
+    last_read_errno_ = 0;
+    return e;
+  }
 
   // File offset one past the last fully-consumed entry (includes the segment header
   // once parsed). Never moves past a partial or damaged entry.
@@ -118,7 +136,10 @@ class SegmentTailer {
   void Consume(std::size_t n);
 
   const std::string path_;
+  IoEnv* const env_;  // never null
   int fd_ = -1;
+  std::uint64_t read_retries_ = 0;
+  int last_read_errno_ = 0;
   std::uint64_t consumed_ = 0;  // absolute file offset of buf_[pos_]
   std::vector<char> buf_;       // window starting at consumed_ - (nothing before pos_)
   std::size_t pos_ = 0;         // parse cursor into buf_

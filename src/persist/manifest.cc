@@ -1,5 +1,7 @@
 #include "src/persist/manifest.h"
 
+#include <fcntl.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -75,31 +77,56 @@ bool Manifest::Load(const std::string& dir, Manifest* out) {
   return true;
 }
 
-void Manifest::Save(const std::string& dir, const Manifest& m) {
+IoFailure Manifest::Save(const std::string& dir, const Manifest& m, IoEnv* env,
+                         std::atomic<std::uint64_t>* retries) {
+  if (env == nullptr) {
+    env = IoEnv::Default();
+  }
+  const IoRetryPolicy policy;
   const std::string tmp = dir + "/" + kManifestName + ".tmp";
   const std::string final_path = dir + "/" + kManifestName;
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    DOPPEL_CHECK(out.good());
-    out << kHeader << "\n";
-    if (!m.checkpoint.empty()) {
-      out << "checkpoint " << m.checkpoint << "\n";
-    }
-    for (std::uint64_t n : m.live_segments) {
-      out << "segment " << n << "\n";
-    }
-    for (std::uint64_t n : m.retained_segments) {
-      out << "retained " << n << "\n";
-    }
-    out << "next " << m.next_segment << "\n";
-    out.flush();
-    DOPPEL_CHECK(out.good());
+
+  std::ostringstream body;
+  body << kHeader << "\n";
+  if (!m.checkpoint.empty()) {
+    body << "checkpoint " << m.checkpoint << "\n";
   }
-  FsyncPath(tmp);
-  DOPPEL_CHECK(std::rename(tmp.c_str(), final_path.c_str()) == 0);
+  for (std::uint64_t n : m.live_segments) {
+    body << "segment " << n << "\n";
+  }
+  for (std::uint64_t n : m.retained_segments) {
+    body << "retained " << n << "\n";
+  }
+  body << "next " << m.next_segment << "\n";
+  const std::string text = body.str();
+
+  const int fd = OpenRetry(env, tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644,
+                           policy, retries);
+  if (fd < 0) {
+    return IoFailure{-fd, IoOp::kOpen};
+  }
+  int rc = WriteFullyRetry(env, fd, text.data(), text.size(), policy, retries);
+  if (rc != 0) {
+    env->Close(fd);
+    env->Unlink(tmp.c_str());
+    return IoFailure{-rc, IoOp::kWrite};
+  }
+  // A failed fsync is permanent by policy (io_env.h): the page-cache state of the tmp
+  // file is unknowable, so it must not be renamed into place.
+  rc = env->Fsync(fd);
+  env->Close(fd);
+  if (rc != 0) {
+    env->Unlink(tmp.c_str());
+    return IoFailure{-rc, IoOp::kFsync};
+  }
+  rc = RenameRetry(env, tmp.c_str(), final_path.c_str(), policy, retries);
+  if (rc != 0) {
+    env->Unlink(tmp.c_str());
+    return IoFailure{-rc, IoOp::kRename};
+  }
   // The rename itself must be durable before any caller deletes files the *old*
   // manifest depended on.
-  FsyncDir(dir);
+  return FsyncDirEnv(env, dir);
 }
 
 }  // namespace doppel

@@ -12,9 +12,12 @@
 #ifndef DOPPEL_SRC_PERSIST_MANIFEST_H_
 #define DOPPEL_SRC_PERSIST_MANIFEST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "src/persist/io_env.h"
 
 namespace doppel {
 
@@ -43,8 +46,14 @@ struct Manifest {
   static bool Load(const std::string& dir, Manifest* out);
 
   // Atomically replaces `dir`/MANIFEST: write MANIFEST.tmp, fsync it, rename over
-  // MANIFEST, fsync the directory.
-  static void Save(const std::string& dir, const Manifest& m);
+  // MANIFEST, fsync the directory. On failure the tmp file is unlinked and the old
+  // MANIFEST is left untouched — the previous state stays live. Transient errors
+  // (EINTR/EAGAIN/short write) are absorbed with bounded retry (counted into
+  // *retries); the returned IoFailure is the first permanent one, or clear on
+  // success. env = nullptr uses the passthrough default.
+  static IoFailure Save(const std::string& dir, const Manifest& m,
+                        IoEnv* env = nullptr,
+                        std::atomic<std::uint64_t>* retries = nullptr);
 };
 
 }  // namespace doppel

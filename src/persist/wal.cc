@@ -41,22 +41,20 @@ void PutOp(std::vector<char>& out, const PendingWrite& w, const WriteArena& aren
   }
 }
 
-void WriteFully(int fd, const char* data, std::size_t size) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::write(fd, data + off, size - off);
-    DOPPEL_CHECK(n > 0);
-    off += static_cast<std::size_t>(n);
-  }
-}
-
 }  // namespace
 
 WriteAheadLog::WriteAheadLog(std::string dir, WalOptions opts)
-    : dir_(std::move(dir)), opts_(opts) {
+    : dir_(std::move(dir)),
+      opts_(opts),
+      env_(opts.env != nullptr ? opts.env : IoEnv::Default()) {
   DOPPEL_CHECK(!dir_.empty());
-  if (::mkdir(dir_.c_str(), 0755) != 0) {
-    DOPPEL_CHECK(errno == EEXIST);
+  const int rc = env_->Mkdir(dir_.c_str(), 0755);
+  if (rc != 0 && rc != -EEXIST) {
+    // Cannot even create the persistence directory: latch failed from birth. The
+    // database still starts (degraded, serving whatever was recoverable — here
+    // nothing) instead of aborting the process.
+    SpinlockGuard lock(file_mu_);
+    FailLocked(-rc, IoOp::kMkdir);
   }
   Manifest::Load(dir_, &manifest_);  // fresh directory leaves the default manifest
 }
@@ -68,8 +66,52 @@ WriteAheadLog::~WriteAheadLog() {
     Flush();
   }
   if (fd_ >= 0) {
-    ::close(fd_);
+    env_->Close(fd_);
   }
+}
+
+void WriteAheadLog::SetDurabilityLostCallback(std::function<void(int, IoOp)> cb) {
+  file_mu_.lock();
+  on_durability_lost_ = std::move(cb);
+  // If the latch already tripped (e.g. mkdir failed in the constructor, before any
+  // callback could be registered), deliver the notification now so the client never
+  // misses the transition.
+  std::function<void(int, IoOp)> fire;
+  if (failed() && on_durability_lost_ != nullptr) {
+    fire = on_durability_lost_;
+  }
+  const int err = failed_errno();
+  const IoOp op = failed_op();
+  file_mu_.unlock();
+  if (fire != nullptr) {
+    fire(err, op);
+  }
+}
+
+void WriteAheadLog::FailLocked(int err, IoOp op) {
+  if (failed()) {
+    return;  // the latch is one-way; only the first failure is recorded
+  }
+  if (fd_ >= 0) {
+    env_->Close(fd_);
+    fd_ = -1;
+  }
+  // Op first, then errno with release: failed_errno_ is the latch readers acquire on,
+  // so a reader that sees it set also sees the op.
+  failed_op_.store(static_cast<std::uint8_t>(op), std::memory_order_relaxed);
+  failed_errno_.store(err, std::memory_order_release);
+  if (on_durability_lost_ != nullptr) {
+    on_durability_lost_(err, op);
+  }
+}
+
+bool WriteAheadLog::WriteRetryLocked(const char* data, std::size_t n) {
+  const int rc = WriteFullyRetry(env_, fd_, data, n, opts_.retry, &io_retries_);
+  if (rc != 0) {
+    FailLocked(-rc, IoOp::kWrite);
+    return false;
+  }
+  return true;
 }
 
 RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
@@ -183,22 +225,36 @@ RecoveryResult WriteAheadLog::Recover(Store* store, int replay_threads) {
   return result;
 }
 
-void WriteAheadLog::OpenSegmentLocked(std::uint64_t number) {
+bool WriteAheadLog::OpenSegmentLocked(std::uint64_t number) {
   const std::string path = dir_ + "/" + Manifest::SegmentFileName(number);
-  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  DOPPEL_CHECK(fd_ >= 0);
+  const int fd =
+      OpenRetry(env_, path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644, opts_.retry,
+                &io_retries_);
+  if (fd < 0) {
+    FailLocked(-fd, IoOp::kOpen);
+    return false;
+  }
+  fd_ = fd;
   std::vector<char> header;
   PutRaw(header, kWalSegmentMagic);
   PutRaw(header, kWalSegmentVersion);
   PutRaw(header, number);
-  WriteFully(fd_, header.data(), header.size());
+  if (!WriteRetryLocked(header.data(), header.size())) {
+    return false;
+  }
   // Make the (possibly empty) segment durable before the manifest references it, so a
-  // crash between the two never leaves the manifest naming a missing file.
-  DOPPEL_CHECK(::fsync(fd_) == 0);
+  // crash between the two never leaves the manifest naming a missing file. A failed
+  // fsync is permanent by policy (io_env.h) — never retried.
+  const int rc = env_->Fsync(fd_);
+  if (rc != 0) {
+    FailLocked(-rc, IoOp::kFsync);
+    return false;
+  }
   active_segment_ = number;
   active_bytes_ = kWalSegmentHeaderBytes;
   // Monotonic stats counter; readers are racy by contract.
   segments_created_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void WriteAheadLog::SweepUnreferencedLocked() {
@@ -206,7 +262,9 @@ void WriteAheadLog::SweepUnreferencedLocked() {
   // crash between repointing the manifest and unlinking what it replaced, or a torn
   // tmp write). Only files matching our own naming are touched.
   DIR* d = ::opendir(dir_.c_str());
-  DOPPEL_CHECK(d != nullptr);
+  if (d == nullptr) {
+    return;  // sweeping is best-effort garbage collection; recovery never needs it
+  }
   std::vector<std::string> doomed;
   while (dirent* e = ::readdir(d)) {
     const std::string name = e->d_name;
@@ -234,7 +292,7 @@ void WriteAheadLog::SweepUnreferencedLocked() {
   }
   ::closedir(d);
   for (const std::string& name : doomed) {
-    ::unlink((dir_ + "/" + name).c_str());
+    env_->Unlink((dir_ + "/" + name).c_str());
   }
 }
 
@@ -245,30 +303,48 @@ void WriteAheadLog::DiscardDurableState() {
   manifest_.live_segments.clear();
   manifest_.retained_segments.clear();
   has_torn_tail_ = false;
-  Manifest::Save(dir_, manifest_);
+  if (const IoFailure f = Manifest::Save(dir_, manifest_, env_, &io_retries_)) {
+    FailLocked(f.err, f.op);
+  }
   file_mu_.unlock();
 }
 
 void WriteAheadLog::StartLogging() {
   DOPPEL_CHECK(!logging_);
   file_mu_.lock();
-  if (has_torn_tail_) {
+  if (has_torn_tail_ && !failed()) {
     // Trim the crash tear found by Recover back to its valid prefix. The file keeps
     // its durable header (manifest-listed segments are fsynced before being named), so
     // the segment now parses clean end-to-end and a future recovery — or a replica
     // tailer — reads straight through it into the segments this generation appends.
-    DOPPEL_CHECK(::truncate(
-                     (dir_ + "/" + Manifest::SegmentFileName(torn_segment_)).c_str(),
-                     static_cast<off_t>(torn_valid_bytes_)) == 0);
-    has_torn_tail_ = false;
+    const int rc = TruncateRetry(
+        env_, (dir_ + "/" + Manifest::SegmentFileName(torn_segment_)).c_str(),
+        torn_valid_bytes_, opts_.retry, &io_retries_);
+    if (rc != 0) {
+      // Cannot repair the tear: appending a new generation after damaged bytes would
+      // poison the next recovery, so the log starts degraded instead.
+      FailLocked(-rc, IoOp::kTruncate);
+    } else {
+      has_torn_tail_ = false;
+    }
   }
-  SweepUnreferencedLocked();
-  const std::uint64_t seg = manifest_.next_segment;
-  OpenSegmentLocked(seg);
-  manifest_.live_segments.push_back(seg);
-  manifest_.next_segment = seg + 1;
-  Manifest::Save(dir_, manifest_);
+  if (!failed()) {
+    SweepUnreferencedLocked();
+    const std::uint64_t seg = manifest_.next_segment;
+    if (OpenSegmentLocked(seg)) {
+      manifest_.live_segments.push_back(seg);
+      manifest_.next_segment = seg + 1;
+      if (const IoFailure f = Manifest::Save(dir_, manifest_, env_, &io_retries_)) {
+        // The in-memory manifest now references a segment the on-disk one never
+        // will; harmless — nothing more is saved after the latch trips, and
+        // recovery trusts only the on-disk manifest.
+        FailLocked(f.err, f.op);
+      }
+    }
+  }
   file_mu_.unlock();
+  // The flusher starts even when degraded: it idles on fd_ < 0, and the lifecycle
+  // (Stop/join) stays uniform for the caller.
   logging_ = true;
   flusher_ = std::thread([this] { FlusherMain(); });
 }
@@ -280,6 +356,9 @@ void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
   const std::size_t n_ops = writes.size() + split_writes.size();
   if (n_ops == 0) {
     return;  // read-only transactions need no redo entry
+  }
+  if (failed()) {
+    return;  // durability lost: buffering more bytes would only grow memory forever
   }
   // The entry header carries the op count as u16; silently truncating it would make a
   // CRC-valid entry that replays only a subset of a committed transaction's writes.
@@ -312,7 +391,9 @@ void WriteAheadLog::Append(int worker_id, std::uint64_t commit_tid,
 }
 
 void WriteAheadLog::FlushLocked() {
-  DOPPEL_CHECK(fd_ >= 0);
+  if (fd_ < 0) {
+    return;  // degraded: buffered bytes are never written (Append stopped adding more)
+  }
   // Steal each buffer with an O(1) swap instead of copying under its spinlock: a
   // worker appending into a buffer whose accumulated batch is being gathered must not
   // stall behind a multi-megabyte memcpy. The buffer gets last cycle's recycled
@@ -335,17 +416,32 @@ void WriteAheadLog::FlushLocked() {
     return;
   }
   std::size_t total = 0;
+  bool ok = true;
   for (TakenChunk& chunk : taken) {
-    WriteFully(fd_, chunk.bytes.data(), chunk.bytes.size());
-    total += chunk.bytes.size();
+    // A mid-batch permanent failure latches (fd closed); remaining chunks are
+    // dropped — a partial tail write is the same torn tail recovery already trims.
+    if (ok) {
+      ok = WriteRetryLocked(chunk.bytes.data(), chunk.bytes.size());
+      if (ok) {
+        total += chunk.bytes.size();
+      }
+    }
     // Return the grown vector as the buffer's next spare.
     chunk.bytes.clear();
     chunk.buf->mu.lock();
     chunk.buf->spare.swap(chunk.bytes);
     chunk.buf->mu.unlock();
   }
-  if (opts_.fsync) {
-    DOPPEL_CHECK(::fsync(fd_) == 0);
+  if (ok && opts_.fsync) {
+    // A failed fsync is permanent by policy (io_env.h) — never retried.
+    const int rc = env_->Fsync(fd_);
+    if (rc != 0) {
+      FailLocked(-rc, IoOp::kFsync);
+      ok = false;
+    }
+  }
+  if (!ok) {
+    return;
   }
   active_bytes_ += total;
   // Monotonic stats counters; readers are racy by contract.
@@ -356,18 +452,29 @@ void WriteAheadLog::FlushLocked() {
   }
 }
 
-void WriteAheadLog::RotateLocked() {
+bool WriteAheadLog::RotateLocked() {
   // Seal the active segment. Its bytes' durability follows the fsync policy: with
   // wal_fsync off, sealed data still rides on OS writeback (asynchronous durability).
   if (opts_.fsync) {
-    DOPPEL_CHECK(::fsync(fd_) == 0);
+    const int frc = env_->Fsync(fd_);
+    if (frc != 0) {
+      FailLocked(-frc, IoOp::kFsync);
+      return false;
+    }
   }
-  ::close(fd_);
+  env_->Close(fd_);
+  fd_ = -1;
   const std::uint64_t seg = manifest_.next_segment;
-  OpenSegmentLocked(seg);
+  if (!OpenSegmentLocked(seg)) {
+    return false;
+  }
   manifest_.live_segments.push_back(seg);
   manifest_.next_segment = seg + 1;
-  Manifest::Save(dir_, manifest_);
+  if (const IoFailure f = Manifest::Save(dir_, manifest_, env_, &io_retries_)) {
+    FailLocked(f.err, f.op);
+    return false;
+  }
+  return true;
 }
 
 void WriteAheadLog::Flush() {
@@ -389,6 +496,10 @@ void WriteAheadLog::AppendCut(std::uint64_t cut_tid) {
   // in the segment. A concurrent tailer then sees a log prefix ending at this cut that
   // is exactly the barrier's transaction-consistent state.
   FlushLocked();
+  if (fd_ < 0) {
+    file_mu_.unlock();
+    return;  // the flush latched a failure; the cut has nothing durable to align
+  }
   std::vector<char> entry;
   PutRaw(entry, std::uint32_t{0});  // payload_len, backpatched
   PutRaw(entry, std::uint32_t{0});  // payload_crc, backpatched
@@ -400,9 +511,18 @@ void WriteAheadLog::AppendCut(std::uint64_t cut_tid) {
   const std::uint32_t crc = Crc32(entry.data() + body_at, len);
   std::memcpy(entry.data(), &len, sizeof(len));
   std::memcpy(entry.data() + sizeof(len), &crc, sizeof(crc));
-  WriteFully(fd_, entry.data(), entry.size());
+  if (!WriteRetryLocked(entry.data(), entry.size())) {
+    file_mu_.unlock();
+    return;
+  }
   if (opts_.fsync) {
-    DOPPEL_CHECK(::fsync(fd_) == 0);
+    // A failed fsync is permanent by policy (io_env.h) — never retried.
+    const int rc = env_->Fsync(fd_);
+    if (rc != 0) {
+      FailLocked(-rc, IoOp::kFsync);
+      file_mu_.unlock();
+      return;
+    }
   }
   active_bytes_ += entry.size();
   // Monotonic stats counters; readers are racy by contract.
@@ -469,25 +589,60 @@ void WriteAheadLog::PruneRetainedLocked() {
   manifest_.retained_segments = std::move(keep);
   // Repoint the manifest before unlinking, same ordering as every other transition:
   // a crash in between leaves unreferenced files for the sweep, never a manifest
-  // naming missing ones.
-  Manifest::Save(dir_, manifest_);
+  // naming missing ones. If the save fails, the on-disk manifest still references the
+  // doomed segments — so they must NOT be unlinked.
+  if (const IoFailure f = Manifest::Save(dir_, manifest_, env_, &io_retries_)) {
+    FailLocked(f.err, f.op);
+    return;
+  }
   for (std::uint64_t seg : doomed) {
-    ::unlink((dir_ + "/" + Manifest::SegmentFileName(seg)).c_str());
+    env_->Unlink((dir_ + "/" + Manifest::SegmentFileName(seg)).c_str());
   }
 }
 
 CheckpointStats WriteAheadLog::WriteCheckpoint(const Store& store) {
   DOPPEL_CHECK(logging_);
   file_mu_.lock();
+  // Degraded log: there is no durable consistency point to seal a checkpoint against.
+  if (fd_ < 0) {
+    CheckpointStats stats;
+    stats.failure = IoFailure{failed_errno(), failed_op()};
+    // Stats counter: racy reads are the contract.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    file_mu_.unlock();
+    return stats;
+  }
   // Everything committed is in the buffers (workers are quiesced past their last
   // commit); flush it, then seal so the sealed set is exactly the checkpoint's past.
   FlushLocked();
-  RotateLocked();
+  if (fd_ >= 0) {
+    RotateLocked();
+  }
+  if (fd_ < 0) {
+    // The flush or seal latched a permanent WAL failure mid-checkpoint.
+    CheckpointStats stats;
+    stats.failure = IoFailure{failed_errno(), failed_op()};
+    // Stats counter: racy reads are the contract.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    file_mu_.unlock();
+    return stats;
+  }
   std::vector<std::uint64_t> sealed = manifest_.live_segments;
   sealed.pop_back();  // the freshly-opened active segment stays live
 
   const std::string ckpt_name = Manifest::CheckpointFileName(active_segment_);
-  const CheckpointStats stats = Checkpoint::Write(dir_, ckpt_name, store);
+  const CheckpointStats stats =
+      Checkpoint::Write(dir_, ckpt_name, store, env_, &io_retries_);
+  if (!stats.ok()) {
+    // Checkpoint failure is NOT a WAL failure: the tmp file was removed, the MANIFEST
+    // never saw the new name, and the old checkpoint stays live, so logging continues
+    // unharmed. The rotation above is benign — the extra sealed segment stays in
+    // live_segments and replays fine. The coordinator retries at a later barrier.
+    // Stats counter: racy reads are the contract.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    file_mu_.unlock();
+    return stats;
+  }
 
   // Sealed segments a retention lease still needs move to the retained set (kept on
   // disk for replica shipping, never replayed — the checkpoint subsumes them); the
@@ -509,15 +664,26 @@ CheckpointStats WriteAheadLog::WriteCheckpoint(const Store& store) {
   const std::string old_ckpt = manifest_.checkpoint;
   manifest_.checkpoint = ckpt_name;
   manifest_.live_segments = {active_segment_};
-  Manifest::Save(dir_, manifest_);
+  if (const IoFailure f = Manifest::Save(dir_, manifest_, env_, &io_retries_)) {
+    // The new checkpoint file exists but no manifest names it; the on-disk manifest
+    // still references every old segment, so nothing may be unlinked. Escalate: a log
+    // whose manifest cannot be replaced cannot make further durable transitions.
+    FailLocked(f.err, f.op);
+    CheckpointStats failed_stats = stats;
+    failed_stats.failure = f;
+    // Stats counter: racy reads are the contract.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    file_mu_.unlock();
+    return failed_stats;
+  }
 
   // Only now are the dropped segments (and the previous checkpoint) unreferenced by
   // any manifest a crash could resurrect.
   for (std::uint64_t seg : doomed) {
-    ::unlink((dir_ + "/" + Manifest::SegmentFileName(seg)).c_str());
+    env_->Unlink((dir_ + "/" + Manifest::SegmentFileName(seg)).c_str());
   }
   if (!old_ckpt.empty()) {
-    ::unlink((dir_ + "/" + old_ckpt).c_str());
+    env_->Unlink((dir_ + "/" + old_ckpt).c_str());
   }
   // Monotonic stats counter; readers are racy by contract.
   checkpoints_.fetch_add(1, std::memory_order_relaxed);

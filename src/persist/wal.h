@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "src/common/annotations.h"
 #include "src/common/spinlock.h"
 #include "src/persist/checkpoint.h"
+#include "src/persist/io_env.h"
 #include "src/persist/log_reader.h"
 #include "src/persist/manifest.h"
 #include "src/store/store.h"
@@ -56,6 +58,11 @@ struct WalOptions {
   bool fsync = false;
   // Seal the active segment and open a fresh one once it exceeds this size.
   std::uint64_t segment_bytes = 8ull << 20;
+  // I/O environment every syscall routes through; nullptr = passthrough default.
+  // Tests inject a FaultInjectingIoEnv here.
+  IoEnv* env = nullptr;
+  // Bounded-retry policy for transient I/O errors (EINTR/EAGAIN/short write).
+  IoRetryPolicy retry;
 };
 
 struct RecoveryResult {
@@ -148,7 +155,36 @@ class WriteAheadLog {
   // barriers; tests call it with workers stopped.
   CheckpointStats WriteCheckpoint(const Store& store) EXCLUDES(file_mu_);
 
+  // ---- Durability-failure latch ----
+  //
+  // The first permanent I/O failure on the append path (segment open/write, fsync,
+  // manifest replace, torn-tail truncate) latches the log into a failed state: the
+  // active fd is closed, every later Append/Flush/AppendCut becomes a no-op, and no
+  // checkpoint can be taken (there is no durable log to align it with). The latch is
+  // one-way — the page-cache state after a failed fsync is unknowable, so the log
+  // never resumes claiming durability. Clients (Database) observe the latch and run
+  // read-only degraded. Losing the in-flight group-commit window is within the
+  // asynchronous-durability contract: those commits were never durably acknowledged.
+  bool failed() const { return failed_errno_.load(std::memory_order_acquire) != 0; }
+  // Positive errno / syscall class of the first permanent failure (0 / kWrite when
+  // healthy).
+  int failed_errno() const { return failed_errno_.load(std::memory_order_acquire); }
+  IoOp failed_op() const {
+    return static_cast<IoOp>(failed_op_.load(std::memory_order_acquire));
+  }
+  // Invoked exactly once, from inside the failing call (flusher, appender, or
+  // coordinator thread), when the latch trips. Must be non-blocking and must not
+  // re-enter the log. Set before StartLogging; if the log already failed (e.g. mkdir
+  // in the constructor), the callback fires immediately.
+  void SetDurabilityLostCallback(std::function<void(int, IoOp)> cb) EXCLUDES(file_mu_);
+
   // ---- Stats (relaxed monotonic counters; racy reads are the contract) ----
+  std::uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoint_failures() const {
+    return checkpoint_failures_.load(std::memory_order_relaxed);
+  }
   std::uint64_t appended_txns() const {
     return appended_.load(std::memory_order_relaxed);
   }
@@ -187,10 +223,16 @@ class WriteAheadLog {
 
   void FlusherMain() EXCLUDES(file_mu_);
   void FlushLocked() REQUIRES(file_mu_);  // gathers buffers and writes them
-  // create file + header (+fsync)
-  void OpenSegmentLocked(std::uint64_t number) REQUIRES(file_mu_);
-  // seal active, open next, save manifest
-  void RotateLocked() REQUIRES(file_mu_);
+  // create file + header (+fsync); false = latched failed
+  bool OpenSegmentLocked(std::uint64_t number) REQUIRES(file_mu_);
+  // seal active, open next, save manifest; false = latched failed
+  bool RotateLocked() REQUIRES(file_mu_);
+  // Trips the durability-failure latch: closes the active fd, records the first
+  // failure's errno/op, and fires the durability-lost callback. Idempotent.
+  void FailLocked(int err, IoOp op) REQUIRES(file_mu_);
+  // WriteFullyRetry against the active fd; on permanent failure latches via
+  // FailLocked and returns false.
+  bool WriteRetryLocked(const char* data, std::size_t n) REQUIRES(file_mu_);
   // Deletes wal/ckpt/tmp files the manifest does not reference (garbage left by a
   // crash between a manifest repoint and the unlink of what it replaced).
   void SweepUnreferencedLocked() REQUIRES(file_mu_);
@@ -200,6 +242,7 @@ class WriteAheadLog {
 
   const std::string dir_;
   const WalOptions opts_;
+  IoEnv* const env_;  // never null (defaults to IoEnv::Default())
 
   // file_mu_ serializes every durable-state transition: the active segment's fd and
   // byte count, the manifest (and its on-disk replacement), the torn-tail fixup, and
@@ -229,6 +272,15 @@ class WriteAheadLog {
   std::atomic<std::uint64_t> segments_created_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
   std::atomic<std::uint64_t> cuts_{0};
+  std::atomic<std::uint64_t> io_retries_{0};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
+  // Failure latch: 0 = healthy, else the positive errno of the first permanent
+  // failure. Written once under file_mu_ (FailLocked); read lock-free. failed_op_ is
+  // stored before failed_errno_ (the release store readers acquire on), so a reader
+  // that sees the latch set also sees the op that tripped it.
+  std::atomic<int> failed_errno_{0};
+  std::atomic<std::uint8_t> failed_op_{0};
+  std::function<void(int, IoOp)> on_durability_lost_ GUARDED_BY(file_mu_);
   std::vector<Lease> leases_ GUARDED_BY(file_mu_);
   int next_lease_id_ GUARDED_BY(file_mu_) = 1;
   std::atomic<int> lease_count_{0};

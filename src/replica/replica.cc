@@ -149,15 +149,21 @@ void Replica::TailerMain() {
   auto seg_path = [this](std::uint64_t n) {
     return dir_ + "/" + Manifest::SegmentFileName(n);
   };
-  auto tailer = std::make_unique<SegmentTailer>(seg_path(cur));
+  auto tailer = std::make_unique<SegmentTailer>(seg_path(cur), opts_.io_env);
   tail_segment_.store(cur, std::memory_order_release);
   std::uint64_t shipped_base = 0;  // payload bytes from fully-shipped segments
+  std::uint64_t retry_base = 0;    // EINTR retries from fully-shipped segments
+  std::uint32_t read_error_streak = 0;  // consecutive hard read errors (backoff shift)
   std::vector<WalTxn> window;      // applied-at-next-cut buffer
 
   while (!stop_.load(std::memory_order_acquire)) {
     WalEntry e;
     const SegmentTailer::Status st = tailer->Next(&e);
     if (st == SegmentTailer::Status::kEntry) {
+      read_error_streak = 0;
+      // Gauge for progress(); racy readers by contract — relaxed.
+      read_retries_.store(retry_base + tailer->read_retries(),
+                          std::memory_order_relaxed);
       // Shipping gauges for progress(): single-writer (tailer thread), racy readers
       // tolerate any interleaving, nothing is published through them — relaxed.
       shipped_entries_.fetch_add(1, std::memory_order_relaxed);
@@ -171,6 +177,24 @@ void Replica::TailerMain() {
         PublishWindow(&window, e.cut);
       }
       continue;
+    }
+
+    if (st == SegmentTailer::Status::kNeedMore) {
+      if (const int err = tailer->TakeLastReadError(); err != 0) {
+        // Hard read error (EIO, ...), as opposed to "no new bytes yet": back off with
+        // a bounded exponential and reissue from the same position — the tailer's
+        // consumed offset did not move, so cut alignment is preserved. A persistently
+        // sick disk just shows up as growing read_retries / lag, never a halt: the
+        // primary's durable state is intact, only this replica's view of it stalls.
+        last_read_errno_.store(err, std::memory_order_relaxed);
+        retry_base += 1;
+        read_retries_.store(retry_base + tailer->read_retries(),
+                            std::memory_order_relaxed);
+        read_error_streak = std::min(read_error_streak + 1, 6u);
+        std::this_thread::sleep_for(poll * (1u << read_error_streak));
+        continue;
+      }
+      read_error_streak = 0;
     }
 
     // Stalled (kNeedMore) or damaged (kCorrupt): consult the manifest. A live
@@ -187,8 +211,9 @@ void Replica::TailerMain() {
       if (sealed && size_known && size <= tailer->consumed_bytes()) {
         // Shipped the sealed segment end to end: move to the next one.
         shipped_base += tailer->payload_consumed();
+        retry_base += tailer->read_retries();
         ++cur;
-        tailer = std::make_unique<SegmentTailer>(seg_path(cur));
+        tailer = std::make_unique<SegmentTailer>(seg_path(cur), opts_.io_env);
         tail_segment_.store(cur, std::memory_order_release);
         // Gauge reset; readers pair it with the release store of tail_segment_.
         tail_consumed_.store(0, std::memory_order_relaxed);
@@ -289,6 +314,8 @@ ReplicaProgress Replica::progress() const {
   p.bootstrap_records = bootstrap_records_.load(std::memory_order_relaxed);
   p.reclaimed_records = reclaimed_records_.load(std::memory_order_relaxed);
   p.last_cut_wall_ns = last_cut_wall_ns_.load(std::memory_order_relaxed);
+  p.read_retries = read_retries_.load(std::memory_order_relaxed);
+  p.last_read_errno = last_read_errno_.load(std::memory_order_relaxed);
   const std::uint64_t tail_seg = tail_segment_.load(std::memory_order_acquire);
   p.tailing = tail_seg != 0;
   if (p.tailing) {

@@ -63,6 +63,9 @@ struct ReplicaOptions {
   std::uint64_t poll_us = 200;
   // Capacity hint for the replica's own store.
   std::size_t store_capacity = std::size_t{1} << 20;
+  // I/O environment for the tailer's reads (nullptr = the passthrough default).
+  // Test hook: fault-injection tests exercise the read-error backoff path with it.
+  IoEnv* io_env = nullptr;
   // Test hook: runs after every published cut, outside the publish lock (so it may
   // open Views — and may block, which deterministically pauses the tailer).
   std::function<void()> on_publish;
@@ -82,6 +85,12 @@ struct ReplicaProgress {
   std::uint64_t bootstrap_records = 0; // records loaded from the checkpoint
   std::uint64_t reclaimed_records = 0; // deleted records freed by publish-time sweeps
   std::uint64_t last_cut_wall_ns = 0;  // primary's clock at the latest published cut
+  // Tailer read-health: retried segment reads (EINTR plus backed-off hard errors) and
+  // the errno of the most recent hard read error (0 = none seen). Transient errors
+  // never halt the tailer — it backs off and resumes at the same position, so cut
+  // alignment is preserved.
+  std::uint64_t read_retries = 0;
+  int last_read_errno = 0;
   // Staleness bounds (0 until tailing / nothing published yet):
   // On-disk log bytes from the tailer's position to the end of the newest live
   // segment (retention-leased files, so every byte is stat-able). Measures flushed-
@@ -204,6 +213,10 @@ class Replica {
   std::atomic<std::uint64_t> tail_segment_{0};
   std::atomic<std::uint64_t> tail_consumed_{0};
   std::atomic<bool> halted_{false};
+  // Read-health gauges for progress(): written by the tailer thread only, racy
+  // readers by contract — relaxed everywhere.
+  std::atomic<std::uint64_t> read_retries_{0};
+  std::atomic<int> last_read_errno_{0};
 
   mutable Spinlock hist_mu_;
   LatencyHistogram publish_lag_ GUARDED_BY(hist_mu_);

@@ -37,6 +37,11 @@ enum class TxnAbort : std::uint8_t {
   // An op's required record type conflicted with the key's existing record type
   // (see TypeMismatchSignal); terminal, never retried.
   kTypeMismatch = 2,
+  // The database is in read-only degraded mode after a permanent WAL failure: the
+  // transaction's writes could not be made durable, so it was terminated (in-flight)
+  // or refused (at submission). Terminal, never retried — the degraded latch is
+  // one-way for the process lifetime.
+  kDurabilityLost = 3,
 };
 
 // Final outcome of a submitted transaction.
@@ -56,6 +61,11 @@ struct TxnRequest {
   TxnArgs args;
   TxnCompletionFn on_complete = nullptr;
   void* on_complete_ctx = nullptr;
+  // Declares the transaction write-free. Read-only submissions are admitted even in
+  // degraded (durability-lost) mode — they need no redo entry, so nothing about them
+  // is lost. Purely an admission hint: a "read-only" body that does write is still
+  // caught by the runner's degraded gate at commit time.
+  bool read_only = false;
 };
 
 // Workload tags used by the built-in benchmarks (Table 3 separates read and write

@@ -29,7 +29,8 @@ struct SubmitTicket {
   // carry their proc in PendingTxn::req instead.
   std::function<void(Txn&)> fn;
   // 0 = pending, 1 = committed, 2 = user-aborted, 3 = type-mismatch abort (terminal,
-  // never retried: the key exists with a different record type).
+  // never retried: the key exists with a different record type), 4 = durability-lost
+  // abort (terminal: the database is in read-only degraded mode).
   std::atomic<int> state{0};
   std::atomic<std::uint32_t> attempts{0};
   // Database's drain counter: decremented (release) once the ticket is fully finished,
@@ -50,6 +51,8 @@ struct SubmitTicket {
       r.abort = TxnAbort::kUser;
     } else if (s == 3) {
       r.abort = TxnAbort::kTypeMismatch;
+    } else if (s == 4) {
+      r.abort = TxnAbort::kDurabilityLost;
     }
     return r;
   }
@@ -116,6 +119,7 @@ class Worker {
   std::uint64_t stash_events = 0;
   std::uint64_t user_aborts = 0;
   std::uint64_t type_mismatch_aborts = 0;
+  std::uint64_t durability_aborts = 0;  // terminated by the degraded-mode gate
   std::uint64_t committed_by_tag[kNumTags] = {};
   LatencyHistogram latency_by_tag[kNumTags];
   // Readable while running (throughput-over-time series, Fig. 10).

@@ -24,6 +24,12 @@ void FillWalMetrics(const Database& db, RunMetrics* m) {
   m->wal_segments = wal->segments_created();
   m->wal_checkpoints = wal->checkpoints_taken();
   m->wal_cuts = wal->cuts_emitted();
+  m->wal_io_retries = wal->io_retries();
+  m->wal_checkpoint_failures = wal->checkpoint_failures();
+  const DurabilityHealth h = db.durability_health();
+  m->wal_degraded = h.degraded;
+  m->wal_failed_errno = h.error;
+  m->wal_failed_op = h.op;
 }
 
 // Post-Stop store occupancy gauges. Warns when chains have grown long enough to tax

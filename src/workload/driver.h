@@ -46,6 +46,15 @@ struct RunMetrics {
   std::uint64_t wal_segments = 0;
   std::uint64_t wal_checkpoints = 0;
   std::uint64_t wal_cuts = 0;  // replication-cut records emitted at phase barriers
+  // Durability health: transient-I/O retries absorbed inside the persist layer,
+  // checkpoints that rolled back (retried at a later barrier), and whether the run
+  // ended in read-only degraded mode (plus the first permanent failure's errno and
+  // syscall name — wal_failed_op is a static string, never null).
+  std::uint64_t wal_io_retries = 0;
+  std::uint64_t wal_checkpoint_failures = 0;
+  bool wal_degraded = false;
+  int wal_failed_errno = 0;
+  const char* wal_failed_op = "";
 
   // Replication-side accounting (FillReplicaMetrics; zero when no replica attached):
   // flushed/shipped/applied watermarks and the staleness bound a replica read carries.

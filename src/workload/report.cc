@@ -110,6 +110,20 @@ std::string WalSummary(const RunMetrics& m) {
       static_cast<unsigned long long>(m.wal_segments),
       static_cast<unsigned long long>(m.wal_checkpoints),
       static_cast<unsigned long long>(m.wal_cuts));
+  // One-line durability health: healthy runs show retry absorption (usually 0), a
+  // degraded run names the syscall and errno that tripped the read-only latch.
+  if (n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    if (m.wal_degraded) {
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                         ", health DEGRADED read-only (%s failed, errno %d)",
+                         m.wal_failed_op, m.wal_failed_errno);
+    } else {
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                         ", health ok (%llu io retries, %llu ckpt retries)",
+                         static_cast<unsigned long long>(m.wal_io_retries),
+                         static_cast<unsigned long long>(m.wal_checkpoint_failures));
+    }
+  }
   if (m.replica_enabled && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
     std::snprintf(
         buf + n, sizeof(buf) - static_cast<std::size_t>(n),

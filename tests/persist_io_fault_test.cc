@@ -1,0 +1,714 @@
+// Storage fault tolerance: the IoEnv seam, the transient/permanent error taxonomy,
+// checkpoint rollback + retry, the WAL durability-failure latch, and Database-level
+// read-only degraded mode. The seeded fuzz at the bottom drives random fault schedules
+// through the full Doppel protocol and asserts the no-abort contract: every schedule
+// ends in success, clean bounded retry, or read-only degraded mode — and reopening the
+// directory recovers exactly a committed prefix.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/persist/io_env.h"
+#include "src/persist/manifest.h"
+#include "src/persist/wal.h"
+#include "tests/persist_test_util.h"
+#include "tests/test_util.h"
+
+namespace doppel {
+namespace {
+
+using testing::FreshDir;
+using testing::IntAt;
+using testing::ReadFileBytes;
+using testing::RemoveDirRecursive;
+
+std::uint64_t FuzzSeed() {
+  const char* env = std::getenv("DOPPEL_FUZZ_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0xfeedULL;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+// True when any file in `dir` ends with `suffix` (tmp-debris detector).
+bool DirContainsSuffix(const std::string& dir, const std::string& suffix) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return false;
+  }
+  bool found = false;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      found = true;
+    }
+  }
+  ::closedir(d);
+  return found;
+}
+
+// Operand storage for PendingWrites built by WAL-level tests (single-threaded,
+// Append encodes synchronously — one shared arena is fine).
+WriteArena& TestArena() {
+  static WriteArena arena;
+  return arena;
+}
+
+PendingWrite IntWrite(Record* r, OpCode op, std::int64_t n) {
+  PendingWrite w;
+  w.record = r;
+  w.op = op;
+  w.n = n;
+  return w;
+}
+
+// Fast retry policy so exhausted-budget tests don't sleep through real backoff.
+IoRetryPolicy FastRetry() {
+  IoRetryPolicy p;
+  p.backoff_min_us = 1;
+  p.backoff_max_us = 10;
+  return p;
+}
+
+// ---- IoEnv unit ------------------------------------------------------------------------
+
+TEST(IoEnv, PassthroughErrnoConvention) {
+  IoEnv* env = IoEnv::Default();
+  EXPECT_EQ(env->Open("/nonexistent-dir-xyz/f", O_RDONLY, 0), -ENOENT);
+  EXPECT_EQ(env->Unlink("/nonexistent-dir-xyz/f"), -ENOENT);
+
+  const std::string dir = FreshDir("ioenv_pass");
+  const std::string path = dir + "/f";
+  const int fd = env->Open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(env->Write(fd, "abc", 3), 3);
+  EXPECT_EQ(env->Fsync(fd), 0);
+  EXPECT_EQ(env->Close(fd), 0);
+  EXPECT_EQ(ReadFileBytes(path), "abc");
+  RemoveDirRecursive(dir);
+}
+
+TEST(IoEnv, TransientClassification) {
+  EXPECT_TRUE(IsTransientIoError(-EINTR));
+  EXPECT_TRUE(IsTransientIoError(-EAGAIN));
+  EXPECT_FALSE(IsTransientIoError(-EIO));
+  EXPECT_FALSE(IsTransientIoError(-ENOSPC));
+  EXPECT_FALSE(IsTransientIoError(0));
+}
+
+TEST(IoEnv, WriteFullyAbsorbsEintrAndShortWrites) {
+  const std::string dir = FreshDir("ioenv_transient");
+  FaultInjectingIoEnv fenv(1);
+  FaultRule eintr;
+  eintr.ops = IoOpBit(IoOp::kWrite);
+  eintr.err = EINTR;
+  eintr.once = true;
+  fenv.AddRule(eintr);
+  FaultRule shorty;
+  shorty.ops = IoOpBit(IoOp::kWrite);
+  shorty.short_write = true;
+  shorty.once = true;
+  fenv.AddRule(shorty);
+
+  const std::string path = dir + "/f";
+  const int fd = fenv.Open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  const std::string data(1000, 'x');
+  std::atomic<std::uint64_t> retries{0};
+  EXPECT_EQ(WriteFullyRetry(&fenv, fd, data.data(), data.size(), FastRetry(), &retries),
+            0);
+  fenv.Close(fd);
+  // Both injected faults were absorbed by bounded retry and the file is whole.
+  EXPECT_GE(retries.load(), 2u);
+  EXPECT_EQ(ReadFileBytes(path), data);
+  RemoveDirRecursive(dir);
+}
+
+TEST(IoEnv, WriteFullyEscalatesEnospc) {
+  const std::string dir = FreshDir("ioenv_enospc");
+  FaultInjectingIoEnv fenv(2);
+  FaultRule full;
+  full.ops = IoOpBit(IoOp::kWrite);
+  full.err = ENOSPC;
+  full.sticky = true;
+  fenv.AddRule(full);
+
+  const int fd = fenv.Open((dir + "/f").c_str(), O_CREAT | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  std::atomic<std::uint64_t> retries{0};
+  EXPECT_EQ(WriteFullyRetry(&fenv, fd, "abc", 3, FastRetry(), &retries), -ENOSPC);
+  EXPECT_EQ(retries.load(), 0u);  // permanent errors are not retried
+  fenv.Close(fd);
+  RemoveDirRecursive(dir);
+}
+
+TEST(IoEnv, ExhaustedTransientBudgetEscalates) {
+  const std::string dir = FreshDir("ioenv_budget");
+  FaultInjectingIoEnv fenv(3);
+  FaultRule eintr;
+  eintr.ops = IoOpBit(IoOp::kWrite);
+  eintr.err = EINTR;
+  eintr.sticky = true;  // every write interrupted, forever
+  fenv.AddRule(eintr);
+
+  const int fd = fenv.Open((dir + "/f").c_str(), O_CREAT | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  std::atomic<std::uint64_t> retries{0};
+  EXPECT_EQ(WriteFullyRetry(&fenv, fd, "abc", 3, FastRetry(), &retries), -EINTR);
+  EXPECT_GT(retries.load(), 0u);
+  fenv.Close(fd);
+  RemoveDirRecursive(dir);
+}
+
+TEST(IoEnv, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    const std::string dir = FreshDir("ioenv_seed");
+    FaultInjectingIoEnv fenv(seed);
+    FaultRule flaky;
+    flaky.ops = IoOpBit(IoOp::kWrite);
+    flaky.err = EINTR;
+    flaky.probability = 0.5;
+    fenv.AddRule(flaky);
+    const int fd = fenv.Open((dir + "/f").c_str(), O_CREAT | O_WRONLY, 0644);
+    std::vector<long> results;
+    for (int i = 0; i < 64; ++i) {
+      results.push_back(fenv.Write(fd, "x", 1));
+    }
+    fenv.Close(fd);
+    RemoveDirRecursive(dir);
+    return results;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // and the seed actually matters
+}
+
+// ---- Manifest / checkpoint failure containment ----------------------------------------
+
+TEST(ManifestFault, FailedSaveLeavesOldManifestLive) {
+  const std::string dir = FreshDir("manifest_fault");
+  Manifest m;
+  m.live_segments = {1};
+  m.next_segment = 2;
+  ASSERT_FALSE(static_cast<bool>(Manifest::Save(dir, m, nullptr, nullptr)));
+
+  FaultInjectingIoEnv fenv(4);
+  FaultRule rule;
+  rule.ops = IoOpBit(IoOp::kRename);
+  rule.path_substring = "MANIFEST";
+  rule.err = EIO;
+  rule.once = true;
+  fenv.AddRule(rule);
+
+  Manifest m2;
+  m2.live_segments = {1, 2};
+  m2.next_segment = 3;
+  const IoFailure f = Manifest::Save(dir, m2, &fenv, nullptr);
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f.err, EIO);
+  EXPECT_EQ(f.op, IoOp::kRename);
+  // Rollback: no tmp debris, and the old manifest still loads with the old state.
+  EXPECT_FALSE(FileExists(dir + "/MANIFEST.tmp"));
+  Manifest loaded;
+  ASSERT_TRUE(Manifest::Load(dir, &loaded));
+  EXPECT_EQ(loaded.live_segments, (std::vector<std::uint64_t>{1}));
+  RemoveDirRecursive(dir);
+}
+
+// ---- WAL durability-failure latch ------------------------------------------------------
+
+TEST(WalFault, EnospcOnAppendPathLatchesDegraded) {
+  const std::string dir = FreshDir("wal_enospc");
+  FaultInjectingIoEnv fenv(5);
+  FaultRule full;
+  full.ops = IoOpBit(IoOp::kWrite);
+  full.path_substring = "wal-";
+  full.after = 1;  // let the segment header through, then the disk fills
+  full.err = ENOSPC;
+  full.sticky = true;
+  fenv.AddRule(full);
+
+  Store source(256);
+  const Key k = Key::FromU64(1);
+  source.LoadInt(k, 0);
+  WalOptions wo;
+  wo.env = &fenv;
+  wo.retry = FastRetry();
+  WriteAheadLog wal(dir, wo);
+  wal.StartLogging();
+  ASSERT_FALSE(wal.failed());
+
+  std::vector<PendingWrite> ws;
+  ws.push_back(IntWrite(source.Find(k), OpCode::kAdd, 1));
+  wal.Append(0, 256, ws, {}, TestArena());
+  wal.Flush();
+
+  EXPECT_TRUE(wal.failed());
+  EXPECT_EQ(wal.failed_errno(), ENOSPC);
+  EXPECT_EQ(wal.failed_op(), IoOp::kWrite);
+  // Latched: later appends/flushes/cuts are silent no-ops, not crashes.
+  wal.Append(0, 512, ws, {}, TestArena());
+  wal.Flush();
+  wal.AppendCut(512);
+  EXPECT_TRUE(wal.failed());
+  RemoveDirRecursive(dir);
+}
+
+TEST(WalFault, FailedFsyncIsPermanentAndNeverRetried) {
+  const std::string dir = FreshDir("wal_fsync");
+  FaultInjectingIoEnv fenv(6);
+  FaultRule sick;
+  sick.ops = IoOpBit(IoOp::kFsync);
+  sick.path_substring = "wal-";
+  sick.after = 1;  // the segment-header fsync passes; the first data fsync fails
+  sick.err = EIO;
+  sick.once = true;  // even though a RETRIED fsync would succeed...
+  fenv.AddRule(sick);
+
+  Store source(256);
+  const Key k = Key::FromU64(1);
+  source.LoadInt(k, 0);
+  WalOptions wo;
+  wo.env = &fenv;
+  wo.fsync = true;
+  wo.retry = FastRetry();
+  WriteAheadLog wal(dir, wo);
+  wal.StartLogging();
+
+  std::vector<PendingWrite> ws;
+  ws.push_back(IntWrite(source.Find(k), OpCode::kAdd, 1));
+  wal.Append(0, 256, ws, {}, TestArena());
+  wal.Flush();
+
+  // ... the policy latches on the FIRST failed fsync: the page-cache state after it is
+  // unknowable, so re-fsync-and-claim-durable would be a lie.
+  EXPECT_TRUE(wal.failed());
+  EXPECT_EQ(wal.failed_errno(), EIO);
+  EXPECT_EQ(wal.failed_op(), IoOp::kFsync);
+  RemoveDirRecursive(dir);
+}
+
+TEST(WalFault, DurabilityLostCallbackFires) {
+  const std::string dir = FreshDir("wal_cb");
+  FaultInjectingIoEnv fenv(7);
+  FaultRule full;
+  full.ops = IoOpBit(IoOp::kWrite);
+  full.path_substring = "wal-";
+  full.after = 1;
+  full.err = ENOSPC;
+  full.sticky = true;
+  fenv.AddRule(full);
+
+  Store source(256);
+  const Key k = Key::FromU64(1);
+  source.LoadInt(k, 0);
+  WalOptions wo;
+  wo.env = &fenv;
+  wo.retry = FastRetry();
+  WriteAheadLog wal(dir, wo);
+  std::atomic<int> seen_err{0};
+  wal.SetDurabilityLostCallback([&](int err, IoOp) { seen_err.store(err); });
+  wal.StartLogging();
+  std::vector<PendingWrite> ws;
+  ws.push_back(IntWrite(source.Find(k), OpCode::kAdd, 1));
+  wal.Append(0, 256, ws, {}, TestArena());
+  wal.Flush();
+  EXPECT_EQ(seen_err.load(), ENOSPC);
+
+  // Registering after the fact fires immediately (Database may construct its WAL after
+  // the mkdir already failed).
+  std::atomic<int> late_err{0};
+  wal.SetDurabilityLostCallback([&](int err, IoOp) { late_err.store(err); });
+  EXPECT_EQ(late_err.load(), ENOSPC);
+  RemoveDirRecursive(dir);
+}
+
+TEST(WalFault, TransientFlushFaultsAreAbsorbed) {
+  const std::string dir = FreshDir("wal_transient");
+  FaultInjectingIoEnv fenv(8);
+  FaultRule flaky;
+  flaky.ops = IoOpBit(IoOp::kWrite);
+  flaky.path_substring = "wal-";
+  flaky.err = EINTR;
+  flaky.probability = 0.3;
+  fenv.AddRule(flaky);
+
+  Store source(256);
+  const Key kCounter = Key::FromU64(1);
+  source.LoadInt(kCounter, 0);
+  WalOptions wo;
+  wo.env = &fenv;
+  wo.retry = FastRetry();
+  {
+    WriteAheadLog wal(dir, wo);
+    wal.StartLogging();
+    for (int i = 0; i < 50; ++i) {
+      std::vector<PendingWrite> ws;
+      ws.push_back(IntWrite(source.Find(kCounter), OpCode::kAdd, 1));
+      wal.Append(0, 256u * static_cast<std::uint64_t>(i + 1), ws, {}, TestArena());
+      wal.Flush();
+    }
+    EXPECT_FALSE(wal.failed());
+    EXPECT_GT(wal.io_retries(), 0u);
+  }
+  // Nothing was lost to the absorbed transients: clean reopen replays all 50.
+  Store recovered(256);
+  recovered.LoadInt(kCounter, 0);
+  WriteAheadLog reopened(dir);
+  EXPECT_EQ(reopened.Recover(&recovered).replayed_txns, 50u);
+  EXPECT_EQ(IntAt(recovered, kCounter), 50);
+  RemoveDirRecursive(dir);
+}
+
+// ---- Checkpoint rollback + retry -------------------------------------------------------
+
+TEST(CheckpointFault, FailedCheckpointRollsBackAndRetries) {
+  const std::string dir = FreshDir("ckpt_rollback");
+  FaultInjectingIoEnv fenv(9);
+  FaultRule rule;
+  rule.ops = IoOpBit(IoOp::kWrite);
+  rule.path_substring = ".ckpt.tmp";  // only the checkpoint body, never the log
+  rule.err = ENOSPC;
+  rule.once = true;
+  fenv.AddRule(rule);
+
+  Store store(256);
+  const Key k = Key::FromU64(1);
+  store.LoadInt(k, 0);
+  WalOptions wo;
+  wo.env = &fenv;
+  wo.retry = FastRetry();
+  WriteAheadLog wal(dir, wo);
+  wal.StartLogging();
+  std::vector<PendingWrite> ws;
+  ws.push_back(IntWrite(store.Find(k), OpCode::kAdd, 7));
+  wal.Append(0, 256, ws, {}, TestArena());
+
+  Manifest before;
+  ASSERT_TRUE(Manifest::Load(dir, &before));
+  ASSERT_TRUE(before.checkpoint.empty());
+
+  // First attempt: the checkpoint body write hits ENOSPC. This is NOT a WAL failure —
+  // the log keeps appending; only the snapshot is abandoned.
+  const CheckpointStats failed = wal.WriteCheckpoint(store);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.failure.err, ENOSPC);
+  EXPECT_FALSE(wal.failed());
+  EXPECT_EQ(wal.checkpoint_failures(), 1u);
+  EXPECT_EQ(wal.checkpoints_taken(), 0u);
+  // Rollback: manifest untouched (no checkpoint), and no tmp debris.
+  Manifest after;
+  ASSERT_TRUE(Manifest::Load(dir, &after));
+  EXPECT_TRUE(after.checkpoint.empty());
+  EXPECT_FALSE(DirContainsSuffix(dir, ".tmp"));
+
+  // Retry at a "later barrier": the once-rule is spent, so it succeeds.
+  const CheckpointStats ok = wal.WriteCheckpoint(store);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(wal.checkpoints_taken(), 1u);
+  Manifest final_m;
+  ASSERT_TRUE(Manifest::Load(dir, &final_m));
+  EXPECT_FALSE(final_m.checkpoint.empty());
+  RemoveDirRecursive(dir);
+}
+
+TEST(CheckpointFault, ManifestFailureAfterCheckpointWriteLatchesWal) {
+  const std::string dir = FreshDir("ckpt_manifest");
+  FaultInjectingIoEnv fenv(10);
+  FaultRule rule;
+  rule.ops = IoOpBit(IoOp::kRename);
+  rule.path_substring = "MANIFEST";
+  rule.after = 1;  // StartLogging's manifest save passes; the checkpoint repoint fails
+  rule.err = EIO;
+  rule.sticky = true;
+  fenv.AddRule(rule);
+
+  Store store(256);
+  store.LoadInt(Key::FromU64(1), 5);
+  WalOptions wo;
+  wo.env = &fenv;
+  wo.retry = FastRetry();
+  WriteAheadLog wal(dir, wo);
+  wal.StartLogging();
+  ASSERT_FALSE(wal.failed());
+
+  const CheckpointStats st = wal.WriteCheckpoint(store);
+  // The checkpoint file was written but the manifest can no longer be repointed: that
+  // IS a WAL failure (no future durable transition can be recorded).
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(wal.failed());
+  EXPECT_EQ(wal.failed_op(), IoOp::kRename);
+  RemoveDirRecursive(dir);
+}
+
+// ---- Database-level degraded mode ------------------------------------------------------
+
+void AddProc(Txn& txn, const TxnArgs& a) { txn.Add(a.k1, a.n); }
+void ReadProc(Txn& txn, const TxnArgs& a) { txn.GetInt(a.k1); }
+
+// Counter+marker scheme (same as persist_test.cc's torn-tail fuzz): txn i does
+// Add(kCounter, 1) and PutInt(kMarker, i). With one worker, TID order == submission
+// order, so any recovered state must satisfy counter == r, marker == r - 1: exactly a
+// committed prefix, never a gap.
+class DegradedMode : public ::testing::Test {
+ protected:
+  static constexpr int kTxns = 200;
+  const Key kCounter = Key::FromU64(1);
+  const Key kMarker = Key::FromU64(2);
+
+  Options BaseOptions(const std::string& dir, IoEnv* env) {
+    Options o;
+    o.protocol = Protocol::kDoppel;
+    o.num_workers = 1;
+    o.phase_us = 2000;
+    o.store_capacity = 1 << 10;
+    o.wal_dir = dir.c_str();
+    o.wal_flush_us = 200;
+    o.io_env = env;
+    return o;
+  }
+
+  void Populate(Database& db) {
+    db.store().LoadInt(kCounter, 0);
+    db.store().LoadInt(kMarker, 0);
+  }
+
+  // Runs the counter+marker workload against `db` until done; returns how many
+  // committed (every non-commit must be a durability-lost abort).
+  int RunWorkload(Database& db) {
+    int committed = 0;
+    for (int i = 0; i < kTxns; ++i) {
+      TxnResult r = db.Execute([this, i](Txn& txn) {
+        txn.Add(kCounter, 1);
+        txn.PutInt(kMarker, i);
+      });
+      if (r.committed) {
+        ++committed;
+      } else {
+        EXPECT_EQ(r.abort, TxnAbort::kDurabilityLost);
+      }
+    }
+    return committed;
+  }
+
+  // Reopens the directory with a clean env and asserts the exact-prefix property.
+  void CheckPrefix(const std::string& dir, int committed) {
+    Options o = BaseOptions(dir, nullptr);
+    Database db(o);
+    Populate(db);
+    db.Start();
+    const std::int64_t counter = IntAt(db.store(), kCounter);
+    const std::int64_t marker = IntAt(db.store(), kMarker);
+    EXPECT_LE(counter, committed);
+    if (counter > 0) {
+      EXPECT_EQ(marker, counter - 1);
+    } else {
+      EXPECT_EQ(marker, 0);
+    }
+    db.Stop();
+  }
+};
+
+TEST_F(DegradedMode, EnospcMidRunServesReadsBouncesWritesRecoversPrefix) {
+  const std::string dir = FreshDir("degraded_enospc");
+  FaultInjectingIoEnv fenv(FuzzSeed());
+  FaultRule full;
+  full.ops = IoOpBit(IoOp::kWrite);
+  full.path_substring = "wal-";
+  full.after = 3;  // header + a couple of flushed batches, then the disk fills
+  full.err = ENOSPC;
+  full.sticky = true;
+  fenv.AddRule(full);
+
+  int committed = 0;
+  {
+    Options o = BaseOptions(dir, &fenv);
+    Database db(o);
+    Populate(db);
+    db.Start();
+    committed = RunWorkload(db);
+
+    // The sticky ENOSPC must have latched by now (the flusher runs every 200us).
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!db.degraded() && std::chrono::steady_clock::now() < deadline) {
+      db.Execute([this](Txn& txn) { txn.Add(kCounter, 1); });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(db.degraded());
+    const DurabilityHealth h = db.durability_health();
+    EXPECT_TRUE(h.degraded);
+    EXPECT_EQ(h.error, ENOSPC);
+    EXPECT_STREQ(h.op, "write");
+
+    // Write submissions bounce at the door...
+    TxnRequest wr;
+    wr.proc = AddProc;
+    wr.args.k1 = kCounter;
+    wr.args.n = 1;
+    TxnHandle h1;
+    EXPECT_EQ(db.TrySubmit(wr, &h1), SubmitStatus::kReadOnly);
+    // ... blocking submits terminate with the durability-lost abort ...
+    const TxnResult blocked = db.Submit(wr).Wait();
+    EXPECT_FALSE(blocked.committed);
+    EXPECT_EQ(blocked.abort, TxnAbort::kDurabilityLost);
+    // ... and reads keep serving.
+    TxnRequest rd;
+    rd.proc = ReadProc;
+    rd.args.k1 = kCounter;
+    rd.read_only = true;
+    const TxnResult read = db.Submit(rd).Wait();
+    EXPECT_TRUE(read.committed);
+    // A "read-only" submission that lies and writes is caught at commit.
+    TxnRequest liar;
+    liar.proc = AddProc;
+    liar.args.k1 = kCounter;
+    liar.args.n = 1;
+    liar.read_only = true;
+    const TxnResult lied = db.Submit(liar).Wait();
+    EXPECT_FALSE(lied.committed);
+    EXPECT_EQ(lied.abort, TxnAbort::kDurabilityLost);
+
+    const Database::Stats stats = db.CollectStats();
+    db.Stop();  // drains cleanly despite the latched WAL
+    EXPECT_GE(db.CollectStats().durability_aborts, stats.durability_aborts);
+  }
+  CheckPrefix(dir, committed);
+  RemoveDirRecursive(dir);
+}
+
+TEST_F(DegradedMode, FailedFsyncMidRunDegradesAndRecoversPrefix) {
+  const std::string dir = FreshDir("degraded_fsync");
+  FaultInjectingIoEnv fenv(FuzzSeed() ^ 0xf5ecULL);
+  FaultRule sick;
+  sick.ops = IoOpBit(IoOp::kFsync);
+  sick.path_substring = "wal-";
+  sick.after = 2;
+  sick.err = EIO;
+  sick.once = true;
+  fenv.AddRule(sick);
+
+  int committed = 0;
+  {
+    Options o = BaseOptions(dir, &fenv);
+    o.wal_fsync = true;
+    Database db(o);
+    Populate(db);
+    db.Start();
+    committed = RunWorkload(db);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!db.degraded() && std::chrono::steady_clock::now() < deadline) {
+      db.Execute([this](Txn& txn) { txn.Add(kCounter, 1); });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(db.degraded());
+    EXPECT_STREQ(db.durability_health().op, "fsync");
+    db.Stop();
+  }
+  CheckPrefix(dir, committed);
+  RemoveDirRecursive(dir);
+}
+
+// ---- Seeded fault-injection fuzz -------------------------------------------------------
+
+// Random fault schedules against the full Doppel protocol (checkpoints, rotation,
+// replication cuts all active). The no-abort contract: the process never dies, every
+// transaction ends committed or durability-lost-aborted, Stop drains, and a clean
+// reopen recovers exactly a committed prefix.
+TEST(IoFaultFuzz, RandomScheduleNeverAborts) {
+  Rng rng(FuzzSeed() ^ 0x10fa17ULL);
+  const Key kCounter = Key::FromU64(1);
+  const Key kMarker = Key::FromU64(2);
+  constexpr int kSchedules = 12;
+  constexpr int kTxns = 150;
+
+  for (int sched = 0; sched < kSchedules; ++sched) {
+    const std::string dir = FreshDir("io_fuzz");
+    FaultInjectingIoEnv fenv(rng.Next());
+    const std::uint32_t n_rules = 1 + static_cast<std::uint32_t>(rng.NextBounded(3));
+    for (std::uint32_t i = 0; i < n_rules; ++i) {
+      static const IoOp kOps[] = {IoOp::kWrite, IoOp::kFsync, IoOp::kRename,
+                                  IoOp::kTruncate, IoOp::kOpen};
+      static const char* kPaths[] = {"wal-", "ckpt-", "MANIFEST"};
+      static const int kErrs[] = {ENOSPC, EIO, EINTR};
+      FaultRule r;
+      r.ops = IoOpBit(kOps[rng.NextBounded(5)]);
+      r.path_substring = kPaths[rng.NextBounded(3)];
+      r.after = rng.NextBounded(60);
+      r.err = kErrs[rng.NextBounded(3)];
+      if (r.err == EINTR) {
+        r.probability = 0.5;  // recurring transient noise
+      } else {
+        (rng.NextBounded(2) == 0 ? r.sticky : r.once) = true;
+      }
+      fenv.AddRule(r);
+    }
+
+    Options o;
+    o.protocol = Protocol::kDoppel;
+    o.num_workers = 1;
+    o.phase_us = 1000;
+    o.store_capacity = 1 << 10;
+    o.wal_dir = dir.c_str();
+    o.wal_flush_us = 200;
+    o.wal_segment_bytes = 4096;  // force rotations
+    o.checkpoint_interval_us = 3000;
+    o.replication_cuts = true;
+    o.wal_fsync = rng.NextBounded(2) == 0;
+    o.io_env = &fenv;
+
+    int committed = 0;
+    {
+      Database db(o);
+      db.store().LoadInt(kCounter, 0);
+      db.store().LoadInt(kMarker, 0);
+      db.Start();
+      for (int i = 0; i < kTxns; ++i) {
+        const TxnResult r = db.Execute([&, i](Txn& txn) {
+          txn.Add(kCounter, 1);
+          txn.PutInt(kMarker, i);
+        });
+        if (r.committed) {
+          ++committed;
+        } else {
+          // The ONLY legal abort under an I/O fault schedule.
+          ASSERT_EQ(r.abort, TxnAbort::kDurabilityLost)
+              << "schedule " << sched << " txn " << i;
+        }
+      }
+      db.Stop();  // must drain cleanly, degraded or not
+    }
+
+    // Clean reopen: recovery tolerates whatever the schedule left behind and restores
+    // exactly a committed prefix (checkpoint + replay, never a gap, never garbage).
+    {
+      Options clean = o;
+      clean.io_env = nullptr;
+      Database db(clean);
+      db.store().LoadInt(kCounter, 0);
+      db.store().LoadInt(kMarker, 0);
+      db.Start();
+      const std::int64_t counter = IntAt(db.store(), kCounter);
+      const std::int64_t marker = IntAt(db.store(), kMarker);
+      ASSERT_LE(counter, committed) << "schedule " << sched;
+      if (counter > 0) {
+        ASSERT_EQ(marker, counter - 1) << "schedule " << sched;
+      } else {
+        ASSERT_EQ(marker, 0) << "schedule " << sched;
+      }
+      db.Stop();
+    }
+    RemoveDirRecursive(dir);
+  }
+}
+
+}  // namespace
+}  // namespace doppel
